@@ -1,0 +1,36 @@
+//! # flowdns-analysis
+//!
+//! Analysis toolkit for FlowDNS output.
+//!
+//! The experiment harness and the Section 5 use cases all consume the
+//! correlated record stream and reduce it to the statistics the paper
+//! plots. This crate collects those reductions:
+//!
+//! * [`ecdf`] — empirical CDFs (Figures 6, 8, 9),
+//! * [`traffic`] — per-key byte accounting with cumulative series
+//!   (Figure 5's "traffic volume per number of domain names"),
+//! * [`cardinality`] — names-per-IP and IPs-per-name counting over a DNS
+//!   sample (Figure 9 / Appendix A.7),
+//! * [`per_as`] — per-service, per-origin-AS traffic over time using the
+//!   BGP routing table (Figure 4),
+//! * [`category`] — blocklist / validity classification of correlated
+//!   traffic and the bidirectional-traffic statistics (Section 5),
+//! * [`report`] — plain-text table rendering used by the experiment
+//!   binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cardinality;
+pub mod category;
+pub mod ecdf;
+pub mod per_as;
+pub mod report;
+pub mod traffic;
+
+pub use cardinality::CardinalityAnalysis;
+pub use category::{CategoryAnalysis, TrafficCategory};
+pub use ecdf::Ecdf;
+pub use per_as::PerAsTraffic;
+pub use report::{render_series, render_table};
+pub use traffic::TrafficByKey;

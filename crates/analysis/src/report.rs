@@ -1,0 +1,80 @@
+//! Plain-text report rendering used by the experiment binaries.
+
+/// Render a table with a header row and aligned columns.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render an `(x, y)` series as two aligned columns, for pasting into a
+/// plotting tool or eyeballing a figure's shape.
+pub fn render_series(x_label: &str, y_label: &str, series: &[(f64, f64)]) -> String {
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|(x, y)| vec![format!("{x:.3}"), format!("{y:.4}")])
+        .collect();
+    render_table(&[x_label, y_label], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let table = render_table(
+            &["variant", "correlation"],
+            &[
+                vec!["Main".into(), "81.7".into()],
+                vec!["NoRotation".into(), "79.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("variant"));
+        assert!(lines[2].starts_with("Main"));
+        assert!(lines[3].starts_with("NoRotation"));
+        // The correlation column starts at the same offset in every row.
+        let offset = lines[0].find("correlation").unwrap();
+        assert_eq!(&lines[2][offset..offset + 4], "81.7");
+        assert_eq!(&lines[3][offset..offset + 4], "79.5");
+    }
+
+    #[test]
+    fn series_renders_numbers() {
+        let s = render_series("ttl", "ecdf", &[(60.0, 0.25), (300.0, 0.7)]);
+        assert!(s.contains("60.000"));
+        assert!(s.contains("0.7000"));
+    }
+
+    #[test]
+    fn empty_rows_render_header_only() {
+        let table = render_table(&["a", "b"], &[]);
+        assert_eq!(table.lines().count(), 2);
+    }
+}

@@ -1,0 +1,160 @@
+//! Per-key traffic accounting.
+//!
+//! Figure 5 plots, per domain category, the cumulative distribution of
+//! traffic volume against the number of domain names: sort the category's
+//! domains by traffic, then report how many bytes the top-k carry.
+//! [`TrafficByKey`] is the generic accumulator behind that plot and the
+//! per-service / per-AS breakdowns.
+
+use std::collections::HashMap;
+
+/// Accumulates bytes per string key.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficByKey {
+    bytes: HashMap<String, u64>,
+    total: u64,
+}
+
+impl TrafficByKey {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        TrafficByKey::default()
+    }
+
+    /// Add `bytes` to `key`.
+    pub fn add(&mut self, key: &str, bytes: u64) {
+        *self.bytes.entry(key.to_string()).or_insert(0) += bytes;
+        self.total += bytes;
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Total bytes across all keys.
+    pub fn total_bytes(&self) -> u64 {
+        self.total
+    }
+
+    /// Bytes for one key (0 if absent).
+    pub fn get(&self, key: &str) -> u64 {
+        self.bytes.get(key).copied().unwrap_or(0)
+    }
+
+    /// The keys sorted by descending traffic, with their byte counts.
+    pub fn ranked(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .bytes
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// The top `n` keys by traffic.
+    pub fn top_n(&self, n: usize) -> Vec<(String, u64)> {
+        let mut ranked = self.ranked();
+        ranked.truncate(n);
+        ranked
+    }
+
+    /// The cumulative series of Figure 5: entry `k` (1-based) is the total
+    /// bytes carried by the `k` highest-traffic keys.
+    pub fn cumulative_series(&self) -> Vec<u64> {
+        let mut acc = 0u64;
+        self.ranked()
+            .into_iter()
+            .map(|(_, bytes)| {
+                acc += bytes;
+                acc
+            })
+            .collect()
+    }
+
+    /// How many of the highest-traffic keys are needed to cover `fraction`
+    /// of the total bytes (0 for an empty accumulator).
+    pub fn keys_covering(&self, fraction: f64) -> usize {
+        if self.total == 0 {
+            return 0;
+        }
+        let threshold = (self.total as f64 * fraction.clamp(0.0, 1.0)).ceil() as u64;
+        for (i, cum) in self.cumulative_series().iter().enumerate() {
+            if *cum >= threshold {
+                return i + 1;
+            }
+        }
+        self.key_count()
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &TrafficByKey) {
+        for (k, v) in &other.bytes {
+            *self.bytes.entry(k.clone()).or_insert(0) += v;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrafficByKey {
+        let mut t = TrafficByKey::new();
+        t.add("heavy.example", 800);
+        t.add("mid.example", 150);
+        t.add("light.example", 40);
+        t.add("tiny.example", 10);
+        t.add("heavy.example", 200); // accumulate
+        t
+    }
+
+    #[test]
+    fn accumulation_and_ranking() {
+        let t = sample();
+        assert_eq!(t.key_count(), 4);
+        assert_eq!(t.total_bytes(), 1200);
+        assert_eq!(t.get("heavy.example"), 1000);
+        assert_eq!(t.get("missing"), 0);
+        let ranked = t.ranked();
+        assert_eq!(ranked[0].0, "heavy.example");
+        assert_eq!(ranked[3].0, "tiny.example");
+        assert_eq!(t.top_n(2).len(), 2);
+    }
+
+    #[test]
+    fn cumulative_series_is_monotone_and_ends_at_total() {
+        let t = sample();
+        let series = t.cumulative_series();
+        assert_eq!(series.len(), 4);
+        assert_eq!(*series.last().unwrap(), 1200);
+        for pair in series.windows(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+        assert_eq!(series[0], 1000); // the single heaviest key
+    }
+
+    #[test]
+    fn keys_covering_fraction() {
+        let t = sample();
+        // The heaviest key alone covers 83% of the traffic.
+        assert_eq!(t.keys_covering(0.8), 1);
+        assert_eq!(t.keys_covering(0.9), 2);
+        assert_eq!(t.keys_covering(1.0), 4);
+        assert_eq!(TrafficByKey::new().keys_covering(0.5), 0);
+    }
+
+    #[test]
+    fn merge_combines_totals() {
+        let mut a = sample();
+        let mut b = TrafficByKey::new();
+        b.add("heavy.example", 100);
+        b.add("new.example", 1);
+        a.merge(&b);
+        assert_eq!(a.get("heavy.example"), 1100);
+        assert_eq!(a.get("new.example"), 1);
+        assert_eq!(a.total_bytes(), 1301);
+    }
+}

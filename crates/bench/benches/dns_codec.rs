@@ -1,0 +1,73 @@
+//! Criterion benchmarks for the DNS wire codec and the resolver-feed
+//! framing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flowdns_dns::{DnsMessage, FrameDecoder, FrameEncoder, Question, ResourceRecord};
+use flowdns_dns::message::DnsClass;
+use flowdns_types::{DnsRecord, DomainName, RecordType, SimTime};
+use std::net::Ipv4Addr;
+
+fn sample_message() -> DnsMessage {
+    let www = DomainName::literal("www.shop.example");
+    let cdn1 = DomainName::literal("shop.cdn.example.net");
+    let cdn2 = DomainName::literal("edge7.cdn.example.net");
+    DnsMessage::response(
+        4242,
+        Question {
+            name: www.clone(),
+            qtype: RecordType::A,
+            qclass: DnsClass::In,
+        },
+        vec![
+            ResourceRecord::cname(www, cdn1.clone(), 600),
+            ResourceRecord::cname(cdn1, cdn2.clone(), 600),
+            ResourceRecord::a(cdn2, Ipv4Addr::new(198, 51, 100, 77), 60),
+        ],
+    )
+}
+
+fn sample_records(n: usize) -> Vec<DnsRecord> {
+    (0..n)
+        .map(|i| {
+            DnsRecord::address(
+                SimTime::from_secs(i as u64),
+                DomainName::literal(&format!("edge{i}.cdn.example.net")),
+                Ipv4Addr::new(100, 64, (i >> 8) as u8, i as u8).into(),
+                300,
+            )
+        })
+        .collect()
+}
+
+fn bench_message_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dns_message");
+    group.sample_size(50);
+    let msg = sample_message();
+    let bytes = msg.encode().unwrap();
+    group.bench_function("encode", |b| b.iter(|| black_box(msg.encode().unwrap())));
+    group.bench_function("decode", |b| {
+        b.iter(|| black_box(DnsMessage::decode(&bytes).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_framing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dns_framing");
+    group.sample_size(50);
+    let records = sample_records(1_000);
+    let encoder = FrameEncoder::new();
+    let encoded = encoder.encode_batch(&records).unwrap();
+    group.bench_function("encode_1k_records", |b| {
+        b.iter(|| black_box(encoder.encode_batch(&records).unwrap()))
+    });
+    group.bench_function("decode_1k_records", |b| {
+        b.iter(|| {
+            let mut decoder = FrameDecoder::new();
+            black_box(decoder.feed(&encoded).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_message_codec, bench_framing);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion benchmarks for the correlation hot path: FillUp inserts and
+//! LookUp resolution with CNAME chain following.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowdns_core::fillup::{process_dns_record, FillUpStats};
+use flowdns_core::lookup::LookUpStats;
+use flowdns_core::{CorrelatorConfig, DnsStore, Resolver, Variant};
+use flowdns_types::{DnsRecord, DomainName, FlowRecord, SimTime};
+use std::net::Ipv4Addr;
+
+fn populate(store: &DnsStore, chains: usize) {
+    let mut stats = FillUpStats::default();
+    let ts = SimTime::from_secs(1);
+    for i in 0..chains {
+        let customer = DomainName::literal(&format!("www.service{i}.example"));
+        let hop = DomainName::literal(&format!("svc{i}.cdn.example.net"));
+        let edge = DomainName::literal(&format!("edge{i}.cdn.example.net"));
+        let ip = Ipv4Addr::new(100, 64, (i >> 8) as u8, i as u8);
+        process_dns_record(store, &DnsRecord::cname(ts, customer, hop.clone(), 600), &mut stats);
+        process_dns_record(store, &DnsRecord::cname(ts, hop, edge.clone(), 600), &mut stats);
+        process_dns_record(store, &DnsRecord::address(ts, edge, ip.into(), 300), &mut stats);
+    }
+}
+
+fn bench_fillup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fillup");
+    group.sample_size(30);
+    for variant in [Variant::Main, Variant::NoSplit] {
+        group.bench_with_input(
+            BenchmarkId::new("insert_3k_records", variant.label()),
+            &variant,
+            |b, &variant| {
+                b.iter(|| {
+                    let store = DnsStore::new(&CorrelatorConfig::for_variant(variant));
+                    populate(&store, 1_000);
+                    black_box(store.total_entries())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookup");
+    group.sample_size(30);
+    let config = CorrelatorConfig::default();
+    let store = DnsStore::new(&config);
+    populate(&store, 2_000);
+    let resolver = Resolver::new(&store, &config);
+    let hit_flow = FlowRecord::inbound(
+        SimTime::from_secs(10),
+        Ipv4Addr::new(100, 64, 3, 200).into(),
+        Ipv4Addr::new(10, 0, 0, 1).into(),
+        100_000,
+    );
+    let miss_flow = FlowRecord::inbound(
+        SimTime::from_secs(10),
+        Ipv4Addr::new(192, 0, 2, 1).into(),
+        Ipv4Addr::new(10, 0, 0, 1).into(),
+        100_000,
+    );
+    group.bench_function("resolve_hit_with_chain", |b| {
+        b.iter(|| {
+            let mut stats = LookUpStats::default();
+            black_box(resolver.process_flow(hit_flow.clone(), &mut stats))
+        })
+    });
+    group.bench_function("resolve_miss", |b| {
+        b.iter(|| {
+            let mut stats = LookUpStats::default();
+            black_box(resolver.process_flow(miss_flow.clone(), &mut stats))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fillup, bench_lookup);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benchmarks for the NetFlow v5 and v9 codecs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flowdns_netflow::v5::{V5Header, V5Packet, V5Record};
+use flowdns_netflow::v9::{encode_standard_ipv4_record, V9PacketBuilder, V9Parser};
+use flowdns_netflow::{ExtractorConfig, FlowExtractor, Template};
+use std::net::Ipv4Addr;
+
+fn v5_packet() -> V5Packet {
+    V5Packet {
+        header: V5Header {
+            unix_secs: 1_700_000_000,
+            ..V5Header::default()
+        },
+        records: (0..30)
+            .map(|i| V5Record {
+                src_addr: Ipv4Addr::new(100, 64, 0, i as u8),
+                dst_addr: Ipv4Addr::new(10, 0, 0, i as u8),
+                packets: 100,
+                octets: 150_000,
+                src_port: 443,
+                dst_port: 50_000 + i as u16,
+                proto: 6,
+                ..V5Record::default()
+            })
+            .collect(),
+    }
+}
+
+fn v9_packet() -> Vec<u8> {
+    let template = Template::standard_ipv4(256);
+    let mut builder = V9PacketBuilder::new(1, 1, 1_700_000_000);
+    builder.add_templates(&[template.clone()]);
+    let records: Vec<Vec<u8>> = (0..30)
+        .map(|i| {
+            encode_standard_ipv4_record(
+                Ipv4Addr::new(100, 64, 0, i as u8),
+                Ipv4Addr::new(10, 0, 0, i as u8),
+                443,
+                50_000 + i as u16,
+                6,
+                150_000,
+                100,
+                0,
+                1,
+            )
+        })
+        .collect();
+    builder.add_data(&template, &records).unwrap();
+    builder.build(0)
+}
+
+fn bench_v5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netflow_v5");
+    group.sample_size(50);
+    let packet = v5_packet();
+    let bytes = packet.encode().unwrap();
+    group.bench_function("encode_30_records", |b| {
+        b.iter(|| black_box(packet.encode().unwrap()))
+    });
+    group.bench_function("decode_30_records", |b| {
+        b.iter(|| black_box(V5Packet::decode(&bytes).unwrap()))
+    });
+    group.bench_function("extract_30_records", |b| {
+        let mut extractor = FlowExtractor::new(ExtractorConfig::default());
+        b.iter(|| black_box(extractor.from_v5(&packet)))
+    });
+    group.finish();
+}
+
+fn bench_v9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netflow_v9");
+    group.sample_size(50);
+    let bytes = v9_packet();
+    group.bench_function("parse_30_records", |b| {
+        let mut parser = V9Parser::new();
+        b.iter(|| black_box(parser.parse(&bytes).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_v5, bench_v9);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benchmarks for end-to-end correlation throughput: the
+//! offline simulator (deterministic) and the threaded live pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flowdns_bench::{experiment_workload, to_event};
+use flowdns_core::simulate::Event;
+use flowdns_core::{Correlator, CorrelatorConfig, OfflineSimulator, Variant};
+
+fn workload_events() -> Vec<Event> {
+    let workload = experiment_workload(1, 20.0);
+    workload.events().map(to_event).collect()
+}
+
+fn bench_offline(c: &mut Criterion) {
+    let events = workload_events();
+    let mut group = c.benchmark_group("offline_simulator");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events.len() as u64));
+    for variant in [Variant::Main, Variant::NoSplit, Variant::ExactTtl] {
+        group.bench_with_input(
+            BenchmarkId::new("one_hour_trace", variant.label()),
+            &variant,
+            |b, &variant| {
+                b.iter(|| {
+                    let sim = OfflineSimulator::new(CorrelatorConfig::for_variant(variant));
+                    black_box(sim.run(&events))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_live_pipeline(c: &mut Criterion) {
+    let events = workload_events();
+    let mut group = c.benchmark_group("live_pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("threaded_end_to_end", |b| {
+        b.iter(|| {
+            let correlator = Correlator::start(CorrelatorConfig::default()).unwrap();
+            for event in &events {
+                match event {
+                    Event::Dns(record) => {
+                        correlator.push_dns(record.clone());
+                    }
+                    Event::Flow(flow) => {
+                        correlator.push_flow(flow.clone());
+                    }
+                }
+            }
+            black_box(correlator.finish().unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_offline, bench_live_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks for the sharded concurrent map and the
+//! rotating store — the data structures on the correlator's hot path.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowdns_storage::{RotatingStore, RotationPolicy, ShardedMap};
+use flowdns_types::{SimDuration, SimTime};
+
+fn bench_sharded_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_map");
+    group.sample_size(30);
+    for shards in [1usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("insert_10k", shards), &shards, |b, &shards| {
+            b.iter(|| {
+                let map: ShardedMap<String, String> = ShardedMap::new(shards);
+                for i in 0..10_000u32 {
+                    map.insert(format!("198.51.{}.{}", i >> 8, i & 0xff), "svc.example".to_string());
+                }
+                black_box(map.len())
+            })
+        });
+    }
+    let map: ShardedMap<String, String> = ShardedMap::new(32);
+    for i in 0..10_000u32 {
+        map.insert(format!("198.51.{}.{}", i >> 8, i & 0xff), "svc.example".to_string());
+    }
+    group.bench_function("get_hit", |b| {
+        b.iter(|| black_box(map.get("198.51.19.136")));
+    });
+    group.bench_function("get_miss", |b| {
+        b.iter(|| black_box(map.get("203.0.113.7")));
+    });
+    group.finish();
+}
+
+fn bench_rotating_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rotating_store");
+    group.sample_size(30);
+    group.bench_function("insert_with_clear_up", |b| {
+        b.iter(|| {
+            let store = RotatingStore::new(RotationPolicy::address_default(), 32);
+            for i in 0..5_000u64 {
+                store.insert(
+                    format!("100.64.{}.{}", i >> 8, i & 0xff),
+                    "svc.example".to_string(),
+                    300,
+                    SimTime::from_secs(i * 2),
+                );
+            }
+            black_box(store.total_entries())
+        })
+    });
+    let store = RotatingStore::new(
+        RotationPolicy {
+            clear_up_interval: SimDuration::from_secs(3600),
+            clear_up: true,
+            rotation: true,
+            long_maps: true,
+        },
+        32,
+    );
+    for i in 0..5_000u64 {
+        store.insert(
+            format!("100.64.{}.{}", i >> 8, i & 0xff),
+            "svc.example".to_string(),
+            300,
+            SimTime::from_secs(1),
+        );
+    }
+    group.bench_function("lookup_cascade", |b| {
+        b.iter(|| black_box(store.lookup("100.64.7.77")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_map, bench_rotating_store);
+criterion_main!(benches);

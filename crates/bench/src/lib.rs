@@ -1,0 +1,204 @@
+//! # flowdns-bench
+//!
+//! Experiment harness for the FlowDNS reproduction.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §4 for the full index); the Criterion benches
+//! under `benches/` cover the hot paths (sharded map, codecs, lookup
+//! chain, end-to-end pipeline throughput). This library holds the glue the
+//! binaries share: converting generator events into simulator events,
+//! deriving a BGP table and a blocklist that are consistent with the
+//! generated universe, and running a variant end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use flowdns_analysis::CategoryAnalysis;
+use flowdns_bgp::RoutingTable;
+use flowdns_core::simulate::Event;
+use flowdns_core::{CorrelatorConfig, OfflineSimulator, SimulationOutcome, Variant};
+use flowdns_dbl::{Blocklist, BlocklistCategory};
+use flowdns_gen::domains::{DomainCategory, DomainUniverse, ServiceSpec};
+use flowdns_gen::workload::StreamEvent;
+use flowdns_gen::{Workload, WorkloadConfig};
+use flowdns_types::{CorrelatedRecord, CorrelationOutcome, SimDuration};
+
+/// Convert a generator event into a simulator event.
+pub fn to_event(event: StreamEvent) -> Event {
+    match event {
+        StreamEvent::Dns(r) => Event::Dns(r),
+        StreamEvent::Flow(f) => Event::Flow(f),
+    }
+}
+
+/// Build a routing table consistent with the generated universe: every
+/// service's edge IPs are announced as host routes (/32 IPv4, /128 IPv6)
+/// originated by that service's AS(es), IPs being spread across the ASes
+/// round-robin. Host routes keep neighbouring services (whose synthetic
+/// edge IPs share /24 blocks) from hijacking each other's attribution.
+pub fn routing_table_for(universe: &DomainUniverse) -> RoutingTable {
+    let mut table = RoutingTable::new();
+    for service in &universe.services {
+        if service.origin_asns.is_empty() {
+            continue;
+        }
+        for (i, ip) in service.edge_ips.iter().enumerate() {
+            // Spread the service's address space across its origin ASes
+            // (uneven when there are two, matching Figure 4b's shape).
+            let asn = service.origin_asns[i % service.origin_asns.len()];
+            table.announce_ips(std::slice::from_ref(ip), 32, 128, asn);
+        }
+    }
+    table
+}
+
+/// Build a blocklist consistent with the universe's suspicious domains.
+pub fn blocklist_for(universe: &DomainUniverse) -> Blocklist {
+    let mut blocklist = Blocklist::new();
+    for service in &universe.services {
+        let category = match service.category {
+            DomainCategory::Spam => Some(BlocklistCategory::Spam),
+            DomainCategory::BotnetCc => Some(BlocklistCategory::BotnetCc),
+            DomainCategory::AbusedRedirector => Some(BlocklistCategory::AbusedRedirector),
+            DomainCategory::Malware => Some(BlocklistCategory::Malware),
+            DomainCategory::Phishing => Some(BlocklistCategory::Phishing),
+            _ => None,
+        };
+        if let Some(category) = category {
+            blocklist.add(service.customer_domain.clone(), category);
+        }
+    }
+    blocklist
+}
+
+/// Does a correlation outcome belong to the given service (any name of the
+/// chain equals the customer domain, a chain hop, or a subdomain of
+/// either)?
+pub fn outcome_matches_service(outcome: &CorrelationOutcome, service: &ServiceSpec) -> bool {
+    outcome.names().iter().any(|name| {
+        name == &service.customer_domain
+            || name.is_subdomain_of(&service.customer_domain)
+            || service
+                .cname_chain
+                .iter()
+                .any(|hop| name == hop || name.is_subdomain_of(hop))
+    })
+}
+
+/// Run one variant over a workload, discarding per-record output.
+pub fn run_variant(variant: Variant, workload: &Workload) -> SimulationOutcome {
+    let config = CorrelatorConfig::for_variant(variant);
+    let sim = OfflineSimulator::new(config);
+    sim.run_with(workload.events().map(to_event), |_| {})
+}
+
+/// Run one variant over a workload, forwarding every written record to
+/// `on_record`.
+pub fn run_variant_with<F>(variant: Variant, workload: &Workload, on_record: F) -> SimulationOutcome
+where
+    F: FnMut(&CorrelatedRecord),
+{
+    let config = CorrelatorConfig::for_variant(variant);
+    let sim = OfflineSimulator::new(config);
+    sim.run_with(workload.events().map(to_event), on_record)
+}
+
+/// Run the Main variant and feed every record through a
+/// [`CategoryAnalysis`] built from the workload's universe.
+pub fn run_category_analysis(workload: &Workload) -> (SimulationOutcome, CategoryAnalysis) {
+    let blocklist = blocklist_for(workload.universe());
+    let mut analysis = CategoryAnalysis::new(blocklist);
+    let outcome = run_variant_with(Variant::Main, workload, |record| {
+        analysis.observe(record);
+    });
+    (outcome, analysis)
+}
+
+/// The standard experiment workload: a scaled-down "day at the large ISP".
+/// `hours` controls how much of the day is generated; experiment binaries
+/// accept it as their first CLI argument so a full 24-hour run is a choice
+/// rather than a default.
+pub fn experiment_workload(hours: u64, peak_flows_per_sec: f64) -> Workload {
+    let mut config = WorkloadConfig::default();
+    config.duration = SimDuration::from_hours(hours);
+    config.peak_flows_per_sec = peak_flows_per_sec;
+    config.background_dns_per_sec = (peak_flows_per_sec / 8.0).max(1.0);
+    Workload::new(config)
+}
+
+/// Parse the `hours` CLI argument shared by the experiment binaries.
+pub fn hours_arg(default: u64) -> u64 {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_table_covers_every_edge_ip() {
+        let workload = experiment_workload(1, 5.0);
+        let table = routing_table_for(workload.universe());
+        assert!(!table.is_empty());
+        for service in &workload.universe().services {
+            if service.origin_asns.is_empty() {
+                continue;
+            }
+            for ip in &service.edge_ips {
+                let asn = table.origin_as(*ip).expect("edge IP is announced");
+                assert!(asn > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn blocklist_contains_only_suspicious_domains() {
+        let workload = experiment_workload(1, 5.0);
+        let mut blocklist = blocklist_for(workload.universe());
+        assert!(!blocklist.is_empty());
+        let spam = workload
+            .universe()
+            .by_category(DomainCategory::Spam)
+            .next()
+            .expect("spam domains exist")
+            .customer_domain
+            .clone();
+        assert_eq!(blocklist.lookup(&spam), Some(BlocklistCategory::Spam));
+        let benign = workload
+            .universe()
+            .by_category(DomainCategory::Benign)
+            .next()
+            .expect("benign domains exist")
+            .customer_domain
+            .clone();
+        assert_eq!(blocklist.lookup(&benign), None);
+    }
+
+    #[test]
+    fn run_variant_produces_reasonable_correlation() {
+        let workload = experiment_workload(2, 10.0);
+        let outcome = run_variant(Variant::Main, &workload);
+        let rate = outcome.report.correlation_rate_pct();
+        assert!(rate > 70.0 && rate < 95.0, "correlation {rate}");
+        assert!(outcome.report.metrics.flow_loss_pct() < 1.0);
+    }
+
+    #[test]
+    fn service_matching_uses_chain_names() {
+        let workload = experiment_workload(1, 5.0);
+        let universe = workload.universe();
+        let s1 = &universe.services[universe.streaming_s1];
+        let outcome = CorrelationOutcome::Name(s1.customer_domain.clone());
+        assert!(outcome_matches_service(&outcome, s1));
+        let chain_outcome = CorrelationOutcome::Chain(vec![
+            s1.cname_chain.last().unwrap().clone(),
+            s1.customer_domain.clone(),
+        ]);
+        assert!(outcome_matches_service(&chain_outcome, s1));
+        let other = &universe.services[universe.streaming_s2];
+        assert!(!outcome_matches_service(&outcome, other));
+    }
+}

@@ -1,0 +1,20 @@
+//! # flowdns-bgp
+//!
+//! BGP substrate: longest-prefix-match AS attribution.
+//!
+//! The paper's Network Provisioning use case (Figure 4) correlates
+//! FlowDNS output with BGP data to learn which source AS originates each
+//! service's traffic. The real deployment has live BGP sessions; this
+//! crate provides the piece the analysis actually needs: a routing table
+//! with longest-prefix-match lookup from IP address to origin AS, plus a
+//! builder for synthetic announcements that the workload generator aligns
+//! with its CDN universe.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod prefix;
+pub mod table;
+
+pub use prefix::Prefix;
+pub use table::{Announcement, RoutingTable};

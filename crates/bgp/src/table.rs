@@ -1,0 +1,202 @@
+//! The routing table: longest-prefix-match from IP to origin AS.
+//!
+//! Implemented as a binary trie over address bits, one trie per address
+//! family, which is the textbook structure real BGP software uses for its
+//! RIB. Lookups walk the trie bit by bit and remember the last announced
+//! node passed — that is the longest matching prefix.
+
+use std::net::IpAddr;
+
+use crate::prefix::{addr_bits, Prefix};
+
+/// One announcement: a prefix originated by an AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Announcement {
+    /// The announced prefix.
+    pub prefix: Prefix,
+    /// The origin AS number.
+    pub origin_as: u32,
+}
+
+#[derive(Debug, Default)]
+struct TrieNode {
+    children: [Option<Box<TrieNode>>; 2],
+    /// Set when a prefix terminates at this node.
+    origin_as: Option<u32>,
+    prefix_len: u8,
+}
+
+/// A longest-prefix-match routing table for IPv4 and IPv6.
+#[derive(Debug, Default)]
+pub struct RoutingTable {
+    v4: TrieNode,
+    v6: TrieNode,
+    announcements: usize,
+}
+
+impl RoutingTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        RoutingTable::default()
+    }
+
+    /// Number of announcements inserted (duplicates overwrite and are not
+    /// double-counted).
+    pub fn len(&self) -> usize {
+        self.announcements
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.announcements == 0
+    }
+
+    /// Insert (or refresh) an announcement.
+    pub fn announce(&mut self, announcement: Announcement) {
+        let root = match announcement.prefix.network {
+            IpAddr::V4(_) => &mut self.v4,
+            IpAddr::V6(_) => &mut self.v6,
+        };
+        let mut node = root;
+        for bit in announcement.prefix.bits() {
+            let idx = usize::from(bit);
+            node = node.children[idx].get_or_insert_with(Box::default);
+        }
+        if node.origin_as.is_none() {
+            self.announcements += 1;
+        }
+        node.origin_as = Some(announcement.origin_as);
+        node.prefix_len = announcement.prefix.len;
+    }
+
+    /// Longest-prefix-match lookup: the origin AS and matched prefix
+    /// length for `addr`, if any announcement covers it.
+    pub fn lookup(&self, addr: IpAddr) -> Option<(u32, u8)> {
+        let root = match addr {
+            IpAddr::V4(_) => &self.v4,
+            IpAddr::V6(_) => &self.v6,
+        };
+        let mut best = root.origin_as.map(|asn| (asn, root.prefix_len));
+        let mut node = root;
+        for bit in addr_bits(addr) {
+            match &node.children[usize::from(bit)] {
+                Some(child) => {
+                    if let Some(asn) = child.origin_as {
+                        best = Some((asn, child.prefix_len));
+                    }
+                    node = child;
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// The origin AS for `addr`, if known.
+    pub fn origin_as(&self, addr: IpAddr) -> Option<u32> {
+        self.lookup(addr).map(|(asn, _)| asn)
+    }
+
+    /// Announce a whole set of `/prefix_len` blocks covering `ips` for one
+    /// AS: a convenience used by the experiment harness to align the
+    /// routing table with the generated CDN universe.
+    pub fn announce_ips(&mut self, ips: &[IpAddr], prefix_len_v4: u8, prefix_len_v6: u8, origin_as: u32) {
+        for ip in ips {
+            let len = match ip {
+                IpAddr::V4(_) => prefix_len_v4,
+                IpAddr::V6(_) => prefix_len_v6,
+            };
+            let prefix = Prefix::new(*ip, len).expect("valid prefix length");
+            self.announce(Announcement { prefix, origin_as });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> RoutingTable {
+        let mut t = RoutingTable::new();
+        for (p, asn) in [
+            ("100.64.0.0/10", 64500u32),
+            ("100.64.8.0/24", 64501),
+            ("100.64.8.128/25", 64502),
+            ("203.0.113.0/24", 64510),
+            ("2001:db8::/32", 64600),
+            ("2001:db8:cd::/48", 64601),
+        ] {
+            t.announce(Announcement {
+                prefix: p.parse().unwrap(),
+                origin_as: asn,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let t = table();
+        assert_eq!(t.origin_as("100.64.200.1".parse().unwrap()), Some(64500));
+        assert_eq!(t.origin_as("100.64.8.5".parse().unwrap()), Some(64501));
+        assert_eq!(t.origin_as("100.64.8.200".parse().unwrap()), Some(64502));
+        assert_eq!(t.lookup("100.64.8.200".parse().unwrap()), Some((64502, 25)));
+        assert_eq!(t.origin_as("203.0.113.77".parse().unwrap()), Some(64510));
+        assert_eq!(t.origin_as("198.51.100.1".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn ipv6_lookups_are_independent_of_ipv4() {
+        let t = table();
+        assert_eq!(t.origin_as("2001:db8:1::1".parse().unwrap()), Some(64600));
+        assert_eq!(t.origin_as("2001:db8:cd::9".parse().unwrap()), Some(64601));
+        assert_eq!(t.origin_as("2a00::1".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn duplicate_announcements_overwrite() {
+        let mut t = table();
+        let before = t.len();
+        t.announce(Announcement {
+            prefix: "203.0.113.0/24".parse().unwrap(),
+            origin_as: 65000,
+        });
+        assert_eq!(t.len(), before);
+        assert_eq!(t.origin_as("203.0.113.1".parse().unwrap()), Some(65000));
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = RoutingTable::new();
+        t.announce(Announcement {
+            prefix: "0.0.0.0/0".parse().unwrap(),
+            origin_as: 1,
+        });
+        assert_eq!(t.origin_as("8.8.8.8".parse().unwrap()), Some(1));
+        assert_eq!(t.origin_as("::1".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn announce_ips_covers_the_given_addresses() {
+        let mut t = RoutingTable::new();
+        let ips: Vec<IpAddr> = vec![
+            "100.70.1.5".parse().unwrap(),
+            "100.70.2.9".parse().unwrap(),
+            "2001:db8:cd::77".parse().unwrap(),
+        ];
+        t.announce_ips(&ips, 24, 48, 64999);
+        for ip in &ips {
+            assert_eq!(t.origin_as(*ip), Some(64999));
+        }
+        // A sibling address in the same /24 is also covered.
+        assert_eq!(t.origin_as("100.70.1.200".parse().unwrap()), Some(64999));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_table_matches_nothing() {
+        let t = RoutingTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.lookup("1.2.3.4".parse().unwrap()), None);
+    }
+}

@@ -1,0 +1,330 @@
+//! Correlator configuration: the Table 1 parameters plus worker and queue
+//! sizing, and the ablation variants of Section 4.
+//!
+//! The paper states the system "can be adapted to use other data formats
+//! ... in a configuration file"; [`CorrelatorConfig::from_config_text`]
+//! parses the small `key = value` format used for that purpose, so
+//! deployments can be described in a file rather than code.
+
+use flowdns_types::{FlowDnsError, SimDuration};
+
+/// The ablation variants evaluated in Section 4 (Figure 3, Figure 7) plus
+/// the Appendix A.8 exact-TTL strawman.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Variant {
+    /// The fully featured system.
+    #[default]
+    Main,
+    /// Hashmaps are not divided into splits (`NUM_SPLIT = 1`).
+    NoSplit,
+    /// Hashmaps are never cleared.
+    NoClearUp,
+    /// Hashmaps are cleared but nothing is copied to an Inactive map.
+    NoRotation,
+    /// Long-TTL records go to the Active maps instead of Long maps.
+    NoLongHashmaps,
+    /// Records are expired by their exact TTL with a periodic purge
+    /// (Appendix A.8).
+    ExactTtl,
+}
+
+impl Variant {
+    /// All variants in the order the paper discusses them.
+    pub fn all() -> [Variant; 6] {
+        [
+            Variant::Main,
+            Variant::NoSplit,
+            Variant::NoClearUp,
+            Variant::NoRotation,
+            Variant::NoLongHashmaps,
+            Variant::ExactTtl,
+        ]
+    }
+
+    /// The label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::Main => "Main",
+            Variant::NoSplit => "NoSplit",
+            Variant::NoClearUp => "NoClearUp",
+            Variant::NoRotation => "NoRotation",
+            Variant::NoLongHashmaps => "NoLong",
+            Variant::ExactTtl => "ExactTTL",
+        }
+    }
+
+    /// Parse a variant label (case-insensitive).
+    pub fn parse(s: &str) -> Result<Variant, FlowDnsError> {
+        match s.to_ascii_lowercase().as_str() {
+            "main" => Ok(Variant::Main),
+            "nosplit" | "no-split" => Ok(Variant::NoSplit),
+            "noclearup" | "no-clear-up" | "no-clearup" => Ok(Variant::NoClearUp),
+            "norotation" | "no-rotation" => Ok(Variant::NoRotation),
+            "nolong" | "no-long" | "nolonghashmaps" => Ok(Variant::NoLongHashmaps),
+            "exactttl" | "exact-ttl" => Ok(Variant::ExactTtl),
+            other => Err(FlowDnsError::Config(format!("unknown variant '{other}'"))),
+        }
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Full configuration of a correlator instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorrelatorConfig {
+    /// `AClearUpInterval`: seconds after which the IP-NAME Active maps are
+    /// rotated and cleared (paper value: 3600).
+    pub a_clear_up_interval: SimDuration,
+    /// `CClearUpInterval`: seconds after which the NAME-CNAME Active map is
+    /// rotated and cleared (paper value: 7200).
+    pub c_clear_up_interval: SimDuration,
+    /// `NUM_SPLIT`: number of splits of the IP-NAME maps (paper value: 10).
+    pub num_split: usize,
+    /// Maximum number of CNAME chain look-ups (paper value: 6).
+    pub cname_loop_limit: usize,
+    /// Number of shards inside each concurrent hashmap.
+    pub map_shards: usize,
+    /// Number of FillUp worker threads (live pipeline only).
+    pub fillup_workers: usize,
+    /// Number of LookUp worker threads (live pipeline only).
+    pub lookup_workers: usize,
+    /// Number of Write worker threads (live pipeline only).
+    pub write_workers: usize,
+    /// Capacity of the FillUp queue (records).
+    pub fillup_queue_capacity: usize,
+    /// Capacity of the LookUp queue (records).
+    pub lookup_queue_capacity: usize,
+    /// Capacity of the Write queue (records).
+    pub write_queue_capacity: usize,
+    /// Purge interval of the exact-TTL strawman (Appendix A.8).
+    pub exact_ttl_purge_interval: SimDuration,
+    /// Which ablation variant to run.
+    pub variant: Variant,
+}
+
+impl Default for CorrelatorConfig {
+    fn default() -> Self {
+        CorrelatorConfig {
+            a_clear_up_interval: SimDuration::from_secs(3600),
+            c_clear_up_interval: SimDuration::from_secs(7200),
+            num_split: 10,
+            cname_loop_limit: 6,
+            map_shards: 32,
+            fillup_workers: 2,
+            lookup_workers: 4,
+            write_workers: 1,
+            fillup_queue_capacity: 65_536,
+            lookup_queue_capacity: 262_144,
+            write_queue_capacity: 262_144,
+            exact_ttl_purge_interval: SimDuration::from_secs(300),
+            variant: Variant::Main,
+        }
+    }
+}
+
+impl CorrelatorConfig {
+    /// The default configuration with a different variant.
+    pub fn for_variant(variant: Variant) -> Self {
+        CorrelatorConfig {
+            variant,
+            ..CorrelatorConfig::default()
+        }
+    }
+
+    /// The effective number of IP-NAME splits after applying the variant
+    /// (the *No Split* variant forces 1).
+    pub fn effective_num_split(&self) -> usize {
+        match self.variant {
+            Variant::NoSplit => 1,
+            _ => self.num_split.max(1),
+        }
+    }
+
+    /// Does this configuration clear its hashmaps at all?
+    pub fn clears_up(&self) -> bool {
+        !matches!(self.variant, Variant::NoClearUp)
+    }
+
+    /// Does this configuration keep Inactive copies (buffer rotation)?
+    pub fn rotates(&self) -> bool {
+        !matches!(self.variant, Variant::NoRotation | Variant::NoClearUp)
+    }
+
+    /// Does this configuration use Long hashmaps?
+    pub fn uses_long_maps(&self) -> bool {
+        !matches!(self.variant, Variant::NoLongHashmaps)
+    }
+
+    /// Validate the configuration, returning a descriptive error for the
+    /// first problem found.
+    pub fn validate(&self) -> Result<(), FlowDnsError> {
+        if self.a_clear_up_interval == SimDuration::ZERO && self.clears_up() {
+            return Err(FlowDnsError::Config(
+                "a_clear_up_interval must be positive".into(),
+            ));
+        }
+        if self.c_clear_up_interval == SimDuration::ZERO && self.clears_up() {
+            return Err(FlowDnsError::Config(
+                "c_clear_up_interval must be positive".into(),
+            ));
+        }
+        if self.num_split == 0 {
+            return Err(FlowDnsError::Config("num_split must be at least 1".into()));
+        }
+        if self.cname_loop_limit == 0 {
+            return Err(FlowDnsError::Config(
+                "cname_loop_limit must be at least 1".into(),
+            ));
+        }
+        if self.map_shards == 0 {
+            return Err(FlowDnsError::Config("map_shards must be at least 1".into()));
+        }
+        for (name, value) in [
+            ("fillup_workers", self.fillup_workers),
+            ("lookup_workers", self.lookup_workers),
+            ("write_workers", self.write_workers),
+            ("fillup_queue_capacity", self.fillup_queue_capacity),
+            ("lookup_queue_capacity", self.lookup_queue_capacity),
+            ("write_queue_capacity", self.write_queue_capacity),
+        ] {
+            if value == 0 {
+                return Err(FlowDnsError::Config(format!("{name} must be at least 1")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse a configuration from `key = value` text. Unknown keys are an
+    /// error (they are usually typos); missing keys keep their defaults.
+    /// Lines starting with `#` and blank lines are ignored.
+    pub fn from_config_text(text: &str) -> Result<Self, FlowDnsError> {
+        let mut cfg = CorrelatorConfig::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                FlowDnsError::Config(format!("line {}: expected 'key = value'", lineno + 1))
+            })?;
+            let key = key.trim();
+            let value = value.trim();
+            let parse_u64 = |v: &str| {
+                v.parse::<u64>().map_err(|_| {
+                    FlowDnsError::Config(format!("line {}: '{v}' is not a number", lineno + 1))
+                })
+            };
+            match key {
+                "a_clear_up_interval" => {
+                    cfg.a_clear_up_interval = SimDuration::from_secs(parse_u64(value)?)
+                }
+                "c_clear_up_interval" => {
+                    cfg.c_clear_up_interval = SimDuration::from_secs(parse_u64(value)?)
+                }
+                "num_split" => cfg.num_split = parse_u64(value)? as usize,
+                "cname_loop_limit" => cfg.cname_loop_limit = parse_u64(value)? as usize,
+                "map_shards" => cfg.map_shards = parse_u64(value)? as usize,
+                "fillup_workers" => cfg.fillup_workers = parse_u64(value)? as usize,
+                "lookup_workers" => cfg.lookup_workers = parse_u64(value)? as usize,
+                "write_workers" => cfg.write_workers = parse_u64(value)? as usize,
+                "fillup_queue_capacity" => cfg.fillup_queue_capacity = parse_u64(value)? as usize,
+                "lookup_queue_capacity" => cfg.lookup_queue_capacity = parse_u64(value)? as usize,
+                "write_queue_capacity" => cfg.write_queue_capacity = parse_u64(value)? as usize,
+                "exact_ttl_purge_interval" => {
+                    cfg.exact_ttl_purge_interval = SimDuration::from_secs(parse_u64(value)?)
+                }
+                "variant" => cfg.variant = Variant::parse(value)?,
+                other => {
+                    return Err(FlowDnsError::Config(format!(
+                        "line {}: unknown key '{other}'",
+                        lineno + 1
+                    )))
+                }
+            }
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_parameters() {
+        let cfg = CorrelatorConfig::default();
+        assert_eq!(cfg.a_clear_up_interval.as_secs(), 3600);
+        assert_eq!(cfg.c_clear_up_interval.as_secs(), 7200);
+        assert_eq!(cfg.num_split, 10);
+        assert_eq!(cfg.cname_loop_limit, 6);
+        assert_eq!(cfg.variant, Variant::Main);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn variant_switches_drive_effective_settings() {
+        assert_eq!(CorrelatorConfig::for_variant(Variant::NoSplit).effective_num_split(), 1);
+        assert_eq!(CorrelatorConfig::for_variant(Variant::Main).effective_num_split(), 10);
+        assert!(!CorrelatorConfig::for_variant(Variant::NoClearUp).clears_up());
+        assert!(!CorrelatorConfig::for_variant(Variant::NoRotation).rotates());
+        assert!(!CorrelatorConfig::for_variant(Variant::NoLongHashmaps).uses_long_maps());
+        assert!(CorrelatorConfig::for_variant(Variant::Main).rotates());
+    }
+
+    #[test]
+    fn variant_labels_round_trip() {
+        for v in Variant::all() {
+            assert_eq!(Variant::parse(v.label()).unwrap(), v);
+        }
+        assert!(Variant::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn config_text_parses_and_overrides() {
+        let text = "
+# FlowDNS deployment at the small ISP
+a_clear_up_interval = 1800
+num_split = 4
+variant = NoRotation
+lookup_workers = 8
+";
+        let cfg = CorrelatorConfig::from_config_text(text).unwrap();
+        assert_eq!(cfg.a_clear_up_interval.as_secs(), 1800);
+        assert_eq!(cfg.num_split, 4);
+        assert_eq!(cfg.variant, Variant::NoRotation);
+        assert_eq!(cfg.lookup_workers, 8);
+        // untouched keys keep defaults
+        assert_eq!(cfg.c_clear_up_interval.as_secs(), 7200);
+    }
+
+    #[test]
+    fn config_text_rejects_unknown_keys_and_bad_values() {
+        assert!(CorrelatorConfig::from_config_text("numsplit = 3").is_err());
+        assert!(CorrelatorConfig::from_config_text("num_split = many").is_err());
+        assert!(CorrelatorConfig::from_config_text("just a line").is_err());
+        assert!(CorrelatorConfig::from_config_text("variant = turbo").is_err());
+        assert!(CorrelatorConfig::from_config_text("num_split = 0").is_err());
+    }
+
+    #[test]
+    fn validation_catches_zero_values() {
+        let mut cfg = CorrelatorConfig::default();
+        cfg.cname_loop_limit = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = CorrelatorConfig::default();
+        cfg.lookup_queue_capacity = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = CorrelatorConfig::default();
+        cfg.a_clear_up_interval = SimDuration::ZERO;
+        assert!(cfg.validate().is_err());
+        // ... unless the variant never clears up anyway.
+        cfg.variant = Variant::NoClearUp;
+        cfg.c_clear_up_interval = SimDuration::ZERO;
+        assert!(cfg.validate().is_ok());
+    }
+}

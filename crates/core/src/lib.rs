@@ -1,0 +1,53 @@
+//! # flowdns-core
+//!
+//! The FlowDNS correlator: the paper's primary contribution.
+//!
+//! FlowDNS joins two live streams — DNS responses collected at the ISP's
+//! resolvers and NetFlow records collected at its ingress routers — so
+//! that each flow can be attributed to the domain name (and hence the
+//! service) that caused it. The architecture (Figure 1 of the paper):
+//!
+//! ```text
+//!  DNS streams ──► FillUp queue ──► FillUp workers ──► shared DNS store
+//!                                                       (IP-NAME splits,
+//!                                                        NAME-CNAME,
+//!                                                        Active/Inactive/Long)
+//!  NetFlow streams ──► LookUp queue ──► LookUp workers ──► Write queue ──► Write workers ──► output
+//! ```
+//!
+//! Modules:
+//!
+//! * [`config`] — [`CorrelatorConfig`] with the Table 1 parameters and the
+//!   ablation [`Variant`]s, plus a small key=value config-file parser,
+//! * [`store`] — [`DnsStore`], the shared storage combining the split
+//!   IP-NAME stores and the NAME-CNAME store,
+//! * [`fillup`] — Algorithm 1 (DNS read and fill-up),
+//! * [`lookup`] — Algorithm 2 (NetFlow read and look-up with CNAME chain
+//!   following),
+//! * [`write`] — the Write workers and output sinks,
+//! * [`metrics`] — correlation-rate, loss, work-unit (CPU) and memory
+//!   accounting,
+//! * [`pipeline`] — [`Correlator`], the threaded live pipeline,
+//! * [`simulate`] — the deterministic offline simulator used by the
+//!   experiment harness to regenerate the paper's figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod fillup;
+pub mod lookup;
+pub mod metrics;
+pub mod pipeline;
+pub mod simulate;
+pub mod store;
+pub mod write;
+
+pub use config::{CorrelatorConfig, Variant};
+pub use fillup::FillUpStats;
+pub use lookup::{LookUpStats, Resolver};
+pub use metrics::{CostModel, PipelineMetrics, Report};
+pub use pipeline::Correlator;
+pub use simulate::{HourlySample, OfflineSimulator, SimulationOutcome};
+pub use store::DnsStore;
+pub use write::{MemorySink, OutputSink, TsvFileSink, WriteStats};

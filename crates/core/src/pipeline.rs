@@ -1,0 +1,389 @@
+//! The live, threaded correlation pipeline (Figure 1).
+//!
+//! [`Correlator`] wires the worker stages together with bounded queues:
+//!
+//! * `push_dns` places DNS records on the **FillUp queue**; FillUp worker
+//!   threads drain it into the shared [`DnsStore`];
+//! * `push_flow` places flow records on the **LookUp queue**; LookUp
+//!   worker threads resolve them against the store and place the results
+//!   on the **Write queue**;
+//! * Write worker threads drain the Write queue into the configured
+//!   [`OutputSink`].
+//!
+//! All queues are bounded and lossy (see `flowdns-stream`): when a queue
+//! overflows, records are dropped and counted, exactly like the paper's
+//! stream buffers. `finish()` performs an ordered shutdown (producers
+//! first, writers last) so no accepted record is lost on the way out.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use flowdns_stream::StreamBuffer;
+use flowdns_types::{CorrelatedRecord, DnsRecord, FlowDnsError, FlowRecord};
+
+use crate::config::CorrelatorConfig;
+use crate::fillup::{process_dns_record, FillUpStats};
+use crate::lookup::{LookUpStats, Resolver};
+use crate::metrics::{PipelineMetrics, Report};
+use crate::store::DnsStore;
+use crate::write::{MemorySink, OutputSink, SharedWriter};
+
+const POP_WAIT: Duration = Duration::from_millis(5);
+
+/// A running correlation pipeline.
+pub struct Correlator {
+    config: CorrelatorConfig,
+    store: Arc<DnsStore>,
+    fillup_queue: StreamBuffer<DnsRecord>,
+    lookup_queue: StreamBuffer<FlowRecord>,
+    write_queue: StreamBuffer<CorrelatedRecord>,
+    writer: Arc<SharedWriter>,
+    fillup_stats: Arc<Mutex<FillUpStats>>,
+    lookup_stats: Arc<Mutex<LookUpStats>>,
+    input_shutdown: Arc<AtomicBool>,
+    write_shutdown: Arc<AtomicBool>,
+    writes_dropped: Arc<Mutex<u64>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Correlator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Correlator")
+            .field("config", &self.config)
+            .field("stored_entries", &self.store.total_entries())
+            .finish()
+    }
+}
+
+impl Correlator {
+    /// Start a pipeline writing to an in-memory sink.
+    pub fn start(config: CorrelatorConfig) -> Result<Self, FlowDnsError> {
+        Correlator::start_with_sink(config, Box::new(MemorySink::new()))
+    }
+
+    /// Start a pipeline writing to the given sink.
+    pub fn start_with_sink(
+        config: CorrelatorConfig,
+        sink: Box<dyn OutputSink>,
+    ) -> Result<Self, FlowDnsError> {
+        config.validate()?;
+        let store = Arc::new(DnsStore::new(&config));
+        let fillup_queue = StreamBuffer::new(config.fillup_queue_capacity);
+        let lookup_queue = StreamBuffer::new(config.lookup_queue_capacity);
+        let write_queue = StreamBuffer::new(config.write_queue_capacity);
+        let writer = Arc::new(SharedWriter::new(sink));
+        let fillup_stats = Arc::new(Mutex::new(FillUpStats::default()));
+        let lookup_stats = Arc::new(Mutex::new(LookUpStats::default()));
+        let input_shutdown = Arc::new(AtomicBool::new(false));
+        let write_shutdown = Arc::new(AtomicBool::new(false));
+        let writes_dropped = Arc::new(Mutex::new(0u64));
+
+        let mut workers = Vec::new();
+
+        // FillUp workers.
+        for i in 0..config.fillup_workers {
+            let queue = fillup_queue.clone();
+            let store = Arc::clone(&store);
+            let stats = Arc::clone(&fillup_stats);
+            let shutdown = Arc::clone(&input_shutdown);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("fillup-{i}"))
+                    .spawn(move || {
+                        let mut local = FillUpStats::default();
+                        loop {
+                            match queue.pop_wait(POP_WAIT) {
+                                Some(record) => {
+                                    process_dns_record(&store, &record, &mut local);
+                                }
+                                None => {
+                                    if shutdown.load(Ordering::Acquire) && queue.is_empty() {
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        stats.lock().merge(&local);
+                    })
+                    .expect("spawn fillup worker"),
+            );
+        }
+
+        // LookUp workers.
+        for i in 0..config.lookup_workers {
+            let queue = lookup_queue.clone();
+            let out = write_queue.clone();
+            let store = Arc::clone(&store);
+            let stats = Arc::clone(&lookup_stats);
+            let shutdown = Arc::clone(&input_shutdown);
+            let config_copy = config;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("lookup-{i}"))
+                    .spawn(move || {
+                        let resolver = Resolver::new(&store, &config_copy);
+                        let mut local = LookUpStats::default();
+                        loop {
+                            match queue.pop_wait(POP_WAIT) {
+                                Some(flow) => {
+                                    let record = resolver.process_flow(flow, &mut local);
+                                    // The write queue drop counter lives in the
+                                    // buffer stats; nothing more to do on failure.
+                                    let _ = out.push(record);
+                                }
+                                None => {
+                                    if shutdown.load(Ordering::Acquire) && queue.is_empty() {
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        stats.lock().merge(&local);
+                    })
+                    .expect("spawn lookup worker"),
+            );
+        }
+
+        // Write workers.
+        for i in 0..config.write_workers {
+            let queue = write_queue.clone();
+            let writer = Arc::clone(&writer);
+            let shutdown = Arc::clone(&write_shutdown);
+            let dropped = Arc::clone(&writes_dropped);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("write-{i}"))
+                    .spawn(move || {
+                        loop {
+                            match queue.pop_wait(POP_WAIT) {
+                                Some(record) => {
+                                    if writer.write(&record).is_err() {
+                                        *dropped.lock() += 1;
+                                    }
+                                }
+                                None => {
+                                    if shutdown.load(Ordering::Acquire) && queue.is_empty() {
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        let _ = writer.flush();
+                    })
+                    .expect("spawn write worker"),
+            );
+        }
+
+        Ok(Correlator {
+            config,
+            store,
+            fillup_queue,
+            lookup_queue,
+            write_queue,
+            writer,
+            fillup_stats,
+            lookup_stats,
+            input_shutdown,
+            write_shutdown,
+            writes_dropped,
+            workers,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CorrelatorConfig {
+        &self.config
+    }
+
+    /// The shared DNS store (for inspection in tests and examples).
+    pub fn store(&self) -> &DnsStore {
+        &self.store
+    }
+
+    /// Offer one DNS record to the FillUp queue. Returns `false` if the
+    /// queue was full and the record was dropped (stream loss).
+    pub fn push_dns(&self, record: DnsRecord) -> bool {
+        self.fillup_queue.push(record)
+    }
+
+    /// Offer one flow record to the LookUp queue. Returns `false` if the
+    /// queue was full and the record was dropped (stream loss).
+    pub fn push_flow(&self, record: FlowRecord) -> bool {
+        self.lookup_queue.push(record)
+    }
+
+    /// Current depth of the three queues (fillup, lookup, write): useful
+    /// for examples that display live buffer usage.
+    pub fn queue_depths(&self) -> (usize, usize, usize) {
+        (
+            self.fillup_queue.len(),
+            self.lookup_queue.len(),
+            self.write_queue.len(),
+        )
+    }
+
+    /// Stop accepting input, drain every queue, join all workers, and
+    /// return the final report.
+    pub fn finish(mut self) -> Result<Report, FlowDnsError> {
+        // Phase 1: stop input stages and let them drain.
+        self.input_shutdown.store(true, Ordering::Release);
+        let mut write_handles = Vec::new();
+        for handle in self.workers.drain(..) {
+            let name = handle.thread().name().unwrap_or("").to_string();
+            if name.starts_with("write-") {
+                write_handles.push(handle);
+            } else {
+                handle
+                    .join()
+                    .map_err(|_| FlowDnsError::PipelineState("worker panicked".into()))?;
+            }
+        }
+        // Phase 2: input stages are done, so the write queue will receive
+        // nothing more; let the writers drain and stop.
+        self.write_shutdown.store(true, Ordering::Release);
+        for handle in write_handles {
+            handle
+                .join()
+                .map_err(|_| FlowDnsError::PipelineState("write worker panicked".into()))?;
+        }
+        self.writer.flush()?;
+
+        let fillup = *self.fillup_stats.lock();
+        let lookup = *self.lookup_stats.lock();
+        let write = self.writer.stats();
+        let metrics = PipelineMetrics {
+            fillup,
+            lookup,
+            write,
+            dns_dropped: self.fillup_queue.stats().dropped,
+            flows_dropped: self.lookup_queue.stats().dropped,
+            writes_dropped: self.write_queue.stats().dropped + *self.writes_dropped.lock(),
+            work_units: 0.0,
+            peak_memory: self.store.memory_estimate(),
+        };
+        Ok(Report {
+            volumes: write.volumes,
+            metrics,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Variant;
+    use flowdns_types::{DomainName, SimTime};
+    use std::net::Ipv4Addr;
+
+    fn dns(ts: u64, name: &str, ip: [u8; 4], ttl: u32) -> DnsRecord {
+        DnsRecord::address(
+            SimTime::from_secs(ts),
+            DomainName::literal(name),
+            Ipv4Addr::from(ip).into(),
+            ttl,
+        )
+    }
+
+    fn flow(ts: u64, src: [u8; 4], bytes: u64) -> FlowRecord {
+        FlowRecord::inbound(
+            SimTime::from_secs(ts),
+            Ipv4Addr::from(src).into(),
+            Ipv4Addr::new(10, 0, 0, 1).into(),
+            bytes,
+        )
+    }
+
+    #[test]
+    fn end_to_end_correlation_through_threads() {
+        let correlator = Correlator::start(CorrelatorConfig::default()).unwrap();
+        // Fill DNS first and give FillUp workers a moment to drain, so the
+        // flows looked up afterwards find their records.
+        for i in 0..50u8 {
+            assert!(correlator.push_dns(dns(1, &format!("svc{i}.example"), [203, 0, 113, i], 300)));
+        }
+        while correlator.queue_depths().0 > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        for i in 0..50u8 {
+            assert!(correlator.push_flow(flow(2, [203, 0, 113, i], 1_000)));
+        }
+        // One flow from an unknown source.
+        assert!(correlator.push_flow(flow(2, [192, 0, 2, 1], 1_000)));
+        let report = correlator.finish().unwrap();
+        assert_eq!(report.metrics.write.records_written, 51);
+        assert_eq!(report.metrics.lookup.ip_hits, 50);
+        assert_eq!(report.metrics.lookup.ip_misses, 1);
+        let expected = 50.0 / 51.0 * 100.0;
+        assert!((report.correlation_rate_pct() - expected).abs() < 0.5);
+        assert_eq!(report.metrics.dns_dropped, 0);
+        assert_eq!(report.metrics.flows_dropped, 0);
+    }
+
+    #[test]
+    fn finish_drains_queues_before_reporting() {
+        let mut config = CorrelatorConfig::default();
+        config.fillup_workers = 1;
+        config.lookup_workers = 1;
+        let correlator = Correlator::start(config).unwrap();
+        for i in 0..200u8 {
+            correlator.push_dns(dns(1, "bulk.example", [198, 51, 100, i], 60));
+        }
+        for i in 0..200u8 {
+            correlator.push_flow(flow(2, [198, 51, 100, i], 500));
+        }
+        let report = correlator.finish().unwrap();
+        // Every accepted record must have been processed and written.
+        assert_eq!(report.metrics.write.records_written, 200);
+        assert_eq!(
+            report.metrics.fillup.addresses_stored + report.metrics.fillup.filtered,
+            200
+        );
+    }
+
+    #[test]
+    fn tiny_queues_produce_loss_not_deadlock() {
+        let mut config = CorrelatorConfig::default();
+        config.fillup_queue_capacity = 8;
+        config.lookup_queue_capacity = 8;
+        config.write_queue_capacity = 8;
+        config.fillup_workers = 1;
+        config.lookup_workers = 1;
+        config.write_workers = 1;
+        let correlator = Correlator::start(config).unwrap();
+        let mut dns_accepted = 0u64;
+        for i in 0..10_000u32 {
+            if correlator.push_dns(dns(1, "x.example", [10, (i >> 8) as u8, i as u8, 1], 60)) {
+                dns_accepted += 1;
+            }
+        }
+        let report = correlator.finish().unwrap();
+        assert_eq!(
+            report.metrics.fillup.total(),
+            dns_accepted,
+            "every accepted record is processed"
+        );
+        // With a queue of 8 against a burst of 10k, some loss is certain.
+        assert!(report.metrics.dns_dropped > 0);
+    }
+
+    #[test]
+    fn exact_ttl_variant_runs_in_pipeline() {
+        let correlator = Correlator::start(CorrelatorConfig::for_variant(Variant::ExactTtl)).unwrap();
+        correlator.push_dns(dns(1, "ttl.example", [203, 0, 113, 77], 30));
+        while correlator.queue_depths().0 > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        // Within TTL: correlated. After TTL: not.
+        correlator.push_flow(flow(10, [203, 0, 113, 77], 100));
+        correlator.push_flow(flow(500, [203, 0, 113, 77], 100));
+        let report = correlator.finish().unwrap();
+        assert_eq!(report.metrics.lookup.ip_hits, 1);
+        assert_eq!(report.metrics.lookup.ip_misses, 1);
+    }
+}

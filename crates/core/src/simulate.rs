@@ -1,0 +1,590 @@
+//! The deterministic offline simulator.
+//!
+//! The paper's evaluation runs FlowDNS against live ISP streams for a day
+//! or a week and reports CPU, memory, loss and correlation rate over time
+//! (Figures 2, 3, 7). We cannot replay a week of 1M-records/s streams in
+//! wall-clock time, so the experiment harness drives this simulator
+//! instead: it processes a timestamped trace **in data-time order**
+//! through the exact same [`DnsStore`]/[`Resolver`] code the live pipeline
+//! uses, and accounts *work units* via the [`CostModel`]:
+//!
+//! * every event has a processing cost (insert, lookup cascade, CNAME
+//!   hops, output write, per-split bookkeeping);
+//! * rotation copies and exact-TTL purge scans are charged per entry;
+//! * the exact-TTL variant additionally pays a serialization penalty per
+//!   event, modelling the shared-map contention Appendix A.8 blames for
+//!   its collapse;
+//! * a machine capacity (cores × units/s) and a bounded work backlog model
+//!   the stream buffers: when the backlog exceeds the buffer allowance,
+//!   incoming events are dropped and counted as stream loss, which is how
+//!   the >90% loss of the exact-TTL strawman emerges.
+//!
+//! The simulator emits per-hour samples (CPU%, memory, traffic volume,
+//! correlation rate, loss) — one row per point of the paper's time-series
+//! figures — plus the same [`Report`] the live pipeline produces.
+
+use flowdns_types::{CorrelatedRecord, DnsRecord, FlowRecord, SimTime};
+
+use crate::config::CorrelatorConfig;
+use crate::fillup::{process_dns_record, FillUpStats};
+use crate::lookup::{LookUpStats, Resolver};
+use crate::metrics::{CostModel, Report};
+use crate::store::DnsStore;
+
+/// One input event of the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A DNS record arriving on the DNS streams.
+    Dns(DnsRecord),
+    /// A flow record arriving on the NetFlow streams.
+    Flow(FlowRecord),
+}
+
+impl Event {
+    /// The event's timestamp.
+    pub fn ts(&self) -> SimTime {
+        match self {
+            Event::Dns(r) => r.ts,
+            Event::Flow(f) => f.ts,
+        }
+    }
+}
+
+/// One hour of the simulated run (one point of the time-series figures).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HourlySample {
+    /// Hour index since the start of the trace.
+    pub hour: u64,
+    /// Simulated CPU usage in percent (100% = one core).
+    pub cpu_pct: f64,
+    /// Estimated memory of the DNS store at the end of the hour, in GB.
+    pub memory_gb: f64,
+    /// Total flow bytes offered during the hour.
+    pub traffic_bytes: u64,
+    /// Correlation rate (bytes) for flows processed during the hour.
+    pub correlation_rate_pct: f64,
+    /// DNS records dropped during the hour, percent of offered.
+    pub dns_loss_pct: f64,
+    /// Flow records dropped during the hour, percent of offered.
+    pub flow_loss_pct: f64,
+}
+
+/// The complete outcome of a simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationOutcome {
+    /// Final aggregate report (same type as the live pipeline).
+    pub report: Report,
+    /// Per-hour samples, in order.
+    pub hourly: Vec<HourlySample>,
+}
+
+impl SimulationOutcome {
+    /// Mean of the hourly correlation rates (the paper's per-hour
+    /// correlation plots average this way).
+    pub fn mean_hourly_correlation_pct(&self) -> f64 {
+        if self.hourly.is_empty() {
+            return 0.0;
+        }
+        self.hourly
+            .iter()
+            .map(|h| h.correlation_rate_pct)
+            .sum::<f64>()
+            / self.hourly.len() as f64
+    }
+
+    /// Mean CPU% across hours.
+    pub fn mean_cpu_pct(&self) -> f64 {
+        if self.hourly.is_empty() {
+            return 0.0;
+        }
+        self.hourly.iter().map(|h| h.cpu_pct).sum::<f64>() / self.hourly.len() as f64
+    }
+
+    /// Peak memory (GB) across hours.
+    pub fn peak_memory_gb(&self) -> f64 {
+        self.hourly.iter().map(|h| h.memory_gb).fold(0.0, f64::max)
+    }
+}
+
+/// Extra cost charged per event by the exact-TTL variant (shared-map
+/// serialization; see module docs).
+const EXACT_TTL_OP_PENALTY: f64 = 25.0;
+
+/// The offline simulator.
+#[derive(Debug, Clone)]
+pub struct OfflineSimulator {
+    config: CorrelatorConfig,
+    cost: CostModel,
+    /// Number of CPU cores available to the deployment.
+    capacity_cores: f64,
+    /// Work-unit backlog tolerated before drops begin (the stream buffer).
+    backlog_allowance: f64,
+}
+
+impl OfflineSimulator {
+    /// A simulator for `config` with the default cost model and a 32-core
+    /// machine (the paper's testbed has 128 cores but never uses more than
+    /// ~25 of them for the Main variant).
+    pub fn new(config: CorrelatorConfig) -> Self {
+        let cost = CostModel::default();
+        let capacity_cores = 32.0;
+        OfflineSimulator {
+            config,
+            cost,
+            capacity_cores,
+            backlog_allowance: cost.core_units_per_sec * capacity_cores * 5.0,
+        }
+    }
+
+    /// Override the cost model.
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self.backlog_allowance = self.cost.core_units_per_sec * self.capacity_cores * 5.0;
+        self
+    }
+
+    /// Override the machine size in cores.
+    pub fn with_capacity_cores(mut self, cores: f64) -> Self {
+        self.capacity_cores = cores;
+        self.backlog_allowance = self.cost.core_units_per_sec * self.capacity_cores * 5.0;
+        self
+    }
+
+    /// The configuration being simulated.
+    pub fn config(&self) -> &CorrelatorConfig {
+        &self.config
+    }
+
+    /// Merge DNS and flow records into a single time-ordered event trace.
+    pub fn merge_events(dns: Vec<DnsRecord>, flows: Vec<FlowRecord>) -> Vec<Event> {
+        let mut events: Vec<Event> = dns
+            .into_iter()
+            .map(Event::Dns)
+            .chain(flows.into_iter().map(Event::Flow))
+            .collect();
+        events.sort_by_key(|e| e.ts());
+        events
+    }
+
+    /// Run the simulation over an already time-ordered event trace,
+    /// discarding per-record output.
+    pub fn run(&self, events: &[Event]) -> SimulationOutcome {
+        self.run_with(events.iter().cloned(), |_| {})
+    }
+
+    /// Run the simulation, invoking `on_record` for every correlated
+    /// output record (the per-record stream the Section 5 analyses and the
+    /// BGP use case consume).
+    pub fn run_with<I, F>(&self, events: I, mut on_record: F) -> SimulationOutcome
+    where
+        I: IntoIterator<Item = Event>,
+        F: FnMut(&CorrelatedRecord),
+    {
+        let store = DnsStore::new(&self.config);
+        let resolver = Resolver::new(&store, &self.config);
+        let mut fillup_stats = FillUpStats::default();
+        let mut lookup_stats = LookUpStats::default();
+
+        let split_overhead =
+            self.cost.split_overhead * (self.config.effective_num_split().saturating_sub(1)) as f64;
+        let capacity_per_sec = self.cost.core_units_per_sec * self.capacity_cores;
+
+        let mut report = Report::default();
+        let mut hourly: Vec<HourlySample> = Vec::new();
+
+        // Hour-level accumulators.
+        let mut hour_idx: Option<u64> = None;
+        let mut hour_work = 0.0f64;
+        let mut hour_bytes = 0u64;
+        let mut hour_correlated_bytes = 0u64;
+        let mut hour_dns_offered = 0u64;
+        let mut hour_dns_dropped = 0u64;
+        let mut hour_flows_offered = 0u64;
+        let mut hour_flows_dropped = 0u64;
+
+        // Second-level backlog accounting (the stream buffers).
+        let mut backlog = 0.0f64;
+        let mut last_sec: Option<u64> = None;
+
+        // Deltas of store-internal work.
+        let mut prev_rotated = 0u64;
+        let mut prev_purged = 0u64;
+
+        let mut total_dns_dropped = 0u64;
+        let mut total_flows_dropped = 0u64;
+        let mut peak_memory = store.memory_estimate();
+        let mut total_work = 0.0f64;
+
+        let flush_hour = |hour: u64,
+                              work: f64,
+                              bytes: u64,
+                              correlated: u64,
+                              dns_off: u64,
+                              dns_drop: u64,
+                              flow_off: u64,
+                              flow_drop: u64,
+                              memory_gb: f64,
+                              out: &mut Vec<HourlySample>| {
+            let correlation = if bytes == 0 {
+                0.0
+            } else {
+                correlated as f64 / bytes as f64 * 100.0
+            };
+            out.push(HourlySample {
+                hour,
+                cpu_pct: self.cost.cpu_pct(work, 3600.0),
+                memory_gb,
+                traffic_bytes: bytes,
+                correlation_rate_pct: correlation,
+                dns_loss_pct: pct(dns_drop, dns_off),
+                flow_loss_pct: pct(flow_drop, flow_off),
+            });
+        };
+
+        for event in events {
+            let ts = event.ts();
+            let sec = ts.as_secs();
+            let hour = sec / 3600;
+
+            // Advance the per-second backlog: each elapsed second grants
+            // `capacity_per_sec` units of processing.
+            match last_sec {
+                None => last_sec = Some(sec),
+                Some(prev) if sec > prev => {
+                    let elapsed = (sec - prev) as f64;
+                    backlog = (backlog - capacity_per_sec * elapsed).max(0.0);
+                    last_sec = Some(sec);
+                }
+                _ => {}
+            }
+
+            // Close finished hours (also emitting empty hours so the time
+            // axis of the figures stays uniform).
+            match hour_idx {
+                None => hour_idx = Some(hour),
+                Some(current) if hour > current => {
+                    let memory_gb = store.memory_estimate().total_gb();
+                    flush_hour(
+                        current,
+                        hour_work,
+                        hour_bytes,
+                        hour_correlated_bytes,
+                        hour_dns_offered,
+                        hour_dns_dropped,
+                        hour_flows_offered,
+                        hour_flows_dropped,
+                        memory_gb,
+                        &mut hourly,
+                    );
+                    for missing in current + 1..hour {
+                        flush_hour(missing, 0.0, 0, 0, 0, 0, 0, 0, memory_gb, &mut hourly);
+                    }
+                    hour_work = 0.0;
+                    hour_bytes = 0;
+                    hour_correlated_bytes = 0;
+                    hour_dns_offered = 0;
+                    hour_dns_dropped = 0;
+                    hour_flows_offered = 0;
+                    hour_flows_dropped = 0;
+                    hour_idx = Some(hour);
+                }
+                _ => {}
+            }
+
+            // Stream-buffer overflow: drop the event without processing.
+            let overloaded = backlog > self.backlog_allowance;
+            match event {
+                Event::Dns(record) => {
+                    hour_dns_offered += 1;
+                    if overloaded {
+                        hour_dns_dropped += 1;
+                        total_dns_dropped += 1;
+                        continue;
+                    }
+                    process_dns_record(&store, &record, &mut fillup_stats);
+                    let mut work = self.cost.dns_insert + split_overhead;
+                    if store.is_exact_ttl() {
+                        work += EXACT_TTL_OP_PENALTY;
+                    }
+                    work += self.store_maintenance_work(&store, &mut prev_rotated, &mut prev_purged);
+                    backlog += work;
+                    hour_work += work;
+                    total_work += work;
+                }
+                Event::Flow(flow) => {
+                    hour_flows_offered += 1;
+                    hour_bytes += flow.bytes;
+                    if overloaded {
+                        hour_flows_dropped += 1;
+                        total_flows_dropped += 1;
+                        continue;
+                    }
+                    let hops_before = lookup_stats.cname_hops;
+                    let record = resolver.process_flow(flow.clone(), &mut lookup_stats);
+                    let hops = (lookup_stats.cname_hops - hops_before) as f64;
+                    let mut work = self.cost.flow_lookup
+                        + split_overhead
+                        + hops * self.cost.cname_hop
+                        + self.cost.write_record;
+                    if store.is_exact_ttl() {
+                        work += EXACT_TTL_OP_PENALTY;
+                    }
+                    work += self.store_maintenance_work(&store, &mut prev_rotated, &mut prev_purged);
+                    backlog += work;
+                    hour_work += work;
+                    total_work += work;
+
+                    report.volumes.record(flow.bytes, record.is_correlated());
+                    if record.is_correlated() {
+                        hour_correlated_bytes += flow.bytes;
+                    }
+                    report.metrics.write.records_written += 1;
+                    on_record(&record);
+                }
+            }
+
+            // Track peak memory occasionally (every 4096 events would also
+            // work; per-event is cheap because it only counts entries).
+            if report.metrics.write.records_written % 4096 == 0 {
+                let est = store.memory_estimate();
+                if est.total_bytes() > peak_memory.total_bytes() {
+                    peak_memory = est;
+                }
+            }
+        }
+
+        // Close the final hour.
+        if let Some(current) = hour_idx {
+            let memory_gb = store.memory_estimate().total_gb();
+            flush_hour(
+                current,
+                hour_work,
+                hour_bytes,
+                hour_correlated_bytes,
+                hour_dns_offered,
+                hour_dns_dropped,
+                hour_flows_offered,
+                hour_flows_dropped,
+                memory_gb,
+                &mut hourly,
+            );
+        }
+
+        let final_est = store.memory_estimate();
+        if final_est.total_bytes() > peak_memory.total_bytes() {
+            peak_memory = final_est;
+        }
+
+        report.metrics.fillup = fillup_stats;
+        report.metrics.lookup = lookup_stats;
+        report.metrics.write.volumes = report.volumes;
+        report.metrics.dns_dropped = total_dns_dropped;
+        report.metrics.flows_dropped = total_flows_dropped;
+        report.metrics.work_units = total_work;
+        report.metrics.peak_memory = peak_memory;
+
+        SimulationOutcome { report, hourly }
+    }
+
+    /// Work charged for store-internal maintenance that happened since the
+    /// previous event (rotation copies, exact-TTL purge scans).
+    fn store_maintenance_work(
+        &self,
+        store: &DnsStore,
+        prev_rotated: &mut u64,
+        prev_purged: &mut u64,
+    ) -> f64 {
+        let rotated = store.rotated_entries();
+        let purged = store.purge_scanned();
+        let rotated_delta = rotated - *prev_rotated;
+        let purged_delta = purged - *prev_purged;
+        *prev_rotated = rotated;
+        *prev_purged = purged;
+        rotated_delta as f64 * self.cost.rotate_entry
+            + purged_delta as f64 * self.cost.purge_scan_entry
+    }
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Variant;
+    use flowdns_types::DomainName;
+    use std::net::Ipv4Addr;
+
+    fn dns(ts: u64, name: &str, ip: [u8; 4], ttl: u32) -> DnsRecord {
+        DnsRecord::address(
+            SimTime::from_secs(ts),
+            DomainName::literal(name),
+            Ipv4Addr::from(ip).into(),
+            ttl,
+        )
+    }
+
+    fn flow(ts: u64, src: [u8; 4], bytes: u64) -> FlowRecord {
+        FlowRecord::inbound(
+            SimTime::from_secs(ts),
+            Ipv4Addr::from(src).into(),
+            Ipv4Addr::new(10, 0, 0, 1).into(),
+            bytes,
+        )
+    }
+
+    /// A small two-hour trace: every flow's source IP was announced via DNS
+    /// except the ones derived from `unknown`.
+    fn small_trace() -> Vec<Event> {
+        let mut dns_records = Vec::new();
+        let mut flow_records = Vec::new();
+        for i in 0..50u8 {
+            dns_records.push(dns(
+                10 + i as u64,
+                &format!("svc{i}.example"),
+                [203, 0, 113, i],
+                300,
+            ));
+        }
+        for hour in 0..2u64 {
+            for i in 0..50u8 {
+                flow_records.push(flow(hour * 3600 + 100 + i as u64, [203, 0, 113, i], 1_000));
+            }
+            // 10 flows from sources never seen in DNS.
+            for i in 0..10u8 {
+                flow_records.push(flow(hour * 3600 + 200 + i as u64, [192, 0, 2, i], 1_000));
+            }
+        }
+        OfflineSimulator::merge_events(dns_records, flow_records)
+    }
+
+    #[test]
+    fn merge_orders_events_by_time() {
+        let events = small_trace();
+        for pair in events.windows(2) {
+            assert!(pair[0].ts() <= pair[1].ts());
+        }
+    }
+
+    #[test]
+    fn correlation_rate_reflects_dns_coverage() {
+        let events = small_trace();
+        let sim = OfflineSimulator::new(CorrelatorConfig::default());
+        let outcome = sim.run(&events);
+        // 50 of 60 flows per hour are correlated → 83.3% by bytes.
+        assert!((outcome.report.correlation_rate_pct() - 83.33).abs() < 0.5);
+        assert_eq!(outcome.hourly.len(), 2);
+        assert_eq!(outcome.report.metrics.flows_dropped, 0);
+        assert_eq!(outcome.report.metrics.dns_dropped, 0);
+        assert!(outcome.report.metrics.work_units > 0.0);
+        // Hour 1: the DNS records are >3600s old. With rotation they live
+        // in the Inactive maps and correlation holds.
+        assert!(outcome.hourly[1].correlation_rate_pct > 80.0);
+    }
+
+    #[test]
+    fn no_rotation_loses_correlation_after_clear_up() {
+        let events = small_trace();
+        let main = OfflineSimulator::new(CorrelatorConfig::for_variant(Variant::Main)).run(&events);
+        let norot =
+            OfflineSimulator::new(CorrelatorConfig::for_variant(Variant::NoRotation)).run(&events);
+        // In hour 1 the NoRotation variant has cleared the DNS records
+        // without keeping a copy, so its correlation collapses relative to
+        // Main — the mechanism behind the paper's 81.7% vs 79.5%.
+        assert!(main.hourly[1].correlation_rate_pct > 80.0);
+        assert!(norot.hourly[1].correlation_rate_pct < 10.0);
+        // Overall: NoRotation strictly below Main.
+        assert!(norot.report.correlation_rate_pct() < main.report.correlation_rate_pct());
+    }
+
+    #[test]
+    fn no_clear_up_correlates_at_least_as_much_as_main() {
+        let events = small_trace();
+        let main = OfflineSimulator::new(CorrelatorConfig::for_variant(Variant::Main)).run(&events);
+        let nocl =
+            OfflineSimulator::new(CorrelatorConfig::for_variant(Variant::NoClearUp)).run(&events);
+        assert!(nocl.report.correlation_rate_pct() >= main.report.correlation_rate_pct() - 1e-9);
+    }
+
+    #[test]
+    fn no_split_uses_less_cpu_than_main() {
+        let events = small_trace();
+        let main = OfflineSimulator::new(CorrelatorConfig::for_variant(Variant::Main)).run(&events);
+        let nosplit =
+            OfflineSimulator::new(CorrelatorConfig::for_variant(Variant::NoSplit)).run(&events);
+        assert!(nosplit.mean_cpu_pct() < main.mean_cpu_pct());
+        // ... while correlating the same share of traffic.
+        assert!(
+            (nosplit.report.correlation_rate_pct() - main.report.correlation_rate_pct()).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn exact_ttl_overloads_and_drops() {
+        // A denser trace so the serialization penalty exceeds capacity.
+        let mut dns_records = Vec::new();
+        let mut flow_records = Vec::new();
+        for s in 0..600u64 {
+            for i in 0..5u8 {
+                dns_records.push(dns(s, &format!("d{s}-{i}.example"), [10, 1, (s % 256) as u8, i], 120));
+                flow_records.push(flow(s, [10, 1, (s % 256) as u8, i], 1_000));
+                flow_records.push(flow(s, [10, 2, (s % 256) as u8, i], 1_000));
+            }
+        }
+        let events = OfflineSimulator::merge_events(dns_records, flow_records);
+        // A deliberately small machine: 12 cores of simulated capacity.
+        let main = OfflineSimulator::new(CorrelatorConfig::for_variant(Variant::Main))
+            .with_capacity_cores(12.0)
+            .run(&events);
+        let exact = OfflineSimulator::new(CorrelatorConfig::for_variant(Variant::ExactTtl))
+            .with_capacity_cores(12.0)
+            .run(&events);
+        assert!(main.report.metrics.flow_loss_pct() < 1.0);
+        assert!(
+            exact.report.metrics.flow_loss_pct() > 50.0,
+            "exact-TTL should overload: got {:.1}%",
+            exact.report.metrics.flow_loss_pct()
+        );
+        assert!(exact.mean_cpu_pct() > main.mean_cpu_pct());
+    }
+
+    #[test]
+    fn hourly_samples_cover_every_hour() {
+        let mut flows = Vec::new();
+        for hour in [0u64, 1, 5] {
+            flows.push(flow(hour * 3600 + 10, [1, 2, 3, 4], 500));
+        }
+        let events = OfflineSimulator::merge_events(Vec::new(), flows);
+        let outcome = OfflineSimulator::new(CorrelatorConfig::default()).run(&events);
+        let hours: Vec<u64> = outcome.hourly.iter().map(|h| h.hour).collect();
+        assert_eq!(hours, vec![0, 1, 2, 3, 4, 5]);
+        // Empty hours have zero traffic and zero CPU.
+        assert_eq!(outcome.hourly[3].traffic_bytes, 0);
+        assert_eq!(outcome.hourly[3].cpu_pct, 0.0);
+    }
+
+    #[test]
+    fn run_with_exposes_every_written_record() {
+        let events = small_trace();
+        let mut seen = 0u64;
+        let outcome = OfflineSimulator::new(CorrelatorConfig::default())
+            .run_with(events.iter().cloned(), |_| seen += 1);
+        assert_eq!(seen, outcome.report.metrics.write.records_written);
+        assert_eq!(seen, 120);
+    }
+
+    #[test]
+    fn outcome_summary_helpers() {
+        let events = small_trace();
+        let outcome = OfflineSimulator::new(CorrelatorConfig::default()).run(&events);
+        assert!(outcome.mean_hourly_correlation_pct() > 0.0);
+        assert!(outcome.peak_memory_gb() >= 0.0);
+        assert!(outcome.mean_cpu_pct() >= 0.0);
+    }
+}

@@ -1,0 +1,281 @@
+//! The shared DNS store: split IP-NAME maps plus the NAME-CNAME map.
+//!
+//! This is the "shared internal storage" of Figure 1 that FillUp workers
+//! write and LookUp workers read. It combines:
+//!
+//! * `NUM_SPLIT` rotating **IP-NAME** stores (key: textual IP address,
+//!   value: query domain name), rotated every `AClearUpInterval`,
+//! * one rotating **NAME-CNAME** store (key: canonical target name,
+//!   value: query/alias name is *not* what the paper stores — see below),
+//!   rotated every `CClearUpInterval`,
+//! * for the [`Variant::ExactTtl`] strawman, exact-TTL stores replace the
+//!   rotating ones.
+//!
+//! ### Key orientation
+//!
+//! The paper is explicit: "In all our hashmaps, the key is the answer
+//! section, and the value is the query." For A/AAAA records the answer is
+//! the IP and the query is the domain name, so IP → name. For CNAME
+//! records the answer is the canonical (target) name and the query is the
+//! alias. Chain following in Algorithm 2 then looks the *name found so
+//! far* up as a key, obtaining the alias it answers for. Followed
+//! repeatedly this walks the CNAME chain from the CDN-internal name back
+//! towards the customer-facing name, which is exactly what the paper's
+//! service attribution needs (the A record is keyed by the CDN edge name;
+//! following the chain recovers e.g. `www.netflix.com`).
+
+use flowdns_storage::{ExactTtlStore, Generation, MemoryEstimate, RotatingStore, RotationPolicy, SplitStore};
+use flowdns_types::SimTime;
+
+use crate::config::{CorrelatorConfig, Variant};
+
+/// The shared DNS storage used by one correlator instance.
+#[derive(Debug)]
+pub struct DnsStore {
+    config: CorrelatorConfig,
+    ip_name: SplitStore,
+    name_cname: RotatingStore,
+    exact_ip_name: Option<ExactTtlStore>,
+    exact_name_cname: Option<ExactTtlStore>,
+}
+
+impl DnsStore {
+    /// Build the storage for `config`.
+    pub fn new(config: &CorrelatorConfig) -> Self {
+        let ip_policy = RotationPolicy {
+            clear_up_interval: config.a_clear_up_interval,
+            clear_up: config.clears_up(),
+            rotation: config.rotates(),
+            long_maps: config.uses_long_maps(),
+        };
+        let cname_policy = RotationPolicy {
+            clear_up_interval: config.c_clear_up_interval,
+            clear_up: config.clears_up(),
+            rotation: config.rotates(),
+            long_maps: config.uses_long_maps(),
+        };
+        let exact = matches!(config.variant, Variant::ExactTtl);
+        DnsStore {
+            config: *config,
+            ip_name: SplitStore::new(ip_policy, config.effective_num_split(), config.map_shards),
+            name_cname: RotatingStore::new(cname_policy, config.map_shards),
+            exact_ip_name: exact
+                .then(|| ExactTtlStore::new(config.exact_ttl_purge_interval, config.map_shards)),
+            exact_name_cname: exact
+                .then(|| ExactTtlStore::new(config.exact_ttl_purge_interval, config.map_shards)),
+        }
+    }
+
+    /// The configuration this store was built for.
+    pub fn config(&self) -> &CorrelatorConfig {
+        &self.config
+    }
+
+    /// Is this the exact-TTL strawman store?
+    pub fn is_exact_ttl(&self) -> bool {
+        self.exact_ip_name.is_some()
+    }
+
+    /// Store an A/AAAA mapping: IP (answer) → query name.
+    pub fn insert_address(&self, ip: &str, name: &str, ttl: u32, ts: SimTime) {
+        match &self.exact_ip_name {
+            Some(exact) => exact.insert(ip.to_string(), name.to_string(), ttl, ts),
+            None => self
+                .ip_name
+                .insert(ip.to_string(), name.to_string(), ttl, ts),
+        }
+    }
+
+    /// Store a CNAME mapping: canonical target (answer) → alias (query).
+    pub fn insert_cname(&self, target: &str, alias: &str, ttl: u32, ts: SimTime) {
+        match &self.exact_name_cname {
+            Some(exact) => exact.insert(target.to_string(), alias.to_string(), ttl, ts),
+            None => self
+                .name_cname
+                .insert(target.to_string(), alias.to_string(), ttl, ts),
+        }
+    }
+
+    /// Advance the clear-up clocks using a record timestamp (used by flow
+    /// processing so quiet DNS periods still rotate).
+    pub fn observe_time(&self, ts: SimTime) {
+        if self.is_exact_ttl() {
+            if let Some(s) = &self.exact_ip_name {
+                s.maybe_purge(ts);
+            }
+            if let Some(s) = &self.exact_name_cname {
+                s.maybe_purge(ts);
+            }
+        } else {
+            self.ip_name.observe_time(ts);
+            self.name_cname.observe_time(ts);
+        }
+    }
+
+    /// `deepLookUp` on the IP-NAME store: the name a source IP maps to.
+    /// `now` is the flow timestamp (only used by the exact-TTL variant).
+    pub fn lookup_ip(&self, ip: &str, now: SimTime) -> Option<(String, Generation)> {
+        match &self.exact_ip_name {
+            Some(exact) => exact.lookup(ip, now).map(|v| (v, Generation::Active)),
+            None => self.ip_name.lookup(ip),
+        }
+    }
+
+    /// `deepLookUp` on the NAME-CNAME store: the alias that `name` is the
+    /// canonical answer for.
+    pub fn lookup_cname(&self, name: &str, now: SimTime) -> Option<(String, Generation)> {
+        match &self.exact_name_cname {
+            Some(exact) => exact.lookup(name, now).map(|v| (v, Generation::Active)),
+            None => self.name_cname.lookup(name),
+        }
+    }
+
+    /// Memoize a multi-hop CNAME resolution into the active NAME-CNAME map
+    /// ("If the result is found with more than one look-up ... we add it
+    /// to NAME-CNAMEactive for later use").
+    pub fn memoize_cname(&self, target: &str, alias: &str) {
+        if self.exact_name_cname.is_none() {
+            self.name_cname
+                .memoize(target.to_string(), alias.to_string());
+        }
+    }
+
+    /// Total stored entries across all maps.
+    pub fn total_entries(&self) -> usize {
+        match (&self.exact_ip_name, &self.exact_name_cname) {
+            (Some(a), Some(b)) => a.len() + b.len(),
+            _ => self.ip_name.total_entries() + self.name_cname.total_entries(),
+        }
+    }
+
+    /// Memory estimate across all maps.
+    pub fn memory_estimate(&self) -> MemoryEstimate {
+        let mut est = MemoryEstimate::new();
+        match (&self.exact_ip_name, &self.exact_name_cname) {
+            (Some(a), Some(b)) => {
+                est.merge(a.memory_estimate());
+                est.merge(b.memory_estimate());
+            }
+            _ => {
+                est.merge(self.ip_name.memory_estimate());
+                est.merge(self.name_cname.memory_estimate());
+            }
+        }
+        est
+    }
+
+    /// Number of clear-up rounds performed so far (0 for exact-TTL).
+    pub fn clear_ups(&self) -> u64 {
+        if self.is_exact_ttl() {
+            0
+        } else {
+            self.ip_name.stats().clear_ups + self.name_cname.stats().clear_ups
+        }
+    }
+
+    /// Entries scanned by exact-TTL purges so far (0 for rotating stores).
+    pub fn purge_scanned(&self) -> u64 {
+        match (&self.exact_ip_name, &self.exact_name_cname) {
+            (Some(a), Some(b)) => a.stats().purge_scanned + b.stats().purge_scanned,
+            _ => 0,
+        }
+    }
+
+    /// Entries rotated into Inactive maps so far.
+    pub fn rotated_entries(&self) -> u64 {
+        if self.is_exact_ttl() {
+            0
+        } else {
+            self.ip_name.stats().rotated_entries + self.name_cname.stats().rotated_entries
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(variant: Variant) -> DnsStore {
+        DnsStore::new(&CorrelatorConfig::for_variant(variant))
+    }
+
+    #[test]
+    fn address_and_cname_lookups() {
+        let s = store(Variant::Main);
+        s.insert_address("203.0.113.9", "edge7.cdn.example.net", 60, SimTime::ZERO);
+        s.insert_cname("edge7.cdn.example.net", "www.shop.example", 600, SimTime::ZERO);
+        let (name, generation) = s.lookup_ip("203.0.113.9", SimTime::ZERO).unwrap();
+        assert_eq!(name, "edge7.cdn.example.net");
+        assert_eq!(generation, Generation::Active);
+        let (alias, _) = s.lookup_cname(&name, SimTime::ZERO).unwrap();
+        assert_eq!(alias, "www.shop.example");
+        assert!(s.lookup_ip("198.51.100.1", SimTime::ZERO).is_none());
+        assert_eq!(s.total_entries(), 2);
+    }
+
+    #[test]
+    fn clear_up_intervals_differ_between_maps() {
+        let s = store(Variant::Main);
+        s.insert_address("1.1.1.1", "a.example", 60, SimTime::from_secs(0));
+        s.insert_cname("cdn.example", "www.example", 60, SimTime::from_secs(0));
+        // After 4000 s the IP-NAME maps have rotated (interval 3600) but
+        // the NAME-CNAME map (interval 7200) has not.
+        s.observe_time(SimTime::from_secs(4000));
+        assert_eq!(
+            s.lookup_ip("1.1.1.1", SimTime::from_secs(4000)).unwrap().1,
+            Generation::Inactive
+        );
+        assert_eq!(
+            s.lookup_cname("cdn.example", SimTime::from_secs(4000)).unwrap().1,
+            Generation::Active
+        );
+        // Only the split that has seen data had an armed clear-up clock.
+        assert_eq!(s.clear_ups(), 1);
+    }
+
+    #[test]
+    fn no_split_variant_uses_one_split() {
+        let s = store(Variant::NoSplit);
+        for i in 0..20 {
+            s.insert_address(&format!("10.0.0.{i}"), "x.example", 60, SimTime::ZERO);
+        }
+        // A clear-up round on a single-split store counts once for IP-NAME.
+        s.observe_time(SimTime::from_secs(4000));
+        assert_eq!(s.clear_ups(), 1);
+    }
+
+    #[test]
+    fn exact_ttl_variant_expires_by_record_ttl() {
+        let s = store(Variant::ExactTtl);
+        assert!(s.is_exact_ttl());
+        s.insert_address("9.9.9.9", "short.example", 30, SimTime::from_secs(0));
+        assert!(s.lookup_ip("9.9.9.9", SimTime::from_secs(10)).is_some());
+        assert!(s.lookup_ip("9.9.9.9", SimTime::from_secs(100)).is_none());
+        // purge accounting becomes visible after the purge interval
+        s.observe_time(SimTime::from_secs(1));
+        s.observe_time(SimTime::from_secs(10_000));
+        assert!(s.purge_scanned() > 0);
+        assert_eq!(s.clear_ups(), 0);
+    }
+
+    #[test]
+    fn memoization_feeds_later_lookups() {
+        let s = store(Variant::Main);
+        s.memoize_cname("edge.cdn.example", "service.example");
+        assert_eq!(
+            s.lookup_cname("edge.cdn.example", SimTime::ZERO).unwrap().0,
+            "service.example"
+        );
+    }
+
+    #[test]
+    fn memory_estimate_grows_with_inserts() {
+        let s = store(Variant::Main);
+        let before = s.memory_estimate().total_bytes();
+        for i in 0..100 {
+            s.insert_address(&format!("198.51.100.{i}"), "service.example.net", 60, SimTime::ZERO);
+        }
+        assert!(s.memory_estimate().total_bytes() > before);
+        assert_eq!(s.memory_estimate().entries, 100);
+    }
+}

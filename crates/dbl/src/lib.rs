@@ -1,0 +1,24 @@
+//! # flowdns-dbl
+//!
+//! Domain blocklist and domain-name validity substrate.
+//!
+//! Section 5 of the paper checks the domain names FlowDNS correlates
+//! against the Spamhaus DBL (spam, botnet C&C, abused redirectors,
+//! malware, phishing) and against three RFC 1035 syntax rules. This crate
+//! provides both pieces:
+//!
+//! * [`blocklist`] — an in-memory domain blocklist with category labels,
+//!   exact and subdomain matching, and the hourly sampling helper the
+//!   paper uses to avoid hammering the external service;
+//! * [`validity`] — the RFC 1035 rule checker with per-rule breakdown
+//!   (total length, label length, character rules) and the "which
+//!   disallowed character" statistic dominated by underscores.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocklist;
+pub mod validity;
+
+pub use blocklist::{Blocklist, BlocklistCategory, HourlySampler};
+pub use validity::{validate_domain, RuleViolation, ValidityReport, ValidityStats};

@@ -1,0 +1,252 @@
+//! Converting parsed DNS messages into correlator records.
+//!
+//! The DNS-processing stage of FlowDNS (Section 3.2) first passes every
+//! incoming record through a *filter* that checks it is a valid DNS
+//! response, and only then hands it to the FillUp queue. [`ResponseFilter`]
+//! is that filter; [`records_from_message`] flattens a valid response into
+//! the `(ts, query, rtype, ttl, answer)` tuples the correlator stores.
+
+use flowdns_types::{DnsAnswer, DnsRecord, RecordType, SimTime};
+
+use crate::message::{DnsMessage, Rcode, RrData};
+
+/// Flatten one DNS response message into correlator records.
+///
+/// Each answer-section resource record becomes one [`DnsRecord`]. The
+/// *query* stored with an answer is the record's **owner name**, not the
+/// original question: for CNAME chains this is what lets the NAME-CNAME
+/// hashmap reconstruct each hop (`owner -> target`), and for A records of
+/// chained lookups it keys the address by the name that actually resolved
+/// to it, matching the paper's "the key is the answer section, and the
+/// value is the query".
+pub fn records_from_message(msg: &DnsMessage, ts: SimTime) -> Vec<DnsRecord> {
+    let mut out = Vec::with_capacity(msg.answers.len());
+    for rr in &msg.answers {
+        let answer = match &rr.data {
+            RrData::A(_) | RrData::Aaaa(_) => DnsAnswer::Ip(rr.data.ip().expect("address rdata")),
+            RrData::Cname(target) => DnsAnswer::Name(target.clone()),
+            // Other record types are not correlatable; skip them rather
+            // than storing Raw payloads the LookUp workers can never use.
+            _ => continue,
+        };
+        out.push(DnsRecord {
+            ts,
+            query: rr.name.clone(),
+            rtype: rr.rtype,
+            ttl: rr.ttl,
+            answer,
+        });
+    }
+    out
+}
+
+/// Statistics kept by the [`ResponseFilter`], mirroring what an operator
+/// would want to see about a resolver feed's health.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResponseFilterStats {
+    /// Messages accepted as valid responses.
+    pub accepted: u64,
+    /// Messages rejected because they were queries, not responses.
+    pub not_a_response: u64,
+    /// Messages rejected because of a non-zero RCODE.
+    pub error_rcode: u64,
+    /// Messages rejected because the answer section was empty.
+    pub empty_answer: u64,
+    /// Messages rejected because they were truncated (TC bit).
+    pub truncated: u64,
+}
+
+impl ResponseFilterStats {
+    /// Total messages seen.
+    pub fn total(&self) -> u64 {
+        self.accepted + self.rejected()
+    }
+
+    /// Total messages rejected.
+    pub fn rejected(&self) -> u64 {
+        self.not_a_response + self.error_rcode + self.empty_answer + self.truncated
+    }
+}
+
+/// The "valid DNS response" filter from Section 3.2 step (2).
+///
+/// A message passes if it is a response, has RCODE `NoError`, is not
+/// truncated, and carries at least one answer record. Anything else is
+/// dropped before it reaches the FillUp queue.
+#[derive(Debug, Default)]
+pub struct ResponseFilter {
+    stats: ResponseFilterStats,
+}
+
+impl ResponseFilter {
+    /// A fresh filter.
+    pub fn new() -> Self {
+        ResponseFilter::default()
+    }
+
+    /// Check a message, updating statistics. Returns `true` when the
+    /// message should be forwarded to the FillUp queue.
+    pub fn accept(&mut self, msg: &DnsMessage) -> bool {
+        if !msg.header.is_response {
+            self.stats.not_a_response += 1;
+            return false;
+        }
+        if msg.header.truncated {
+            self.stats.truncated += 1;
+            return false;
+        }
+        if msg.header.rcode != Rcode::NoError {
+            self.stats.error_rcode += 1;
+            return false;
+        }
+        if msg.answers.is_empty() {
+            self.stats.empty_answer += 1;
+            return false;
+        }
+        self.stats.accepted += 1;
+        true
+    }
+
+    /// Filter and flatten in one step: returns the correlator records for
+    /// an accepted message, or an empty vector for a rejected one.
+    pub fn extract(&mut self, msg: &DnsMessage, ts: SimTime) -> Vec<DnsRecord> {
+        if self.accept(msg) {
+            records_from_message(msg, ts)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// The statistics accumulated so far.
+    pub fn stats(&self) -> ResponseFilterStats {
+        self.stats
+    }
+}
+
+/// Check whether a single pre-parsed record is one the FillUp workers
+/// should store (the record-level equivalent of the message filter, used
+/// when the feed delivers flattened records rather than full messages).
+pub fn record_is_storable(record: &DnsRecord) -> bool {
+    record.is_correlatable() && matches!(record.rtype, RecordType::A | RecordType::Aaaa | RecordType::Cname)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{DnsClass, DnsHeader, Question, ResourceRecord};
+    use flowdns_types::DomainName;
+    use std::net::Ipv4Addr;
+
+    fn question(name: &str) -> Question {
+        Question {
+            name: DomainName::literal(name),
+            qtype: RecordType::A,
+            qclass: DnsClass::In,
+        }
+    }
+
+    fn chain_response() -> DnsMessage {
+        let www = DomainName::literal("www.shop.example");
+        let cdn = DomainName::literal("shop.cdn.example.net");
+        DnsMessage::response(
+            1,
+            question("www.shop.example"),
+            vec![
+                ResourceRecord::cname(www.clone(), cdn.clone(), 600),
+                ResourceRecord::a(cdn.clone(), Ipv4Addr::new(198, 51, 100, 7), 60),
+            ],
+        )
+    }
+
+    #[test]
+    fn flattening_keys_by_owner_name() {
+        let msg = chain_response();
+        let records = records_from_message(&msg, SimTime::from_secs(10));
+        assert_eq!(records.len(), 2);
+        // CNAME hop: www.shop.example -> shop.cdn.example.net
+        assert_eq!(records[0].query.as_str(), "www.shop.example");
+        assert_eq!(
+            records[0].answer.as_name().unwrap().as_str(),
+            "shop.cdn.example.net"
+        );
+        // A record is keyed by the CDN name that actually resolved.
+        assert_eq!(records[1].query.as_str(), "shop.cdn.example.net");
+        assert_eq!(
+            records[1].answer.as_ip().unwrap(),
+            std::net::IpAddr::V4(Ipv4Addr::new(198, 51, 100, 7))
+        );
+        assert!(records.iter().all(|r| r.ts == SimTime::from_secs(10)));
+        assert!(records.iter().all(record_is_storable));
+    }
+
+    #[test]
+    fn non_correlatable_answers_are_skipped() {
+        let name = DomainName::literal("example.com");
+        let msg = DnsMessage::response(
+            2,
+            question("example.com"),
+            vec![
+                ResourceRecord {
+                    name: name.clone(),
+                    rtype: RecordType::Txt,
+                    class: DnsClass::In,
+                    ttl: 60,
+                    data: RrData::Txt(vec!["hello".into()]),
+                },
+                ResourceRecord::a(name.clone(), Ipv4Addr::new(1, 2, 3, 4), 60),
+            ],
+        );
+        let records = records_from_message(&msg, SimTime::ZERO);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].rtype, RecordType::A);
+    }
+
+    #[test]
+    fn filter_accepts_good_responses() {
+        let mut f = ResponseFilter::new();
+        assert!(f.accept(&chain_response()));
+        assert_eq!(f.stats().accepted, 1);
+        assert_eq!(f.stats().rejected(), 0);
+    }
+
+    #[test]
+    fn filter_rejects_queries_errors_truncation_and_empty() {
+        let mut f = ResponseFilter::new();
+
+        let query = DnsMessage::query(1, DomainName::literal("example.com"), RecordType::A);
+        assert!(!f.accept(&query));
+
+        let mut nxdomain = chain_response();
+        nxdomain.header.rcode = Rcode::NxDomain;
+        assert!(!f.accept(&nxdomain));
+
+        let mut truncated = chain_response();
+        truncated.header.truncated = true;
+        assert!(!f.accept(&truncated));
+
+        let empty = DnsMessage {
+            header: DnsHeader {
+                is_response: true,
+                ..DnsHeader::default()
+            },
+            questions: vec![question("example.com")],
+            ..DnsMessage::default()
+        };
+        assert!(!f.accept(&empty));
+
+        let s = f.stats();
+        assert_eq!(s.not_a_response, 1);
+        assert_eq!(s.error_rcode, 1);
+        assert_eq!(s.truncated, 1);
+        assert_eq!(s.empty_answer, 1);
+        assert_eq!(s.total(), 4);
+    }
+
+    #[test]
+    fn extract_returns_records_only_for_accepted() {
+        let mut f = ResponseFilter::new();
+        assert_eq!(f.extract(&chain_response(), SimTime::ZERO).len(), 2);
+        let query = DnsMessage::query(1, DomainName::literal("example.com"), RecordType::A);
+        assert!(f.extract(&query, SimTime::ZERO).is_empty());
+    }
+}

@@ -1,0 +1,794 @@
+//! DNS message model and codec (RFC 1035 §4).
+//!
+//! Covers everything FlowDNS needs to ingest real resolver responses:
+//! header flags, questions, and answer/authority/additional resource
+//! records with typed RDATA for A, AAAA, CNAME, NS, PTR, MX, TXT and SOA,
+//! plus opaque RDATA for everything else (including EDNS0 OPT records,
+//! which are carried but not interpreted).
+
+use std::fmt;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+use flowdns_types::{DomainName, FlowDnsError, RecordType};
+
+use crate::name::{decode_name, NameCompressor};
+use crate::wire::{Reader, Writer};
+
+fn err(msg: impl Into<String>) -> FlowDnsError {
+    FlowDnsError::DnsParse(msg.into())
+}
+
+/// DNS operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// Standard query.
+    Query,
+    /// Inverse query (obsolete).
+    IQuery,
+    /// Server status request.
+    Status,
+    /// Any other opcode value.
+    Other(u8),
+}
+
+impl Opcode {
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => Opcode::Query,
+            1 => Opcode::IQuery,
+            2 => Opcode::Status,
+            other => Opcode::Other(other),
+        }
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            Opcode::Query => 0,
+            Opcode::IQuery => 1,
+            Opcode::Status => 2,
+            Opcode::Other(v) => v,
+        }
+    }
+}
+
+/// DNS response codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rcode {
+    /// No error.
+    NoError,
+    /// Format error.
+    FormErr,
+    /// Server failure.
+    ServFail,
+    /// Non-existent domain.
+    NxDomain,
+    /// Not implemented.
+    NotImp,
+    /// Query refused.
+    Refused,
+    /// Any other rcode.
+    Other(u8),
+}
+
+impl Rcode {
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            other => Rcode::Other(other),
+        }
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+            Rcode::Other(v) => v,
+        }
+    }
+}
+
+/// DNS record classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DnsClass {
+    /// The Internet class (the only one seen in practice).
+    In,
+    /// Chaos class.
+    Ch,
+    /// Any other class value (EDNS0 OPT records abuse this field).
+    Other(u16),
+}
+
+impl DnsClass {
+    fn from_u16(v: u16) -> Self {
+        match v {
+            1 => DnsClass::In,
+            3 => DnsClass::Ch,
+            other => DnsClass::Other(other),
+        }
+    }
+
+    fn to_u16(self) -> u16 {
+        match self {
+            DnsClass::In => 1,
+            DnsClass::Ch => 3,
+            DnsClass::Other(v) => v,
+        }
+    }
+}
+
+/// The 12-byte DNS message header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DnsHeader {
+    /// Message identifier.
+    pub id: u16,
+    /// Is this a response (QR bit)?
+    pub is_response: bool,
+    /// Operation code.
+    pub opcode: Opcode,
+    /// Authoritative-answer flag.
+    pub authoritative: bool,
+    /// Truncation flag.
+    pub truncated: bool,
+    /// Recursion-desired flag.
+    pub recursion_desired: bool,
+    /// Recursion-available flag.
+    pub recursion_available: bool,
+    /// Response code.
+    pub rcode: Rcode,
+}
+
+impl Default for DnsHeader {
+    fn default() -> Self {
+        DnsHeader {
+            id: 0,
+            is_response: false,
+            opcode: Opcode::Query,
+            authoritative: false,
+            truncated: false,
+            recursion_desired: true,
+            recursion_available: false,
+            rcode: Rcode::NoError,
+        }
+    }
+}
+
+/// A question entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Question {
+    /// The queried name.
+    pub name: DomainName,
+    /// The queried record type.
+    pub qtype: RecordType,
+    /// The query class.
+    pub qclass: DnsClass,
+}
+
+/// Typed RDATA for the record types FlowDNS interprets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RrData {
+    /// IPv4 address.
+    A(Ipv4Addr),
+    /// IPv6 address.
+    Aaaa(Ipv6Addr),
+    /// Canonical name.
+    Cname(DomainName),
+    /// Name server.
+    Ns(DomainName),
+    /// Pointer record.
+    Ptr(DomainName),
+    /// Mail exchanger (preference, exchange).
+    Mx(u16, DomainName),
+    /// Text record: one or more character strings.
+    Txt(Vec<String>),
+    /// Start of authority.
+    Soa {
+        /// Primary name server.
+        mname: DomainName,
+        /// Responsible mailbox.
+        rname: DomainName,
+        /// Zone serial number.
+        serial: u32,
+        /// Refresh interval.
+        refresh: u32,
+        /// Retry interval.
+        retry: u32,
+        /// Expire limit.
+        expire: u32,
+        /// Minimum/negative-caching TTL.
+        minimum: u32,
+    },
+    /// Uninterpreted RDATA (carried verbatim).
+    Opaque(Vec<u8>),
+}
+
+impl RrData {
+    /// The IP address carried by this RDATA, if any.
+    pub fn ip(&self) -> Option<IpAddr> {
+        match self {
+            RrData::A(a) => Some(IpAddr::V4(*a)),
+            RrData::Aaaa(a) => Some(IpAddr::V6(*a)),
+            _ => None,
+        }
+    }
+
+    /// The target domain name carried by this RDATA, if any.
+    pub fn target_name(&self) -> Option<&DomainName> {
+        match self {
+            RrData::Cname(n) | RrData::Ns(n) | RrData::Ptr(n) => Some(n),
+            RrData::Mx(_, n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+/// A resource record (answer, authority or additional section entry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceRecord {
+    /// The owner name of the record.
+    pub name: DomainName,
+    /// Record type.
+    pub rtype: RecordType,
+    /// Record class.
+    pub class: DnsClass,
+    /// Time to live in seconds.
+    pub ttl: u32,
+    /// The typed record data.
+    pub data: RrData,
+}
+
+impl ResourceRecord {
+    /// Build an A record.
+    pub fn a(name: DomainName, addr: Ipv4Addr, ttl: u32) -> Self {
+        ResourceRecord {
+            name,
+            rtype: RecordType::A,
+            class: DnsClass::In,
+            ttl,
+            data: RrData::A(addr),
+        }
+    }
+
+    /// Build an AAAA record.
+    pub fn aaaa(name: DomainName, addr: Ipv6Addr, ttl: u32) -> Self {
+        ResourceRecord {
+            name,
+            rtype: RecordType::Aaaa,
+            class: DnsClass::In,
+            ttl,
+            data: RrData::Aaaa(addr),
+        }
+    }
+
+    /// Build a CNAME record.
+    pub fn cname(name: DomainName, target: DomainName, ttl: u32) -> Self {
+        ResourceRecord {
+            name,
+            rtype: RecordType::Cname,
+            class: DnsClass::In,
+            ttl,
+            data: RrData::Cname(target),
+        }
+    }
+}
+
+/// A complete DNS message.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DnsMessage {
+    /// Header fields and flags.
+    pub header: DnsHeader,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<ResourceRecord>,
+    /// Authority section.
+    pub authorities: Vec<ResourceRecord>,
+    /// Additional section.
+    pub additionals: Vec<ResourceRecord>,
+}
+
+impl DnsMessage {
+    /// Build a response message skeleton for `query` with the given
+    /// answers — the shape resolver cache-miss feeds deliver.
+    pub fn response(id: u16, query: Question, answers: Vec<ResourceRecord>) -> Self {
+        DnsMessage {
+            header: DnsHeader {
+                id,
+                is_response: true,
+                recursion_desired: true,
+                recursion_available: true,
+                ..DnsHeader::default()
+            },
+            questions: vec![query],
+            answers,
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// Build a query message for `name`/`qtype`.
+    pub fn query(id: u16, name: DomainName, qtype: RecordType) -> Self {
+        DnsMessage {
+            header: DnsHeader {
+                id,
+                ..DnsHeader::default()
+            },
+            questions: vec![Question {
+                name,
+                qtype,
+                qclass: DnsClass::In,
+            }],
+            ..DnsMessage::default()
+        }
+    }
+
+    /// Encode the message to wire format, using name compression.
+    pub fn encode(&self) -> Result<Vec<u8>, FlowDnsError> {
+        let mut w = Writer::with_capacity(512);
+        let mut compressor = NameCompressor::new();
+
+        // Header.
+        w.put_u16(self.header.id);
+        let mut flags: u16 = 0;
+        if self.header.is_response {
+            flags |= 0x8000;
+        }
+        flags |= (self.header.opcode.to_u8() as u16 & 0x0F) << 11;
+        if self.header.authoritative {
+            flags |= 0x0400;
+        }
+        if self.header.truncated {
+            flags |= 0x0200;
+        }
+        if self.header.recursion_desired {
+            flags |= 0x0100;
+        }
+        if self.header.recursion_available {
+            flags |= 0x0080;
+        }
+        flags |= self.header.rcode.to_u8() as u16 & 0x000F;
+        w.put_u16(flags);
+        w.put_u16(self.questions.len() as u16);
+        w.put_u16(self.answers.len() as u16);
+        w.put_u16(self.authorities.len() as u16);
+        w.put_u16(self.additionals.len() as u16);
+
+        for q in &self.questions {
+            compressor.encode(&q.name, &mut w)?;
+            w.put_u16(q.qtype.to_u16());
+            w.put_u16(q.qclass.to_u16());
+        }
+        for rr in self
+            .answers
+            .iter()
+            .chain(&self.authorities)
+            .chain(&self.additionals)
+        {
+            encode_rr(rr, &mut w, &mut compressor)?;
+        }
+        Ok(w.into_bytes())
+    }
+
+    /// Decode a message from wire format.
+    pub fn decode(bytes: &[u8]) -> Result<Self, FlowDnsError> {
+        let mut r = Reader::new(bytes);
+        let id = r.read_u16()?;
+        let flags = r.read_u16()?;
+        let header = DnsHeader {
+            id,
+            is_response: flags & 0x8000 != 0,
+            opcode: Opcode::from_u8(((flags >> 11) & 0x0F) as u8),
+            authoritative: flags & 0x0400 != 0,
+            truncated: flags & 0x0200 != 0,
+            recursion_desired: flags & 0x0100 != 0,
+            recursion_available: flags & 0x0080 != 0,
+            rcode: Rcode::from_u8((flags & 0x000F) as u8),
+        };
+        let qdcount = r.read_u16()? as usize;
+        let ancount = r.read_u16()? as usize;
+        let nscount = r.read_u16()? as usize;
+        let arcount = r.read_u16()? as usize;
+
+        // Sanity cap: a 64 KiB message cannot hold more than ~4096 minimal
+        // records; anything claiming more is malformed.
+        let total = qdcount + ancount + nscount + arcount;
+        if total > 8192 {
+            return Err(err(format!("implausible record count {total}")));
+        }
+
+        let mut questions = Vec::with_capacity(qdcount);
+        for _ in 0..qdcount {
+            let name = decode_name(&mut r)?;
+            let qtype = RecordType::from_u16(r.read_u16()?);
+            let qclass = DnsClass::from_u16(r.read_u16()?);
+            questions.push(Question {
+                name,
+                qtype,
+                qclass,
+            });
+        }
+        let mut answers = Vec::with_capacity(ancount);
+        for _ in 0..ancount {
+            answers.push(decode_rr(&mut r)?);
+        }
+        let mut authorities = Vec::with_capacity(nscount);
+        for _ in 0..nscount {
+            authorities.push(decode_rr(&mut r)?);
+        }
+        let mut additionals = Vec::with_capacity(arcount);
+        for _ in 0..arcount {
+            additionals.push(decode_rr(&mut r)?);
+        }
+
+        Ok(DnsMessage {
+            header,
+            questions,
+            answers,
+            authorities,
+            additionals,
+        })
+    }
+
+    /// The first question's name, if any (the "query" FlowDNS records).
+    pub fn query_name(&self) -> Option<&DomainName> {
+        self.questions.first().map(|q| &q.name)
+    }
+}
+
+impl fmt::Display for DnsMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "id={} qr={} rcode={:?} qd={} an={} ns={} ar={}",
+            self.header.id,
+            self.header.is_response,
+            self.header.rcode,
+            self.questions.len(),
+            self.answers.len(),
+            self.authorities.len(),
+            self.additionals.len()
+        )
+    }
+}
+
+fn encode_rr(
+    rr: &ResourceRecord,
+    w: &mut Writer,
+    compressor: &mut NameCompressor,
+) -> Result<(), FlowDnsError> {
+    compressor.encode(&rr.name, w)?;
+    w.put_u16(rr.rtype.to_u16());
+    w.put_u16(rr.class.to_u16());
+    w.put_u32(rr.ttl);
+    // Reserve RDLENGTH and back-patch after writing RDATA.
+    let len_pos = w.len();
+    w.put_u16(0);
+    let data_start = w.len();
+    match &rr.data {
+        RrData::A(addr) => w.put_bytes(&addr.octets()),
+        RrData::Aaaa(addr) => w.put_bytes(&addr.octets()),
+        RrData::Cname(n) | RrData::Ns(n) | RrData::Ptr(n) => {
+            // RDATA names in these types may be compressed.
+            compressor.encode(n, w)?;
+        }
+        RrData::Mx(pref, n) => {
+            w.put_u16(*pref);
+            compressor.encode(n, w)?;
+        }
+        RrData::Txt(strings) => {
+            for s in strings {
+                let bytes = s.as_bytes();
+                if bytes.len() > 255 {
+                    return Err(err("TXT character-string longer than 255 bytes"));
+                }
+                w.put_u8(bytes.len() as u8);
+                w.put_bytes(bytes);
+            }
+        }
+        RrData::Soa {
+            mname,
+            rname,
+            serial,
+            refresh,
+            retry,
+            expire,
+            minimum,
+        } => {
+            compressor.encode(mname, w)?;
+            compressor.encode(rname, w)?;
+            w.put_u32(*serial);
+            w.put_u32(*refresh);
+            w.put_u32(*retry);
+            w.put_u32(*expire);
+            w.put_u32(*minimum);
+        }
+        RrData::Opaque(bytes) => w.put_bytes(bytes),
+    }
+    let rdlen = w.len() - data_start;
+    if rdlen > u16::MAX as usize {
+        return Err(err("RDATA longer than 65535 bytes"));
+    }
+    w.patch_u16(len_pos, rdlen as u16);
+    Ok(())
+}
+
+fn decode_rr(r: &mut Reader<'_>) -> Result<ResourceRecord, FlowDnsError> {
+    let name = decode_name(r)?;
+    let rtype = RecordType::from_u16(r.read_u16()?);
+    let class = DnsClass::from_u16(r.read_u16()?);
+    let ttl = r.read_u32()?;
+    let rdlen = r.read_u16()? as usize;
+    let rdata_start = r.position();
+    if r.remaining() < rdlen {
+        return Err(err("RDATA runs past end of message"));
+    }
+    let data = match rtype {
+        RecordType::A => {
+            if rdlen != 4 {
+                return Err(err("A record RDATA must be 4 bytes"));
+            }
+            let b = r.read_bytes(4)?;
+            RrData::A(Ipv4Addr::new(b[0], b[1], b[2], b[3]))
+        }
+        RecordType::Aaaa => {
+            if rdlen != 16 {
+                return Err(err("AAAA record RDATA must be 16 bytes"));
+            }
+            let b = r.read_bytes(16)?;
+            let mut octets = [0u8; 16];
+            octets.copy_from_slice(b);
+            RrData::Aaaa(Ipv6Addr::from(octets))
+        }
+        RecordType::Cname => RrData::Cname(decode_name(r)?),
+        RecordType::Ns => RrData::Ns(decode_name(r)?),
+        RecordType::Ptr => RrData::Ptr(decode_name(r)?),
+        RecordType::Mx => {
+            let pref = r.read_u16()?;
+            RrData::Mx(pref, decode_name(r)?)
+        }
+        RecordType::Txt => {
+            let mut strings = Vec::new();
+            while r.position() < rdata_start + rdlen {
+                let len = r.read_u8()? as usize;
+                let bytes = r.read_bytes(len)?;
+                strings.push(String::from_utf8_lossy(bytes).into_owned());
+            }
+            RrData::Txt(strings)
+        }
+        RecordType::Soa => {
+            let mname = decode_name(r)?;
+            let rname = decode_name(r)?;
+            RrData::Soa {
+                mname,
+                rname,
+                serial: r.read_u32()?,
+                refresh: r.read_u32()?,
+                retry: r.read_u32()?,
+                expire: r.read_u32()?,
+                minimum: r.read_u32()?,
+            }
+        }
+        _ => RrData::Opaque(r.read_bytes(rdlen)?.to_vec()),
+    };
+    // Whatever we parsed, the cursor must land exactly at the end of the
+    // declared RDATA; otherwise the record length was inconsistent.
+    let consumed = r.position() - rdata_start;
+    if consumed != rdlen {
+        return Err(err(format!(
+            "RDATA length mismatch: declared {rdlen}, consumed {consumed}"
+        )));
+    }
+    Ok(ResourceRecord {
+        name,
+        rtype,
+        class,
+        ttl,
+        data,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(name: &str) -> Question {
+        Question {
+            name: DomainName::literal(name),
+            qtype: RecordType::A,
+            qclass: DnsClass::In,
+        }
+    }
+
+    #[test]
+    fn header_flags_round_trip() {
+        let msg = DnsMessage {
+            header: DnsHeader {
+                id: 0xBEEF,
+                is_response: true,
+                opcode: Opcode::Query,
+                authoritative: true,
+                truncated: false,
+                recursion_desired: true,
+                recursion_available: true,
+                rcode: Rcode::NxDomain,
+            },
+            questions: vec![q("example.com")],
+            ..DnsMessage::default()
+        };
+        let decoded = DnsMessage::decode(&msg.encode().unwrap()).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn a_response_round_trip() {
+        let msg = DnsMessage::response(
+            42,
+            q("video.example.com"),
+            vec![ResourceRecord::a(
+                DomainName::literal("video.example.com"),
+                Ipv4Addr::new(203, 0, 113, 10),
+                300,
+            )],
+        );
+        let bytes = msg.encode().unwrap();
+        let decoded = DnsMessage::decode(&bytes).unwrap();
+        assert_eq!(decoded, msg);
+        assert_eq!(decoded.answers[0].data.ip(), Some(IpAddr::V4(Ipv4Addr::new(203, 0, 113, 10))));
+    }
+
+    #[test]
+    fn cname_chain_response_round_trip() {
+        let owner = DomainName::literal("www.shop.example");
+        let cdn1 = DomainName::literal("shop.cdn.example.net");
+        let cdn2 = DomainName::literal("edge7.cdn.example.net");
+        let msg = DnsMessage::response(
+            7,
+            q("www.shop.example"),
+            vec![
+                ResourceRecord::cname(owner.clone(), cdn1.clone(), 600),
+                ResourceRecord::cname(cdn1.clone(), cdn2.clone(), 600),
+                ResourceRecord::a(cdn2.clone(), Ipv4Addr::new(198, 51, 100, 77), 60),
+            ],
+        );
+        let bytes = msg.encode().unwrap();
+        let decoded = DnsMessage::decode(&bytes).unwrap();
+        assert_eq!(decoded.answers.len(), 3);
+        assert_eq!(decoded.answers[0].data.target_name(), Some(&cdn1));
+        assert_eq!(decoded.answers[1].data.target_name(), Some(&cdn2));
+        // Compression must have made the encoding smaller than the naive
+        // sum of the textual names.
+        let naive: usize = [&owner, &cdn1, &cdn1, &cdn2, &cdn2]
+            .iter()
+            .map(|n| n.as_str().len() + 2)
+            .sum();
+        assert!(bytes.len() < 12 + naive + 5 * 10 + 4 + 20);
+    }
+
+    #[test]
+    fn aaaa_mx_txt_soa_round_trip() {
+        let name = DomainName::literal("example.org");
+        let msg = DnsMessage::response(
+            9,
+            q("example.org"),
+            vec![
+                ResourceRecord::aaaa(name.clone(), "2001:db8::1".parse().unwrap(), 3600),
+                ResourceRecord {
+                    name: name.clone(),
+                    rtype: RecordType::Mx,
+                    class: DnsClass::In,
+                    ttl: 7200,
+                    data: RrData::Mx(10, DomainName::literal("mail.example.org")),
+                },
+                ResourceRecord {
+                    name: name.clone(),
+                    rtype: RecordType::Txt,
+                    class: DnsClass::In,
+                    ttl: 60,
+                    data: RrData::Txt(vec!["v=spf1 -all".into(), "second".into()]),
+                },
+                ResourceRecord {
+                    name: name.clone(),
+                    rtype: RecordType::Soa,
+                    class: DnsClass::In,
+                    ttl: 86400,
+                    data: RrData::Soa {
+                        mname: DomainName::literal("ns1.example.org"),
+                        rname: DomainName::literal("hostmaster.example.org"),
+                        serial: 2022120601,
+                        refresh: 7200,
+                        retry: 3600,
+                        expire: 1209600,
+                        minimum: 300,
+                    },
+                },
+            ],
+        );
+        let decoded = DnsMessage::decode(&msg.encode().unwrap()).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn opaque_rdata_round_trip() {
+        let msg = DnsMessage::response(
+            11,
+            q("example.com"),
+            vec![ResourceRecord {
+                name: DomainName::literal("example.com"),
+                rtype: RecordType::Other(65),
+                class: DnsClass::In,
+                ttl: 30,
+                data: RrData::Opaque(vec![1, 2, 3, 4, 5]),
+            }],
+        );
+        let decoded = DnsMessage::decode(&msg.encode().unwrap()).unwrap();
+        assert_eq!(decoded.answers[0].data, RrData::Opaque(vec![1, 2, 3, 4, 5]));
+    }
+
+    #[test]
+    fn truncated_message_is_an_error() {
+        let msg = DnsMessage::response(
+            1,
+            q("example.com"),
+            vec![ResourceRecord::a(
+                DomainName::literal("example.com"),
+                Ipv4Addr::new(1, 2, 3, 4),
+                60,
+            )],
+        );
+        let bytes = msg.encode().unwrap();
+        for cut in [1, 5, 11, bytes.len() - 1] {
+            assert!(
+                DnsMessage::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_rdata_lengths_are_rejected() {
+        // Hand-craft an A record with RDLENGTH 3.
+        let mut w = Writer::new();
+        w.put_u16(1); // id
+        w.put_u16(0x8180); // response flags
+        w.put_u16(0); // qd
+        w.put_u16(1); // an
+        w.put_u16(0); // ns
+        w.put_u16(0); // ar
+        crate::name::encode_name(&DomainName::literal("x.com"), &mut w).unwrap();
+        w.put_u16(1); // A
+        w.put_u16(1); // IN
+        w.put_u32(60);
+        w.put_u16(3); // bogus rdlength
+        w.put_bytes(&[1, 2, 3]);
+        assert!(DnsMessage::decode(&w.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn implausible_record_counts_are_rejected() {
+        let mut w = Writer::new();
+        w.put_u16(1);
+        w.put_u16(0x8180);
+        w.put_u16(u16::MAX);
+        w.put_u16(u16::MAX);
+        w.put_u16(0);
+        w.put_u16(0);
+        assert!(DnsMessage::decode(&w.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn query_builder_and_query_name() {
+        let msg = DnsMessage::query(99, DomainName::literal("netflix.com"), RecordType::Aaaa);
+        assert!(!msg.header.is_response);
+        assert_eq!(msg.query_name(), Some(&DomainName::literal("netflix.com")));
+        let decoded = DnsMessage::decode(&msg.encode().unwrap()).unwrap();
+        assert_eq!(decoded, msg);
+    }
+}

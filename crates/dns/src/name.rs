@@ -1,0 +1,293 @@
+//! Domain name wire encoding and decoding (RFC 1035 §3.1 and §4.1.4).
+//!
+//! Supports message compression: names may end in a 2-byte pointer to a
+//! previous occurrence. The decoder follows pointers with a hop limit so
+//! that malicious pointer loops terminate, and enforces the 255-byte name
+//! and 63-byte label limits. The encoder can optionally compress against
+//! previously written names via [`NameCompressor`].
+
+use std::collections::HashMap;
+
+use flowdns_types::{DomainName, FlowDnsError};
+
+use crate::wire::{Reader, Writer};
+
+/// Maximum number of compression-pointer hops the decoder will follow.
+const MAX_POINTER_HOPS: usize = 32;
+/// Maximum decoded name length (RFC 1035).
+const MAX_NAME_WIRE_LEN: usize = 255;
+
+fn err(msg: impl Into<String>) -> FlowDnsError {
+    FlowDnsError::DnsParse(msg.into())
+}
+
+/// Decode a (possibly compressed) domain name at the reader's current
+/// position. On success the reader is left positioned after the name as it
+/// appears in the message (i.e. after the first pointer, if any).
+pub fn decode_name(reader: &mut Reader<'_>) -> Result<DomainName, FlowDnsError> {
+    let whole = reader.whole();
+    let mut labels: Vec<String> = Vec::new();
+    let mut total_len = 0usize;
+    let mut hops = 0usize;
+    // Position to restore once we have followed the first pointer.
+    let mut resume_pos: Option<usize> = None;
+    let mut pos = reader.position();
+
+    loop {
+        let len_byte = *whole.get(pos).ok_or_else(|| err("name runs past end"))?;
+        match len_byte {
+            0 => {
+                pos += 1;
+                break;
+            }
+            l if l & 0xC0 == 0xC0 => {
+                // Compression pointer: 14-bit offset.
+                let second = *whole
+                    .get(pos + 1)
+                    .ok_or_else(|| err("truncated compression pointer"))?;
+                let target = (((l & 0x3F) as usize) << 8) | second as usize;
+                if resume_pos.is_none() {
+                    resume_pos = Some(pos + 2);
+                }
+                hops += 1;
+                if hops > MAX_POINTER_HOPS {
+                    return Err(err("compression pointer loop"));
+                }
+                if target >= pos {
+                    // RFC allows only backwards pointers; forward pointers
+                    // are a sign of a malformed or malicious message.
+                    return Err(err("forward compression pointer"));
+                }
+                pos = target;
+            }
+            l if l & 0xC0 != 0 => {
+                return Err(err(format!("unsupported label type 0x{:02x}", l & 0xC0)));
+            }
+            l => {
+                let l = l as usize;
+                if l > 63 {
+                    return Err(err("label longer than 63 bytes"));
+                }
+                let start = pos + 1;
+                let end = start + l;
+                if end > whole.len() {
+                    return Err(err("label runs past end"));
+                }
+                total_len += l + 1;
+                if total_len > MAX_NAME_WIRE_LEN {
+                    return Err(err("name longer than 255 bytes"));
+                }
+                // RFC 1035 does not restrict label bytes; we keep them as
+                // lossy UTF-8 so malformed names survive for analysis.
+                labels.push(String::from_utf8_lossy(&whole[start..end]).into_owned());
+                pos = end;
+            }
+        }
+    }
+
+    let after = resume_pos.unwrap_or(pos);
+    reader.seek(after)?;
+
+    if labels.is_empty() {
+        // The root name "." — represent it as a single dot domain.
+        return DomainName::parse(".").or_else(|_| DomainName::parse("root").map_err(|e| err(e.to_string())));
+    }
+    DomainName::parse(&labels.join(".")).map_err(|e| err(e.to_string()))
+}
+
+/// Encode a domain name without compression.
+pub fn encode_name(name: &DomainName, writer: &mut Writer) -> Result<(), FlowDnsError> {
+    for label in name.labels() {
+        let bytes = label.as_bytes();
+        if bytes.is_empty() {
+            return Err(err("empty label cannot be encoded"));
+        }
+        if bytes.len() > 63 {
+            return Err(err(format!("label '{label}' longer than 63 bytes")));
+        }
+        writer.put_u8(bytes.len() as u8);
+        writer.put_bytes(bytes);
+    }
+    writer.put_u8(0);
+    Ok(())
+}
+
+/// Encoder state for RFC 1035 message compression.
+///
+/// Remembers the offset of every name suffix written so far and emits a
+/// pointer when a suffix reappears, exactly as real DNS servers do. Using
+/// the compressor is optional — FlowDNS's own framing does not need it —
+/// but round-tripping compressed messages is required to parse real
+/// resolver responses.
+#[derive(Debug, Default)]
+pub struct NameCompressor {
+    /// Map from name suffix (textual, normalized) to message offset.
+    offsets: HashMap<String, u16>,
+}
+
+impl NameCompressor {
+    /// A fresh compressor for one message.
+    pub fn new() -> Self {
+        NameCompressor::default()
+    }
+
+    /// Encode `name` at the writer's current position, compressing against
+    /// previously encoded names where possible.
+    pub fn encode(&mut self, name: &DomainName, writer: &mut Writer) -> Result<(), FlowDnsError> {
+        let labels: Vec<&str> = name.labels().collect();
+        for i in 0..labels.len() {
+            let suffix = labels[i..].join(".");
+            if let Some(&offset) = self.offsets.get(&suffix) {
+                // Emit a pointer to the previous occurrence and stop.
+                writer.put_u16(0xC000 | offset);
+                return Ok(());
+            }
+            // Record this suffix's offset if it is still pointer-addressable.
+            let here = writer.len();
+            if here <= 0x3FFF {
+                self.offsets.insert(suffix, here as u16);
+            }
+            let bytes = labels[i].as_bytes();
+            if bytes.is_empty() {
+                return Err(err("empty label cannot be encoded"));
+            }
+            if bytes.len() > 63 {
+                return Err(err(format!("label '{}' longer than 63 bytes", labels[i])));
+            }
+            writer.put_u8(bytes.len() as u8);
+            writer.put_bytes(bytes);
+        }
+        writer.put_u8(0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode_at(bytes: &[u8], pos: usize) -> Result<(DomainName, usize), FlowDnsError> {
+        let mut r = Reader::new(bytes);
+        r.seek(pos).unwrap();
+        let name = decode_name(&mut r)?;
+        Ok((name, r.position()))
+    }
+
+    #[test]
+    fn encode_decode_simple_name() {
+        let name = DomainName::literal("www.example.com");
+        let mut w = Writer::new();
+        encode_name(&name, &mut w).unwrap();
+        let bytes = w.into_bytes();
+        assert_eq!(bytes[0], 3);
+        assert_eq!(&bytes[1..4], b"www");
+        assert_eq!(*bytes.last().unwrap(), 0);
+        let (decoded, consumed) = decode_at(&bytes, 0).unwrap();
+        assert_eq!(decoded, name);
+        assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn decode_compressed_pointer() {
+        // "example.com" at offset 0, then "www" + pointer to offset 0.
+        let mut w = Writer::new();
+        encode_name(&DomainName::literal("example.com"), &mut w).unwrap();
+        let ptr_start = w.len();
+        w.put_u8(3);
+        w.put_bytes(b"www");
+        w.put_u16(0xC000);
+        let bytes = w.into_bytes();
+        let (decoded, consumed) = decode_at(&bytes, ptr_start).unwrap();
+        assert_eq!(decoded, DomainName::literal("www.example.com"));
+        assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn compressor_emits_pointers_and_decodes_back() {
+        let mut w = Writer::new();
+        let mut c = NameCompressor::new();
+        let a = DomainName::literal("cdn.video.example.com");
+        let b = DomainName::literal("img.video.example.com");
+        let plain = DomainName::literal("other.net");
+        c.encode(&a, &mut w).unwrap();
+        let b_start = w.len();
+        c.encode(&b, &mut w).unwrap();
+        let plain_start = w.len();
+        c.encode(&plain, &mut w).unwrap();
+        let bytes = w.into_bytes();
+
+        // The second name must be shorter on the wire than an uncompressed
+        // encoding (4+1 label bytes + 2 pointer bytes < full encoding).
+        assert!(plain_start - b_start < b.as_str().len() + 2);
+
+        let (da, _) = decode_at(&bytes, 0).unwrap();
+        let (db, _) = decode_at(&bytes, b_start).unwrap();
+        let (dp, _) = decode_at(&bytes, plain_start).unwrap();
+        assert_eq!(da, a);
+        assert_eq!(db, b);
+        assert_eq!(dp, plain);
+    }
+
+    #[test]
+    fn pointer_loop_is_rejected() {
+        // A name that is just a pointer to itself.
+        let bytes = [0xC0u8, 0x00];
+        let mut r = Reader::new(&bytes);
+        // pointer target 0 == its own position → "forward pointer" guard
+        assert!(decode_name(&mut r).is_err());
+    }
+
+    #[test]
+    fn mutual_pointer_loop_is_rejected() {
+        // offset 0: pointer to 2; offset 2: pointer to 0 — a 2-cycle that
+        // the backwards-only rule breaks immediately.
+        let bytes = [0xC0u8, 0x02, 0xC0, 0x00];
+        let mut r = Reader::new(&bytes);
+        assert!(decode_name(&mut r).is_err());
+    }
+
+    #[test]
+    fn overlong_label_is_rejected_on_encode() {
+        let long = "a".repeat(64);
+        let name = DomainName::literal(&format!("{long}.com"));
+        let mut w = Writer::new();
+        assert!(encode_name(&name, &mut w).is_err());
+        let mut c = NameCompressor::new();
+        let mut w2 = Writer::new();
+        assert!(c.encode(&name, &mut w2).is_err());
+    }
+
+    #[test]
+    fn truncated_name_is_rejected_on_decode() {
+        // Label claims 5 bytes but only 2 present.
+        let bytes = [5u8, b'a', b'b'];
+        let mut r = Reader::new(&bytes);
+        assert!(decode_name(&mut r).is_err());
+        // Missing terminating zero byte.
+        let bytes = [1u8, b'a'];
+        let mut r = Reader::new(&bytes);
+        assert!(decode_name(&mut r).is_err());
+    }
+
+    #[test]
+    fn root_name_decodes() {
+        let bytes = [0u8];
+        let mut r = Reader::new(&bytes);
+        // The root name is unusual; we only require that it does not error
+        // and consumes exactly one byte.
+        let _ = decode_name(&mut r).unwrap();
+        assert_eq!(r.position(), 1);
+    }
+
+    #[test]
+    fn underscore_labels_survive_round_trip() {
+        // Malformed-but-real names like _dmarc.example.com must round-trip
+        // so the Section 5 analysis can observe them.
+        let name = DomainName::literal("_dmarc.example.com");
+        let mut w = Writer::new();
+        encode_name(&name, &mut w).unwrap();
+        let bytes = w.into_bytes();
+        let (decoded, _) = decode_at(&bytes, 0).unwrap();
+        assert_eq!(decoded, name);
+    }
+}

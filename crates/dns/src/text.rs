@@ -1,0 +1,146 @@
+//! Text (TSV) representation of DNS stream records.
+//!
+//! Useful for replaying captured feeds from flat files and for debugging.
+//! One record per line:
+//!
+//! ```text
+//! ts_micros \t query \t rtype \t ttl \t answer
+//! ```
+//!
+//! where `answer` is an IP address for A/AAAA records and a domain name
+//! for CNAME records.
+
+use flowdns_types::{DnsAnswer, DnsRecord, DomainName, FlowDnsError, RecordType, SimTime};
+
+fn err(msg: impl Into<String>) -> FlowDnsError {
+    FlowDnsError::DnsParse(msg.into())
+}
+
+/// Render a record as one TSV line (no trailing newline).
+pub fn record_to_line(record: &DnsRecord) -> String {
+    format!(
+        "{}\t{}\t{}\t{}\t{}",
+        record.ts.as_micros(),
+        record.query,
+        record.rtype,
+        record.ttl,
+        record.answer
+    )
+}
+
+/// Parse one TSV line into a record.
+pub fn parse_record_line(line: &str) -> Result<DnsRecord, FlowDnsError> {
+    let fields: Vec<&str> = line.trim_end().split('\t').collect();
+    if fields.len() != 5 {
+        return Err(err(format!(
+            "expected 5 tab-separated fields, got {}",
+            fields.len()
+        )));
+    }
+    let ts = SimTime::from_micros(
+        fields[0]
+            .parse::<u64>()
+            .map_err(|_| err("timestamp is not an integer"))?,
+    );
+    let query = DomainName::parse(fields[1]).map_err(|e| err(e.to_string()))?;
+    let rtype = parse_rtype(fields[2])?;
+    let ttl = fields[3]
+        .parse::<u32>()
+        .map_err(|_| err("ttl is not an integer"))?;
+    let answer = match rtype {
+        RecordType::A | RecordType::Aaaa => DnsAnswer::Ip(
+            fields[4]
+                .parse()
+                .map_err(|_| err("answer is not an IP address"))?,
+        ),
+        RecordType::Cname => {
+            DnsAnswer::Name(DomainName::parse(fields[4]).map_err(|e| err(e.to_string()))?)
+        }
+        other => return Err(err(format!("unsupported record type {other} in text feed"))),
+    };
+    Ok(DnsRecord {
+        ts,
+        query,
+        rtype,
+        ttl,
+        answer,
+    })
+}
+
+fn parse_rtype(s: &str) -> Result<RecordType, FlowDnsError> {
+    match s.to_ascii_uppercase().as_str() {
+        "A" => Ok(RecordType::A),
+        "AAAA" => Ok(RecordType::Aaaa),
+        "CNAME" => Ok(RecordType::Cname),
+        "NS" => Ok(RecordType::Ns),
+        "TXT" => Ok(RecordType::Txt),
+        "SOA" => Ok(RecordType::Soa),
+        "PTR" => Ok(RecordType::Ptr),
+        "MX" => Ok(RecordType::Mx),
+        other => other
+            .strip_prefix("TYPE")
+            .and_then(|n| n.parse::<u16>().ok())
+            .map(RecordType::from_u16)
+            .ok_or_else(|| err(format!("unknown record type '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn round_trip_a_record() {
+        let r = DnsRecord::address(
+            SimTime::from_secs(7),
+            DomainName::literal("cdn.example.net"),
+            Ipv4Addr::new(198, 51, 100, 1).into(),
+            300,
+        );
+        let line = record_to_line(&r);
+        assert_eq!(parse_record_line(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn round_trip_cname_record() {
+        let r = DnsRecord::cname(
+            SimTime::from_millis(1234),
+            DomainName::literal("www.example.com"),
+            DomainName::literal("example.cdn.net"),
+            7200,
+        );
+        let line = record_to_line(&r);
+        assert_eq!(parse_record_line(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_record_line("").is_err());
+        assert!(parse_record_line("1\ttwo\tthree").is_err());
+        assert!(parse_record_line("x\texample.com\tA\t60\t1.2.3.4").is_err());
+        assert!(parse_record_line("1\texample.com\tA\tsoon\t1.2.3.4").is_err());
+        assert!(parse_record_line("1\texample.com\tA\t60\tnot-an-ip").is_err());
+        assert!(parse_record_line("1\texample.com\tTXT\t60\thello").is_err());
+        assert!(parse_record_line("1\texample.com\tBOGUS\t60\t1.2.3.4").is_err());
+    }
+
+    #[test]
+    fn parse_accepts_numeric_types_for_known_records() {
+        let line = "5\texample.com\tTYPE1\t60\t1.2.3.4";
+        let r = parse_record_line(line).unwrap();
+        assert_eq!(r.rtype, RecordType::A);
+    }
+
+    #[test]
+    fn trailing_newline_is_tolerated() {
+        let r = DnsRecord::address(
+            SimTime::ZERO,
+            DomainName::literal("a.example"),
+            Ipv4Addr::new(10, 0, 0, 1).into(),
+            60,
+        );
+        let line = format!("{}\n", record_to_line(&r));
+        assert_eq!(parse_record_line(&line).unwrap(), r);
+    }
+}

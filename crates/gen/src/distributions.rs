@@ -1,0 +1,166 @@
+//! Calibrated samplers for the workload generator.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// TTL sampler calibrated to Figure 8 of the paper.
+///
+/// The paper reports, per record type, roughly: 70% of records have TTL
+/// below 300 s; 99% of A/AAAA records are below 3600 s; 99% of CNAME
+/// records are below 7200 s; a small tail is larger still. We model this
+/// with a piecewise bucket distribution.
+#[derive(Debug, Clone, Copy)]
+pub struct TtlDist {
+    /// Probability of a "short" TTL (60–300 s).
+    pub p_short: f64,
+    /// Probability of a "medium" TTL (300 s to just under the clear-up
+    /// interval).
+    pub p_medium: f64,
+    /// Upper bound of the medium bucket (the clear-up interval).
+    pub medium_cap: u32,
+    /// Upper bound of the long tail.
+    pub long_cap: u32,
+}
+
+impl TtlDist {
+    /// The A/AAAA TTL distribution (99% < 3600 s).
+    pub fn address() -> Self {
+        TtlDist {
+            p_short: 0.70,
+            p_medium: 0.29,
+            medium_cap: 3_600,
+            long_cap: 86_400,
+        }
+    }
+
+    /// The CNAME TTL distribution (99% < 7200 s).
+    pub fn cname() -> Self {
+        TtlDist {
+            p_short: 0.70,
+            p_medium: 0.29,
+            medium_cap: 7_200,
+            long_cap: 86_400,
+        }
+    }
+
+    /// Sample one TTL value in seconds.
+    pub fn sample(&self, rng: &mut StdRng) -> u32 {
+        let p: f64 = rng.gen();
+        if p < self.p_short {
+            rng.gen_range(30..300)
+        } else if p < self.p_short + self.p_medium {
+            rng.gen_range(300..self.medium_cap)
+        } else {
+            rng.gen_range(self.medium_cap..self.long_cap)
+        }
+    }
+}
+
+/// CNAME chain length sampler calibrated to Figure 6: most chains have 0–2
+/// hops, more than 99% are resolvable within 6 look-ups, with a tiny tail
+/// beyond that.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChainLengthDist;
+
+impl ChainLengthDist {
+    /// Sample the number of CNAME hops between the customer-facing name
+    /// and the A/AAAA record.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let p: f64 = rng.gen();
+        match p {
+            p if p < 0.35 => 0,
+            p if p < 0.70 => 1,
+            p if p < 0.88 => 2,
+            p if p < 0.95 => 3,
+            p if p < 0.982 => 4,
+            p if p < 0.993 => 5,
+            p if p < 0.998 => 6,
+            p if p < 0.9993 => 7,
+            _ => rng.gen_range(8..12),
+        }
+    }
+}
+
+/// The diurnal traffic profile of the paper's figures: a low during the
+/// night, rising through the day, and a peak in the evening.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiurnalProfile;
+
+impl DiurnalProfile {
+    /// A multiplier in `[0.3, 1.0]` for the given hour of day, shaped like
+    /// the traffic-volume curves in Figure 2 (minimum around 04:00, peak
+    /// around 21:00).
+    pub fn multiplier(&self, hour_of_day: u64) -> f64 {
+        // Piecewise-smooth curve through (4, 0.3) and (21, 1.0).
+        let h = (hour_of_day % 24) as f64;
+        let phase = (h - 4.0).rem_euclid(24.0) / 17.0; // 0 at 04:00, 1 at 21:00
+        let rising = if phase <= 1.0 {
+            // smoothstep from trough to peak between 04:00 and 21:00
+            phase * phase * (3.0 - 2.0 * phase)
+        } else {
+            // 21:00 → 04:00: fall back towards the trough
+            let fall = (phase - 1.0) / (7.0 / 17.0);
+            1.0 - fall * fall * (3.0 - 2.0 * fall)
+        };
+        0.3 + 0.7 * rising.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn address_ttls_match_figure8_quantiles() {
+        let dist = TtlDist::address();
+        let mut r = rng();
+        let samples: Vec<u32> = (0..50_000).map(|_| dist.sample(&mut r)).collect();
+        let below_300 = samples.iter().filter(|t| **t < 300).count() as f64 / samples.len() as f64;
+        let below_3600 = samples.iter().filter(|t| **t < 3_600).count() as f64 / samples.len() as f64;
+        assert!((below_300 - 0.70).abs() < 0.02, "70% below 300s, got {below_300}");
+        assert!(below_3600 > 0.985, "99% below 3600s, got {below_3600}");
+        assert!(samples.iter().any(|t| *t >= 3_600), "a long tail exists");
+    }
+
+    #[test]
+    fn cname_ttls_match_figure8_quantiles() {
+        let dist = TtlDist::cname();
+        let mut r = rng();
+        let samples: Vec<u32> = (0..50_000).map(|_| dist.sample(&mut r)).collect();
+        let below_7200 = samples.iter().filter(|t| **t < 7_200).count() as f64 / samples.len() as f64;
+        assert!(below_7200 > 0.985, "99% below 7200s, got {below_7200}");
+    }
+
+    #[test]
+    fn chain_lengths_match_figure6() {
+        let dist = ChainLengthDist;
+        let mut r = rng();
+        let samples: Vec<usize> = (0..50_000).map(|_| dist.sample(&mut r)).collect();
+        let within_6 = samples.iter().filter(|c| **c <= 6).count() as f64 / samples.len() as f64;
+        assert!(within_6 > 0.99, ">99% within 6 hops, got {within_6}");
+        assert!(samples.iter().any(|c| *c > 6), "a tail beyond 6 exists");
+        let zero_or_one = samples.iter().filter(|c| **c <= 1).count() as f64 / samples.len() as f64;
+        assert!(zero_or_one > 0.6, "most chains are short");
+    }
+
+    #[test]
+    fn diurnal_profile_peaks_in_the_evening() {
+        let p = DiurnalProfile;
+        let night = p.multiplier(4);
+        let evening = p.multiplier(21);
+        let noon = p.multiplier(12);
+        assert!(night < noon && noon < evening, "{night} {noon} {evening}");
+        assert!((night - 0.3).abs() < 0.05);
+        assert!((evening - 1.0).abs() < 0.05);
+        // Every hour stays within the normalized band.
+        for h in 0..24 {
+            let m = p.multiplier(h);
+            assert!((0.25..=1.01).contains(&m), "hour {h}: {m}");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # flowdns-gen
+//!
+//! Synthetic ISP workload generation for the FlowDNS reproduction.
+//!
+//! The paper evaluates FlowDNS on proprietary resolver and NetFlow feeds
+//! of a large European ISP. This crate replaces those feeds with a
+//! generator whose statistical properties are calibrated to everything the
+//! paper publishes about the real data:
+//!
+//! * TTL distribution of A/AAAA and CNAME records (Figure 8: ~70% below
+//!   300 s, 99% of A/AAAA below 3600 s, 99% of CNAME below 7200 s),
+//! * CNAME chain length distribution (Figure 6: >99% resolvable within 6
+//!   look-ups),
+//! * names-per-IP and IPs-per-name cardinalities (Figure 9 / A.7: 88% of
+//!   IPs map to a single name in 300 s, 35% of names map to >1 IP),
+//! * DNS coverage (Section 4: 1 in 20 DNS queries goes to a public
+//!   resolver, so 95% of DNS-related traffic is visible),
+//! * diurnal traffic volume with evening peaks (Figures 2 and 4),
+//! * CDN-dominated traffic (>85% of bytes from CDN-hosted services),
+//! * malicious/malformed domain traffic used by the Section 5 use cases
+//!   (spam, botnet C&C, malware, phishing, abused redirectors, RFC 1035
+//!   violations dominated by underscores).
+//!
+//! Modules:
+//!
+//! * [`distributions`] — the calibrated samplers,
+//! * [`domains`] — the domain/service/CDN universe,
+//! * [`workload`] — the main day/week workload generator,
+//! * [`resolvers`] — public resolver list and the coverage sample,
+//! * [`capture`] — the two-website capture of the accuracy experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod distributions;
+pub mod domains;
+pub mod resolvers;
+pub mod workload;
+
+pub use capture::{AccuracyCapture, AccuracyScenario};
+pub use distributions::{ChainLengthDist, DiurnalProfile, TtlDist};
+pub use domains::{DomainCategory, DomainUniverse, ServiceSpec, UniverseConfig};
+pub use resolvers::{CoverageSample, PublicResolverList};
+pub use workload::{Workload, WorkloadConfig};

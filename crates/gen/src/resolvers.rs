@@ -1,0 +1,216 @@
+//! Public resolver list and coverage sampling.
+//!
+//! Section 4's coverage analysis takes a one-hour NetFlow sample, filters
+//! DNS and DoT traffic (ports 53 and 853), and checks each destination
+//! against a public-resolver list: 1 in 20 DNS packets goes to a public
+//! resolver, so the ISP resolver feed covers 95% of DNS activity.
+//! [`PublicResolverList`] is the synthetic stand-in for the
+//! public-dns.info list the paper uses.
+
+use std::collections::HashSet;
+use std::net::{IpAddr, Ipv4Addr};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use flowdns_types::FlowRecord;
+
+/// A list of well-known public resolver addresses plus the ISP's own
+/// resolver addresses.
+#[derive(Debug, Clone)]
+pub struct PublicResolverList {
+    public: HashSet<IpAddr>,
+    public_ordered: Vec<IpAddr>,
+    isp: Vec<IpAddr>,
+}
+
+impl Default for PublicResolverList {
+    fn default() -> Self {
+        let public_ordered: Vec<IpAddr> = vec![
+            IpAddr::V4(Ipv4Addr::new(1, 1, 1, 1)),
+            IpAddr::V4(Ipv4Addr::new(1, 0, 0, 1)),
+            IpAddr::V4(Ipv4Addr::new(8, 8, 8, 8)),
+            IpAddr::V4(Ipv4Addr::new(8, 8, 4, 4)),
+            IpAddr::V4(Ipv4Addr::new(9, 9, 9, 9)),
+            IpAddr::V4(Ipv4Addr::new(149, 112, 112, 112)),
+            IpAddr::V4(Ipv4Addr::new(208, 67, 222, 222)),
+            IpAddr::V4(Ipv4Addr::new(208, 67, 220, 220)),
+            IpAddr::V4(Ipv4Addr::new(94, 140, 14, 14)),
+            IpAddr::V4(Ipv4Addr::new(76, 76, 2, 0)),
+            "2606:4700:4700::1111".parse().expect("valid address"),
+            "2001:4860:4860::8888".parse().expect("valid address"),
+        ];
+        let isp = vec![
+            IpAddr::V4(Ipv4Addr::new(10, 255, 0, 53)),
+            IpAddr::V4(Ipv4Addr::new(10, 255, 1, 53)),
+            IpAddr::V4(Ipv4Addr::new(10, 255, 2, 53)),
+        ];
+        PublicResolverList {
+            public: public_ordered.iter().copied().collect(),
+            public_ordered,
+            isp,
+        }
+    }
+}
+
+impl PublicResolverList {
+    /// Is `ip` a known public resolver?
+    pub fn is_public(&self, ip: &IpAddr) -> bool {
+        self.public.contains(ip)
+    }
+
+    /// Is `ip` one of the ISP's own resolvers?
+    pub fn is_isp(&self, ip: &IpAddr) -> bool {
+        self.isp.contains(ip)
+    }
+
+    /// Number of public resolvers on the list.
+    pub fn len(&self) -> usize {
+        self.public.len()
+    }
+
+    /// Is the list empty?
+    pub fn is_empty(&self) -> bool {
+        self.public.is_empty()
+    }
+
+    /// Pick a public resolver.
+    pub fn pick(&self, rng: &mut StdRng) -> IpAddr {
+        self.public_ordered[rng.gen_range(0..self.public_ordered.len())]
+    }
+
+    /// Pick one of the ISP's resolvers.
+    pub fn isp_resolver(&self, rng: &mut StdRng) -> IpAddr {
+        self.isp[rng.gen_range(0..self.isp.len())]
+    }
+}
+
+/// The result of the coverage analysis over a flow sample.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoverageSample {
+    /// Flows on ports 53/853 towards the ISP's resolvers.
+    pub to_isp_resolvers: u64,
+    /// Flows on ports 53/853 towards public resolvers.
+    pub to_public_resolvers: u64,
+    /// Flows on ports 53/853 towards anything else (forwarders, etc.).
+    pub to_other: u64,
+}
+
+impl CoverageSample {
+    /// Analyze a flow sample: filter DNS/DoT traffic and classify each
+    /// flow's destination against the resolver list.
+    pub fn analyze<'a>(
+        flows: impl IntoIterator<Item = &'a FlowRecord>,
+        resolvers: &PublicResolverList,
+    ) -> Self {
+        let mut sample = CoverageSample::default();
+        for flow in flows {
+            if !flow.is_dns_or_dot() {
+                continue;
+            }
+            if resolvers.is_public(&flow.key.dst_ip) {
+                sample.to_public_resolvers += 1;
+            } else if resolvers.is_isp(&flow.key.dst_ip) {
+                sample.to_isp_resolvers += 1;
+            } else {
+                sample.to_other += 1;
+            }
+        }
+        sample
+    }
+
+    /// Total DNS/DoT flows examined.
+    pub fn total(&self) -> u64 {
+        self.to_isp_resolvers + self.to_public_resolvers + self.to_other
+    }
+
+    /// Share of DNS traffic going to public resolvers (0.0 when empty).
+    pub fn public_share(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.to_public_resolvers as f64 / self.total() as f64
+        }
+    }
+
+    /// The DNS coverage of the ISP resolver feed implied by the sample
+    /// (the paper: 95%).
+    pub fn coverage(&self) -> f64 {
+        1.0 - self.public_share()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowdns_types::SimTime;
+    use rand::SeedableRng;
+
+    #[test]
+    fn list_contains_the_usual_suspects() {
+        let list = PublicResolverList::default();
+        assert!(list.is_public(&"1.1.1.1".parse().unwrap()));
+        assert!(list.is_public(&"8.8.8.8".parse().unwrap()));
+        assert!(list.is_public(&"9.9.9.9".parse().unwrap()));
+        assert!(!list.is_public(&"10.255.0.53".parse().unwrap()));
+        assert!(list.is_isp(&"10.255.0.53".parse().unwrap()));
+        assert!(!list.is_empty());
+        assert!(list.len() >= 10);
+    }
+
+    #[test]
+    fn picks_come_from_the_right_sets() {
+        let list = PublicResolverList::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(list.is_public(&list.pick(&mut rng)));
+            assert!(list.is_isp(&list.isp_resolver(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn coverage_analysis_counts_only_dns_ports() {
+        let list = PublicResolverList::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut flows = Vec::new();
+        // 19 flows to the ISP resolver, 1 to a public resolver, 10 web flows.
+        for i in 0..19 {
+            let mut f = FlowRecord::inbound(
+                SimTime::from_secs(i),
+                "10.1.2.3".parse().unwrap(),
+                list.isp_resolver(&mut rng),
+                120,
+            );
+            f.key.dst_port = 53;
+            flows.push(f);
+        }
+        let mut public = FlowRecord::inbound(
+            SimTime::from_secs(30),
+            "10.1.2.4".parse().unwrap(),
+            "8.8.8.8".parse().unwrap(),
+            120,
+        );
+        public.key.dst_port = 853;
+        flows.push(public);
+        for i in 0..10 {
+            flows.push(FlowRecord::inbound(
+                SimTime::from_secs(40 + i),
+                "100.64.0.1".parse().unwrap(),
+                "10.9.9.9".parse().unwrap(),
+                5000,
+            ));
+        }
+        let sample = CoverageSample::analyze(&flows, &list);
+        assert_eq!(sample.total(), 20);
+        assert_eq!(sample.to_public_resolvers, 1);
+        assert!((sample.public_share() - 0.05).abs() < 1e-9);
+        assert!((sample.coverage() - 0.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_sample_has_full_coverage_by_convention() {
+        let sample = CoverageSample::default();
+        assert_eq!(sample.public_share(), 0.0);
+        assert_eq!(sample.coverage(), 1.0);
+    }
+}

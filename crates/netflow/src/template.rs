@@ -1,0 +1,255 @@
+//! Field and template definitions shared by NetFlow v9 and IPFIX.
+//!
+//! Both formats describe data records via *templates*: an ordered list of
+//! (field type, field length) pairs announced in template flowsets/sets
+//! and referenced by id from data flowsets/sets. Exporters may emit data
+//! before templates or refresh templates periodically, so parsers keep a
+//! [`TemplateCache`] keyed by (source id, template id).
+
+use std::collections::HashMap;
+
+/// The field types FlowDNS cares about (a subset of the IANA IPFIX
+/// registry / Cisco NetFlow v9 field types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FieldType {
+    /// IN_BYTES (1): bytes of the flow.
+    InBytes,
+    /// IN_PKTS (2): packets of the flow.
+    InPkts,
+    /// PROTOCOL (4).
+    Protocol,
+    /// L4_SRC_PORT (7).
+    L4SrcPort,
+    /// IPV4_SRC_ADDR (8).
+    Ipv4SrcAddr,
+    /// L4_DST_PORT (11).
+    L4DstPort,
+    /// IPV4_DST_ADDR (12).
+    Ipv4DstAddr,
+    /// LAST_SWITCHED (21).
+    LastSwitched,
+    /// FIRST_SWITCHED (22).
+    FirstSwitched,
+    /// IPV6_SRC_ADDR (27).
+    Ipv6SrcAddr,
+    /// IPV6_DST_ADDR (28).
+    Ipv6DstAddr,
+    /// Any other field type (carried opaquely).
+    Other(u16),
+}
+
+impl FieldType {
+    /// The wire value of the field type.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            FieldType::InBytes => 1,
+            FieldType::InPkts => 2,
+            FieldType::Protocol => 4,
+            FieldType::L4SrcPort => 7,
+            FieldType::Ipv4SrcAddr => 8,
+            FieldType::L4DstPort => 11,
+            FieldType::Ipv4DstAddr => 12,
+            FieldType::LastSwitched => 21,
+            FieldType::FirstSwitched => 22,
+            FieldType::Ipv6SrcAddr => 27,
+            FieldType::Ipv6DstAddr => 28,
+            FieldType::Other(v) => v,
+        }
+    }
+
+    /// Build from the wire value.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            1 => FieldType::InBytes,
+            2 => FieldType::InPkts,
+            4 => FieldType::Protocol,
+            7 => FieldType::L4SrcPort,
+            8 => FieldType::Ipv4SrcAddr,
+            11 => FieldType::L4DstPort,
+            12 => FieldType::Ipv4DstAddr,
+            21 => FieldType::LastSwitched,
+            22 => FieldType::FirstSwitched,
+            27 => FieldType::Ipv6SrcAddr,
+            28 => FieldType::Ipv6DstAddr,
+            other => FieldType::Other(other),
+        }
+    }
+
+    /// The conventional wire length of this field in bytes (used by the
+    /// standard template builder; exporters may choose other lengths).
+    pub fn default_len(self) -> u16 {
+        match self {
+            FieldType::InBytes | FieldType::InPkts => 4,
+            FieldType::Protocol => 1,
+            FieldType::L4SrcPort | FieldType::L4DstPort => 2,
+            FieldType::Ipv4SrcAddr | FieldType::Ipv4DstAddr => 4,
+            FieldType::LastSwitched | FieldType::FirstSwitched => 4,
+            FieldType::Ipv6SrcAddr | FieldType::Ipv6DstAddr => 16,
+            FieldType::Other(_) => 4,
+        }
+    }
+}
+
+/// One (type, length) entry of a template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldSpec {
+    /// The field type.
+    pub ftype: FieldType,
+    /// The field length in bytes.
+    pub length: u16,
+}
+
+impl FieldSpec {
+    /// A field spec with the conventional length for its type.
+    pub fn standard(ftype: FieldType) -> Self {
+        FieldSpec {
+            ftype,
+            length: ftype.default_len(),
+        }
+    }
+}
+
+/// A template: an id plus an ordered list of field specs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Template {
+    /// Template id (>= 256 for data templates).
+    pub id: u16,
+    /// Ordered field specs.
+    pub fields: Vec<FieldSpec>,
+}
+
+impl Template {
+    /// The standard IPv4 flow template used by the synthetic exporter:
+    /// srcIP, dstIP, srcPort, dstPort, protocol, bytes, packets,
+    /// first/last switched.
+    pub fn standard_ipv4(id: u16) -> Self {
+        Template {
+            id,
+            fields: vec![
+                FieldSpec::standard(FieldType::Ipv4SrcAddr),
+                FieldSpec::standard(FieldType::Ipv4DstAddr),
+                FieldSpec::standard(FieldType::L4SrcPort),
+                FieldSpec::standard(FieldType::L4DstPort),
+                FieldSpec::standard(FieldType::Protocol),
+                FieldSpec::standard(FieldType::InBytes),
+                FieldSpec::standard(FieldType::InPkts),
+                FieldSpec::standard(FieldType::FirstSwitched),
+                FieldSpec::standard(FieldType::LastSwitched),
+            ],
+        }
+    }
+
+    /// The standard IPv6 flow template.
+    pub fn standard_ipv6(id: u16) -> Self {
+        Template {
+            id,
+            fields: vec![
+                FieldSpec::standard(FieldType::Ipv6SrcAddr),
+                FieldSpec::standard(FieldType::Ipv6DstAddr),
+                FieldSpec::standard(FieldType::L4SrcPort),
+                FieldSpec::standard(FieldType::L4DstPort),
+                FieldSpec::standard(FieldType::Protocol),
+                FieldSpec::standard(FieldType::InBytes),
+                FieldSpec::standard(FieldType::InPkts),
+            ],
+        }
+    }
+
+    /// Total length in bytes of one data record described by this template.
+    pub fn record_len(&self) -> usize {
+        self.fields.iter().map(|f| f.length as usize).sum()
+    }
+}
+
+/// Cache of templates keyed by (source id, template id).
+///
+/// NetFlow v9 exporters identify themselves with a 32-bit source id;
+/// template ids are only unique within a source. Records received before
+/// their template are counted so operators can see the warm-up loss.
+#[derive(Debug, Default)]
+pub struct TemplateCache {
+    templates: HashMap<(u32, u16), Template>,
+    /// Data flowsets that referenced an unknown template.
+    pub unknown_template_hits: u64,
+}
+
+impl TemplateCache {
+    /// A fresh, empty cache.
+    pub fn new() -> Self {
+        TemplateCache::default()
+    }
+
+    /// Insert or refresh a template for a source.
+    pub fn insert(&mut self, source_id: u32, template: Template) {
+        self.templates.insert((source_id, template.id), template);
+    }
+
+    /// Look up a template.
+    pub fn get(&self, source_id: u32, template_id: u16) -> Option<&Template> {
+        self.templates.get(&(source_id, template_id))
+    }
+
+    /// Record a data flowset that arrived before its template.
+    pub fn note_unknown(&mut self) {
+        self.unknown_template_hits += 1;
+    }
+
+    /// Number of cached templates.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_type_round_trip() {
+        for v in [1u16, 2, 4, 7, 8, 11, 12, 21, 22, 27, 28, 150, 65535] {
+            assert_eq!(FieldType::from_u16(v).to_u16(), v);
+        }
+    }
+
+    #[test]
+    fn standard_templates_have_expected_layout() {
+        let t4 = Template::standard_ipv4(256);
+        assert_eq!(t4.record_len(), 4 + 4 + 2 + 2 + 1 + 4 + 4 + 4 + 4);
+        let t6 = Template::standard_ipv6(257);
+        assert_eq!(t6.record_len(), 16 + 16 + 2 + 2 + 1 + 4 + 4);
+    }
+
+    #[test]
+    fn cache_is_keyed_by_source_and_id() {
+        let mut cache = TemplateCache::new();
+        cache.insert(1, Template::standard_ipv4(256));
+        cache.insert(2, Template::standard_ipv6(256));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(1, 256).unwrap().fields[0].ftype, FieldType::Ipv4SrcAddr);
+        assert_eq!(cache.get(2, 256).unwrap().fields[0].ftype, FieldType::Ipv6SrcAddr);
+        assert!(cache.get(3, 256).is_none());
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn template_refresh_overwrites() {
+        let mut cache = TemplateCache::new();
+        cache.insert(1, Template::standard_ipv4(300));
+        cache.insert(1, Template::standard_ipv6(300));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(1, 300).unwrap().fields.len(), 7);
+    }
+
+    #[test]
+    fn unknown_template_counter() {
+        let mut cache = TemplateCache::new();
+        cache.note_unknown();
+        cache.note_unknown();
+        assert_eq!(cache.unknown_template_hits, 2);
+    }
+}

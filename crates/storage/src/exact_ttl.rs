@@ -1,0 +1,237 @@
+//! The exact-TTL strawman store (Appendix A.8).
+//!
+//! The paper evaluates what happens if DNS records are expired using their
+//! exact TTLs: a record may only be used while
+//! `TTL_dns + Timestamp_dns >= Timestamp_netflow`, and a regular process
+//! walks the whole map to purge expired entries. The result is disastrous
+//! (loss above 90%, memory doubling) because the purge walks and the
+//! per-record checks contend with the hot lookup path. [`ExactTtlStore`]
+//! implements exactly that design so the ablation harness can reproduce
+//! the comparison; its `work_units` counter exposes how much scanning the
+//! purge does, which the harness converts into simulated CPU cost.
+
+use parking_lot::Mutex;
+
+use flowdns_types::{SimDuration, SimTime};
+
+use crate::memory::MemoryEstimate;
+use crate::sharded::ShardedMap;
+
+/// A value plus its absolute expiry time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry {
+    value: String,
+    expires_at: SimTime,
+}
+
+/// Statistics of the exact-TTL store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactTtlStats {
+    /// Records inserted.
+    pub inserts: u64,
+    /// Lookups that found a live record.
+    pub hits: u64,
+    /// Lookups that found only an expired record.
+    pub expired_hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries examined by purge scans (the dominant cost).
+    pub purge_scanned: u64,
+    /// Entries removed by purge scans.
+    pub purge_removed: u64,
+    /// Number of purge rounds executed.
+    pub purge_rounds: u64,
+}
+
+/// Store that applies the exact TTL of every DNS record.
+#[derive(Debug)]
+pub struct ExactTtlStore {
+    map: ShardedMap<String, Entry>,
+    purge_interval: SimDuration,
+    last_purge: Mutex<Option<SimTime>>,
+    stats: Mutex<ExactTtlStats>,
+}
+
+impl ExactTtlStore {
+    /// Create a store whose purge process runs every `purge_interval` of
+    /// data time.
+    pub fn new(purge_interval: SimDuration, shards: usize) -> Self {
+        ExactTtlStore {
+            map: ShardedMap::new(shards),
+            purge_interval,
+            last_purge: Mutex::new(None),
+            stats: Mutex::new(ExactTtlStats::default()),
+        }
+    }
+
+    /// Insert a record observed at `ts` with TTL `ttl`, and run the purge
+    /// process if it is due.
+    pub fn insert(&self, key: String, value: String, ttl: u32, ts: SimTime) {
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                expires_at: ts + SimDuration::from_secs(ttl as u64),
+            },
+        );
+        self.stats.lock().inserts += 1;
+        self.maybe_purge(ts);
+    }
+
+    /// Look `key` up at flow time `now`; only records whose TTL has not
+    /// yet expired are returned.
+    pub fn lookup(&self, key: &str, now: SimTime) -> Option<String> {
+        match self.map.get(key) {
+            Some(entry) if entry.expires_at >= now => {
+                self.stats.lock().hits += 1;
+                Some(entry.value)
+            }
+            Some(_) => {
+                self.stats.lock().expired_hits += 1;
+                None
+            }
+            None => {
+                self.stats.lock().misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Run the purge process if the purge interval has elapsed since the
+    /// last run. Returns how many entries were scanned (0 when not due).
+    pub fn maybe_purge(&self, now: SimTime) -> u64 {
+        {
+            let mut last = self.last_purge.lock();
+            match *last {
+                None => {
+                    *last = Some(now);
+                    return 0;
+                }
+                Some(prev) if now.saturating_since(prev) < self.purge_interval => return 0,
+                Some(_) => {
+                    *last = Some(now);
+                }
+            }
+        }
+        self.purge(now)
+    }
+
+    /// Unconditionally scan the whole map and remove expired entries.
+    /// Every scanned entry is a unit of work; this is the cost Appendix
+    /// A.8 blames for the strawman's collapse.
+    pub fn purge(&self, now: SimTime) -> u64 {
+        let before = self.map.len() as u64;
+        let mut removed = 0u64;
+        self.map.retain(|_, entry| {
+            let keep = entry.expires_at >= now;
+            if !keep {
+                removed += 1;
+            }
+            keep
+        });
+        let mut stats = self.stats.lock();
+        stats.purge_scanned += before;
+        stats.purge_removed += removed;
+        stats.purge_rounds += 1;
+        before
+    }
+
+    /// Number of stored entries (live and expired-but-not-yet-purged).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ExactTtlStats {
+        *self.stats.lock()
+    }
+
+    /// Memory estimate of the stored entries.
+    pub fn memory_estimate(&self) -> MemoryEstimate {
+        self.map.fold(MemoryEstimate::new(), |mut acc, k, v| {
+            // The expiry timestamp adds 16 bytes of payload per entry on
+            // top of the strings.
+            acc.add_entry(k.len(), v.value.len() + 16);
+            acc
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ExactTtlStore {
+        ExactTtlStore::new(SimDuration::from_secs(300), 8)
+    }
+
+    #[test]
+    fn live_records_hit_expired_records_miss() {
+        let s = store();
+        s.insert("1.2.3.4".into(), "a.example".into(), 60, SimTime::from_secs(0));
+        assert_eq!(
+            s.lookup("1.2.3.4", SimTime::from_secs(30)),
+            Some("a.example".into())
+        );
+        assert_eq!(s.lookup("1.2.3.4", SimTime::from_secs(61)), None);
+        assert_eq!(s.lookup("unknown", SimTime::ZERO), None);
+        let st = s.stats();
+        assert_eq!(st.hits, 1);
+        assert_eq!(st.expired_hits, 1);
+        assert_eq!(st.misses, 1);
+    }
+
+    #[test]
+    fn boundary_expiry_is_inclusive() {
+        let s = store();
+        s.insert("k".into(), "v".into(), 100, SimTime::from_secs(0));
+        // Exactly at expiry the record is still usable (TTL + ts >= now).
+        assert!(s.lookup("k", SimTime::from_secs(100)).is_some());
+        assert!(s.lookup("k", SimTime::from_secs(101)).is_none());
+    }
+
+    #[test]
+    fn purge_removes_expired_and_counts_work() {
+        let s = store();
+        for i in 0..100 {
+            s.insert(format!("k{i}"), "v".into(), 10, SimTime::from_secs(0));
+        }
+        for i in 100..150 {
+            s.insert(format!("k{i}"), "v".into(), 10_000, SimTime::from_secs(0));
+        }
+        let scanned = s.purge(SimTime::from_secs(100));
+        assert_eq!(scanned, 150);
+        assert_eq!(s.len(), 50);
+        let st = s.stats();
+        assert_eq!(st.purge_removed, 100);
+        assert!(st.purge_scanned >= 150);
+    }
+
+    #[test]
+    fn maybe_purge_respects_interval() {
+        let s = store();
+        s.insert("a".into(), "v".into(), 1, SimTime::from_secs(0));
+        // First call only arms the clock.
+        assert_eq!(s.maybe_purge(SimTime::from_secs(10)), 0);
+        // Not yet due.
+        assert_eq!(s.maybe_purge(SimTime::from_secs(100)), 0);
+        // Due: scans the map.
+        assert!(s.maybe_purge(SimTime::from_secs(400)) > 0);
+        assert_eq!(s.stats().purge_rounds, 1);
+    }
+
+    #[test]
+    fn memory_estimate_reflects_entries() {
+        let s = store();
+        assert!(s.is_empty());
+        s.insert("203.0.113.1".into(), "cdn.example.net".into(), 60, SimTime::ZERO);
+        let est = s.memory_estimate();
+        assert_eq!(est.entries, 1);
+        assert!(est.payload_bytes >= "203.0.113.1".len() + "cdn.example.net".len());
+    }
+}

@@ -1,0 +1,35 @@
+//! # flowdns-storage
+//!
+//! In-memory DNS storage substrate for the FlowDNS reproduction.
+//!
+//! The Go implementation keeps DNS records in hashmaps built on the
+//! `concurrent-map` library (lock-striped shards) and layers FlowDNS's own
+//! structure on top: Active/Inactive/Long generations, periodic clear-up
+//! driven by data time, and NUM_SPLIT independent splits for the IP-NAME
+//! maps. This crate rebuilds all of that:
+//!
+//! * [`sharded`] — [`ShardedMap`], a lock-striped concurrent hashmap (the
+//!   `concurrent-map` equivalent),
+//! * [`rotating`] — [`RotatingStore`], one Active/Inactive/Long triple with
+//!   clear-up and buffer rotation (Algorithm 1's storage side),
+//! * [`split`] — [`SplitStore`], NUM_SPLIT rotating stores indexed by a
+//!   label function over the key (the "IP-NAME hashmap splits"),
+//! * [`exact_ttl`] — [`ExactTtlStore`], the per-record-TTL strawman from
+//!   Appendix A.8, kept for the ablation experiment,
+//! * [`memory`] — byte-level memory accounting used by the resource
+//!   figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exact_ttl;
+pub mod memory;
+pub mod rotating;
+pub mod sharded;
+pub mod split;
+
+pub use exact_ttl::ExactTtlStore;
+pub use memory::MemoryEstimate;
+pub use rotating::{Generation, RotatingStore, RotationPolicy};
+pub use sharded::ShardedMap;
+pub use split::SplitStore;

@@ -1,0 +1,411 @@
+//! The rotating Active/Inactive/Long store (Algorithm 1's storage side).
+//!
+//! FlowDNS cannot expire DNS records by their exact TTL (too expensive —
+//! see Appendix A.8 and [`crate::exact_ttl`]) and cannot keep them forever
+//! (memory). Instead it rotates:
+//!
+//! * new records with TTL below the clear-up interval go to the **Active**
+//!   map;
+//! * every `clear_up_interval` seconds of *data time* the Active contents
+//!   are copied to the **Inactive** map (replacing its previous contents)
+//!   and the Active map is cleared;
+//! * records with TTL ≥ the interval go to the **Long** map, which is
+//!   never cleared;
+//! * look-ups cascade Active → Inactive → Long.
+//!
+//! [`RotationPolicy`] exposes the switches used by the paper's ablation
+//! variants (No Clear-Up, No Rotation, No Long Hashmaps).
+
+use parking_lot::Mutex;
+
+use flowdns_types::{SimDuration, SimTime};
+
+use crate::memory::MemoryEstimate;
+use crate::sharded::ShardedMap;
+
+/// Which generation a lookup hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Generation {
+    /// The actively written map.
+    Active,
+    /// The previous generation kept by buffer rotation.
+    Inactive,
+    /// The long-TTL map.
+    Long,
+}
+
+/// Policy switches of a rotating store, corresponding to the paper's
+/// benchmark variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RotationPolicy {
+    /// The clear-up interval in seconds of data time (`AClearUpInterval` /
+    /// `CClearUpInterval`). Ignored when `clear_up` is false.
+    pub clear_up_interval: SimDuration,
+    /// Perform clear-up at all (`false` ⇒ the *No Clear-Up* variant: maps
+    /// grow forever).
+    pub clear_up: bool,
+    /// Keep an Inactive copy when clearing (`false` ⇒ the *No Rotation*
+    /// variant: clear-up simply discards the Active contents).
+    pub rotation: bool,
+    /// Divert records with TTL ≥ the interval into the Long map
+    /// (`false` ⇒ the *No Long Hashmaps* variant: they land in Active and
+    /// are cleared like everything else).
+    pub long_maps: bool,
+}
+
+impl RotationPolicy {
+    /// The paper's A/AAAA policy: 3600-second clear-up with rotation and
+    /// long maps.
+    pub fn address_default() -> Self {
+        RotationPolicy {
+            clear_up_interval: SimDuration::from_secs(3600),
+            clear_up: true,
+            rotation: true,
+            long_maps: true,
+        }
+    }
+
+    /// The paper's CNAME policy: 7200-second clear-up with rotation and
+    /// long maps.
+    pub fn cname_default() -> Self {
+        RotationPolicy {
+            clear_up_interval: SimDuration::from_secs(7200),
+            clear_up: true,
+            rotation: true,
+            long_maps: true,
+        }
+    }
+}
+
+/// Statistics of one rotating store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RotatingStoreStats {
+    /// Inserts into the Active map.
+    pub active_inserts: u64,
+    /// Inserts into the Long map.
+    pub long_inserts: u64,
+    /// Number of clear-up rounds performed.
+    pub clear_ups: u64,
+    /// Entries copied into the Inactive map across all rotations.
+    pub rotated_entries: u64,
+    /// Lookup hits per generation: (active, inactive, long).
+    pub hits: (u64, u64, u64),
+    /// Lookup misses.
+    pub misses: u64,
+}
+
+/// A string-keyed rotating store.
+///
+/// Keys and values are `String`s: the IP-NAME store keys by the textual IP
+/// address, the NAME-CNAME store keys by domain name, matching the paper's
+/// "the key is the answer section, and the value is the query".
+#[derive(Debug)]
+pub struct RotatingStore {
+    policy: RotationPolicy,
+    active: ShardedMap<String, String>,
+    inactive: ShardedMap<String, String>,
+    long: ShardedMap<String, String>,
+    state: Mutex<ClockState>,
+    stats: Mutex<RotatingStoreStats>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ClockState {
+    last_clear_ts: Option<SimTime>,
+}
+
+impl RotatingStore {
+    /// Create a store with the given policy and shard count per map.
+    pub fn new(policy: RotationPolicy, shards: usize) -> Self {
+        RotatingStore {
+            policy,
+            active: ShardedMap::new(shards),
+            inactive: ShardedMap::new(shards),
+            long: ShardedMap::new(shards),
+            state: Mutex::new(ClockState {
+                last_clear_ts: None,
+            }),
+            stats: Mutex::new(RotatingStoreStats::default()),
+        }
+    }
+
+    /// The store's policy.
+    pub fn policy(&self) -> RotationPolicy {
+        self.policy
+    }
+
+    /// Insert a record observed at `ts` with the given TTL.
+    ///
+    /// This performs the clear-up check of Algorithm 1 first (driven by
+    /// the record's own timestamp), then routes the record to the Active
+    /// or Long map depending on its TTL.
+    pub fn insert(&self, key: String, value: String, ttl: u32, ts: SimTime) {
+        self.maybe_clear_up(ts);
+        let goes_long = self.policy.long_maps
+            && SimDuration::from_secs(ttl as u64) >= self.policy.clear_up_interval;
+        if goes_long {
+            self.long.insert(key, value);
+            self.stats.lock().long_inserts += 1;
+        } else {
+            self.active.insert(key, value);
+            self.stats.lock().active_inserts += 1;
+        }
+    }
+
+    /// Advance the store's clear-up clock without inserting (used by
+    /// workers that only see flow records for long stretches).
+    pub fn observe_time(&self, ts: SimTime) {
+        self.maybe_clear_up(ts);
+    }
+
+    fn maybe_clear_up(&self, ts: SimTime) {
+        if !self.policy.clear_up {
+            return;
+        }
+        let mut state = self.state.lock();
+        match state.last_clear_ts {
+            None => {
+                state.last_clear_ts = Some(ts);
+            }
+            Some(last) => {
+                if ts.saturating_since(last) >= self.policy.clear_up_interval {
+                    // Perform the rotation while holding the clock lock so
+                    // concurrent inserts cannot trigger a second clear-up
+                    // for the same window.
+                    if self.policy.rotation {
+                        self.inactive.clear();
+                        self.active.copy_into(&self.inactive);
+                        let mut stats = self.stats.lock();
+                        stats.rotated_entries += self.active.len() as u64;
+                        stats.clear_ups += 1;
+                    } else {
+                        self.stats.lock().clear_ups += 1;
+                    }
+                    self.active.clear();
+                    state.last_clear_ts = Some(ts);
+                }
+            }
+        }
+    }
+
+    /// The `deepLookUp` of Algorithm 2: Active, then Inactive, then Long.
+    pub fn lookup(&self, key: &str) -> Option<(String, Generation)> {
+        if let Some(v) = self.active.get(key) {
+            self.stats.lock().hits.0 += 1;
+            return Some((v, Generation::Active));
+        }
+        if self.policy.rotation {
+            if let Some(v) = self.inactive.get(key) {
+                self.stats.lock().hits.1 += 1;
+                return Some((v, Generation::Inactive));
+            }
+        }
+        if self.policy.long_maps {
+            if let Some(v) = self.long.get(key) {
+                self.stats.lock().hits.2 += 1;
+                return Some((v, Generation::Long));
+            }
+        }
+        self.stats.lock().misses += 1;
+        None
+    }
+
+    /// Insert directly into the Active map without the clear-up check.
+    /// Used by the LookUp workers to memoize multi-hop CNAME resolutions
+    /// ("we add it to NAME-CNAMEactive for later use").
+    pub fn memoize(&self, key: String, value: String) {
+        self.active.insert(key, value);
+    }
+
+    /// Entry counts per generation: (active, inactive, long).
+    pub fn entry_counts(&self) -> (usize, usize, usize) {
+        (self.active.len(), self.inactive.len(), self.long.len())
+    }
+
+    /// Total entries across generations.
+    pub fn total_entries(&self) -> usize {
+        let (a, i, l) = self.entry_counts();
+        a + i + l
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> RotatingStoreStats {
+        *self.stats.lock()
+    }
+
+    /// Estimate the memory held by the store.
+    pub fn memory_estimate(&self) -> MemoryEstimate {
+        let mut est = MemoryEstimate::new();
+        for map in [&self.active, &self.inactive, &self.long] {
+            let partial = map.fold(MemoryEstimate::new(), |mut acc, k, v| {
+                acc.add_entry(k.len(), v.len());
+                acc
+            });
+            est.merge(partial);
+        }
+        est
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(secs: u64) -> RotationPolicy {
+        RotationPolicy {
+            clear_up_interval: SimDuration::from_secs(secs),
+            clear_up: true,
+            rotation: true,
+            long_maps: true,
+        }
+    }
+
+    #[test]
+    fn short_ttl_goes_active_long_ttl_goes_long() {
+        let store = RotatingStore::new(policy(3600), 8);
+        store.insert("1.2.3.4".into(), "a.example".into(), 300, SimTime::from_secs(0));
+        store.insert("5.6.7.8".into(), "b.example".into(), 86_400, SimTime::from_secs(1));
+        let (a, i, l) = store.entry_counts();
+        assert_eq!((a, i, l), (1, 0, 1));
+        assert_eq!(
+            store.lookup("1.2.3.4"),
+            Some(("a.example".into(), Generation::Active))
+        );
+        assert_eq!(
+            store.lookup("5.6.7.8"),
+            Some(("b.example".into(), Generation::Long))
+        );
+        assert_eq!(store.lookup("9.9.9.9"), None);
+        let s = store.stats();
+        assert_eq!(s.active_inserts, 1);
+        assert_eq!(s.long_inserts, 1);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn clear_up_rotates_active_into_inactive() {
+        let store = RotatingStore::new(policy(3600), 8);
+        store.insert("1.1.1.1".into(), "one.example".into(), 60, SimTime::from_secs(0));
+        // One hour later a new record triggers the clear-up.
+        store.insert("2.2.2.2".into(), "two.example".into(), 60, SimTime::from_secs(3600));
+        let (a, i, _) = store.entry_counts();
+        assert_eq!((a, i), (1, 1));
+        // The old record is now only reachable via the Inactive map.
+        assert_eq!(
+            store.lookup("1.1.1.1"),
+            Some(("one.example".into(), Generation::Inactive))
+        );
+        assert_eq!(
+            store.lookup("2.2.2.2"),
+            Some(("two.example".into(), Generation::Active))
+        );
+        assert_eq!(store.stats().clear_ups, 1);
+    }
+
+    #[test]
+    fn second_clear_up_overwrites_inactive() {
+        let store = RotatingStore::new(policy(100), 4);
+        store.insert("gen0".into(), "v0".into(), 1, SimTime::from_secs(0));
+        store.insert("gen1".into(), "v1".into(), 1, SimTime::from_secs(100));
+        store.insert("gen2".into(), "v2".into(), 1, SimTime::from_secs(200));
+        // gen0 lived in Inactive after the first clear-up, but the second
+        // clear-up replaced Inactive with {gen1}; gen0 is gone.
+        assert_eq!(store.lookup("gen0"), None);
+        assert_eq!(
+            store.lookup("gen1"),
+            Some(("v1".into(), Generation::Inactive))
+        );
+        assert_eq!(
+            store.lookup("gen2"),
+            Some(("v2".into(), Generation::Active))
+        );
+        assert_eq!(store.stats().clear_ups, 2);
+    }
+
+    #[test]
+    fn no_clear_up_variant_keeps_everything() {
+        let mut p = policy(100);
+        p.clear_up = false;
+        let store = RotatingStore::new(p, 4);
+        for i in 0..10u64 {
+            store.insert(format!("k{i}"), format!("v{i}"), 1, SimTime::from_secs(i * 1000));
+        }
+        assert_eq!(store.entry_counts().0, 10);
+        assert_eq!(store.stats().clear_ups, 0);
+        assert!(store.lookup("k0").is_some());
+    }
+
+    #[test]
+    fn no_rotation_variant_discards_on_clear_up() {
+        let mut p = policy(100);
+        p.rotation = false;
+        let store = RotatingStore::new(p, 4);
+        store.insert("old".into(), "v".into(), 1, SimTime::from_secs(0));
+        store.insert("new".into(), "v".into(), 1, SimTime::from_secs(150));
+        assert_eq!(store.lookup("old"), None);
+        assert!(store.lookup("new").is_some());
+        assert_eq!(store.entry_counts().1, 0);
+    }
+
+    #[test]
+    fn no_long_variant_routes_long_ttls_to_active() {
+        let mut p = policy(3600);
+        p.long_maps = false;
+        let store = RotatingStore::new(p, 4);
+        store.insert("ip".into(), "stable.example".into(), 86_400, SimTime::from_secs(0));
+        assert_eq!(store.entry_counts(), (1, 0, 0));
+        // After a clear-up + another, the long-TTL record is lost — the
+        // behaviour that costs the NoLong variant 0.6% correlation rate.
+        store.insert("x1".into(), "v".into(), 1, SimTime::from_secs(3600));
+        store.insert("x2".into(), "v".into(), 1, SimTime::from_secs(7200));
+        assert_eq!(store.lookup("ip"), None);
+    }
+
+    #[test]
+    fn observe_time_alone_triggers_clear_up() {
+        let store = RotatingStore::new(policy(100), 4);
+        store.insert("k".into(), "v".into(), 1, SimTime::from_secs(0));
+        store.observe_time(SimTime::from_secs(500));
+        assert_eq!(
+            store.lookup("k"),
+            Some(("v".into(), Generation::Inactive))
+        );
+    }
+
+    #[test]
+    fn memoize_bypasses_clear_up_clock() {
+        let store = RotatingStore::new(policy(100), 4);
+        store.memoize("alias".into(), "canonical.example".into());
+        assert_eq!(
+            store.lookup("alias"),
+            Some(("canonical.example".into(), Generation::Active))
+        );
+        // memoize must not have started the clear-up clock
+        assert_eq!(store.stats().clear_ups, 0);
+    }
+
+    #[test]
+    fn same_key_overwrites_value() {
+        // The accuracy caveat of Section 4: a second domain observed for
+        // the same IP overwrites the first.
+        let store = RotatingStore::new(policy(3600), 4);
+        store.insert("9.9.9.9".into(), "first.example".into(), 60, SimTime::from_secs(0));
+        store.insert("9.9.9.9".into(), "second.example".into(), 60, SimTime::from_secs(1));
+        assert_eq!(
+            store.lookup("9.9.9.9").unwrap().0,
+            "second.example".to_string()
+        );
+        assert_eq!(store.total_entries(), 1);
+    }
+
+    #[test]
+    fn memory_estimate_tracks_entries() {
+        let store = RotatingStore::new(policy(3600), 4);
+        assert_eq!(store.memory_estimate().entries, 0);
+        store.insert("1.2.3.4".into(), "example.com".into(), 60, SimTime::ZERO);
+        store.insert("5.6.7.8".into(), "other.org".into(), 999_999, SimTime::ZERO);
+        let est = store.memory_estimate();
+        assert_eq!(est.entries, 2);
+        assert!(est.total_bytes() > est.payload_bytes);
+    }
+}

@@ -1,0 +1,279 @@
+//! A lock-striped concurrent hashmap.
+//!
+//! This is the Rust equivalent of the Go `concurrent-map` module the paper
+//! uses: the key space is split across `N` shards, each protected by its
+//! own `RwLock`, "which allows for high-performance concurrent reads and
+//! writes by sharding the map". Reads take a shard read lock; writes take
+//! a shard write lock; bulk operations (`clear`, `retain`, snapshots) go
+//! shard by shard so they never hold the whole map.
+
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use parking_lot::RwLock;
+
+/// Default number of shards (matches the Go concurrent-map default of 32).
+pub const DEFAULT_SHARD_COUNT: usize = 32;
+
+/// A concurrent hashmap with per-shard locking.
+#[derive(Debug)]
+pub struct ShardedMap<K, V> {
+    shards: Vec<RwLock<HashMap<K, V>>>,
+}
+
+impl<K: Hash + Eq, V> Default for ShardedMap<K, V> {
+    fn default() -> Self {
+        ShardedMap::new(DEFAULT_SHARD_COUNT)
+    }
+}
+
+impl<K: Hash + Eq, V> ShardedMap<K, V> {
+    /// Create a map with `shard_count` shards.
+    pub fn new(shard_count: usize) -> Self {
+        assert!(shard_count > 0, "shard count must be positive");
+        ShardedMap {
+            shards: (0..shard_count).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_index<Q>(&self, key: &Q) -> usize
+    where
+        Q: Hash + ?Sized,
+    {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// Insert a key/value pair, returning the previous value if any.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        let idx = self.shard_index(&key);
+        self.shards[idx].write().insert(key, value)
+    }
+
+    /// Remove a key, returning its value if present.
+    pub fn remove<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let idx = self.shard_index(key);
+        self.shards[idx].write().remove(key)
+    }
+
+    /// Is the key present?
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let idx = self.shard_index(key);
+        self.shards[idx].read().contains_key(key)
+    }
+
+    /// Total number of entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Remove every entry.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+    }
+
+    /// Keep only the entries for which `pred` returns true.
+    pub fn retain<F>(&self, mut pred: F)
+    where
+        F: FnMut(&K, &V) -> bool,
+    {
+        for shard in &self.shards {
+            shard.write().retain(|k, v| pred(k, v));
+        }
+    }
+
+    /// Apply `f` to the value for `key`, if present, and return its result.
+    pub fn with<Q, R, F>(&self, key: &Q, f: F) -> Option<R>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+        F: FnOnce(&V) -> R,
+    {
+        let idx = self.shard_index(key);
+        self.shards[idx].read().get(key).map(f)
+    }
+
+    /// Fold every entry into an accumulator (takes each shard's read lock
+    /// in turn).
+    pub fn fold<A, F>(&self, init: A, mut f: F) -> A
+    where
+        F: FnMut(A, &K, &V) -> A,
+    {
+        let mut acc = init;
+        for shard in &self.shards {
+            for (k, v) in shard.read().iter() {
+                acc = f(acc, k, v);
+            }
+        }
+        acc
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedMap<K, V> {
+    /// Get a clone of the value for `key`.
+    pub fn get<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let idx = self.shard_index(key);
+        self.shards[idx].read().get(key).cloned()
+    }
+
+    /// Snapshot the whole map into a plain `HashMap`.
+    pub fn snapshot(&self) -> HashMap<K, V> {
+        let mut out = HashMap::with_capacity(self.len());
+        for shard in &self.shards {
+            for (k, v) in shard.read().iter() {
+                out.insert(k.clone(), v.clone());
+            }
+        }
+        out
+    }
+
+    /// Copy every entry of `self` into `other`, overwriting existing keys
+    /// (the "copy the contents of the active hashmap into the inactive
+    /// hashmap" operation of the clear-up step).
+    pub fn copy_into(&self, other: &ShardedMap<K, V>) {
+        for shard in &self.shards {
+            for (k, v) in shard.read().iter() {
+                other.insert(k.clone(), v.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn insert_get_remove() {
+        let m: ShardedMap<String, u32> = ShardedMap::default();
+        assert!(m.is_empty());
+        assert_eq!(m.insert("a".into(), 1), None);
+        assert_eq!(m.insert("a".into(), 2), Some(1));
+        assert_eq!(m.get("a"), Some(2));
+        assert!(m.contains_key("a"));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.remove("a"), Some(2));
+        assert_eq!(m.get("a"), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn clear_and_retain() {
+        let m: ShardedMap<u32, u32> = ShardedMap::new(8);
+        for i in 0..100 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 100);
+        m.retain(|k, _| k % 2 == 0);
+        assert_eq!(m.len(), 50);
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn snapshot_and_copy_into() {
+        let a: ShardedMap<u32, String> = ShardedMap::new(4);
+        a.insert(1, "one".into());
+        a.insert(2, "two".into());
+        let b: ShardedMap<u32, String> = ShardedMap::new(16);
+        b.insert(2, "old-two".into());
+        b.insert(3, "three".into());
+        a.copy_into(&b);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.get(&2).unwrap(), "two"); // overwritten by the copy
+        let snap = a.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[&1], "one");
+    }
+
+    #[test]
+    fn with_and_fold() {
+        let m: ShardedMap<&'static str, u64> = ShardedMap::new(4);
+        m.insert("x", 10);
+        m.insert("y", 32);
+        assert_eq!(m.with("x", |v| v + 1), Some(11));
+        assert_eq!(m.with("zz", |v| v + 1), None);
+        let sum = m.fold(0u64, |acc, _, v| acc + v);
+        assert_eq!(sum, 42);
+    }
+
+    #[test]
+    fn concurrent_inserts_from_many_threads() {
+        let m: Arc<ShardedMap<u64, u64>> = Arc::new(ShardedMap::new(16));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        m.insert(t * 5_000 + i, i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.len(), 40_000);
+        // Concurrent readers while a writer overwrites.
+        let writer = {
+            let m = Arc::clone(&m);
+            thread::spawn(move || {
+                for i in 0..5_000u64 {
+                    m.insert(i, 999);
+                }
+            })
+        };
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                thread::spawn(move || {
+                    let mut found = 0;
+                    for i in 0..5_000u64 {
+                        if m.get(&i).is_some() {
+                            found += 1;
+                        }
+                    }
+                    found
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            assert_eq!(r.join().unwrap(), 5_000);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_shards_is_rejected() {
+        let _ = ShardedMap::<u32, u32>::new(0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Split stores: NUM_SPLIT independent rotating stores.
+//!
+//! Step 4 of the DNS processing labels each A/AAAA record by its IP
+//! address ("If ... the IP for an A/AAAA response gets the label n,
+//! 0 ≤ n < 10, it goes to IP-NAMEn"), and the LookUp workers consult only
+//! the split matching a flow's source IP. Splitting "isolates each split
+//! as much as possible" so concurrent LookUp workers contend on different
+//! maps. The *No Split* ablation is simply `num_split = 1`.
+
+use flowdns_types::SimTime;
+
+use crate::memory::MemoryEstimate;
+use crate::rotating::{Generation, RotatingStore, RotatingStoreStats, RotationPolicy};
+
+/// The paper's empirically chosen number of splits.
+pub const DEFAULT_NUM_SPLIT: usize = 10;
+
+/// A set of `num_split` rotating stores indexed by a key label.
+#[derive(Debug)]
+pub struct SplitStore {
+    splits: Vec<RotatingStore>,
+}
+
+impl SplitStore {
+    /// Create `num_split` stores, each with `shards` shards and the given
+    /// policy.
+    pub fn new(policy: RotationPolicy, num_split: usize, shards: usize) -> Self {
+        assert!(num_split > 0, "num_split must be positive");
+        SplitStore {
+            splits: (0..num_split)
+                .map(|_| RotatingStore::new(policy, shards))
+                .collect(),
+        }
+    }
+
+    /// Number of splits.
+    pub fn num_split(&self) -> usize {
+        self.splits.len()
+    }
+
+    /// The label function of Algorithm 1/2: a stable hash of the key,
+    /// reduced to `0..num_split`. The same function labels A/AAAA answers
+    /// on insert and flow source IPs on lookup, so both sides agree.
+    pub fn label(&self, key: &str) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() % self.splits.len() as u64) as usize
+    }
+
+    /// Access a split by label (for tests and diagnostics).
+    pub fn split(&self, label: usize) -> &RotatingStore {
+        &self.splits[label]
+    }
+
+    /// Insert a record into the split chosen by its key label.
+    pub fn insert(&self, key: String, value: String, ttl: u32, ts: SimTime) {
+        let label = self.label(&key);
+        self.splits[label].insert(key, value, ttl, ts);
+    }
+
+    /// Advance the clear-up clock of every split.
+    pub fn observe_time(&self, ts: SimTime) {
+        for split in &self.splits {
+            split.observe_time(ts);
+        }
+    }
+
+    /// Look a key up in its split (Active → Inactive → Long).
+    pub fn lookup(&self, key: &str) -> Option<(String, Generation)> {
+        self.splits[self.label(key)].lookup(key)
+    }
+
+    /// Memoize a derived mapping into the Active map of the key's split.
+    pub fn memoize(&self, key: String, value: String) {
+        let label = self.label(&key);
+        self.splits[label].memoize(key, value);
+    }
+
+    /// Total entries across all splits and generations.
+    pub fn total_entries(&self) -> usize {
+        self.splits.iter().map(|s| s.total_entries()).sum()
+    }
+
+    /// Aggregate statistics across splits.
+    pub fn stats(&self) -> RotatingStoreStats {
+        let mut agg = RotatingStoreStats::default();
+        for s in self.splits.iter().map(|s| s.stats()) {
+            agg.active_inserts += s.active_inserts;
+            agg.long_inserts += s.long_inserts;
+            agg.clear_ups += s.clear_ups;
+            agg.rotated_entries += s.rotated_entries;
+            agg.hits.0 += s.hits.0;
+            agg.hits.1 += s.hits.1;
+            agg.hits.2 += s.hits.2;
+            agg.misses += s.misses;
+        }
+        agg
+    }
+
+    /// Aggregate memory estimate across splits.
+    pub fn memory_estimate(&self) -> MemoryEstimate {
+        let mut est = MemoryEstimate::new();
+        for s in &self.splits {
+            est.merge(s.memory_estimate());
+        }
+        est
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowdns_types::SimDuration;
+
+    fn store(num_split: usize) -> SplitStore {
+        SplitStore::new(
+            RotationPolicy {
+                clear_up_interval: SimDuration::from_secs(3600),
+                clear_up: true,
+                rotation: true,
+                long_maps: true,
+            },
+            num_split,
+            8,
+        )
+    }
+
+    #[test]
+    fn insert_and_lookup_route_to_same_split() {
+        let s = store(10);
+        for i in 0..100 {
+            let key = format!("198.51.100.{i}");
+            s.insert(key.clone(), format!("host{i}.example"), 60, SimTime::ZERO);
+            assert_eq!(s.lookup(&key).unwrap().0, format!("host{i}.example"));
+        }
+        assert_eq!(s.total_entries(), 100);
+    }
+
+    #[test]
+    fn label_is_stable_and_in_range() {
+        let s = store(10);
+        for i in 0..1000 {
+            let key = format!("key-{i}");
+            let l1 = s.label(&key);
+            let l2 = s.label(&key);
+            assert_eq!(l1, l2);
+            assert!(l1 < 10);
+        }
+    }
+
+    #[test]
+    fn keys_spread_across_splits() {
+        let s = store(10);
+        for i in 0..1000 {
+            s.insert(format!("203.0.113.{}", i % 256), "x".into(), 60, SimTime::ZERO);
+        }
+        let populated = (0..10).filter(|i| s.split(*i).total_entries() > 0).count();
+        assert!(populated >= 8, "expected most splits populated, got {populated}");
+    }
+
+    #[test]
+    fn single_split_behaves_like_no_split_variant() {
+        let s = store(1);
+        assert_eq!(s.num_split(), 1);
+        for i in 0..50 {
+            s.insert(format!("k{i}"), "v".into(), 60, SimTime::ZERO);
+        }
+        assert_eq!(s.split(0).total_entries(), 50);
+    }
+
+    #[test]
+    fn observe_time_propagates_clear_up_to_all_splits() {
+        let s = store(4);
+        for i in 0..40 {
+            s.insert(format!("k{i}"), "v".into(), 60, SimTime::ZERO);
+        }
+        s.observe_time(SimTime::from_secs(7200));
+        let stats = s.stats();
+        assert_eq!(stats.clear_ups, 4);
+        // Everything rotated to inactive, still findable.
+        assert!(s.lookup("k0").is_some());
+    }
+
+    #[test]
+    fn aggregate_stats_and_memory() {
+        let s = store(5);
+        s.insert("a".into(), "1".into(), 60, SimTime::ZERO);
+        s.insert("b".into(), "2".into(), 999_999, SimTime::ZERO);
+        let _ = s.lookup("a");
+        let _ = s.lookup("missing");
+        let stats = s.stats();
+        assert_eq!(stats.active_inserts, 1);
+        assert_eq!(stats.long_inserts, 1);
+        assert_eq!(stats.hits.0, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(s.memory_estimate().entries, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_splits_is_rejected() {
+        let _ = store(0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based tests for the storage substrate.
+//!
+//! * `ShardedMap` must behave exactly like a `HashMap` under any sequence
+//!   of insert/remove/get/clear operations (single-threaded linearization
+//!   check).
+//! * `RotatingStore` must agree with a simple reference simulator of the
+//!   Active/Inactive/Long semantics for any sequence of timestamped
+//!   inserts and lookups with non-decreasing timestamps.
+
+use std::collections::HashMap;
+
+use flowdns_storage::{Generation, RotatingStore, RotationPolicy, ShardedMap};
+use flowdns_types::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(u8, u16),
+    Remove(u8),
+    Get(u8),
+    Clear,
+}
+
+fn map_op() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        4 => (any::<u8>(), any::<u16>()).prop_map(|(k, v)| MapOp::Insert(k, v)),
+        2 => any::<u8>().prop_map(MapOp::Remove),
+        3 => any::<u8>().prop_map(MapOp::Get),
+        1 => Just(MapOp::Clear),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn sharded_map_matches_hashmap(ops in proptest::collection::vec(map_op(), 0..200),
+                                   shards in 1usize..32) {
+        let sharded: ShardedMap<u8, u16> = ShardedMap::new(shards);
+        let mut model: HashMap<u8, u16> = HashMap::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    prop_assert_eq!(sharded.insert(k, v), model.insert(k, v));
+                }
+                MapOp::Remove(k) => {
+                    prop_assert_eq!(sharded.remove(&k), model.remove(&k));
+                }
+                MapOp::Get(k) => {
+                    prop_assert_eq!(sharded.get(&k), model.get(&k).copied());
+                }
+                MapOp::Clear => {
+                    sharded.clear();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(sharded.len(), model.len());
+        }
+        prop_assert_eq!(sharded.snapshot(), model);
+    }
+}
+
+/// Reference model of the rotating store: plain HashMaps plus the same
+/// clear-up rule, written as directly from Algorithm 1 as possible.
+struct ModelStore {
+    interval: u64,
+    active: HashMap<String, String>,
+    inactive: HashMap<String, String>,
+    long: HashMap<String, String>,
+    last_clear: Option<u64>,
+}
+
+impl ModelStore {
+    fn new(interval: u64) -> Self {
+        ModelStore {
+            interval,
+            active: HashMap::new(),
+            inactive: HashMap::new(),
+            long: HashMap::new(),
+            last_clear: None,
+        }
+    }
+
+    fn maybe_clear(&mut self, ts: u64) {
+        match self.last_clear {
+            None => self.last_clear = Some(ts),
+            Some(last) if ts.saturating_sub(last) >= self.interval => {
+                self.inactive = std::mem::take(&mut self.active);
+                self.last_clear = Some(ts);
+            }
+            _ => {}
+        }
+    }
+
+    fn insert(&mut self, key: String, value: String, ttl: u32, ts: u64) {
+        self.maybe_clear(ts);
+        if ttl as u64 >= self.interval {
+            self.long.insert(key, value);
+        } else {
+            self.active.insert(key, value);
+        }
+    }
+
+    fn lookup(&self, key: &str) -> Option<(String, Generation)> {
+        if let Some(v) = self.active.get(key) {
+            return Some((v.clone(), Generation::Active));
+        }
+        if let Some(v) = self.inactive.get(key) {
+            return Some((v.clone(), Generation::Inactive));
+        }
+        self.long.get(key).map(|v| (v.clone(), Generation::Long))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum StoreOp {
+    /// Insert key (small space), ttl, time advance.
+    Insert(u8, u32, u64),
+    Lookup(u8),
+}
+
+fn store_op() -> impl Strategy<Value = StoreOp> {
+    prop_oneof![
+        3 => (any::<u8>(), 0u32..10_000, 0u64..2_000).prop_map(|(k, ttl, dt)| StoreOp::Insert(k, ttl, dt)),
+        2 => any::<u8>().prop_map(StoreOp::Lookup),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn rotating_store_matches_reference_model(ops in proptest::collection::vec(store_op(), 0..200)) {
+        let interval_secs = 3600u64;
+        let policy = RotationPolicy {
+            clear_up_interval: SimDuration::from_secs(interval_secs),
+            clear_up: true,
+            rotation: true,
+            long_maps: true,
+        };
+        let store = RotatingStore::new(policy, 8);
+        let mut model = ModelStore::new(interval_secs);
+        let mut now = 0u64;
+        for op in ops {
+            match op {
+                StoreOp::Insert(k, ttl, dt) => {
+                    now += dt;
+                    let key = format!("10.0.0.{k}");
+                    let value = format!("host-{k}.example");
+                    store.insert(key.clone(), value.clone(), ttl, SimTime::from_secs(now));
+                    model.insert(key, value, ttl, now);
+                }
+                StoreOp::Lookup(k) => {
+                    let key = format!("10.0.0.{k}");
+                    prop_assert_eq!(store.lookup(&key), model.lookup(&key));
+                }
+            }
+        }
+        let (a, i, l) = store.entry_counts();
+        prop_assert_eq!(a, model.active.len());
+        prop_assert_eq!(i, model.inactive.len());
+        prop_assert_eq!(l, model.long.len());
+    }
+
+    #[test]
+    fn no_clear_up_store_never_loses_records(
+        inserts in proptest::collection::vec((any::<u8>(), 0u32..10_000, 0u64..5_000), 1..100)
+    ) {
+        let policy = RotationPolicy {
+            clear_up_interval: SimDuration::from_secs(3600),
+            clear_up: false,
+            rotation: true,
+            long_maps: true,
+        };
+        let store = RotatingStore::new(policy, 8);
+        let mut now = 0u64;
+        let mut keys = Vec::new();
+        for (k, ttl, dt) in inserts {
+            now += dt;
+            let key = format!("key-{k}");
+            store.insert(key.clone(), "value".into(), ttl, SimTime::from_secs(now));
+            keys.push(key);
+        }
+        for key in keys {
+            prop_assert!(store.lookup(&key).is_some());
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # flowdns-stream
+//!
+//! Stream substrate for the FlowDNS reproduction.
+//!
+//! The paper's input streams "have an internal buffer to be used in case
+//! the reading speed is less than their actual rate. If that buffer
+//! overflows, the streams start to drop data" — and *loss* throughout the
+//! paper means exactly those drops. This crate models that mechanism:
+//!
+//! * [`buffer`] — [`StreamBuffer`], a bounded producer/consumer queue that
+//!   counts drops instead of blocking the producer (live feeds never wait),
+//! * [`meter`] — [`RateMeter`], per-second rate and backlog accounting in
+//!   simulated time,
+//! * [`replay`] — utilities to merge and replay timestamped record sets as
+//!   ordered streams, optionally split into the N parallel streams the
+//!   ISPs deliver (2 DNS + 26 NetFlow at the large ISP).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod meter;
+pub mod replay;
+
+pub use buffer::{BufferStats, StreamBuffer};
+pub use meter::RateMeter;
+pub use replay::{merge_by_time, split_round_robin, StreamSplitter};

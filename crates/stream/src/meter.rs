@@ -1,0 +1,188 @@
+//! Rate metering in simulated time.
+//!
+//! The evaluation plots traffic volume, CPU and memory against the hour of
+//! day. [`RateMeter`] buckets per-record counters by a configurable window
+//! of *simulated* time so the harness can produce those time series
+//! deterministically, independent of how fast the host replays the trace.
+
+use flowdns_types::{SimDuration, SimTime};
+
+/// One completed window of the meter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowSample {
+    /// Start of the window.
+    pub start: SimTime,
+    /// Records counted in the window.
+    pub count: u64,
+    /// Bytes counted in the window.
+    pub bytes: u64,
+}
+
+impl WindowSample {
+    /// Records per simulated second in this window.
+    pub fn rate_per_sec(&self, window: SimDuration) -> f64 {
+        let secs = window.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.count as f64 / secs
+        }
+    }
+}
+
+/// Buckets record/byte counts into fixed windows of simulated time.
+#[derive(Debug)]
+pub struct RateMeter {
+    window: SimDuration,
+    current_start: Option<SimTime>,
+    current_count: u64,
+    current_bytes: u64,
+    completed: Vec<WindowSample>,
+}
+
+impl RateMeter {
+    /// A meter with the given window width.
+    pub fn new(window: SimDuration) -> Self {
+        assert!(window > SimDuration::ZERO, "meter window must be positive");
+        RateMeter {
+            window,
+            current_start: None,
+            current_count: 0,
+            current_bytes: 0,
+            completed: Vec::new(),
+        }
+    }
+
+    /// The configured window width.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Record one item observed at `ts` carrying `bytes` bytes.
+    ///
+    /// Timestamps are expected to be (roughly) non-decreasing; an item
+    /// older than the current window is counted in the current window
+    /// rather than reopening a closed one.
+    pub fn record(&mut self, ts: SimTime, bytes: u64) {
+        match self.current_start {
+            None => {
+                // Align the first window to a multiple of the window width
+                // so hourly windows start on the hour.
+                let window_us = self.window.as_micros();
+                let aligned = SimTime::from_micros(ts.as_micros() / window_us * window_us);
+                self.current_start = Some(aligned);
+            }
+            Some(start) => {
+                let mut start = start;
+                // Close as many windows as needed to catch up to `ts`.
+                while ts.saturating_since(start) >= self.window {
+                    self.completed.push(WindowSample {
+                        start,
+                        count: self.current_count,
+                        bytes: self.current_bytes,
+                    });
+                    self.current_count = 0;
+                    self.current_bytes = 0;
+                    start = start + self.window;
+                }
+                self.current_start = Some(start);
+            }
+        }
+        self.current_count += 1;
+        self.current_bytes += bytes;
+    }
+
+    /// Close the current window and return every completed window.
+    pub fn finish(mut self) -> Vec<WindowSample> {
+        if let Some(start) = self.current_start {
+            if self.current_count > 0 {
+                self.completed.push(WindowSample {
+                    start,
+                    count: self.current_count,
+                    bytes: self.current_bytes,
+                });
+            }
+        }
+        self.completed
+    }
+
+    /// Completed windows so far (not including the currently open one).
+    pub fn completed(&self) -> &[WindowSample] {
+        &self.completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_by_window() {
+        let mut m = RateMeter::new(SimDuration::from_secs(60));
+        for s in [0u64, 10, 59, 61, 125, 126] {
+            m.record(SimTime::from_secs(s), 100);
+        }
+        let windows = m.finish();
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[0].count, 3);
+        assert_eq!(windows[1].count, 1);
+        assert_eq!(windows[2].count, 2);
+        assert_eq!(windows[0].bytes, 300);
+        assert_eq!(windows[0].start, SimTime::ZERO);
+        assert_eq!(windows[1].start, SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn empty_gap_windows_are_emitted_as_zero() {
+        let mut m = RateMeter::new(SimDuration::from_secs(10));
+        m.record(SimTime::from_secs(5), 1);
+        m.record(SimTime::from_secs(35), 1);
+        let windows = m.finish();
+        // Windows: [0,10) with 1, [10,20) 0, [20,30) 0, [30,40) 1.
+        assert_eq!(windows.len(), 4);
+        assert_eq!(windows[1].count, 0);
+        assert_eq!(windows[2].count, 0);
+        assert_eq!(windows[3].count, 1);
+    }
+
+    #[test]
+    fn first_window_is_aligned() {
+        let mut m = RateMeter::new(SimDuration::from_hours(1));
+        m.record(SimTime::from_secs(3_700), 5);
+        let windows = m.finish();
+        assert_eq!(windows[0].start, SimTime::from_secs(3_600));
+    }
+
+    #[test]
+    fn rate_per_sec() {
+        let w = WindowSample {
+            start: SimTime::ZERO,
+            count: 600,
+            bytes: 0,
+        };
+        assert!((w.rate_per_sec(SimDuration::from_secs(60)) - 10.0).abs() < 1e-9);
+        assert_eq!(w.rate_per_sec(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn out_of_order_records_do_not_reopen_windows() {
+        let mut m = RateMeter::new(SimDuration::from_secs(10));
+        m.record(SimTime::from_secs(15), 1);
+        m.record(SimTime::from_secs(3), 1); // late arrival
+        let windows = m.finish();
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].count, 2);
+    }
+
+    #[test]
+    fn empty_meter_finishes_empty() {
+        let m = RateMeter::new(SimDuration::from_secs(1));
+        assert!(m.finish().is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_window_is_rejected() {
+        let _ = RateMeter::new(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,160 @@
+//! Replay utilities: merging and splitting timestamped record sets.
+//!
+//! The ISPs deliver the data pre-partitioned "for load-balancing purposes"
+//! (2 DNS streams, 26 NetFlow streams at the large ISP). The generator
+//! produces one logical record sequence per kind; these helpers split it
+//! into N per-stream sequences and merge per-stream sequences back into
+//! global time order, which the correlator's clear-up logic relies on.
+
+use flowdns_types::SimTime;
+
+/// Split an ordered record sequence into `n` streams round-robin, which is
+/// how load balancers shard a feed without inspecting the records.
+pub fn split_round_robin<T>(records: Vec<T>, n: usize) -> Vec<Vec<T>> {
+    assert!(n > 0, "cannot split into zero streams");
+    let mut out: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+    for (i, record) in records.into_iter().enumerate() {
+        out[i % n].push(record);
+    }
+    out
+}
+
+/// Merge several individually time-ordered streams into one globally
+/// time-ordered sequence (a k-way merge). `key` extracts the timestamp.
+pub fn merge_by_time<T, F>(mut streams: Vec<Vec<T>>, key: F) -> Vec<T>
+where
+    F: Fn(&T) -> SimTime,
+{
+    // Reverse each stream so we can pop from the back cheaply.
+    for s in streams.iter_mut() {
+        s.reverse();
+    }
+    let total: usize = streams.iter().map(|s| s.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<(usize, SimTime)> = None;
+        for (i, s) in streams.iter().enumerate() {
+            if let Some(item) = s.last() {
+                let ts = key(item);
+                match best {
+                    None => best = Some((i, ts)),
+                    Some((_, best_ts)) if ts < best_ts => best = Some((i, ts)),
+                    _ => {}
+                }
+            }
+        }
+        match best {
+            Some((i, _)) => out.push(streams[i].pop().expect("stream non-empty")),
+            None => break,
+        }
+    }
+    out
+}
+
+/// Splits a logical feed into per-stream sub-feeds by hashing a record key,
+/// so that records for the same key always land on the same stream (the
+/// alternative sharding strategy to round-robin).
+#[derive(Debug, Clone, Copy)]
+pub struct StreamSplitter {
+    n: usize,
+}
+
+impl StreamSplitter {
+    /// A splitter into `n` streams.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "cannot split into zero streams");
+        StreamSplitter { n }
+    }
+
+    /// Number of output streams.
+    pub fn stream_count(&self) -> usize {
+        self.n
+    }
+
+    /// The stream index for a hashable key.
+    pub fn index_for<K: std::hash::Hash>(&self, key: &K) -> usize {
+        use std::hash::Hasher;
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() % self.n as u64) as usize
+    }
+
+    /// Partition records by key.
+    pub fn split_by_key<T, K, F>(&self, records: Vec<T>, key: F) -> Vec<Vec<T>>
+    where
+        K: std::hash::Hash,
+        F: Fn(&T) -> K,
+    {
+        let mut out: Vec<Vec<T>> = (0..self.n).map(|_| Vec::new()).collect();
+        for record in records {
+            let idx = self.index_for(&key(&record));
+            out[idx].push(record);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_distributes_evenly() {
+        let records: Vec<u32> = (0..10).collect();
+        let streams = split_round_robin(records, 3);
+        assert_eq!(streams.len(), 3);
+        assert_eq!(streams[0], vec![0, 3, 6, 9]);
+        assert_eq!(streams[1], vec![1, 4, 7]);
+        assert_eq!(streams[2], vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn merge_restores_global_order() {
+        let a = vec![(SimTime::from_secs(1), "a1"), (SimTime::from_secs(4), "a2")];
+        let b = vec![
+            (SimTime::from_secs(2), "b1"),
+            (SimTime::from_secs(3), "b2"),
+            (SimTime::from_secs(5), "b3"),
+        ];
+        let merged = merge_by_time(vec![a, b], |r| r.0);
+        let labels: Vec<&str> = merged.iter().map(|r| r.1).collect();
+        assert_eq!(labels, vec!["a1", "b1", "b2", "a2", "b3"]);
+    }
+
+    #[test]
+    fn merge_is_stable_for_equal_timestamps() {
+        let a = vec![(SimTime::from_secs(1), "a")];
+        let b = vec![(SimTime::from_secs(1), "b")];
+        let merged = merge_by_time(vec![a, b], |r| r.0);
+        // First stream wins ties.
+        assert_eq!(merged[0].1, "a");
+        assert_eq!(merged[1].1, "b");
+    }
+
+    #[test]
+    fn split_then_merge_is_identity_on_sorted_input() {
+        let records: Vec<(SimTime, u32)> =
+            (0..100).map(|i| (SimTime::from_secs(i), i as u32)).collect();
+        let streams = split_round_robin(records.clone(), 7);
+        let merged = merge_by_time(streams, |r| r.0);
+        assert_eq!(merged, records);
+    }
+
+    #[test]
+    fn splitter_is_deterministic_and_covers_all_streams() {
+        let splitter = StreamSplitter::new(4);
+        assert_eq!(splitter.stream_count(), 4);
+        let records: Vec<u64> = (0..1000).collect();
+        let streams = splitter.split_by_key(records, |r| *r);
+        assert_eq!(streams.iter().map(|s| s.len()).sum::<usize>(), 1000);
+        assert!(streams.iter().all(|s| !s.is_empty()));
+        // Same key → same stream.
+        assert_eq!(splitter.index_for(&42u64), splitter.index_for(&42u64));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_stream_split_panics() {
+        let _ = split_round_robin(vec![1, 2, 3], 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+use crate::domain::DomainParseError;
+
+/// Errors surfaced by the FlowDNS crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowDnsError {
+    /// A DNS wire-format message could not be parsed.
+    DnsParse(String),
+    /// A NetFlow / IPFIX packet could not be parsed.
+    NetflowParse(String),
+    /// A domain name could not be interpreted.
+    Domain(DomainParseError),
+    /// A configuration file or value was invalid.
+    Config(String),
+    /// A pipeline component was used after shutdown or before start.
+    PipelineState(String),
+    /// An I/O error, stringified (std::io::Error is not Clone/PartialEq).
+    Io(String),
+}
+
+impl fmt::Display for FlowDnsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowDnsError::DnsParse(msg) => write!(f, "DNS parse error: {msg}"),
+            FlowDnsError::NetflowParse(msg) => write!(f, "NetFlow parse error: {msg}"),
+            FlowDnsError::Domain(e) => write!(f, "domain name error: {e}"),
+            FlowDnsError::Config(msg) => write!(f, "configuration error: {msg}"),
+            FlowDnsError::PipelineState(msg) => write!(f, "pipeline state error: {msg}"),
+            FlowDnsError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowDnsError {}
+
+impl From<DomainParseError> for FlowDnsError {
+    fn from(e: DomainParseError) -> Self {
+        FlowDnsError::Domain(e)
+    }
+}
+
+impl From<std::io::Error> for FlowDnsError {
+    fn from(e: std::io::Error) -> Self {
+        FlowDnsError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = FlowDnsError::DnsParse("truncated header".into());
+        assert!(e.to_string().contains("truncated header"));
+        let e = FlowDnsError::Config("missing key num_split".into());
+        assert!(e.to_string().contains("num_split"));
+    }
+
+    #[test]
+    fn conversions() {
+        let d: FlowDnsError = DomainParseError::Empty.into();
+        assert!(matches!(d, FlowDnsError::Domain(_)));
+        let io: FlowDnsError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        assert!(matches!(io, FlowDnsError::Io(_)));
+        assert!(io.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,253 @@
+//! Network flow records.
+//!
+//! The paper's Netflow stream records contain
+//! `..., srcIP, dstIP, ..., timestamp, packet, bytes`. [`FlowRecord`]
+//! carries those fields plus the transport-level fields the coverage
+//! analysis needs (ports 53/853 filtering) and the NetFlow v5/v9 codecs
+//! produce/consume.
+
+use std::fmt;
+use std::net::IpAddr;
+
+use crate::ids::StreamId;
+use crate::time::SimTime;
+
+/// Transport protocol of a flow, as carried in NetFlow's `proto` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Transmission Control Protocol (6).
+    Tcp,
+    /// User Datagram Protocol (17).
+    Udp,
+    /// Internet Control Message Protocol (1).
+    Icmp,
+    /// Any other protocol number.
+    Other(u8),
+}
+
+impl Protocol {
+    /// The IANA protocol number.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            Protocol::Icmp => 1,
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+            Protocol::Other(v) => v,
+        }
+    }
+
+    /// Build from an IANA protocol number.
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            1 => Protocol::Icmp,
+            6 => Protocol::Tcp,
+            17 => Protocol::Udp,
+            other => Protocol::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Protocol::Tcp => write!(f, "tcp"),
+            Protocol::Udp => write!(f, "udp"),
+            Protocol::Icmp => write!(f, "icmp"),
+            Protocol::Other(v) => write!(f, "proto{v}"),
+        }
+    }
+}
+
+/// Direction of a flow relative to the ISP's customers.
+///
+/// FlowDNS attributes *incoming* traffic (content flowing towards the
+/// customer) to services via the flow's **source** IP. The generator also
+/// emits the small amount of outbound traffic used by the Section 5
+/// bidirectional-traffic analysis of malformed domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowDirection {
+    /// Content arriving from the Internet towards a customer.
+    Inbound,
+    /// Traffic leaving a customer towards the Internet.
+    Outbound,
+}
+
+/// The 5-tuple identifying a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// Source IP address.
+    pub src_ip: IpAddr,
+    /// Destination IP address.
+    pub dst_ip: IpAddr,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub proto: Protocol,
+}
+
+impl FlowKey {
+    /// The key of the reverse direction flow.
+    pub fn reversed(&self) -> FlowKey {
+        FlowKey {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+}
+
+/// A single (uni-directional) flow record as consumed by the LookUp
+/// workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// Export timestamp of the flow record.
+    pub ts: SimTime,
+    /// The flow 5-tuple.
+    pub key: FlowKey,
+    /// Number of packets in the flow.
+    pub packets: u64,
+    /// Number of bytes in the flow.
+    pub bytes: u64,
+    /// Which ingress stream delivered the record (0..26 at the large ISP).
+    pub stream: StreamId,
+    /// Direction relative to the ISP customer base.
+    pub direction: FlowDirection,
+}
+
+impl FlowRecord {
+    /// Convenience constructor for an inbound flow with the fields FlowDNS
+    /// actually uses.
+    pub fn inbound(ts: SimTime, src_ip: IpAddr, dst_ip: IpAddr, bytes: u64) -> Self {
+        FlowRecord {
+            ts,
+            key: FlowKey {
+                src_ip,
+                dst_ip,
+                src_port: 443,
+                dst_port: 49152,
+                proto: Protocol::Tcp,
+            },
+            packets: (bytes / 1400).max(1),
+            bytes,
+            stream: StreamId::new(0),
+            direction: FlowDirection::Inbound,
+        }
+    }
+
+    /// Source IP address (the field FlowDNS looks up).
+    pub fn src_ip(&self) -> IpAddr {
+        self.key.src_ip
+    }
+
+    /// Destination IP address.
+    pub fn dst_ip(&self) -> IpAddr {
+        self.key.dst_ip
+    }
+
+    /// Is this flow DNS or DoT traffic (destination port 53 or 853)?
+    /// Used by the coverage analysis in Section 4.
+    pub fn is_dns_or_dot(&self) -> bool {
+        self.key.dst_port == 53 || self.key.dst_port == 853
+    }
+
+    /// Sanity filter applied by the Netflow-processing stage ("go through
+    /// a filter to check if they are valid Netflow records"): a record
+    /// with zero bytes, zero packets, or more packets than bytes is
+    /// considered malformed and dropped.
+    pub fn is_valid(&self) -> bool {
+        self.bytes > 0 && self.packets > 0 && self.packets <= self.bytes
+    }
+}
+
+impl fmt::Display for FlowRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {}:{} -> {}:{} {}B {}pkt",
+            self.ts,
+            self.key.proto,
+            self.key.src_ip,
+            self.key.src_port,
+            self.key.dst_ip,
+            self.key.dst_port,
+            self.bytes,
+            self.packets
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> IpAddr {
+        Ipv4Addr::new(a, b, c, d).into()
+    }
+
+    #[test]
+    fn protocol_round_trip() {
+        for v in [1u8, 6, 17, 47, 132, 255] {
+            assert_eq!(Protocol::from_u8(v).to_u8(), v);
+        }
+    }
+
+    #[test]
+    fn flow_key_reverse_is_involutive() {
+        let k = FlowKey {
+            src_ip: ip(1, 1, 1, 1),
+            dst_ip: ip(2, 2, 2, 2),
+            src_port: 443,
+            dst_port: 55555,
+            proto: Protocol::Tcp,
+        };
+        assert_eq!(k.reversed().reversed(), k);
+        assert_eq!(k.reversed().src_ip, ip(2, 2, 2, 2));
+        assert_eq!(k.reversed().src_port, 55555);
+    }
+
+    #[test]
+    fn inbound_constructor_sets_sensible_fields() {
+        let f = FlowRecord::inbound(SimTime::from_secs(1), ip(8, 8, 8, 8), ip(10, 0, 0, 1), 14_000);
+        assert_eq!(f.src_ip(), ip(8, 8, 8, 8));
+        assert_eq!(f.dst_ip(), ip(10, 0, 0, 1));
+        assert_eq!(f.packets, 10);
+        assert!(f.is_valid());
+        assert_eq!(f.direction, FlowDirection::Inbound);
+    }
+
+    #[test]
+    fn small_flow_has_at_least_one_packet() {
+        let f = FlowRecord::inbound(SimTime::ZERO, ip(1, 2, 3, 4), ip(10, 0, 0, 1), 40);
+        assert_eq!(f.packets, 1);
+        assert!(f.is_valid());
+    }
+
+    #[test]
+    fn dns_dot_port_detection() {
+        let mut f = FlowRecord::inbound(SimTime::ZERO, ip(10, 0, 0, 1), ip(9, 9, 9, 9), 80);
+        f.key.dst_port = 53;
+        assert!(f.is_dns_or_dot());
+        f.key.dst_port = 853;
+        assert!(f.is_dns_or_dot());
+        f.key.dst_port = 443;
+        assert!(!f.is_dns_or_dot());
+    }
+
+    #[test]
+    fn validity_filter_rejects_nonsense_records() {
+        let mut f = FlowRecord::inbound(SimTime::ZERO, ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1000);
+        assert!(f.is_valid());
+        f.bytes = 0;
+        assert!(!f.is_valid());
+        f.bytes = 10;
+        f.packets = 0;
+        assert!(!f.is_valid());
+        f.packets = 100; // more packets than bytes is impossible
+        assert!(!f.is_valid());
+    }
+}

@@ -1,0 +1,251 @@
+//! Correlation output types.
+//!
+//! The result of looking a flow up in the DNS store is a chain of names
+//! (`results` in Algorithm 2): the A/AAAA query name first, then each
+//! CNAME discovered by chain-following. FlowDNS writes the original flow
+//! plus this chain; downstream analyses then map the final name to a
+//! *service* (Netflix, a CDN customer, ...) using suffix rules.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::domain::DomainName;
+use crate::flow::FlowRecord;
+
+/// A human-meaningful service label (e.g. `"S1"`, `"Netflix"`, `"CDN-A"`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServiceLabel(Arc<str>);
+
+impl ServiceLabel {
+    /// Build a label from text.
+    pub fn new(name: &str) -> Self {
+        ServiceLabel(name.into())
+    }
+
+    /// The label text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The label used for traffic that could not be attributed.
+    pub fn unknown() -> Self {
+        ServiceLabel::new("unknown")
+    }
+}
+
+impl fmt::Display for ServiceLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ServiceLabel {
+    fn from(s: &str) -> Self {
+        ServiceLabel::new(s)
+    }
+}
+
+/// The outcome of the hashmap lookup for one flow (Algorithm 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorrelationOutcome {
+    /// The source IP was not present in any IP-NAME hashmap
+    /// (`result = NULL` in the paper).
+    NotFound,
+    /// The IP resolved to a name but no CNAME entry existed
+    /// (`result = Name`).
+    Name(DomainName),
+    /// The IP resolved to a name and the CNAME chain was followed;
+    /// the chain is stored innermost-last (`result = CName`).
+    Chain(Vec<DomainName>),
+}
+
+impl CorrelationOutcome {
+    /// Was anything found at all?
+    pub fn is_correlated(&self) -> bool {
+        !matches!(self, CorrelationOutcome::NotFound)
+    }
+
+    /// The name FlowDNS reports for this flow: the last element of the
+    /// chain (the most canonical name), or the direct name, or `None`.
+    pub fn final_name(&self) -> Option<&DomainName> {
+        match self {
+            CorrelationOutcome::NotFound => None,
+            CorrelationOutcome::Name(n) => Some(n),
+            CorrelationOutcome::Chain(chain) => chain.last(),
+        }
+    }
+
+    /// The first (customer-facing) name of the chain, i.e. the domain the
+    /// client actually queried. Service attribution uses this name.
+    pub fn first_name(&self) -> Option<&DomainName> {
+        match self {
+            CorrelationOutcome::NotFound => None,
+            CorrelationOutcome::Name(n) => Some(n),
+            CorrelationOutcome::Chain(chain) => chain.first(),
+        }
+    }
+
+    /// All names in resolution order.
+    pub fn names(&self) -> &[DomainName] {
+        match self {
+            CorrelationOutcome::NotFound => &[],
+            CorrelationOutcome::Name(n) => std::slice::from_ref(n),
+            CorrelationOutcome::Chain(chain) => chain,
+        }
+    }
+
+    /// Number of CNAME look-ups that were needed (0 for a direct name).
+    pub fn chain_length(&self) -> usize {
+        match self {
+            CorrelationOutcome::NotFound | CorrelationOutcome::Name(_) => 0,
+            CorrelationOutcome::Chain(chain) => chain.len().saturating_sub(1),
+        }
+    }
+}
+
+/// A single name resolved for a flow, with the store generation it was
+/// found in (useful for diagnostics and the rotation ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResolvedName {
+    /// Found in the Active generation.
+    Active,
+    /// Found in the Inactive generation.
+    Inactive,
+    /// Found in the Long generation.
+    Long,
+}
+
+/// One line of FlowDNS output: the original flow plus the resolution
+/// result. This is what the Write workers serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorrelatedRecord {
+    /// The original flow record.
+    pub flow: FlowRecord,
+    /// The resolution outcome.
+    pub outcome: CorrelationOutcome,
+}
+
+impl CorrelatedRecord {
+    /// Is this record attributed to a domain name?
+    pub fn is_correlated(&self) -> bool {
+        self.outcome.is_correlated()
+    }
+
+    /// Bytes carried by the underlying flow.
+    pub fn bytes(&self) -> u64 {
+        self.flow.bytes
+    }
+
+    /// Render the record as a single TSV output line:
+    /// `ts  srcIP  dstIP  bytes  query_name  final_name`.
+    /// Uncorrelated flows have `-` in the name columns.
+    pub fn to_tsv(&self) -> String {
+        let query = self
+            .outcome
+            .first_name()
+            .map(|n| n.as_str().to_string())
+            .unwrap_or_else(|| "-".to_string());
+        let final_name = self
+            .outcome
+            .final_name()
+            .map(|n| n.as_str().to_string())
+            .unwrap_or_else(|| "-".to_string());
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{}",
+            self.flow.ts.as_secs(),
+            self.flow.key.src_ip,
+            self.flow.key.dst_ip,
+            self.flow.bytes,
+            query,
+            final_name
+        )
+    }
+}
+
+impl fmt::Display for CorrelatedRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_tsv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+    use std::net::Ipv4Addr;
+
+    fn flow() -> FlowRecord {
+        FlowRecord::inbound(
+            SimTime::from_secs(42),
+            Ipv4Addr::new(203, 0, 113, 9).into(),
+            Ipv4Addr::new(10, 1, 2, 3).into(),
+            5000,
+        )
+    }
+
+    #[test]
+    fn outcome_not_found() {
+        let o = CorrelationOutcome::NotFound;
+        assert!(!o.is_correlated());
+        assert!(o.final_name().is_none());
+        assert!(o.first_name().is_none());
+        assert!(o.names().is_empty());
+        assert_eq!(o.chain_length(), 0);
+    }
+
+    #[test]
+    fn outcome_direct_name() {
+        let n = DomainName::literal("video.example.com");
+        let o = CorrelationOutcome::Name(n.clone());
+        assert!(o.is_correlated());
+        assert_eq!(o.final_name(), Some(&n));
+        assert_eq!(o.first_name(), Some(&n));
+        assert_eq!(o.chain_length(), 0);
+    }
+
+    #[test]
+    fn outcome_chain_orders_names() {
+        let a = DomainName::literal("www.shop.example");
+        let b = DomainName::literal("shop.cdn.example.net");
+        let c = DomainName::literal("edge7.cdn.example.net");
+        let o = CorrelationOutcome::Chain(vec![a.clone(), b.clone(), c.clone()]);
+        assert_eq!(o.first_name(), Some(&a));
+        assert_eq!(o.final_name(), Some(&c));
+        assert_eq!(o.chain_length(), 2);
+        assert_eq!(o.names().len(), 3);
+    }
+
+    #[test]
+    fn tsv_output_contains_all_fields() {
+        let rec = CorrelatedRecord {
+            flow: flow(),
+            outcome: CorrelationOutcome::Name(DomainName::literal("video.example.com")),
+        };
+        let line = rec.to_tsv();
+        let cols: Vec<&str> = line.split('\t').collect();
+        assert_eq!(cols.len(), 6);
+        assert_eq!(cols[0], "42");
+        assert_eq!(cols[1], "203.0.113.9");
+        assert_eq!(cols[3], "5000");
+        assert_eq!(cols[4], "video.example.com");
+    }
+
+    #[test]
+    fn tsv_output_uses_dash_for_uncorrelated() {
+        let rec = CorrelatedRecord {
+            flow: flow(),
+            outcome: CorrelationOutcome::NotFound,
+        };
+        assert!(rec.to_tsv().ends_with("-\t-"));
+        assert!(!rec.is_correlated());
+        assert_eq!(rec.bytes(), 5000);
+    }
+
+    #[test]
+    fn service_label_basics() {
+        let s = ServiceLabel::from("S1");
+        assert_eq!(s.as_str(), "S1");
+        assert_eq!(ServiceLabel::unknown().as_str(), "unknown");
+        assert_eq!(s.to_string(), "S1");
+    }
+}

@@ -1,0 +1,60 @@
+//! # flowdns
+//!
+//! Facade crate for the FlowDNS reproduction workspace.
+//!
+//! FlowDNS (Maghsoudlou et al., CoNEXT '22) correlates live NetFlow and
+//! DNS streams at ISP scale so that CDN-hosted traffic can be attributed
+//! to the service (domain name) that caused it. This crate re-exports the
+//! public API of every workspace member under one roof:
+//!
+//! * [`types`] — shared record and time types,
+//! * [`dns`] — RFC 1035 wire codec, validation and resolver-feed framing,
+//! * [`netflow`] — NetFlow v5/v9 and IPFIX-subset codecs,
+//! * [`stream`] — bounded lossy stream buffers and pacing,
+//! * [`storage`] — sharded, rotating DNS stores,
+//! * [`core`] — the FillUp/LookUp/Write correlation pipeline,
+//! * [`gen`] — synthetic ISP workload generation,
+//! * [`bgp`] — longest-prefix-match AS attribution,
+//! * [`dbl`] — domain blocklist and RFC 1035 validity analysis,
+//! * [`analysis`] — ECDFs, per-AS / per-category accounting, reports.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use flowdns::core::{Correlator, CorrelatorConfig};
+//! use flowdns::types::{DnsRecord, DomainName, FlowRecord, SimTime};
+//! use std::net::Ipv4Addr;
+//!
+//! // Build a correlator with default (paper) parameters.
+//! let correlator = Correlator::start(CorrelatorConfig::default()).unwrap();
+//!
+//! // Feed one DNS record: video.example.com -> 203.0.113.7
+//! correlator.push_dns(DnsRecord::address(
+//!     SimTime::from_secs(1),
+//!     DomainName::literal("video.example.com"),
+//!     Ipv4Addr::new(203, 0, 113, 7).into(),
+//!     300,
+//! ));
+//!
+//! // Feed one flow whose source is that IP.
+//! correlator.push_flow(FlowRecord::inbound(
+//!     SimTime::from_secs(2),
+//!     Ipv4Addr::new(203, 0, 113, 7).into(),
+//!     Ipv4Addr::new(10, 0, 0, 1).into(),
+//!     1_000_000,
+//! ));
+//!
+//! let report = correlator.finish().unwrap();
+//! assert!(report.volumes.correlation_rate_pct() > 99.0);
+//! ```
+
+pub use flowdns_analysis as analysis;
+pub use flowdns_bgp as bgp;
+pub use flowdns_core as core;
+pub use flowdns_dbl as dbl;
+pub use flowdns_dns as dns;
+pub use flowdns_gen as gen;
+pub use flowdns_netflow as netflow;
+pub use flowdns_storage as storage;
+pub use flowdns_stream as stream;
+pub use flowdns_types as types;
