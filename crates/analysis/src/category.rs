@@ -200,7 +200,8 @@ impl CategoryAnalysis {
         let domain_share = if self.malformed_domains_seen.is_empty() {
             0.0
         } else {
-            self.malformed_domains_replied_to.len() as f64 / self.malformed_domains_seen.len() as f64
+            self.malformed_domains_replied_to.len() as f64
+                / self.malformed_domains_seen.len() as f64
         };
         let packet_share = if self.total_packets == 0 {
             0.0
@@ -219,8 +220,14 @@ mod tests {
 
     fn blocklist() -> Blocklist {
         let mut bl = Blocklist::new();
-        bl.add(DomainName::literal("spamhub0.bad0.example"), BlocklistCategory::Spam);
-        bl.add(DomainName::literal("cc-node0.bad1.example"), BlocklistCategory::BotnetCc);
+        bl.add(
+            DomainName::literal("spamhub0.bad0.example"),
+            BlocklistCategory::Spam,
+        );
+        bl.add(
+            DomainName::literal("cc-node0.bad1.example"),
+            BlocklistCategory::BotnetCc,
+        );
         bl
     }
 
@@ -262,15 +269,38 @@ mod tests {
     #[test]
     fn classification_covers_all_categories() {
         let mut analysis = CategoryAnalysis::new(blocklist());
-        analysis.observe(&inbound([1, 1, 1, 1], [10, 0, 0, 1], 10_000, Some("www.shop.example")));
-        analysis.observe(&inbound([2, 2, 2, 2], [10, 0, 0, 2], 500, Some("spamhub0.bad0.example")));
-        analysis.observe(&inbound([3, 3, 3, 3], [10, 0, 0, 3], 300, Some("cc-node0.bad1.example")));
-        analysis.observe(&inbound([4, 4, 4, 4], [10, 0, 0, 4], 200, Some("_svc1._tcp.host.example")));
+        analysis.observe(&inbound(
+            [1, 1, 1, 1],
+            [10, 0, 0, 1],
+            10_000,
+            Some("www.shop.example"),
+        ));
+        analysis.observe(&inbound(
+            [2, 2, 2, 2],
+            [10, 0, 0, 2],
+            500,
+            Some("spamhub0.bad0.example"),
+        ));
+        analysis.observe(&inbound(
+            [3, 3, 3, 3],
+            [10, 0, 0, 3],
+            300,
+            Some("cc-node0.bad1.example"),
+        ));
+        analysis.observe(&inbound(
+            [4, 4, 4, 4],
+            [10, 0, 0, 4],
+            200,
+            Some("_svc1._tcp.host.example"),
+        ));
         analysis.observe(&inbound([5, 5, 5, 5], [10, 0, 0, 5], 700, None));
 
         assert_eq!(analysis.total_bytes, 11_700);
         assert_eq!(
-            analysis.traffic(TrafficCategory::Benign).unwrap().total_bytes(),
+            analysis
+                .traffic(TrafficCategory::Benign)
+                .unwrap()
+                .total_bytes(),
             10_000
         );
         assert_eq!(
@@ -281,11 +311,17 @@ mod tests {
             500
         );
         assert_eq!(
-            analysis.traffic(TrafficCategory::Malformed).unwrap().total_bytes(),
+            analysis
+                .traffic(TrafficCategory::Malformed)
+                .unwrap()
+                .total_bytes(),
             200
         );
         assert_eq!(
-            analysis.traffic(TrafficCategory::Uncorrelated).unwrap().total_bytes(),
+            analysis
+                .traffic(TrafficCategory::Uncorrelated)
+                .unwrap()
+                .total_bytes(),
             700
         );
         let share = analysis.suspicious_and_malformed_share();
@@ -300,8 +336,18 @@ mod tests {
     fn bidirectional_malformed_traffic_is_tracked() {
         let mut analysis = CategoryAnalysis::new(blocklist());
         // Two clients receive malformed traffic from the same bad IP.
-        analysis.observe(&inbound([9, 9, 9, 9], [10, 0, 0, 1], 400, Some("_bad.host.example")));
-        analysis.observe(&inbound([9, 9, 9, 9], [10, 0, 0, 2], 400, Some("_bad.host.example")));
+        analysis.observe(&inbound(
+            [9, 9, 9, 9],
+            [10, 0, 0, 1],
+            400,
+            Some("_bad.host.example"),
+        ));
+        analysis.observe(&inbound(
+            [9, 9, 9, 9],
+            [10, 0, 0, 2],
+            400,
+            Some("_bad.host.example"),
+        ));
         // One of them replies.
         analysis.observe(&outbound([10, 0, 0, 1], [9, 9, 9, 9], 100));
         // An unrelated outbound flow does not count.

@@ -46,7 +46,7 @@ impl PerAsTraffic {
             *totals.entry(*asn).or_insert(0) += bytes;
         }
         let mut out: Vec<(u32, u64)> = totals.into_iter().collect();
-        out.sort_by(|a, b| b.1.cmp(&a.1));
+        out.sort_by_key(|&(_, bytes)| std::cmp::Reverse(bytes));
         out
     }
 

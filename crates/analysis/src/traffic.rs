@@ -44,11 +44,7 @@ impl TrafficByKey {
 
     /// The keys sorted by descending traffic, with their byte counts.
     pub fn ranked(&self) -> Vec<(String, u64)> {
-        let mut out: Vec<(String, u64)> = self
-            .bytes
-            .iter()
-            .map(|(k, v)| (k.clone(), *v))
-            .collect();
+        let mut out: Vec<(String, u64)> = self.bytes.iter().map(|(k, v)| (k.clone(), *v)).collect();
         out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         out
     }

@@ -2,8 +2,8 @@
 //! framing.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use flowdns_dns::{DnsMessage, FrameDecoder, FrameEncoder, Question, ResourceRecord};
 use flowdns_dns::message::DnsClass;
+use flowdns_dns::{DnsMessage, FrameDecoder, FrameEncoder, Question, ResourceRecord};
 use flowdns_types::{DnsRecord, DomainName, RecordType, SimTime};
 use std::net::Ipv4Addr;
 

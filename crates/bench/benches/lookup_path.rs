@@ -16,9 +16,21 @@ fn populate(store: &DnsStore, chains: usize) {
         let hop = DomainName::literal(&format!("svc{i}.cdn.example.net"));
         let edge = DomainName::literal(&format!("edge{i}.cdn.example.net"));
         let ip = Ipv4Addr::new(100, 64, (i >> 8) as u8, i as u8);
-        process_dns_record(store, &DnsRecord::cname(ts, customer, hop.clone(), 600), &mut stats);
-        process_dns_record(store, &DnsRecord::cname(ts, hop, edge.clone(), 600), &mut stats);
-        process_dns_record(store, &DnsRecord::address(ts, edge, ip.into(), 300), &mut stats);
+        process_dns_record(
+            store,
+            &DnsRecord::cname(ts, customer, hop.clone(), 600),
+            &mut stats,
+        );
+        process_dns_record(
+            store,
+            &DnsRecord::cname(ts, hop, edge.clone(), 600),
+            &mut stats,
+        );
+        process_dns_record(
+            store,
+            &DnsRecord::address(ts, edge, ip.into(), 300),
+            &mut stats,
+        );
     }
 }
 

@@ -30,7 +30,7 @@ fn v5_packet() -> V5Packet {
 fn v9_packet() -> Vec<u8> {
     let template = Template::standard_ipv4(256);
     let mut builder = V9PacketBuilder::new(1, 1, 1_700_000_000);
-    builder.add_templates(&[template.clone()]);
+    builder.add_templates(std::slice::from_ref(&template));
     let records: Vec<Vec<u8>> = (0..30)
         .map(|i| {
             encode_standard_ipv4_record(

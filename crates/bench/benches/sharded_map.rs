@@ -9,19 +9,29 @@ fn bench_sharded_map(c: &mut Criterion) {
     let mut group = c.benchmark_group("sharded_map");
     group.sample_size(30);
     for shards in [1usize, 8, 32] {
-        group.bench_with_input(BenchmarkId::new("insert_10k", shards), &shards, |b, &shards| {
-            b.iter(|| {
-                let map: ShardedMap<String, String> = ShardedMap::new(shards);
-                for i in 0..10_000u32 {
-                    map.insert(format!("198.51.{}.{}", i >> 8, i & 0xff), "svc.example".to_string());
-                }
-                black_box(map.len())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("insert_10k", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let map: ShardedMap<String, String> = ShardedMap::new(shards);
+                    for i in 0..10_000u32 {
+                        map.insert(
+                            format!("198.51.{}.{}", i >> 8, i & 0xff),
+                            "svc.example".to_string(),
+                        );
+                    }
+                    black_box(map.len())
+                })
+            },
+        );
     }
     let map: ShardedMap<String, String> = ShardedMap::new(32);
     for i in 0..10_000u32 {
-        map.insert(format!("198.51.{}.{}", i >> 8, i & 0xff), "svc.example".to_string());
+        map.insert(
+            format!("198.51.{}.{}", i >> 8, i & 0xff),
+            "svc.example".to_string(),
+        );
     }
     group.bench_function("get_hit", |b| {
         b.iter(|| black_box(map.get("198.51.19.136")));

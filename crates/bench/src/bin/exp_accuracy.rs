@@ -6,9 +6,9 @@
 //! site (50%). The overwrite matters for the 12% of IPs carrying more
 //! than one name (Figure 9).
 
-use flowdns_core::{CorrelatorConfig, DnsStore, Resolver};
 use flowdns_core::fillup::{process_dns_record, FillUpStats};
 use flowdns_core::lookup::LookUpStats;
+use flowdns_core::{CorrelatorConfig, DnsStore, Resolver};
 use flowdns_gen::{AccuracyCapture, AccuracyScenario};
 
 fn run_scenario(scenario: AccuracyScenario) -> (f64, usize) {
@@ -39,8 +39,14 @@ fn main() {
     println!("== §4 Accuracy: two-website ground-truth experiment ==");
     let (acc1, n1) = run_scenario(AccuracyScenario::DistinctIps);
     let (acc2, n2) = run_scenario(AccuracyScenario::SharedIp);
-    println!("scenario 1 (distinct IPs): paper 100%   measured {:.0}% over {n1} flows", acc1 * 100.0);
-    println!("scenario 2 (shared IP)   : paper  50%   measured {:.0}% over {n2} flows", acc2 * 100.0);
+    println!(
+        "scenario 1 (distinct IPs): paper 100%   measured {:.0}% over {n1} flows",
+        acc1 * 100.0
+    );
+    println!(
+        "scenario 2 (shared IP)   : paper  50%   measured {:.0}% over {n2} flows",
+        acc2 * 100.0
+    );
     println!();
     println!("The shared-IP flows are all attributed to the site whose DNS record arrived last,");
     println!("which is exactly the overwrite behaviour the paper describes.");

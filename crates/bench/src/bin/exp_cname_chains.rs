@@ -46,13 +46,17 @@ fn main() {
     let truth_ecdf = Ecdf::from_counts(ground_truth.iter().copied());
     let resolved_ecdf = Ecdf::from_counts(resolved.iter().copied());
     println!("-- ground-truth chain lengths (per correlated flow) --");
-    println!("{}", render_series("chain_length", "ecdf", &truth_ecdf.series(&points)));
-    println!("-- chains actually followed by FlowDNS (memoized) --");
-    println!("{}", render_series("chain_length", "ecdf", &resolved_ecdf.series(&points)));
-
     println!(
-        "paper    : >99% of records resolvable within 6 look-ups (loop limit = 6)"
+        "{}",
+        render_series("chain_length", "ecdf", &truth_ecdf.series(&points))
     );
+    println!("-- chains actually followed by FlowDNS (memoized) --");
+    println!(
+        "{}",
+        render_series("chain_length", "ecdf", &resolved_ecdf.series(&points))
+    );
+
+    println!("paper    : >99% of records resolvable within 6 look-ups (loop limit = 6)");
     println!(
         "measured : {:.2}% of ground-truth chains <= 6 hops over {} correlated flows ({} records looked up)",
         truth_ecdf.fraction_at_or_below(6.0) * 100.0,

@@ -18,7 +18,9 @@ use flowdns_dbl::BlocklistCategory;
 fn main() {
     let hours = flowdns_bench::hours_arg(6);
     let workload = experiment_workload(hours, 45.0);
-    println!("== Figure 5 / §5: suspicious and malformed domain traffic ({hours} simulated hours) ==");
+    println!(
+        "== Figure 5 / §5: suspicious and malformed domain traffic ({hours} simulated hours) =="
+    );
     let (outcome, analysis) = run_category_analysis(&workload);
 
     println!(

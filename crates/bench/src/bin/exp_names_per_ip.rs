@@ -19,10 +19,8 @@ fn main() {
 
     // Pick windows in the middle of the trace so announcements have warmed up.
     let mid = SimTime::from_secs(hours * 3600 / 2);
-    let mut short = CardinalityAnalysis::with_window(TimeRange::starting_at(
-        mid,
-        SimDuration::from_secs(300),
-    ));
+    let mut short =
+        CardinalityAnalysis::with_window(TimeRange::starting_at(mid, SimDuration::from_secs(300)));
     let mut long = CardinalityAnalysis::with_window(TimeRange::starting_at(
         mid,
         SimDuration::from_hours(1).min(SimDuration::from_hours(hours)),
@@ -36,14 +34,26 @@ fn main() {
     }
 
     let points: Vec<f64> = (1..=10).map(|i| i as f64).collect();
-    println!("-- 300-second sample: {} IPs, {} names --", short.ip_count(), short.name_count());
     println!(
-        "{}",
-        render_series("names_per_ip", "ecdf", &short.names_per_ip_ecdf().series(&points))
+        "-- 300-second sample: {} IPs, {} names --",
+        short.ip_count(),
+        short.name_count()
     );
     println!(
         "{}",
-        render_series("ips_per_name", "ecdf", &short.ips_per_name_ecdf().series(&points))
+        render_series(
+            "names_per_ip",
+            "ecdf",
+            &short.names_per_ip_ecdf().series(&points)
+        )
+    );
+    println!(
+        "{}",
+        render_series(
+            "ips_per_name",
+            "ecdf",
+            &short.ips_per_name_ecdf().series(&points)
+        )
     );
 
     println!("paper    (300 s): 88% of IPs map to one name; 35% of names map to >1 IP");

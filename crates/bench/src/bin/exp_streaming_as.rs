@@ -53,7 +53,10 @@ fn main() {
                 ]
             })
             .collect();
-        println!("{}", render_table(&["origin_as", "share_pct", "bytes"], &rows));
+        println!(
+            "{}",
+            render_table(&["origin_as", "share_pct", "bytes"], &rows)
+        );
         if let Some((top_asn, _)) = ranked.first() {
             let series = per_as.cumulative_series(*top_asn);
             let head: Vec<String> = series
@@ -61,14 +64,15 @@ fn main() {
                 .take(8)
                 .map(|(h, b)| format!("h{h}:{b}"))
                 .collect();
-            println!("cumulative volume of AS{top_asn} (first hours): {}", head.join("  "));
+            println!(
+                "cumulative volume of AS{top_asn} (first hours): {}",
+                head.join("  ")
+            );
         }
         println!();
     }
 
-    println!(
-        "paper    : S1 ~single-AS origin; S2 split across two ASes; diurnal volume curves"
-    );
+    println!("paper    : S1 ~single-AS origin; S2 split across two ASes; diurnal volume curves");
     println!(
         "measured : S1 top-1 AS share {:.1}% ({} ASes); S2 top-2 AS share {:.1}% ({} ASes)",
         per_as_s1.top_as_share(1) * 100.0,

@@ -33,7 +33,10 @@ fn main() {
     for (label, ttls) in [("A", &a_ttls), ("AAAA", &aaaa_ttls), ("CNAME", &cname_ttls)] {
         let ecdf = Ecdf::from_counts(ttls.iter().copied());
         println!("-- {label} records ({} samples) --", ecdf.len());
-        println!("{}", render_series("ttl_seconds", "ecdf", &ecdf.series(&points)));
+        println!(
+            "{}",
+            render_series("ttl_seconds", "ecdf", &ecdf.series(&points))
+        );
     }
 
     let a_all = Ecdf::from_counts(a_ttls.iter().chain(&aaaa_ttls).copied());

@@ -49,7 +49,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["variant", "paper_pct", "measured_pct", "measured_hourly_mean_pct"],
+            &[
+                "variant",
+                "paper_pct",
+                "measured_pct",
+                "measured_hourly_mean_pct"
+            ],
             &summary
         )
     );

@@ -54,7 +54,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["variant", "mean_cpu_pct", "peak_mem_gb", "final_mem_gb", "correlation_pct"],
+            &[
+                "variant",
+                "mean_cpu_pct",
+                "peak_mem_gb",
+                "final_mem_gb",
+                "correlation_pct"
+            ],
             &summary_rows
         )
     );

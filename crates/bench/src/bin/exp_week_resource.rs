@@ -40,7 +40,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["hour", "hour-of-day", "cpu_pct", "memory_gb", "traffic (normalized 0-70)"],
+            &[
+                "hour",
+                "hour-of-day",
+                "cpu_pct",
+                "memory_gb",
+                "traffic (normalized 0-70)"
+            ],
             &rows
         )
     );

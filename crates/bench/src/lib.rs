@@ -119,10 +119,12 @@ pub fn run_category_analysis(workload: &Workload) -> (SimulationOutcome, Categor
 /// accept it as their first CLI argument so a full 24-hour run is a choice
 /// rather than a default.
 pub fn experiment_workload(hours: u64, peak_flows_per_sec: f64) -> Workload {
-    let mut config = WorkloadConfig::default();
-    config.duration = SimDuration::from_hours(hours);
-    config.peak_flows_per_sec = peak_flows_per_sec;
-    config.background_dns_per_sec = (peak_flows_per_sec / 8.0).max(1.0);
+    let config = WorkloadConfig {
+        duration: SimDuration::from_hours(hours),
+        peak_flows_per_sec,
+        background_dns_per_sec: (peak_flows_per_sec / 8.0).max(1.0),
+        ..WorkloadConfig::default()
+    };
     Workload::new(config)
 }
 

@@ -75,7 +75,11 @@ fn mask_addr(addr: IpAddr, len: u8) -> IpAddr {
     match addr {
         IpAddr::V4(v4) => {
             let raw = u32::from(v4);
-            let mask = if len == 0 { 0 } else { u32::MAX << (32 - len as u32) };
+            let mask = if len == 0 {
+                0
+            } else {
+                u32::MAX << (32 - len as u32)
+            };
             IpAddr::V4(Ipv4Addr::from(raw & mask))
         }
         IpAddr::V6(v6) => {
@@ -160,6 +164,9 @@ mod tests {
         let bits: Vec<bool> = p.bits().collect();
         assert_eq!(bits.len(), 24);
         // 192 = 11000000
-        assert_eq!(&bits[..8], &[true, true, false, false, false, false, false, false]);
+        assert_eq!(
+            &bits[..8],
+            &[true, true, false, false, false, false, false, false]
+        );
     }
 }

@@ -100,7 +100,13 @@ impl RoutingTable {
     /// Announce a whole set of `/prefix_len` blocks covering `ips` for one
     /// AS: a convenience used by the experiment harness to align the
     /// routing table with the generated CDN universe.
-    pub fn announce_ips(&mut self, ips: &[IpAddr], prefix_len_v4: u8, prefix_len_v6: u8, origin_as: u32) {
+    pub fn announce_ips(
+        &mut self,
+        ips: &[IpAddr],
+        prefix_len_v4: u8,
+        prefix_len_v6: u8,
+        origin_as: u32,
+    ) {
         for ip in ips {
             let len = match ip {
                 IpAddr::V4(_) => prefix_len_v4,

@@ -268,8 +268,14 @@ mod tests {
 
     #[test]
     fn variant_switches_drive_effective_settings() {
-        assert_eq!(CorrelatorConfig::for_variant(Variant::NoSplit).effective_num_split(), 1);
-        assert_eq!(CorrelatorConfig::for_variant(Variant::Main).effective_num_split(), 10);
+        assert_eq!(
+            CorrelatorConfig::for_variant(Variant::NoSplit).effective_num_split(),
+            1
+        );
+        assert_eq!(
+            CorrelatorConfig::for_variant(Variant::Main).effective_num_split(),
+            10
+        );
         assert!(!CorrelatorConfig::for_variant(Variant::NoClearUp).clears_up());
         assert!(!CorrelatorConfig::for_variant(Variant::NoRotation).rotates());
         assert!(!CorrelatorConfig::for_variant(Variant::NoLongHashmaps).uses_long_maps());
@@ -313,14 +319,20 @@ lookup_workers = 8
 
     #[test]
     fn validation_catches_zero_values() {
-        let mut cfg = CorrelatorConfig::default();
-        cfg.cname_loop_limit = 0;
+        let cfg = CorrelatorConfig {
+            cname_loop_limit: 0,
+            ..CorrelatorConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = CorrelatorConfig::default();
-        cfg.lookup_queue_capacity = 0;
+        let cfg = CorrelatorConfig {
+            lookup_queue_capacity: 0,
+            ..CorrelatorConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = CorrelatorConfig::default();
-        cfg.a_clear_up_interval = SimDuration::ZERO;
+        let mut cfg = CorrelatorConfig {
+            a_clear_up_interval: SimDuration::ZERO,
+            ..CorrelatorConfig::default()
+        };
         assert!(cfg.validate().is_err());
         // ... unless the variant never clears up anyway.
         cfg.variant = Variant::NoClearUp;

@@ -44,12 +44,22 @@ pub fn process_dns_record(store: &DnsStore, record: &DnsRecord, stats: &mut Fill
     }
     match (&record.rtype, &record.answer) {
         (RecordType::A | RecordType::Aaaa, DnsAnswer::Ip(ip)) => {
-            store.insert_address(&ip.to_string(), record.query.as_str(), record.ttl, record.ts);
+            store.insert_address(
+                &ip.to_string(),
+                record.query.as_str(),
+                record.ttl,
+                record.ts,
+            );
             stats.addresses_stored += 1;
             true
         }
         (RecordType::Cname, DnsAnswer::Name(target)) => {
-            store.insert_cname(target.as_str(), record.query.as_str(), record.ttl, record.ts);
+            store.insert_cname(
+                target.as_str(),
+                record.query.as_str(),
+                record.ttl,
+                record.ts,
+            );
             stats.cnames_stored += 1;
             true
         }
@@ -95,7 +105,9 @@ mod tests {
         assert!(s.lookup_ip("203.0.113.3", SimTime::from_secs(2)).is_some());
         // CNAME is keyed by the canonical target.
         assert_eq!(
-            s.lookup_cname("edge.cdn.example", SimTime::from_secs(2)).unwrap().0,
+            s.lookup_cname("edge.cdn.example", SimTime::from_secs(2))
+                .unwrap()
+                .0,
             "www.service.example"
         );
     }

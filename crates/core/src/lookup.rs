@@ -236,13 +236,19 @@ mod tests {
                 "www.shop.example"
             ]
         );
-        assert_eq!(rec.outcome.final_name().unwrap().as_str(), "www.shop.example");
+        assert_eq!(
+            rec.outcome.final_name().unwrap().as_str(),
+            "www.shop.example"
+        );
         assert_eq!(stats.cname_hops, 2);
         assert_eq!(stats.memoized, 1);
         // The memoized shortcut now answers in a single hop.
         let mut stats2 = LookUpStats::default();
         let rec2 = resolver.process_flow(flow([198, 51, 100, 7]), &mut stats2);
-        assert_eq!(rec2.outcome.final_name().unwrap().as_str(), "www.shop.example");
+        assert_eq!(
+            rec2.outcome.final_name().unwrap().as_str(),
+            "www.shop.example"
+        );
         assert_eq!(stats2.cname_hops, 1);
     }
 

@@ -326,9 +326,11 @@ mod tests {
 
     #[test]
     fn finish_drains_queues_before_reporting() {
-        let mut config = CorrelatorConfig::default();
-        config.fillup_workers = 1;
-        config.lookup_workers = 1;
+        let config = CorrelatorConfig {
+            fillup_workers: 1,
+            lookup_workers: 1,
+            ..CorrelatorConfig::default()
+        };
         let correlator = Correlator::start(config).unwrap();
         for i in 0..200u8 {
             correlator.push_dns(dns(1, "bulk.example", [198, 51, 100, i], 60));
@@ -347,13 +349,15 @@ mod tests {
 
     #[test]
     fn tiny_queues_produce_loss_not_deadlock() {
-        let mut config = CorrelatorConfig::default();
-        config.fillup_queue_capacity = 8;
-        config.lookup_queue_capacity = 8;
-        config.write_queue_capacity = 8;
-        config.fillup_workers = 1;
-        config.lookup_workers = 1;
-        config.write_workers = 1;
+        let config = CorrelatorConfig {
+            fillup_queue_capacity: 8,
+            lookup_queue_capacity: 8,
+            write_queue_capacity: 8,
+            fillup_workers: 1,
+            lookup_workers: 1,
+            write_workers: 1,
+            ..CorrelatorConfig::default()
+        };
         let correlator = Correlator::start(config).unwrap();
         let mut dns_accepted = 0u64;
         for i in 0..10_000u32 {
@@ -373,7 +377,8 @@ mod tests {
 
     #[test]
     fn exact_ttl_variant_runs_in_pipeline() {
-        let correlator = Correlator::start(CorrelatorConfig::for_variant(Variant::ExactTtl)).unwrap();
+        let correlator =
+            Correlator::start(CorrelatorConfig::for_variant(Variant::ExactTtl)).unwrap();
         correlator.push_dns(dns(1, "ttl.example", [203, 0, 113, 77], 30));
         while correlator.queue_depths().0 > 0 {
             std::thread::sleep(Duration::from_millis(1));

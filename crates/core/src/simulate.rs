@@ -216,15 +216,15 @@ impl OfflineSimulator {
         let mut total_work = 0.0f64;
 
         let flush_hour = |hour: u64,
-                              work: f64,
-                              bytes: u64,
-                              correlated: u64,
-                              dns_off: u64,
-                              dns_drop: u64,
-                              flow_off: u64,
-                              flow_drop: u64,
-                              memory_gb: f64,
-                              out: &mut Vec<HourlySample>| {
+                          work: f64,
+                          bytes: u64,
+                          correlated: u64,
+                          dns_off: u64,
+                          dns_drop: u64,
+                          flow_off: u64,
+                          flow_drop: u64,
+                          memory_gb: f64,
+                          out: &mut Vec<HourlySample>| {
             let correlation = if bytes == 0 {
                 0.0
             } else {
@@ -306,7 +306,8 @@ impl OfflineSimulator {
                     if store.is_exact_ttl() {
                         work += EXACT_TTL_OP_PENALTY;
                     }
-                    work += self.store_maintenance_work(&store, &mut prev_rotated, &mut prev_purged);
+                    work +=
+                        self.store_maintenance_work(&store, &mut prev_rotated, &mut prev_purged);
                     backlog += work;
                     hour_work += work;
                     total_work += work;
@@ -329,7 +330,8 @@ impl OfflineSimulator {
                     if store.is_exact_ttl() {
                         work += EXACT_TTL_OP_PENALTY;
                     }
-                    work += self.store_maintenance_work(&store, &mut prev_rotated, &mut prev_purged);
+                    work +=
+                        self.store_maintenance_work(&store, &mut prev_rotated, &mut prev_purged);
                     backlog += work;
                     hour_work += work;
                     total_work += work;
@@ -532,7 +534,12 @@ mod tests {
         let mut flow_records = Vec::new();
         for s in 0..600u64 {
             for i in 0..5u8 {
-                dns_records.push(dns(s, &format!("d{s}-{i}.example"), [10, 1, (s % 256) as u8, i], 120));
+                dns_records.push(dns(
+                    s,
+                    &format!("d{s}-{i}.example"),
+                    [10, 1, (s % 256) as u8, i],
+                    120,
+                ));
                 flow_records.push(flow(s, [10, 1, (s % 256) as u8, i], 1_000));
                 flow_records.push(flow(s, [10, 2, (s % 256) as u8, i], 1_000));
             }

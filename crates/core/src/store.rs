@@ -24,7 +24,9 @@
 //! service attribution needs (the A record is keyed by the CDN edge name;
 //! following the chain recovers e.g. `www.netflix.com`).
 
-use flowdns_storage::{ExactTtlStore, Generation, MemoryEstimate, RotatingStore, RotationPolicy, SplitStore};
+use flowdns_storage::{
+    ExactTtlStore, Generation, MemoryEstimate, RotatingStore, RotationPolicy, SplitStore,
+};
 use flowdns_types::SimTime;
 
 use crate::config::{CorrelatorConfig, Variant};
@@ -203,7 +205,12 @@ mod tests {
     fn address_and_cname_lookups() {
         let s = store(Variant::Main);
         s.insert_address("203.0.113.9", "edge7.cdn.example.net", 60, SimTime::ZERO);
-        s.insert_cname("edge7.cdn.example.net", "www.shop.example", 600, SimTime::ZERO);
+        s.insert_cname(
+            "edge7.cdn.example.net",
+            "www.shop.example",
+            600,
+            SimTime::ZERO,
+        );
         let (name, generation) = s.lookup_ip("203.0.113.9", SimTime::ZERO).unwrap();
         assert_eq!(name, "edge7.cdn.example.net");
         assert_eq!(generation, Generation::Active);
@@ -226,7 +233,9 @@ mod tests {
             Generation::Inactive
         );
         assert_eq!(
-            s.lookup_cname("cdn.example", SimTime::from_secs(4000)).unwrap().1,
+            s.lookup_cname("cdn.example", SimTime::from_secs(4000))
+                .unwrap()
+                .1,
             Generation::Active
         );
         // Only the split that has seen data had an armed clear-up clock.
@@ -273,7 +282,12 @@ mod tests {
         let s = store(Variant::Main);
         let before = s.memory_estimate().total_bytes();
         for i in 0..100 {
-            s.insert_address(&format!("198.51.100.{i}"), "service.example.net", 60, SimTime::ZERO);
+            s.insert_address(
+                &format!("198.51.100.{i}"),
+                "service.example.net",
+                60,
+                SimTime::ZERO,
+            );
         }
         assert!(s.memory_estimate().total_bytes() > before);
         assert_eq!(s.memory_estimate().entries, 100);

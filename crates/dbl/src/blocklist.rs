@@ -178,9 +178,18 @@ mod tests {
 
     fn blocklist() -> Blocklist {
         let mut bl = Blocklist::new();
-        bl.add(DomainName::literal("spamhub.example"), BlocklistCategory::Spam);
-        bl.add(DomainName::literal("cc-node3.bad.example"), BlocklistCategory::BotnetCc);
-        bl.add(DomainName::literal("dropper.example"), BlocklistCategory::Malware);
+        bl.add(
+            DomainName::literal("spamhub.example"),
+            BlocklistCategory::Spam,
+        );
+        bl.add(
+            DomainName::literal("cc-node3.bad.example"),
+            BlocklistCategory::BotnetCc,
+        );
+        bl.add(
+            DomainName::literal("dropper.example"),
+            BlocklistCategory::Malware,
+        );
         bl
     }
 

@@ -127,7 +127,11 @@ impl ResponseFilter {
 /// should store (the record-level equivalent of the message filter, used
 /// when the feed delivers flattened records rather than full messages).
 pub fn record_is_storable(record: &DnsRecord) -> bool {
-    record.is_correlatable() && matches!(record.rtype, RecordType::A | RecordType::Aaaa | RecordType::Cname)
+    record.is_correlatable()
+        && matches!(
+            record.rtype,
+            RecordType::A | RecordType::Aaaa | RecordType::Cname
+        )
 }
 
 #[cfg(test)]

@@ -261,7 +261,9 @@ mod tests {
     #[test]
     fn corrupt_payload_is_rejected() {
         let record = &sample_records()[0];
-        let mut encoded = FrameEncoder::new().encode_batch(std::slice::from_ref(record)).unwrap();
+        let mut encoded = FrameEncoder::new()
+            .encode_batch(std::slice::from_ref(record))
+            .unwrap();
         // Corrupt the answer tag byte (offset 4 + 8 + 4 + 2 = 18).
         encoded[18] = 99;
         let mut decoder = FrameDecoder::new();
@@ -284,7 +286,9 @@ mod tests {
     #[test]
     fn trailing_garbage_in_payload_is_rejected() {
         let record = &sample_records()[0];
-        let frame = FrameEncoder::new().encode_batch(std::slice::from_ref(record)).unwrap();
+        let frame = FrameEncoder::new()
+            .encode_batch(std::slice::from_ref(record))
+            .unwrap();
         // Extend the declared length by 2 and append two bytes of junk.
         let mut tampered = BytesMut::new();
         let orig_len = u32::from_be_bytes([frame[0], frame[1], frame[2], frame[3]]);

@@ -641,7 +641,10 @@ mod tests {
         let bytes = msg.encode().unwrap();
         let decoded = DnsMessage::decode(&bytes).unwrap();
         assert_eq!(decoded, msg);
-        assert_eq!(decoded.answers[0].data.ip(), Some(IpAddr::V4(Ipv4Addr::new(203, 0, 113, 10))));
+        assert_eq!(
+            decoded.answers[0].data.ip(),
+            Some(IpAddr::V4(Ipv4Addr::new(203, 0, 113, 10)))
+        );
     }
 
     #[test]

@@ -90,7 +90,8 @@ pub fn decode_name(reader: &mut Reader<'_>) -> Result<DomainName, FlowDnsError> 
 
     if labels.is_empty() {
         // The root name "." — represent it as a single dot domain.
-        return DomainName::parse(".").or_else(|_| DomainName::parse("root").map_err(|e| err(e.to_string())));
+        return DomainName::parse(".")
+            .or_else(|_| DomainName::parse("root").map_err(|e| err(e.to_string())));
     }
     DomainName::parse(&labels.join(".")).map_err(|e| err(e.to_string()))
 }

@@ -2,8 +2,8 @@
 //! framing: arbitrary (valid-shaped) messages and records must round-trip,
 //! and the decoder must never panic on arbitrary bytes.
 
-use flowdns_dns::{DnsMessage, FrameDecoder, FrameEncoder, Question, ResourceRecord, RrData};
 use flowdns_dns::message::{DnsClass, DnsHeader, Opcode, Rcode};
+use flowdns_dns::{DnsMessage, FrameDecoder, FrameEncoder, Question, ResourceRecord, RrData};
 use flowdns_types::{DnsAnswer, DnsRecord, DomainName, RecordType, SimTime};
 use proptest::prelude::*;
 use std::net::{Ipv4Addr, Ipv6Addr};
@@ -20,7 +20,14 @@ fn domain() -> impl Strategy<Value = DomainName> {
 }
 
 fn rr() -> impl Strategy<Value = ResourceRecord> {
-    (domain(), 0u32..1_000_000, 0usize..5usize, domain(), any::<[u8; 4]>(), any::<[u8; 16]>())
+    (
+        domain(),
+        0u32..1_000_000,
+        0usize..5usize,
+        domain(),
+        any::<[u8; 4]>(),
+        any::<[u8; 16]>(),
+    )
         .prop_map(|(name, ttl, kind, target, v4, v6)| {
             let (rtype, data) = match kind {
                 0 => (RecordType::A, RrData::A(Ipv4Addr::from(v4))),
@@ -48,33 +55,35 @@ fn message() -> impl Strategy<Value = DnsMessage> {
         proptest::collection::vec(rr(), 0..8),
         proptest::collection::vec(rr(), 0..3),
     )
-        .prop_map(|(id, is_response, rcode, qname, answers, additionals)| DnsMessage {
-            header: DnsHeader {
-                id,
-                is_response,
-                opcode: Opcode::Query,
-                authoritative: false,
-                truncated: false,
-                recursion_desired: true,
-                recursion_available: is_response,
-                rcode: match rcode {
-                    0 => Rcode::NoError,
-                    1 => Rcode::FormErr,
-                    2 => Rcode::ServFail,
-                    3 => Rcode::NxDomain,
-                    4 => Rcode::NotImp,
-                    _ => Rcode::Refused,
+        .prop_map(
+            |(id, is_response, rcode, qname, answers, additionals)| DnsMessage {
+                header: DnsHeader {
+                    id,
+                    is_response,
+                    opcode: Opcode::Query,
+                    authoritative: false,
+                    truncated: false,
+                    recursion_desired: true,
+                    recursion_available: is_response,
+                    rcode: match rcode {
+                        0 => Rcode::NoError,
+                        1 => Rcode::FormErr,
+                        2 => Rcode::ServFail,
+                        3 => Rcode::NxDomain,
+                        4 => Rcode::NotImp,
+                        _ => Rcode::Refused,
+                    },
                 },
+                questions: vec![Question {
+                    name: qname,
+                    qtype: RecordType::A,
+                    qclass: DnsClass::In,
+                }],
+                answers,
+                authorities: Vec::new(),
+                additionals,
             },
-            questions: vec![Question {
-                name: qname,
-                qtype: RecordType::A,
-                qclass: DnsClass::In,
-            }],
-            answers,
-            authorities: Vec::new(),
-            additionals,
-        })
+        )
 }
 
 fn dns_record() -> impl Strategy<Value = DnsRecord> {

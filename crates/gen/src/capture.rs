@@ -137,11 +137,8 @@ mod tests {
         let perfect: Vec<Option<DomainName>> =
             cap.flows.iter().map(|(_, s)| Some(s.clone())).collect();
         assert_eq!(cap.accuracy(&perfect), 1.0);
-        let all_b: Vec<Option<DomainName>> = cap
-            .flows
-            .iter()
-            .map(|_| Some(cap.site_b.clone()))
-            .collect();
+        let all_b: Vec<Option<DomainName>> =
+            cap.flows.iter().map(|_| Some(cap.site_b.clone())).collect();
         assert_eq!(cap.accuracy(&all_b), 0.5);
         let none: Vec<Option<DomainName>> = cap.flows.iter().map(|_| None).collect();
         assert_eq!(cap.accuracy(&none), 0.0);

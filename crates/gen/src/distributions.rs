@@ -121,8 +121,12 @@ mod tests {
         let mut r = rng();
         let samples: Vec<u32> = (0..50_000).map(|_| dist.sample(&mut r)).collect();
         let below_300 = samples.iter().filter(|t| **t < 300).count() as f64 / samples.len() as f64;
-        let below_3600 = samples.iter().filter(|t| **t < 3_600).count() as f64 / samples.len() as f64;
-        assert!((below_300 - 0.70).abs() < 0.02, "70% below 300s, got {below_300}");
+        let below_3600 =
+            samples.iter().filter(|t| **t < 3_600).count() as f64 / samples.len() as f64;
+        assert!(
+            (below_300 - 0.70).abs() < 0.02,
+            "70% below 300s, got {below_300}"
+        );
         assert!(below_3600 > 0.985, "99% below 3600s, got {below_3600}");
         assert!(samples.iter().any(|t| *t >= 3_600), "a long tail exists");
     }
@@ -132,7 +136,8 @@ mod tests {
         let dist = TtlDist::cname();
         let mut r = rng();
         let samples: Vec<u32> = (0..50_000).map(|_| dist.sample(&mut r)).collect();
-        let below_7200 = samples.iter().filter(|t| **t < 7_200).count() as f64 / samples.len() as f64;
+        let below_7200 =
+            samples.iter().filter(|t| **t < 7_200).count() as f64 / samples.len() as f64;
         assert!(below_7200 > 0.985, "99% below 7200s, got {below_7200}");
     }
 

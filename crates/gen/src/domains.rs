@@ -334,12 +334,19 @@ impl DomainUniverse {
         let total_ips: usize = services.iter().map(|s| s.edge_ips.len()).sum();
         let shares = (total_ips as f64 * config.shared_ip_fraction / 2.0) as usize;
         for _ in 0..shares {
-            let a = *benign_indices.choose(&mut rng).expect("benign services exist");
-            let b = *benign_indices.choose(&mut rng).expect("benign services exist");
+            let a = *benign_indices
+                .choose(&mut rng)
+                .expect("benign services exist");
+            let b = *benign_indices
+                .choose(&mut rng)
+                .expect("benign services exist");
             if a == b {
                 continue;
             }
-            let ip = *services[a].edge_ips.choose(&mut rng).expect("service has IPs");
+            let ip = *services[a]
+                .edge_ips
+                .choose(&mut rng)
+                .expect("service has IPs");
             services[b].edge_ips.push(ip);
         }
 
@@ -413,7 +420,16 @@ impl IpAllocator {
     fn next(&mut self, rng: &mut StdRng) -> IpAddr {
         // ~15% of edge IPs are IPv6, the rest IPv4.
         if rng.gen_bool(0.15) {
-            let ip = Ipv6Addr::new(0x2001, 0xdb8, 0xcd, 0, 0, 0, (self.next_v6 >> 16) as u16, self.next_v6 as u16);
+            let ip = Ipv6Addr::new(
+                0x2001,
+                0xdb8,
+                0xcd,
+                0,
+                0,
+                0,
+                (self.next_v6 >> 16) as u16,
+                self.next_v6 as u16,
+            );
             self.next_v6 += 1;
             IpAddr::V6(ip)
         } else {
@@ -449,7 +465,11 @@ fn make_service(
         let name = format!(
             "edge{hop}-{}.{}",
             label.replace('.', "-"),
-            if cdn_suffix.is_empty() { "cdn.example-cdn.net" } else { cdn_suffix }
+            if cdn_suffix.is_empty() {
+                "cdn.example-cdn.net"
+            } else {
+                cdn_suffix
+            }
         );
         chain.push(DomainName::literal(&name));
     }
@@ -483,9 +503,18 @@ mod tests {
             benign,
             2 + cfg.cdn_services + cfg.direct_services + cfg.non_dns_services
         );
-        assert_eq!(u.by_category(DomainCategory::Spam).count(), cfg.suspicious_counts.0);
-        assert_eq!(u.by_category(DomainCategory::BotnetCc).count(), cfg.suspicious_counts.1);
-        assert_eq!(u.by_category(DomainCategory::Malformed).count(), cfg.malformed_domains);
+        assert_eq!(
+            u.by_category(DomainCategory::Spam).count(),
+            cfg.suspicious_counts.0
+        );
+        assert_eq!(
+            u.by_category(DomainCategory::BotnetCc).count(),
+            cfg.suspicious_counts.1
+        );
+        assert_eq!(
+            u.by_category(DomainCategory::Malformed).count(),
+            cfg.malformed_domains
+        );
     }
 
     #[test]
@@ -510,7 +539,9 @@ mod tests {
         let share = with_underscore as f64 / malformed.len() as f64;
         assert!((share - 0.87).abs() < 0.03, "underscore share {share}");
         // None of them pass strict validation.
-        assert!(malformed.iter().all(|s| !s.customer_domain.strictly_valid()));
+        assert!(malformed
+            .iter()
+            .all(|s| !s.customer_domain.strictly_valid()));
     }
 
     #[test]

@@ -338,7 +338,8 @@ impl<'a> WorkloadIter<'a> {
     ) {
         let ts = self.ts(sec);
         self.flow_seq += 1;
-        let stream = StreamId::new((self.flow_seq % self.workload.config.netflow_streams as u64) as u16);
+        let stream =
+            StreamId::new((self.flow_seq % self.workload.config.netflow_streams as u64) as u16);
         self.buffer.push_back(StreamEvent::Flow(FlowRecord {
             ts,
             key: FlowKey {
@@ -397,13 +398,19 @@ impl<'a> WorkloadIter<'a> {
                     .rng
                     .gen_bool(self.workload.config.malformed_reply_probability)
             {
-                self.push_flow(sec, client, ip, 1194, bytes / 50 + 40, FlowDirection::Outbound);
+                self.push_flow(
+                    sec,
+                    client,
+                    ip,
+                    1194,
+                    bytes / 50 + 40,
+                    FlowDirection::Outbound,
+                );
             }
         }
 
         // DNS/DoT query flows towards resolvers (coverage analysis).
-        let n_queries =
-            self.sample_count(flow_rate * self.workload.config.dns_query_flow_fraction);
+        let n_queries = self.sample_count(flow_rate * self.workload.config.dns_query_flow_fraction);
         for _ in 0..n_queries {
             let client = self.client_ip();
             let public = self
@@ -414,7 +421,11 @@ impl<'a> WorkloadIter<'a> {
             } else {
                 self.workload.resolvers.isp_resolver(&mut self.rng)
             };
-            let port = if public && self.rng.gen_bool(0.3) { 853 } else { 53 };
+            let port = if public && self.rng.gen_bool(0.3) {
+                853
+            } else {
+                53
+            };
             self.push_flow(sec, client, resolver, port, 120, FlowDirection::Outbound);
         }
     }
@@ -573,8 +584,6 @@ mod tests {
         assert!(!dns.is_empty());
         assert!(!flows.is_empty());
         // Flow stream ids stay within the configured stream count.
-        assert!(flows
-            .iter()
-            .all(|f| f.stream.index() < cfg.netflow_streams));
+        assert!(flows.iter().all(|f| f.stream.index() < cfg.netflow_streams));
     }
 }

@@ -10,9 +10,7 @@
 
 use std::net::IpAddr;
 
-use flowdns_types::{
-    FlowDirection, FlowKey, FlowRecord, Protocol, SimTime, StreamId,
-};
+use flowdns_types::{FlowDirection, FlowKey, FlowRecord, Protocol, SimTime, StreamId};
 
 use crate::template::FieldType;
 use crate::v5::V5Packet;
@@ -241,7 +239,7 @@ mod tests {
     fn v9_extraction_end_to_end() {
         let template = Template::standard_ipv4(256);
         let mut b = V9PacketBuilder::new(1, 1, 5000);
-        b.add_templates(&[template.clone()]);
+        b.add_templates(std::slice::from_ref(&template));
         let rec = encode_standard_ipv4_record(
             Ipv4Addr::new(198, 51, 100, 20),
             Ipv4Addr::new(10, 0, 0, 5),

@@ -235,7 +235,11 @@ impl IpfixMessageBuilder {
     }
 
     /// Append a data set of pre-encoded records following `template`.
-    pub fn add_data(&mut self, template: &Template, records: &[Vec<u8>]) -> Result<(), FlowDnsError> {
+    pub fn add_data(
+        &mut self,
+        template: &Template,
+        records: &[Vec<u8>],
+    ) -> Result<(), FlowDnsError> {
         let rec_len = template.record_len();
         let mut body = Vec::with_capacity(records.len() * rec_len);
         for r in records {

@@ -230,8 +230,14 @@ mod tests {
         cache.insert(1, Template::standard_ipv4(256));
         cache.insert(2, Template::standard_ipv6(256));
         assert_eq!(cache.len(), 2);
-        assert_eq!(cache.get(1, 256).unwrap().fields[0].ftype, FieldType::Ipv4SrcAddr);
-        assert_eq!(cache.get(2, 256).unwrap().fields[0].ftype, FieldType::Ipv6SrcAddr);
+        assert_eq!(
+            cache.get(1, 256).unwrap().fields[0].ftype,
+            FieldType::Ipv4SrcAddr
+        );
+        assert_eq!(
+            cache.get(2, 256).unwrap().fields[0].ftype,
+            FieldType::Ipv6SrcAddr
+        );
         assert!(cache.get(3, 256).is_none());
         assert!(!cache.is_empty());
     }

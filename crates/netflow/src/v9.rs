@@ -171,25 +171,23 @@ impl V9Parser {
                 OPTIONS_TEMPLATE_FLOWSET_ID => {
                     flowsets.push(FlowSet::OptionsTemplate);
                 }
-                id if id >= 256 => {
-                    match self.templates.get(source_id, id).cloned() {
-                        Some(template) => {
-                            let records = parse_data_flowset(body, &template)?;
-                            decoded_records += records.len();
-                            flowsets.push(FlowSet::Data {
-                                template_id: id,
-                                records,
-                            });
-                        }
-                        None => {
-                            self.templates.note_unknown();
-                            flowsets.push(FlowSet::UnknownTemplate {
-                                template_id: id,
-                                bytes: body.len(),
-                            });
-                        }
+                id if id >= 256 => match self.templates.get(source_id, id).cloned() {
+                    Some(template) => {
+                        let records = parse_data_flowset(body, &template)?;
+                        decoded_records += records.len();
+                        flowsets.push(FlowSet::Data {
+                            template_id: id,
+                            records,
+                        });
                     }
-                }
+                    None => {
+                        self.templates.note_unknown();
+                        flowsets.push(FlowSet::UnknownTemplate {
+                            template_id: id,
+                            bytes: body.len(),
+                        });
+                    }
+                },
                 id => {
                     return Err(err(format!("reserved flowset id {id}")));
                 }
@@ -341,7 +339,11 @@ impl V9PacketBuilder {
 
     /// Append a data flowset with pre-encoded records following `template`.
     /// Each record must be exactly `template.record_len()` bytes.
-    pub fn add_data(&mut self, template: &Template, records: &[Vec<u8>]) -> Result<(), FlowDnsError> {
+    pub fn add_data(
+        &mut self,
+        template: &Template,
+        records: &[Vec<u8>],
+    ) -> Result<(), FlowDnsError> {
         let rec_len = template.record_len();
         let mut body = Vec::with_capacity(records.len() * rec_len);
         for r in records {
@@ -384,6 +386,10 @@ impl V9PacketBuilder {
 }
 
 /// Encode one IPv4 flow record for [`Template::standard_ipv4`].
+///
+/// One argument per template field, in template order — splitting them
+/// into a struct would obscure the 1:1 mapping to the wire layout.
+#[allow(clippy::too_many_arguments)]
 pub fn encode_standard_ipv4_record(
     src: std::net::Ipv4Addr,
     dst: std::net::Ipv4Addr,
@@ -471,7 +477,10 @@ mod tests {
         let pkt = parser.parse(&sample_packet(false)).unwrap();
         assert!(matches!(
             pkt.flowsets[0],
-            FlowSet::UnknownTemplate { template_id: 256, .. }
+            FlowSet::UnknownTemplate {
+                template_id: 256,
+                ..
+            }
         ));
         assert_eq!(parser.templates.unknown_template_hits, 1);
         // After the template arrives, subsequent data decodes.
@@ -533,7 +542,7 @@ mod tests {
     fn ipv6_template_round_trip() {
         let t6 = Template::standard_ipv6(260);
         let mut b = V9PacketBuilder::new(3, 9, 1_700_000_100);
-        b.add_templates(&[t6.clone()]);
+        b.add_templates(std::slice::from_ref(&t6));
         let mut rec = Vec::new();
         let src: std::net::Ipv6Addr = "2001:db8::1".parse().unwrap();
         let dst: std::net::Ipv6Addr = "2001:db8::2".parse().unwrap();
@@ -549,7 +558,10 @@ mod tests {
         let pkt = parser.parse(&b.build(1)).unwrap();
         let records: Vec<&DataRecord> = pkt.data_records().collect();
         assert_eq!(records.len(), 1);
-        assert_eq!(records[0].ip(FieldType::Ipv6SrcAddr), Some(IpAddr::from(src)));
+        assert_eq!(
+            records[0].ip(FieldType::Ipv6SrcAddr),
+            Some(IpAddr::from(src))
+        );
         assert_eq!(records[0].uint(FieldType::InBytes), Some(1_000_000));
     }
 

@@ -79,7 +79,7 @@ proptest! {
     ) {
         let template = Template::standard_ipv4(256);
         let mut builder = V9PacketBuilder::new(1, 0, 1000);
-        builder.add_templates(&[template.clone()]);
+        builder.add_templates(std::slice::from_ref(&template));
         let records: Vec<Vec<u8>> = flows
             .iter()
             .map(|(s, d, sp, dp, proto, bytes, pkts)| {

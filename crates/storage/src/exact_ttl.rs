@@ -173,7 +173,12 @@ mod tests {
     #[test]
     fn live_records_hit_expired_records_miss() {
         let s = store();
-        s.insert("1.2.3.4".into(), "a.example".into(), 60, SimTime::from_secs(0));
+        s.insert(
+            "1.2.3.4".into(),
+            "a.example".into(),
+            60,
+            SimTime::from_secs(0),
+        );
         assert_eq!(
             s.lookup("1.2.3.4", SimTime::from_secs(30)),
             Some("a.example".into())
@@ -229,7 +234,12 @@ mod tests {
     fn memory_estimate_reflects_entries() {
         let s = store();
         assert!(s.is_empty());
-        s.insert("203.0.113.1".into(), "cdn.example.net".into(), 60, SimTime::ZERO);
+        s.insert(
+            "203.0.113.1".into(),
+            "cdn.example.net".into(),
+            60,
+            SimTime::ZERO,
+        );
         let est = s.memory_estimate();
         assert_eq!(est.entries, 1);
         assert!(est.payload_bytes >= "203.0.113.1".len() + "cdn.example.net".len());

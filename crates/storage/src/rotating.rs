@@ -263,8 +263,18 @@ mod tests {
     #[test]
     fn short_ttl_goes_active_long_ttl_goes_long() {
         let store = RotatingStore::new(policy(3600), 8);
-        store.insert("1.2.3.4".into(), "a.example".into(), 300, SimTime::from_secs(0));
-        store.insert("5.6.7.8".into(), "b.example".into(), 86_400, SimTime::from_secs(1));
+        store.insert(
+            "1.2.3.4".into(),
+            "a.example".into(),
+            300,
+            SimTime::from_secs(0),
+        );
+        store.insert(
+            "5.6.7.8".into(),
+            "b.example".into(),
+            86_400,
+            SimTime::from_secs(1),
+        );
         let (a, i, l) = store.entry_counts();
         assert_eq!((a, i, l), (1, 0, 1));
         assert_eq!(
@@ -285,9 +295,19 @@ mod tests {
     #[test]
     fn clear_up_rotates_active_into_inactive() {
         let store = RotatingStore::new(policy(3600), 8);
-        store.insert("1.1.1.1".into(), "one.example".into(), 60, SimTime::from_secs(0));
+        store.insert(
+            "1.1.1.1".into(),
+            "one.example".into(),
+            60,
+            SimTime::from_secs(0),
+        );
         // One hour later a new record triggers the clear-up.
-        store.insert("2.2.2.2".into(), "two.example".into(), 60, SimTime::from_secs(3600));
+        store.insert(
+            "2.2.2.2".into(),
+            "two.example".into(),
+            60,
+            SimTime::from_secs(3600),
+        );
         let (a, i, _) = store.entry_counts();
         assert_eq!((a, i), (1, 1));
         // The old record is now only reachable via the Inactive map.
@@ -328,7 +348,12 @@ mod tests {
         p.clear_up = false;
         let store = RotatingStore::new(p, 4);
         for i in 0..10u64 {
-            store.insert(format!("k{i}"), format!("v{i}"), 1, SimTime::from_secs(i * 1000));
+            store.insert(
+                format!("k{i}"),
+                format!("v{i}"),
+                1,
+                SimTime::from_secs(i * 1000),
+            );
         }
         assert_eq!(store.entry_counts().0, 10);
         assert_eq!(store.stats().clear_ups, 0);
@@ -352,7 +377,12 @@ mod tests {
         let mut p = policy(3600);
         p.long_maps = false;
         let store = RotatingStore::new(p, 4);
-        store.insert("ip".into(), "stable.example".into(), 86_400, SimTime::from_secs(0));
+        store.insert(
+            "ip".into(),
+            "stable.example".into(),
+            86_400,
+            SimTime::from_secs(0),
+        );
         assert_eq!(store.entry_counts(), (1, 0, 0));
         // After a clear-up + another, the long-TTL record is lost — the
         // behaviour that costs the NoLong variant 0.6% correlation rate.
@@ -366,10 +396,7 @@ mod tests {
         let store = RotatingStore::new(policy(100), 4);
         store.insert("k".into(), "v".into(), 1, SimTime::from_secs(0));
         store.observe_time(SimTime::from_secs(500));
-        assert_eq!(
-            store.lookup("k"),
-            Some(("v".into(), Generation::Inactive))
-        );
+        assert_eq!(store.lookup("k"), Some(("v".into(), Generation::Inactive)));
     }
 
     #[test]
@@ -389,8 +416,18 @@ mod tests {
         // The accuracy caveat of Section 4: a second domain observed for
         // the same IP overwrites the first.
         let store = RotatingStore::new(policy(3600), 4);
-        store.insert("9.9.9.9".into(), "first.example".into(), 60, SimTime::from_secs(0));
-        store.insert("9.9.9.9".into(), "second.example".into(), 60, SimTime::from_secs(1));
+        store.insert(
+            "9.9.9.9".into(),
+            "first.example".into(),
+            60,
+            SimTime::from_secs(0),
+        );
+        store.insert(
+            "9.9.9.9".into(),
+            "second.example".into(),
+            60,
+            SimTime::from_secs(1),
+        );
         assert_eq!(
             store.lookup("9.9.9.9").unwrap().0,
             "second.example".to_string()

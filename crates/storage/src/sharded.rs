@@ -33,7 +33,9 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
     pub fn new(shard_count: usize) -> Self {
         assert!(shard_count > 0, "shard count must be positive");
         ShardedMap {
-            shards: (0..shard_count).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..shard_count)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
         }
     }
 

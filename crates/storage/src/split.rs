@@ -153,10 +153,18 @@ mod tests {
     fn keys_spread_across_splits() {
         let s = store(10);
         for i in 0..1000 {
-            s.insert(format!("203.0.113.{}", i % 256), "x".into(), 60, SimTime::ZERO);
+            s.insert(
+                format!("203.0.113.{}", i % 256),
+                "x".into(),
+                60,
+                SimTime::ZERO,
+            );
         }
         let populated = (0..10).filter(|i| s.split(*i).total_entries() > 0).count();
-        assert!(populated >= 8, "expected most splits populated, got {populated}");
+        assert!(
+            populated >= 8,
+            "expected most splits populated, got {populated}"
+        );
     }
 
     #[test]

@@ -83,7 +83,7 @@ impl RateMeter {
                     });
                     self.current_count = 0;
                     self.current_bytes = 0;
-                    start = start + self.window;
+                    start += self.window;
                 }
                 self.current_start = Some(start);
             }

@@ -133,8 +133,9 @@ mod tests {
 
     #[test]
     fn split_then_merge_is_identity_on_sorted_input() {
-        let records: Vec<(SimTime, u32)> =
-            (0..100).map(|i| (SimTime::from_secs(i), i as u32)).collect();
+        let records: Vec<(SimTime, u32)> = (0..100)
+            .map(|i| (SimTime::from_secs(i), i as u32))
+            .collect();
         let streams = split_round_robin(records.clone(), 7);
         let merged = merge_by_time(streams, |r| r.0);
         assert_eq!(merged, records);

@@ -57,10 +57,7 @@ impl DomainName {
         if trimmed.is_empty() {
             return Err(DomainParseError::Empty);
         }
-        let normalized: String = trimmed
-            .chars()
-            .map(|c| c.to_ascii_lowercase())
-            .collect();
+        let normalized: String = trimmed.chars().map(|c| c.to_ascii_lowercase()).collect();
         Ok(DomainName {
             normalized: normalized.into(),
         })

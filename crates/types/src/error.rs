@@ -64,7 +64,7 @@ mod tests {
     fn conversions() {
         let d: FlowDnsError = DomainParseError::Empty.into();
         assert!(matches!(d, FlowDnsError::Domain(_)));
-        let io: FlowDnsError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        let io: FlowDnsError = std::io::Error::other("boom").into();
         assert!(matches!(io, FlowDnsError::Io(_)));
         assert!(io.to_string().contains("boom"));
     }

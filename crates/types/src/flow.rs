@@ -212,7 +212,12 @@ mod tests {
 
     #[test]
     fn inbound_constructor_sets_sensible_fields() {
-        let f = FlowRecord::inbound(SimTime::from_secs(1), ip(8, 8, 8, 8), ip(10, 0, 0, 1), 14_000);
+        let f = FlowRecord::inbound(
+            SimTime::from_secs(1),
+            ip(8, 8, 8, 8),
+            ip(10, 0, 0, 1),
+            14_000,
+        );
         assert_eq!(f.src_ip(), ip(8, 8, 8, 8));
         assert_eq!(f.dst_ip(), ip(10, 0, 0, 1));
         assert_eq!(f.packets, 10);

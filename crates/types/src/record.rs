@@ -236,7 +236,12 @@ mod tests {
     #[test]
     fn address_constructor_picks_type_from_ip() {
         let q = DomainName::literal("example.com");
-        let v4 = DnsRecord::address(SimTime::ZERO, q.clone(), Ipv4Addr::new(1, 2, 3, 4).into(), 60);
+        let v4 = DnsRecord::address(
+            SimTime::ZERO,
+            q.clone(),
+            Ipv4Addr::new(1, 2, 3, 4).into(),
+            60,
+        );
         assert_eq!(v4.rtype, RecordType::A);
         let v6 = DnsRecord::address(SimTime::ZERO, q, Ipv6Addr::LOCALHOST.into(), 60);
         assert_eq!(v6.rtype, RecordType::Aaaa);

@@ -85,7 +85,9 @@ impl SimTime {
 
     /// Checked addition of a duration.
     pub fn checked_add(&self, d: SimDuration) -> Option<SimTime> {
-        self.micros.checked_add(d.micros).map(|micros| SimTime { micros })
+        self.micros
+            .checked_add(d.micros)
+            .map(|micros| SimTime { micros })
     }
 }
 
@@ -332,7 +334,12 @@ mod tests {
         let d = SimDuration::from_secs(10);
         assert_eq!(d.mul_f64(0.5).as_secs(), 5);
         assert_eq!(d.mul_f64(-1.0), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_micros(u64::MAX / 2).mul_f64(4.0).as_micros(), u64::MAX);
+        assert_eq!(
+            SimDuration::from_micros(u64::MAX / 2)
+                .mul_f64(4.0)
+                .as_micros(),
+            u64::MAX
+        );
     }
 
     #[test]

@@ -168,7 +168,10 @@ mod tests {
         let mut c = a;
         c += b;
         assert_eq!(c.bytes(), 2_000);
-        assert_eq!(ByteVolume::from_bytes(u64::MAX) + b, ByteVolume::from_bytes(u64::MAX));
+        assert_eq!(
+            ByteVolume::from_bytes(u64::MAX) + b,
+            ByteVolume::from_bytes(u64::MAX)
+        );
     }
 
     #[test]
@@ -176,7 +179,10 @@ mod tests {
         assert_eq!(ByteVolume::from_bytes(999).to_string(), "999 B");
         assert_eq!(ByteVolume::from_bytes(1_500).to_string(), "1.50 KB");
         assert_eq!(ByteVolume::from_bytes(2_000_000_000).to_string(), "2.00 GB");
-        assert_eq!(ByteVolume::from_bytes(3_500_000_000_000).to_string(), "3.50 TB");
+        assert_eq!(
+            ByteVolume::from_bytes(3_500_000_000_000).to_string(),
+            "3.50 TB"
+        );
     }
 
     #[test]

@@ -16,9 +16,11 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(6);
 
-    let mut config = WorkloadConfig::default();
-    config.duration = SimDuration::from_hours(hours);
-    config.peak_flows_per_sec = 30.0;
+    let config = WorkloadConfig {
+        duration: SimDuration::from_hours(hours),
+        peak_flows_per_sec: 30.0,
+        ..WorkloadConfig::default()
+    };
     let workload = Workload::new(config);
 
     println!("== a {hours}-hour day at the (scaled-down) ISP ==");
@@ -49,7 +51,5 @@ fn main() {
         );
     }
     println!("\n{}", outcome.report.summary());
-    println!(
-        "paper reference: 81.7% average correlation, diurnal CPU/memory/traffic curves"
-    );
+    println!("paper reference: 81.7% average correlation, diurnal CPU/memory/traffic curves");
 }

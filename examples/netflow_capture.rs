@@ -6,8 +6,8 @@
 //! Run with: `cargo run --example netflow_capture`
 
 use flowdns::core::{Correlator, CorrelatorConfig};
-use flowdns::dns::{records_from_message, DnsMessage, Question, ResourceRecord, ResponseFilter};
 use flowdns::dns::message::DnsClass;
+use flowdns::dns::{records_from_message, DnsMessage, Question, ResourceRecord, ResponseFilter};
 use flowdns::netflow::v9::{encode_standard_ipv4_record, V9PacketBuilder, V9Parser};
 use flowdns::netflow::{ExtractorConfig, FlowExtractor, Template};
 use flowdns::types::{DomainName, RecordType, SimTime};
@@ -43,7 +43,7 @@ fn main() {
     // --- NetFlow side: a v9 export packet with a template + data. --------
     let template = Template::standard_ipv4(256);
     let mut builder = V9PacketBuilder::new(42, 1, 10);
-    builder.add_templates(&[template.clone()]);
+    builder.add_templates(std::slice::from_ref(&template));
     let data = vec![
         encode_standard_ipv4_record(
             Ipv4Addr::new(100, 64, 9, 9),

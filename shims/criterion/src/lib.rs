@@ -1,0 +1,256 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors a minimal API-compatible shim. It runs each
+//! benchmark closure for a fixed number of samples, reports median
+//! per-iteration wall time (plus derived element throughput) to stdout,
+//! and skips criterion's statistics, plotting, and baseline machinery.
+//! Good enough for `cargo bench --no-run` CI smoke and for eyeballing
+//! relative numbers locally; real measurement work should grow this
+//! shim or swap in the real crate once the environment has network.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: a function name plus a parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Identify a benchmark as `name/param`.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.name, self.param)
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call.
+    last_median: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, recording one sample per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up call.
+        black_box(f());
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        self.last_median = Some(times[times.len() / 2]);
+    }
+}
+
+fn report(label: &str, throughput: Option<Throughput>, median: Option<Duration>) {
+    let Some(median) = median else {
+        println!("{label:<50} (no samples)");
+        return;
+    };
+    let per_iter = median.as_secs_f64();
+    match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            println!(
+                "{label:<50} {median:>12.3?}/iter {:>14.0} elem/s",
+                n as f64 / per_iter
+            );
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            println!(
+                "{label:<50} {median:>12.3?}/iter {:>14.0} B/s",
+                n as f64 / per_iter
+            );
+        }
+        _ => println!("{label:<50} {median:>12.3?}/iter"),
+    }
+}
+
+/// A named set of related benchmarks sharing sample-count and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate per-iteration throughput for reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            last_median: None,
+        };
+        f(&mut bencher);
+        let label = format!("{}/{}", self.name, id);
+        report(&label, self.throughput, bencher.last_median);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            last_median: None,
+        };
+        f(&mut bencher, input);
+        let label = format!("{}/{}", self.name, id);
+        report(&label, self.throughput, bencher.last_median);
+        self
+    }
+
+    /// Finish the group (reporting happens eagerly; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Parse command-line options (ignored by the shim; benches invoked
+    /// through `cargo bench` pass harness flags we deliberately accept
+    /// and drop).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: if self.default_sample_size == 0 {
+                20
+            } else {
+                self.default_sample_size
+            },
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name.to_owned())
+            .bench_function("base", f);
+        self
+    }
+
+    /// Emit the final summary (the shim reports eagerly; no-op).
+    pub fn final_summary(&self) {}
+}
+
+/// Group benchmark functions under one registration function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        let mut runs = 0usize;
+        group.bench_function("count_runs", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        // 3 timed samples + 1 warm-up.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &v| {
+            b.iter(|| {
+                seen = v;
+            })
+        });
+        assert_eq!(seen, 42);
+        assert_eq!(BenchmarkId::new("param", 42).to_string(), "param/42");
+    }
+}

@@ -1,0 +1,359 @@
+//! Offline stand-in for the `crossbeam-channel` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors a minimal API-compatible shim: a multi-producer
+//! multi-consumer bounded queue built on `Mutex<VecDeque>` + `Condvar`.
+//! Both [`Sender`] and [`Receiver`] are cloneable and shareable across
+//! threads, matching crossbeam semantics (std's `mpsc::Receiver` is
+//! neither). Throughput is lower than real crossbeam, but the semantics
+//! — capacity bounds, disconnect detection, timeouts — are the same.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity; the rejected message is returned.
+    Full(T),
+    /// All receivers dropped; the rejected message is returned.
+    Disconnected(T),
+}
+
+/// Error returned by [`Sender::send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// All senders dropped and the queue is drained.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// All senders dropped and the queue is drained.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+struct Inner<T> {
+    queue: Mutex<VecDeque<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: Option<usize>,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T> Inner<T> {
+    fn disconnected_tx(&self) -> bool {
+        self.senders.load(Ordering::SeqCst) == 0
+    }
+
+    fn disconnected_rx(&self) -> bool {
+        self.receivers.load(Ordering::SeqCst) == 0
+    }
+}
+
+/// The sending half of a channel. Cloneable; all clones feed one queue.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The receiving half of a channel. Cloneable; all clones drain one queue.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Create a bounded channel holding at most `capacity` messages.
+///
+/// Unlike crossbeam, `capacity == 0` (rendezvous) is approximated as
+/// capacity 1; FlowDNS never creates zero-capacity channels.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(capacity.max(1)))
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        queue: Mutex::new(VecDeque::new()),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        capacity,
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.senders.fetch_add(1, Ordering::SeqCst);
+        Sender {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Wake consumers blocked in recv so they observe the disconnect.
+            // Taking the queue mutex first closes the missed-wakeup window:
+            // a consumer that checked the counter before our decrement must
+            // be inside wait() (which released the mutex) before we can
+            // acquire it, so the notification cannot fall into the gap
+            // between its check and its sleep.
+            let _guard = self.inner.queue.lock().unwrap();
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Attempt to enqueue without blocking.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        if self.inner.disconnected_rx() {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        let mut q = self.inner.queue.lock().unwrap();
+        if let Some(cap) = self.inner.capacity {
+            if q.len() >= cap {
+                return Err(TrySendError::Full(msg));
+            }
+        }
+        q.push_back(msg);
+        drop(q);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueue, blocking while the channel is at capacity.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut q = self.inner.queue.lock().unwrap();
+        loop {
+            if self.inner.disconnected_rx() {
+                return Err(SendError(msg));
+            }
+            match self.inner.capacity {
+                Some(cap) if q.len() >= cap => {
+                    q = self.inner.not_full.wait(q).unwrap();
+                }
+                _ => break,
+            }
+        }
+        q.push_back(msg);
+        drop(q);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().unwrap().len()
+    }
+
+    /// Is the queue currently empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.receivers.fetch_add(1, Ordering::SeqCst);
+        Receiver {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.inner.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Wake producers blocked in send so they observe the disconnect;
+            // the mutex is held for the same missed-wakeup reason as in
+            // Sender::drop.
+            let _guard = self.inner.queue.lock().unwrap();
+            self.inner.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Attempt to dequeue without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut q = self.inner.queue.lock().unwrap();
+        match q.pop_front() {
+            Some(msg) => {
+                drop(q);
+                self.inner.not_full.notify_one();
+                Ok(msg)
+            }
+            None if self.inner.disconnected_tx() => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Dequeue, blocking until a message arrives or all senders drop.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut q = self.inner.queue.lock().unwrap();
+        loop {
+            if let Some(msg) = q.pop_front() {
+                drop(q);
+                self.inner.not_full.notify_one();
+                return Ok(msg);
+            }
+            if self.inner.disconnected_tx() {
+                return Err(RecvError);
+            }
+            q = self.inner.not_empty.wait(q).unwrap();
+        }
+    }
+
+    /// Dequeue, blocking up to `timeout` for a message to arrive.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.inner.queue.lock().unwrap();
+        loop {
+            if let Some(msg) = q.pop_front() {
+                drop(q);
+                self.inner.not_full.notify_one();
+                return Ok(msg);
+            }
+            if self.inner.disconnected_tx() {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _res) = self
+                .inner
+                .not_empty
+                .wait_timeout(q, deadline - now)
+                .unwrap();
+            q = guard;
+        }
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().unwrap().len()
+    }
+
+    /// Is the queue currently empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn bounded_respects_capacity() {
+        let (tx, rx) = bounded(2);
+        assert!(tx.try_send(1).is_ok());
+        assert!(tx.try_send(2).is_ok());
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert!(tx.try_send(3).is_ok());
+        assert_eq!(rx.len(), 2);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = bounded::<u32>(4);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        let handle = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            tx.send(42).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(2)), Ok(42));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn disconnect_is_observed() {
+        let (tx, rx) = bounded::<u8>(1);
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        let (tx, rx) = bounded::<u8>(1);
+        drop(rx);
+        assert!(matches!(tx.try_send(1), Err(TrySendError::Disconnected(1))));
+    }
+
+    #[test]
+    fn cloned_receivers_share_the_queue() {
+        let (tx, rx1) = bounded(8);
+        let rx2 = rx1.clone();
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(rx2.try_recv(), Ok(1));
+        assert_eq!(rx1.try_recv(), Ok(2));
+    }
+
+    #[test]
+    fn mpmc_under_contention_delivers_everything_once() {
+        let (tx, rx) = bounded(1024);
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        tx.send(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..4000).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,745 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors a minimal API-compatible shim. It keeps the parts
+//! the FlowDNS property suites use — the [`proptest!`] macro,
+//! [`strategy::Strategy`] with `prop_map`, [`arbitrary::any`], weighted
+//! [`prop_oneof!`], [`collection::vec`], and a small
+//! [`string::string_regex`] generator — and drops what they don't
+//! (shrinking, persistence, forked runners). Failing cases therefore
+//! report the generated inputs un-shrunk via the panic message.
+//!
+//! Generation is deterministic: each `#[test]` seeds its generator from
+//! the test's module path and name, so CI failures reproduce locally.
+
+pub mod test_runner {
+    //! Runner configuration and the deterministic generator driving it.
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Config {
+        /// Number of random cases each property is checked against.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic xoshiro256++ generator used for all value generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seed from an arbitrary string (the macro passes the test path),
+        /// so every property gets a distinct but reproducible stream.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let mut sm = h;
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                *word = z ^ (z >> 31);
+            }
+            TestRng { s }
+        }
+
+        /// Next uniform 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw from `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below(0) is an empty range");
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use super::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe view of [`Strategy`], used by [`BoxedStrategy`].
+    trait DynStrategy {
+        type Value;
+        fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub struct BoxedStrategy<V>(Box<dyn DynStrategy<Value = V>>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Weighted union of strategies, produced by [`crate::prop_oneof!`].
+    pub struct Union<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total_weight: u64,
+    }
+
+    impl<V> Union<V> {
+        /// Build a union from `(weight, strategy)` arms.
+        ///
+        /// # Panics
+        /// Panics if `arms` is empty or all weights are zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            let total_weight: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(
+                total_weight > 0,
+                "prop_oneof! needs at least one weighted arm"
+            );
+            Union { arms, total_weight }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut draw = rng.below(self.total_weight);
+            for (weight, strat) in &self.arms {
+                if draw < *weight as u64 {
+                    return strat.generate(rng);
+                }
+                draw -= *weight as u64;
+            }
+            unreachable!("draw below total weight always lands in an arm")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as u128) - (self.start as u128);
+                    let draw = ((rng.next_u64() as u128 * span) >> 64) as $t;
+                    self.start + draw
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    let span = (end as u128) - (start as u128) + 1;
+                    let draw = ((rng.next_u64() as u128 * span) >> 64) as $t;
+                    start + draw
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + u * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` and the [`Arbitrary`] trait behind it.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<const N: usize> Arbitrary for [u8; N] {
+        fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+            let mut out = [0u8; N];
+            for chunk in out.chunks_mut(8) {
+                let bytes = rng.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+            out
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for any `T: Arbitrary`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's size.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with sizes drawn from a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy: `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min + 1) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! String strategies from (a practical subset of) regular expressions.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Error for regexes outside the supported subset.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "unsupported regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        /// A fixed character.
+        Literal(char),
+        /// One of a set of characters (expanded from a `[...]` class).
+        Class(Vec<char>),
+    }
+
+    #[derive(Debug, Clone)]
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    /// Strategy generating strings matching the source regex.
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        pieces: Vec<Piece>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in &self.pieces {
+                let span = (piece.max - piece.min + 1) as u64;
+                let count = piece.min + rng.below(span) as usize;
+                for _ in 0..count {
+                    match &piece.atom {
+                        Atom::Literal(c) => out.push(*c),
+                        Atom::Class(chars) => {
+                            out.push(chars[rng.below(chars.len() as u64) as usize]);
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    /// Build a string strategy from a regex.
+    ///
+    /// Supported subset: literal characters, `[...]` classes with ranges,
+    /// and the quantifiers `?`, `*`, `+`, `{n}`, `{m,n}` (unbounded
+    /// repetition is capped at +8). Groups, alternation, and anchors are
+    /// not supported and return [`Error`].
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => {
+                    let mut class = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        match chars.next() {
+                            None => {
+                                return Err(Error(format!("unterminated class in {pattern:?}")))
+                            }
+                            Some(']') => break,
+                            Some('-')
+                                if prev.is_some() && !matches!(chars.peek(), None | Some(']')) =>
+                            {
+                                let start = prev.take().expect("checked above");
+                                let end = chars.next().expect("peeked above");
+                                if start > end {
+                                    return Err(Error(format!("bad range {start}-{end}")));
+                                }
+                                class.extend(start..=end);
+                            }
+                            Some(ch) => {
+                                if let Some(p) = prev.replace(ch) {
+                                    class.push(p);
+                                }
+                            }
+                        }
+                    }
+                    if let Some(p) = prev {
+                        class.push(p);
+                    }
+                    if class.is_empty() {
+                        return Err(Error(format!("empty class in {pattern:?}")));
+                    }
+                    Atom::Class(class)
+                }
+                '.' => Atom::Class((' '..='~').collect()),
+                '\\' => match chars.next() {
+                    Some(esc @ ('\\' | '.' | '[' | ']' | '{' | '}' | '-' | '+' | '*' | '?')) => {
+                        Atom::Literal(esc)
+                    }
+                    other => return Err(Error(format!("unsupported escape {other:?}"))),
+                },
+                '(' | ')' | '|' | '^' | '$' => {
+                    return Err(Error(format!("unsupported construct {c:?} in {pattern:?}")))
+                }
+                other => Atom::Literal(other),
+            };
+            let (min, max) = match chars.peek() {
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 9)
+                }
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    loop {
+                        match chars.next() {
+                            None => {
+                                return Err(Error(format!(
+                                    "unterminated quantifier in {pattern:?}"
+                                )))
+                            }
+                            Some('}') => break,
+                            Some(ch) => spec.push(ch),
+                        }
+                    }
+                    parse_counts(&spec)
+                        .ok_or_else(|| Error(format!("bad quantifier {{{spec}}}")))?
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        Ok(RegexGeneratorStrategy { pieces })
+    }
+
+    fn parse_counts(spec: &str) -> Option<(usize, usize)> {
+        match spec.split_once(',') {
+            None => {
+                let n = spec.trim().parse().ok()?;
+                Some((n, n))
+            }
+            Some((lo, hi)) => {
+                let min = lo.trim().parse().ok()?;
+                let max = match hi.trim() {
+                    "" => min + 8,
+                    s => s.parse().ok()?,
+                };
+                (min <= max).then_some((min, max))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything the property suites import with `use proptest::prelude::*`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a property; failures report the property's inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// `assert_eq!` inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+/// `assert_ne!` inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*)
+    };
+}
+
+/// Weighted (or unweighted) choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...)` body runs
+/// against `cases` generated inputs (default 256, or the count given via
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])+
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name),
+                ));
+                for case in 0..config.cases {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                        $body
+                    }));
+                    if let Err(panic) = result {
+                        eprintln!(
+                            "proptest case {}/{} of {} failed (deterministic seed; rerun reproduces it)",
+                            case + 1,
+                            config.cases,
+                            stringify!($name),
+                        );
+                        std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn string_regex_matches_its_pattern() {
+        let strat = crate::string::string_regex("[a-z][a-z0-9-]{0,14}").unwrap();
+        let mut rng = TestRng::deterministic("string_regex_matches_its_pattern");
+        for _ in 0..1000 {
+            let s = strat.generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 15, "bad length: {s:?}");
+            let mut chars = s.chars();
+            assert!(chars.next().unwrap().is_ascii_lowercase());
+            assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn string_regex_rejects_unsupported() {
+        assert!(crate::string::string_regex("(a|b)").is_err());
+        assert!(crate::string::string_regex("[a-").is_err());
+    }
+
+    #[test]
+    fn vec_sizes_respect_bounds() {
+        let strat = crate::collection::vec(any::<u8>(), 2..5);
+        let mut rng = TestRng::deterministic("vec_sizes_respect_bounds");
+        for _ in 0..500 {
+            let v = strat.generate(&mut rng);
+            assert!((2..=4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn union_honors_weights() {
+        let strat = prop_oneof![
+            9 => (0u32..1).prop_map(|_| true),
+            1 => (0u32..1).prop_map(|_| false),
+        ];
+        let mut rng = TestRng::deterministic("union_honors_weights");
+        let hits = (0..10_000).filter(|_| strat.generate(&mut rng)).count();
+        assert!(
+            (8_500..=9_500).contains(&hits),
+            "weighted draw skewed: {hits}"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_generates_in_range(x in 10u32..20, pair in (any::<bool>(), 0usize..3)) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(pair.1 < 3);
+            prop_assert_eq!(pair.1, pair.1);
+            prop_assert_ne!(x, 99);
+        }
+
+        #[test]
+        fn just_yields_the_value(v in Just(41usize)) {
+            prop_assert_eq!(v + 1, 42);
+        }
+    }
+}

@@ -36,6 +36,12 @@
 //!     300,
 //! ));
 //!
+//! // Wait until the FillUp worker has stored the record, as a live
+//! // deployment's DNS head start does, so the lookup cannot race it.
+//! while correlator.store().total_entries() == 0 {
+//!     std::thread::sleep(std::time::Duration::from_millis(1));
+//! }
+//!
 //! // Feed one flow whose source is that IP.
 //! correlator.push_flow(FlowRecord::inbound(
 //!     SimTime::from_secs(2),
