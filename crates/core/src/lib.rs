@@ -46,7 +46,7 @@ pub mod write;
 pub use config::{CorrelatorConfig, Variant};
 pub use fillup::FillUpStats;
 pub use lookup::{LookUpStats, Resolver};
-pub use metrics::{CostModel, PipelineMetrics, Report};
+pub use metrics::{CostModel, ExporterStats, IngestSummary, PipelineMetrics, Report};
 pub use pipeline::Correlator;
 pub use simulate::{HourlySample, OfflineSimulator, SimulationOutcome};
 pub use store::DnsStore;

@@ -71,6 +71,78 @@ impl CostModel {
     }
 }
 
+/// Counters of one network exporter peer, as folded into the final
+/// report by the live ingest layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExporterStats {
+    /// The exporter's socket address, stringified.
+    pub exporter: String,
+    /// Datagrams successfully decoded from this exporter.
+    pub datagrams: u64,
+    /// Flow records extracted from this exporter's datagrams.
+    pub flows: u64,
+    /// Datagrams rejected as malformed.
+    pub malformed: u64,
+    /// Data flowsets dropped because their template was not yet known.
+    pub unknown_template_drops: u64,
+}
+
+/// Network-ingest counters folded into [`PipelineMetrics`] when the
+/// pipeline is fed by live sockets rather than in-process replay.
+///
+/// All-zero (the `Default`) for offline runs, so offline reports are
+/// unchanged by the ingest subsystem's existence.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestSummary {
+    /// NetFlow datagrams decoded across all exporters.
+    pub netflow_datagrams: u64,
+    /// Flow records extracted across all exporters.
+    pub netflow_flows: u64,
+    /// Malformed NetFlow datagrams across all exporters.
+    pub netflow_malformed: u64,
+    /// Data flowsets dropped for lack of a template, across all exporters.
+    pub netflow_unknown_template_drops: u64,
+    /// Flow records dropped because the LookUp queue was full at ingest.
+    pub netflow_queue_drops: u64,
+    /// DNS feed connections accepted.
+    pub dns_connections: u64,
+    /// DNS records decoded from the feed framing.
+    pub dns_records: u64,
+    /// DNS feed connections dropped for malformed framing.
+    pub dns_malformed_streams: u64,
+    /// DNS records dropped because the FillUp queue was full at ingest.
+    pub dns_queue_drops: u64,
+    /// Per-exporter breakdown, sorted by exporter address.
+    pub per_exporter: Vec<ExporterStats>,
+}
+
+impl IngestSummary {
+    /// Did this run ingest anything over the network at all?
+    pub fn is_live(&self) -> bool {
+        *self != IngestSummary::default()
+    }
+
+    /// Short stats line for periodic reporting and the final summary.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "netflow: {} datagrams from {} exporters -> {} flows \
+             ({} malformed, {} no-template, {} queue-dropped); \
+             dns feed: {} records over {} connections \
+             ({} malformed streams, {} queue-dropped)",
+            self.netflow_datagrams,
+            self.per_exporter.len(),
+            self.netflow_flows,
+            self.netflow_malformed,
+            self.netflow_unknown_template_drops,
+            self.netflow_queue_drops,
+            self.dns_records,
+            self.dns_connections,
+            self.dns_malformed_streams,
+            self.dns_queue_drops,
+        )
+    }
+}
+
 /// Aggregated metrics of a pipeline run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PipelineMetrics {
@@ -90,6 +162,8 @@ pub struct PipelineMetrics {
     pub work_units: f64,
     /// Peak memory estimate observed.
     pub peak_memory: MemoryEstimate,
+    /// Network-ingest counters (all zero for offline runs).
+    pub ingest: IngestSummary,
 }
 
 impl PipelineMetrics {
@@ -132,7 +206,7 @@ impl Report {
 
     /// Render a short human-readable summary.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "correlated {:.1}% of {} total bytes; dns_loss={:.2}% flow_loss={:.2}%; \
              {} dns records stored, {} flows looked up, {} records written",
             self.correlation_rate_pct(),
@@ -142,7 +216,12 @@ impl Report {
             self.metrics.fillup.addresses_stored + self.metrics.fillup.cnames_stored,
             self.metrics.lookup.total(),
             self.metrics.write.records_written,
-        )
+        );
+        if self.metrics.ingest.is_live() {
+            s.push('\n');
+            s.push_str(&self.metrics.ingest.summary_line());
+        }
+        s
     }
 }
 
@@ -182,5 +261,31 @@ mod tests {
         let s = r.summary();
         assert!(s.contains("50.0%"));
         assert!(s.contains("2 records written"));
+        // Offline runs carry no ingest line.
+        assert!(!s.contains("netflow:"));
+    }
+
+    #[test]
+    fn live_reports_append_the_ingest_line() {
+        let mut r = Report::default();
+        r.metrics.ingest.netflow_datagrams = 12;
+        r.metrics.ingest.netflow_flows = 30;
+        r.metrics.ingest.dns_records = 7;
+        r.metrics.ingest.per_exporter.push(ExporterStats {
+            exporter: "127.0.0.1:5000".into(),
+            datagrams: 12,
+            flows: 30,
+            malformed: 0,
+            unknown_template_drops: 1,
+        });
+        assert!(r.metrics.ingest.is_live());
+        let s = r.summary();
+        assert!(s.contains("netflow: 12 datagrams from 1 exporters -> 30 flows"));
+        assert!(s.contains("dns feed: 7 records"));
+    }
+
+    #[test]
+    fn default_ingest_summary_is_offline() {
+        assert!(!IngestSummary::default().is_live());
     }
 }

@@ -264,6 +264,7 @@ impl Correlator {
             writes_dropped: self.write_queue.stats().dropped + *self.writes_dropped.lock(),
             work_units: 0.0,
             peak_memory: self.store.memory_estimate(),
+            ingest: Default::default(),
         };
         Ok(Report {
             volumes: write.volumes,

@@ -1,0 +1,145 @@
+//! `flowdnsd` — the FlowDNS network daemon.
+//!
+//! Reads a small `key = value` config file, binds the NetFlow UDP and
+//! DNS-feed TCP listeners, runs the correlation pipeline, and prints
+//! periodic stats to stderr. Shuts down cleanly — listeners joined,
+//! queues drained, final report printed — when any of these happens:
+//!
+//! * stdin reaches EOF or carries a `quit`/`stop` line (the portable
+//!   "shutdown signal" of this dependency-free build: run it under a
+//!   supervisor with a pipe on stdin and close the pipe to stop it),
+//! * `--duration <secs>` elapses.
+//!
+//! ```text
+//! flowdnsd --config examples/flowdnsd.conf [--duration 30]
+//! ```
+
+use std::io::BufRead;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use flowdns_ingest::{DaemonConfig, IngestRuntime};
+
+fn usage() -> ! {
+    eprintln!("usage: flowdnsd [--config <path>] [--duration <secs>]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config_path: Option<String> = None;
+    let mut duration: Option<Duration> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--config" | "-c" => match args.next() {
+                Some(path) => config_path = Some(path),
+                None => usage(),
+            },
+            "--duration" | "-d" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(secs) => duration = Some(Duration::from_secs(secs)),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("flowdnsd: unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+
+    let config = match &config_path {
+        Some(path) => match DaemonConfig::from_file(path) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("flowdnsd: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => DaemonConfig::default(),
+    };
+
+    let runtime = match IngestRuntime::start(&config) {
+        Ok(rt) => rt,
+        Err(e) => {
+            eprintln!("flowdnsd: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "flowdnsd: netflow/udp on {}, dns-feed/tcp on {} ({} fillup + {} lookup + {} write workers)",
+        runtime.netflow_addr(),
+        runtime.dns_addr(),
+        config.correlator.fillup_workers,
+        config.correlator.lookup_workers,
+        config.correlator.write_workers,
+    );
+
+    // Shutdown watcher: stdin EOF or an explicit quit/stop line. The
+    // thread is detached on purpose — if the duration path wins, a thread
+    // blocked in `read_line` must not keep the process alive, and it
+    // cannot, because the process exits from main.
+    let stop = Arc::new(AtomicBool::new(false));
+    {
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("flowdnsd-stdin".into())
+            .spawn(move || {
+                let stdin = std::io::stdin();
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    match stdin.lock().read_line(&mut line) {
+                        Ok(0) => break, // EOF: shut down
+                        Ok(_) => {
+                            let cmd = line.trim();
+                            if cmd.eq_ignore_ascii_case("quit") || cmd.eq_ignore_ascii_case("stop")
+                            {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+                stop.store(true, Ordering::Release);
+            })
+            .expect("spawn stdin watcher");
+    }
+
+    let started = Instant::now();
+    let mut last_stats = Instant::now();
+    loop {
+        std::thread::sleep(Duration::from_millis(100));
+        if stop.load(Ordering::Acquire) {
+            eprintln!("flowdnsd: shutdown signal received");
+            break;
+        }
+        if let Some(limit) = duration {
+            if started.elapsed() >= limit {
+                eprintln!("flowdnsd: duration elapsed");
+                break;
+            }
+        }
+        if last_stats.elapsed() >= config.ingest.stats_interval {
+            last_stats = Instant::now();
+            let snap = runtime.snapshot();
+            let (fq, lq, wq) = snap.queue_depths;
+            eprintln!(
+                "flowdnsd: {} | rates: {:.0} flows/s, {:.0} dns/s (sim) | queues fillup={fq} lookup={lq} write={wq}",
+                snap.summary.summary_line(),
+                snap.netflow_meter.rate_per_sec(),
+                snap.dns_meter.rate_per_sec(),
+            );
+        }
+    }
+
+    match runtime.shutdown() {
+        Ok(report) => {
+            eprintln!("flowdnsd: final report: {}", report.summary());
+        }
+        Err(e) => {
+            eprintln!("flowdnsd: shutdown failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

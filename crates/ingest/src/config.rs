@@ -1,0 +1,187 @@
+//! Daemon configuration: listener addresses plus the correlator's own
+//! `key = value` parameters, read from one config file.
+//!
+//! `flowdnsd` reads a single small file describing the whole deployment:
+//! the ingest keys documented on [`IngestConfig`] are consumed here, and
+//! every remaining line is handed to
+//! [`CorrelatorConfig::from_config_text`], so worker counts, queue sizes
+//! and store intervals use exactly the vocabulary the offline tools
+//! already understand.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use flowdns_core::CorrelatorConfig;
+use flowdns_types::FlowDnsError;
+
+fn err(msg: impl Into<String>) -> FlowDnsError {
+    FlowDnsError::Config(msg.into())
+}
+
+/// Configuration of the network listeners.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestConfig {
+    /// UDP socket address the NetFlow/IPFIX listener binds
+    /// (`netflow_bind`, port 0 picks an ephemeral port).
+    pub netflow_bind: SocketAddr,
+    /// TCP socket address the DNS-feed listener binds (`dns_bind`).
+    pub dns_bind: SocketAddr,
+    /// Interval between periodic stats lines (`stats_interval`, seconds).
+    pub stats_interval: Duration,
+    /// Output TSV path (`output`); correlated records are discarded after
+    /// accounting when unset.
+    pub output: Option<String>,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            netflow_bind: "127.0.0.1:9995".parse().expect("valid default addr"),
+            dns_bind: "127.0.0.1:9953".parse().expect("valid default addr"),
+            stats_interval: Duration::from_secs(10),
+            output: None,
+        }
+    }
+}
+
+/// Everything `flowdnsd` needs: listeners plus correlator parameters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DaemonConfig {
+    /// Listener configuration.
+    pub ingest: IngestConfig,
+    /// Correlation pipeline configuration.
+    pub correlator: CorrelatorConfig,
+}
+
+impl DaemonConfig {
+    /// Parse a daemon configuration from `key = value` text.
+    ///
+    /// Ingest keys (`netflow_bind`, `dns_bind`, `stats_interval`,
+    /// `output`) are consumed here; all other lines — including comments
+    /// and blanks — are forwarded verbatim to
+    /// [`CorrelatorConfig::from_config_text`], which keeps that parser's
+    /// line numbers accurate in error messages.
+    pub fn from_config_text(text: &str) -> Result<Self, FlowDnsError> {
+        let mut ingest = IngestConfig::default();
+        let mut correlator_text = String::with_capacity(text.len());
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let mut consumed = true;
+            if let Some((key, value)) = line.split_once('=') {
+                let (key, value) = (key.trim(), value.trim());
+                match key {
+                    "netflow_bind" => ingest.netflow_bind = parse_addr(lineno, value)?,
+                    "dns_bind" => ingest.dns_bind = parse_addr(lineno, value)?,
+                    "stats_interval" => {
+                        let secs = value.parse::<u64>().map_err(|_| {
+                            err(format!("line {}: '{value}' is not a number", lineno + 1))
+                        })?;
+                        if secs == 0 {
+                            return Err(err(format!(
+                                "line {}: stats_interval must be at least 1",
+                                lineno + 1
+                            )));
+                        }
+                        ingest.stats_interval = Duration::from_secs(secs);
+                    }
+                    "output" => ingest.output = Some(value.to_string()),
+                    _ => consumed = false,
+                }
+            } else {
+                consumed = false;
+            }
+            if consumed {
+                correlator_text.push('\n');
+            } else {
+                correlator_text.push_str(raw);
+                correlator_text.push('\n');
+            }
+        }
+        let correlator = CorrelatorConfig::from_config_text(&correlator_text)?;
+        Ok(DaemonConfig { ingest, correlator })
+    }
+
+    /// Read and parse a configuration file.
+    pub fn from_file(path: &str) -> Result<Self, FlowDnsError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| err(format!("cannot read config file '{path}': {e}")))?;
+        DaemonConfig::from_config_text(&text)
+    }
+}
+
+fn parse_addr(lineno: usize, value: &str) -> Result<SocketAddr, FlowDnsError> {
+    value.parse().map_err(|_| {
+        err(format!(
+            "line {}: '{value}' is not a socket address (expected ip:port)",
+            lineno + 1
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowdns_core::Variant;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = DaemonConfig::default();
+        assert_eq!(cfg.ingest.netflow_bind.port(), 9995);
+        assert_eq!(cfg.ingest.dns_bind.port(), 9953);
+        assert_eq!(cfg.ingest.stats_interval, Duration::from_secs(10));
+        assert!(cfg.ingest.output.is_none());
+        assert!(cfg.correlator.validate().is_ok());
+    }
+
+    #[test]
+    fn mixed_config_splits_ingest_and_correlator_keys() {
+        let text = "
+# flowdnsd at the small ISP
+netflow_bind = 127.0.0.1:0
+dns_bind = 127.0.0.1:0
+stats_interval = 2
+output = /tmp/flowdns.tsv
+
+lookup_workers = 8
+variant = NoRotation
+";
+        let cfg = DaemonConfig::from_config_text(text).unwrap();
+        assert_eq!(cfg.ingest.netflow_bind.port(), 0);
+        assert_eq!(cfg.ingest.dns_bind.port(), 0);
+        assert_eq!(cfg.ingest.stats_interval, Duration::from_secs(2));
+        assert_eq!(cfg.ingest.output.as_deref(), Some("/tmp/flowdns.tsv"));
+        assert_eq!(cfg.correlator.lookup_workers, 8);
+        assert_eq!(cfg.correlator.variant, Variant::NoRotation);
+        // Untouched correlator keys keep their defaults.
+        assert_eq!(cfg.correlator.num_split, 10);
+    }
+
+    #[test]
+    fn bad_values_are_rejected_with_line_numbers() {
+        let e = DaemonConfig::from_config_text("netflow_bind = not-an-addr")
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("line 1"), "{e}");
+        assert!(DaemonConfig::from_config_text("stats_interval = zero").is_err());
+        assert!(DaemonConfig::from_config_text("stats_interval = 0").is_err());
+        // Unknown keys still error through the correlator parser, with the
+        // original file's line number.
+        let e = DaemonConfig::from_config_text("netflow_bind = 127.0.0.1:0\nbogus_key = 1")
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("line 2"), "{e}");
+        assert!(e.contains("bogus_key"), "{e}");
+    }
+
+    #[test]
+    fn config_file_round_trip() {
+        let dir = std::env::temp_dir().join("flowdns-ingest-config-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flowdnsd.conf");
+        std::fs::write(&path, "dns_bind = 127.0.0.1:15353\nfillup_workers = 3\n").unwrap();
+        let cfg = DaemonConfig::from_file(path.to_str().unwrap()).unwrap();
+        assert_eq!(cfg.ingest.dns_bind.port(), 15353);
+        assert_eq!(cfg.correlator.fillup_workers, 3);
+        assert!(DaemonConfig::from_file("/nonexistent/flowdnsd.conf").is_err());
+    }
+}

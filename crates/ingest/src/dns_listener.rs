@@ -1,0 +1,141 @@
+//! The TCP DNS-feed listener.
+//!
+//! The ISP's resolvers forward cache-miss records over framed TCP
+//! (Section 4, Coverage). The listener accepts any number of resolver
+//! connections; each connection gets its own handler thread running the
+//! incremental [`FrameDecoder`] over raw socket reads, so frames split
+//! across arbitrary read boundaries decode correctly and a connection cut
+//! mid-message simply ends that stream. Decoded records go onto the
+//! correlator's FillUp queue; a full queue is a counted drop.
+
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use flowdns_core::Correlator;
+use flowdns_dns::framing::FrameDecoder;
+use flowdns_stream::RateMeter;
+
+/// How long a blocked accept/read waits before re-checking shutdown.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+/// Socket read buffer size.
+const READ_BUF: usize = 16 * 1024;
+
+/// Listener-level DNS-feed counters shared with the runtime.
+#[derive(Debug, Default)]
+pub struct DnsFeedStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Records decoded across all connections.
+    pub records: AtomicU64,
+    /// Connections dropped because their stream was malformed.
+    pub malformed_streams: AtomicU64,
+    /// Records dropped because the FillUp queue was full.
+    pub queue_drops: AtomicU64,
+}
+
+/// Spawn the TCP accept-loop thread. Per-connection handler threads are
+/// pushed onto `conn_handles` so the runtime can join them at shutdown.
+pub(crate) fn spawn(
+    listener: TcpListener,
+    correlator: Arc<Correlator>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<DnsFeedStats>,
+    meter: Arc<Mutex<RateMeter>>,
+    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) -> std::io::Result<JoinHandle<()>> {
+    listener.set_nonblocking(true)?;
+    std::thread::Builder::new()
+        .name("ingest-dns-accept".into())
+        .spawn(move || {
+            let mut next_conn = 0u64;
+            while !shutdown.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        stats.connections.fetch_add(1, Ordering::Relaxed);
+                        let handle = spawn_connection(
+                            stream,
+                            next_conn,
+                            Arc::clone(&correlator),
+                            Arc::clone(&shutdown),
+                            Arc::clone(&stats),
+                            Arc::clone(&meter),
+                        );
+                        next_conn += 1;
+                        match handle {
+                            Ok(h) => conn_handles.lock().push(h),
+                            Err(_) => {
+                                stats.malformed_streams.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                    Err(_) => std::thread::sleep(POLL_INTERVAL),
+                }
+            }
+        })
+}
+
+fn spawn_connection(
+    stream: TcpStream,
+    id: u64,
+    correlator: Arc<Correlator>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<DnsFeedStats>,
+    meter: Arc<Mutex<RateMeter>>,
+) -> std::io::Result<JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name(format!("ingest-dns-{id}"))
+        .spawn(move || {
+            // The accept loop runs nonblocking; the accepted stream
+            // inherits that on some platforms, so switch to blocking reads
+            // with a timeout to keep the shutdown flag responsive.
+            if stream.set_nonblocking(false).is_err()
+                || stream.set_read_timeout(Some(POLL_INTERVAL)).is_err()
+            {
+                stats.malformed_streams.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            let mut stream = stream;
+            let mut decoder = FrameDecoder::new();
+            let mut buf = vec![0u8; READ_BUF];
+            while !shutdown.load(Ordering::Acquire) {
+                let n = match stream.read(&mut buf) {
+                    Ok(0) => break, // clean EOF; partial frame (if any) discarded
+                    Ok(n) => n,
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue;
+                    }
+                    Err(_) => break, // reset mid-stream; never a panic
+                };
+                match decoder.feed(&buf[..n]) {
+                    Ok(records) => {
+                        let mut meter = meter.lock();
+                        for record in records {
+                            stats.records.fetch_add(1, Ordering::Relaxed);
+                            meter.record(record.ts, 0);
+                            if !correlator.push_dns(record) {
+                                stats.queue_drops.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        // Corrupt framing: count it and drop the
+                        // connection; the resolver will reconnect.
+                        stats.malformed_streams.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            }
+        })
+}

@@ -1,0 +1,116 @@
+//! The UDP NetFlow/IPFIX listener.
+//!
+//! One socket receives export datagrams from every exporter; the listener
+//! demultiplexes them **by peer address** and keeps one
+//! [`ExporterDecoder`] — and therefore one per-source template registry —
+//! per exporter, exactly like the per-source decode state of production
+//! collectors. Decoded flow records go straight onto the correlator's
+//! LookUp queue; a full queue is a counted drop, never a blocked socket.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use flowdns_core::metrics::ExporterStats;
+use flowdns_core::Correlator;
+use flowdns_netflow::{DecodeStats, ExporterDecoder, ExtractorConfig};
+use flowdns_stream::RateMeter;
+
+/// Largest datagram the listener accepts (64 KiB, the UDP maximum).
+const MAX_DATAGRAM: usize = 65_535;
+/// How long one `recv_from` waits before re-checking the shutdown flag.
+const RECV_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// Shared per-exporter decode state plus listener-level counters.
+/// Malformed/unknown-template counts live inside each exporter's
+/// [`DecodeStats`]; [`ExporterTable::totals`] folds them.
+#[derive(Debug, Default)]
+pub struct ExporterTable {
+    decoders: Mutex<HashMap<SocketAddr, ExporterDecoder>>,
+    /// Flow records dropped because the LookUp queue was full.
+    pub queue_drops: AtomicU64,
+}
+
+impl ExporterTable {
+    /// Per-exporter counters, sorted by exporter address.
+    pub fn per_exporter(&self) -> Vec<ExporterStats> {
+        let mut out: Vec<ExporterStats> = self
+            .decoders
+            .lock()
+            .iter()
+            .map(|(addr, dec)| ExporterStats {
+                exporter: addr.to_string(),
+                datagrams: dec.stats.datagrams,
+                flows: dec.stats.flows,
+                malformed: dec.stats.malformed,
+                unknown_template_drops: dec.stats.unknown_template_drops,
+            })
+            .collect();
+        out.sort_by(|a, b| a.exporter.cmp(&b.exporter));
+        out
+    }
+
+    /// Totals folded over every exporter.
+    pub fn totals(&self) -> DecodeStats {
+        let mut total = DecodeStats::default();
+        for dec in self.decoders.lock().values() {
+            total.merge(&dec.stats);
+        }
+        total
+    }
+}
+
+/// Spawn the UDP listener thread. It owns the socket and exits once
+/// `shutdown` is set.
+pub(crate) fn spawn(
+    socket: UdpSocket,
+    correlator: Arc<Correlator>,
+    shutdown: Arc<AtomicBool>,
+    table: Arc<ExporterTable>,
+    meter: Arc<Mutex<RateMeter>>,
+) -> std::io::Result<JoinHandle<()>> {
+    socket.set_read_timeout(Some(RECV_TIMEOUT))?;
+    std::thread::Builder::new()
+        .name("ingest-netflow".into())
+        .spawn(move || {
+            let mut buf = vec![0u8; MAX_DATAGRAM];
+            while !shutdown.load(Ordering::Acquire) {
+                let (len, peer) = match socket.recv_from(&mut buf) {
+                    Ok(pair) => pair,
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue;
+                    }
+                    // Transient network errors (e.g. ICMP port unreachable
+                    // bounced back on Linux) must not kill the listener.
+                    Err(_) => continue,
+                };
+                let mut decoders = table.decoders.lock();
+                let decoder = decoders
+                    .entry(peer)
+                    .or_insert_with(|| ExporterDecoder::new(ExtractorConfig::default()));
+                match decoder.decode_datagram(&buf[..len]) {
+                    Ok(flows) => {
+                        drop(decoders);
+                        let mut meter = meter.lock();
+                        for flow in flows {
+                            meter.record(flow.ts, flow.bytes);
+                            if !correlator.push_flow(flow) {
+                                table.queue_drops.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        // Already counted in the exporter's DecodeStats.
+                    }
+                }
+            }
+        })
+}

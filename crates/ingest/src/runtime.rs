@@ -1,0 +1,267 @@
+//! [`IngestRuntime`]: sockets in, correlated records out.
+//!
+//! The runtime binds the two listeners, starts a [`Correlator`] and wires
+//! everything together: UDP datagrams → per-exporter decoders → LookUp
+//! queue; TCP frames → incremental decoder → FillUp queue. Each listener
+//! carries its own [`RateMeter`], and shutdown is ordered: listeners stop
+//! accepting, connection handlers drain and join, then the pipeline
+//! drains its bounded queues and the final [`Report`] — with every
+//! per-exporter drop/malformed counter folded into
+//! `core::metrics::IngestSummary` — comes back.
+
+use std::net::{SocketAddr, TcpListener, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use flowdns_core::metrics::IngestSummary;
+use flowdns_core::write::{MemorySink, OutputSink, TsvFileSink};
+use flowdns_core::{Correlator, Report};
+use flowdns_stream::{MeterSnapshot, RateMeter};
+use flowdns_types::{CorrelatedRecord, FlowDnsError, SimDuration};
+
+use crate::config::DaemonConfig;
+use crate::dns_listener::{self, DnsFeedStats};
+use crate::netflow_listener::{self, ExporterTable};
+
+/// Width of the per-listener meter windows.
+const METER_WINDOW_SECS: u64 = 60;
+
+/// A sink that discards records after the shared writer has done its
+/// volume accounting — the daemon default when no `output` is configured.
+#[derive(Debug, Default)]
+pub struct DiscardSink;
+
+impl OutputSink for DiscardSink {
+    fn write_record(&mut self, _record: &CorrelatedRecord) -> Result<(), FlowDnsError> {
+        Ok(())
+    }
+}
+
+/// A point-in-time view of the ingest side, cheap enough to take every
+/// stats tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestSnapshot {
+    /// Ingest totals so far (same shape as the final report's summary).
+    pub summary: IngestSummary,
+    /// NetFlow listener meter totals and rate.
+    pub netflow_meter: MeterSnapshot,
+    /// DNS-feed listener meter totals and rate.
+    pub dns_meter: MeterSnapshot,
+    /// Depths of the (fillup, lookup, write) queues.
+    pub queue_depths: (usize, usize, usize),
+}
+
+/// The live ingestion runtime: two listeners feeding one [`Correlator`].
+pub struct IngestRuntime {
+    correlator: Arc<Correlator>,
+    netflow_addr: SocketAddr,
+    dns_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    listeners: Vec<JoinHandle<()>>,
+    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    exporters: Arc<ExporterTable>,
+    dns_stats: Arc<DnsFeedStats>,
+    netflow_meter: Arc<Mutex<RateMeter>>,
+    dns_meter: Arc<Mutex<RateMeter>>,
+}
+
+impl std::fmt::Debug for IngestRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IngestRuntime")
+            .field("netflow_addr", &self.netflow_addr)
+            .field("dns_addr", &self.dns_addr)
+            .finish()
+    }
+}
+
+impl IngestRuntime {
+    /// Start the runtime with the sink named by the configuration
+    /// (`output = path` → TSV file, otherwise records are discarded after
+    /// accounting).
+    pub fn start(config: &DaemonConfig) -> Result<Self, FlowDnsError> {
+        let sink: Box<dyn OutputSink> = match &config.ingest.output {
+            Some(path) => Box::new(TsvFileSink::create(path)?),
+            None => Box::new(DiscardSink),
+        };
+        IngestRuntime::start_with_sink(config, sink)
+    }
+
+    /// Start the runtime writing correlated records into an in-memory
+    /// sink (tests and examples that inspect the output).
+    pub fn start_in_memory(config: &DaemonConfig) -> Result<Self, FlowDnsError> {
+        IngestRuntime::start_with_sink(config, Box::new(MemorySink::new()))
+    }
+
+    /// Start the runtime with an explicit output sink.
+    pub fn start_with_sink(
+        config: &DaemonConfig,
+        sink: Box<dyn OutputSink>,
+    ) -> Result<Self, FlowDnsError> {
+        let io_err = |e: std::io::Error| FlowDnsError::Io(e.to_string());
+
+        let udp = UdpSocket::bind(config.ingest.netflow_bind).map_err(io_err)?;
+        let netflow_addr = udp.local_addr().map_err(io_err)?;
+        let tcp = TcpListener::bind(config.ingest.dns_bind).map_err(io_err)?;
+        let dns_addr = tcp.local_addr().map_err(io_err)?;
+
+        let correlator = Arc::new(Correlator::start_with_sink(config.correlator, sink)?);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let exporters = Arc::new(ExporterTable::default());
+        let dns_stats = Arc::new(DnsFeedStats::default());
+        let window = SimDuration::from_secs(METER_WINDOW_SECS);
+        let netflow_meter = Arc::new(Mutex::new(RateMeter::new(window)));
+        let dns_meter = Arc::new(Mutex::new(RateMeter::new(window)));
+        let conn_handles = Arc::new(Mutex::new(Vec::new()));
+
+        let listeners = vec![
+            netflow_listener::spawn(
+                udp,
+                Arc::clone(&correlator),
+                Arc::clone(&shutdown),
+                Arc::clone(&exporters),
+                Arc::clone(&netflow_meter),
+            )
+            .map_err(io_err)?,
+            dns_listener::spawn(
+                tcp,
+                Arc::clone(&correlator),
+                Arc::clone(&shutdown),
+                Arc::clone(&dns_stats),
+                Arc::clone(&dns_meter),
+                Arc::clone(&conn_handles),
+            )
+            .map_err(io_err)?,
+        ];
+
+        Ok(IngestRuntime {
+            correlator,
+            netflow_addr,
+            dns_addr,
+            shutdown,
+            listeners,
+            conn_handles,
+            exporters,
+            dns_stats,
+            netflow_meter,
+            dns_meter,
+        })
+    }
+
+    /// The address the NetFlow UDP listener actually bound (resolves
+    /// ephemeral port 0).
+    pub fn netflow_addr(&self) -> SocketAddr {
+        self.netflow_addr
+    }
+
+    /// The address the DNS-feed TCP listener actually bound.
+    pub fn dns_addr(&self) -> SocketAddr {
+        self.dns_addr
+    }
+
+    /// The correlation pipeline, for store/queue inspection.
+    pub fn correlator(&self) -> &Correlator {
+        &self.correlator
+    }
+
+    /// Current ingest totals, meters and queue depths.
+    pub fn snapshot(&self) -> IngestSnapshot {
+        IngestSnapshot {
+            summary: self.build_summary(),
+            netflow_meter: self.netflow_meter.lock().snapshot(),
+            dns_meter: self.dns_meter.lock().snapshot(),
+            queue_depths: self.correlator.queue_depths(),
+        }
+    }
+
+    fn build_summary(&self) -> IngestSummary {
+        let totals = self.exporters.totals();
+        IngestSummary {
+            netflow_datagrams: totals.datagrams,
+            netflow_flows: totals.flows,
+            netflow_malformed: totals.malformed,
+            netflow_unknown_template_drops: totals.unknown_template_drops,
+            netflow_queue_drops: self.exporters.queue_drops.load(Ordering::Relaxed),
+            dns_connections: self.dns_stats.connections.load(Ordering::Relaxed),
+            dns_records: self.dns_stats.records.load(Ordering::Relaxed),
+            dns_malformed_streams: self.dns_stats.malformed_streams.load(Ordering::Relaxed),
+            dns_queue_drops: self.dns_stats.queue_drops.load(Ordering::Relaxed),
+            per_exporter: self.exporters.per_exporter(),
+        }
+    }
+
+    /// Ordered shutdown: stop the listeners, join every connection
+    /// handler, drain the pipeline, and return the final report with the
+    /// ingest summary folded into its metrics.
+    pub fn shutdown(mut self) -> Result<Report, FlowDnsError> {
+        self.shutdown.store(true, Ordering::Release);
+        for handle in self.listeners.drain(..) {
+            handle
+                .join()
+                .map_err(|_| FlowDnsError::PipelineState("ingest listener panicked".into()))?;
+        }
+        // The accept loop is joined, so no new connections can arrive;
+        // handlers see the flag within one poll interval.
+        let handlers = std::mem::take(&mut *self.conn_handles.lock());
+        for handle in handlers {
+            handle
+                .join()
+                .map_err(|_| FlowDnsError::PipelineState("dns feed handler panicked".into()))?;
+        }
+        let summary = self.build_summary();
+        let correlator = Arc::try_unwrap(self.correlator).map_err(|_| {
+            FlowDnsError::PipelineState("correlator still referenced at shutdown".into())
+        })?;
+        let mut report = correlator.finish()?;
+        report.metrics.ingest = summary;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loopback_config() -> DaemonConfig {
+        let mut cfg = DaemonConfig::default();
+        cfg.ingest.netflow_bind = "127.0.0.1:0".parse().unwrap();
+        cfg.ingest.dns_bind = "127.0.0.1:0".parse().unwrap();
+        cfg
+    }
+
+    #[test]
+    fn starts_on_ephemeral_ports_and_shuts_down_clean() {
+        let rt = IngestRuntime::start_in_memory(&loopback_config()).unwrap();
+        assert_ne!(rt.netflow_addr().port(), 0);
+        assert_ne!(rt.dns_addr().port(), 0);
+        let snap = rt.snapshot();
+        assert!(!snap.summary.is_live());
+        assert_eq!(snap.queue_depths, (0, 0, 0));
+        let report = rt.shutdown().unwrap();
+        assert_eq!(report.metrics.write.records_written, 0);
+        assert!(!report.metrics.ingest.is_live());
+    }
+
+    #[test]
+    fn two_runtimes_can_coexist() {
+        let a = IngestRuntime::start_in_memory(&loopback_config()).unwrap();
+        let b = IngestRuntime::start_in_memory(&loopback_config()).unwrap();
+        assert_ne!(a.netflow_addr(), b.netflow_addr());
+        a.shutdown().unwrap();
+        b.shutdown().unwrap();
+    }
+
+    #[test]
+    fn binding_an_occupied_port_is_an_io_error() {
+        let rt = IngestRuntime::start_in_memory(&loopback_config()).unwrap();
+        let mut cfg = loopback_config();
+        cfg.ingest.dns_bind = rt.dns_addr();
+        match IngestRuntime::start_in_memory(&cfg) {
+            Err(FlowDnsError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        rt.shutdown().unwrap();
+    }
+}

@@ -6,12 +6,13 @@
 //! ≥ 256 carry data records. Enterprise-specific information elements
 //! (high bit of the field type set) are parsed but stored opaquely.
 //!
-//! The reader shares the [`TemplateCache`] and record model with the v9
-//! parser, so the extraction layer treats both identically.
+//! The reader shares the per-source [`TemplateRegistry`] machinery and
+//! record model with the v9 parser, so the extraction layer treats both
+//! identically.
 
 use flowdns_types::FlowDnsError;
 
-use crate::template::{FieldSpec, FieldType, Template, TemplateCache};
+use crate::template::{FieldSpec, FieldType, Template, TemplateRegistry};
 use crate::v9::DataRecord;
 
 fn err(msg: impl Into<String>) -> FlowDnsError {
@@ -41,11 +42,11 @@ pub struct IpfixMessage {
     pub unknown_template_sets: usize,
 }
 
-/// Stateful IPFIX reader.
+/// Stateful IPFIX reader (one per exporter peer).
 #[derive(Debug, Default)]
 pub struct IpfixParser {
-    /// Template cache shared across messages.
-    pub templates: TemplateCache,
+    /// Per-observation-domain template caches shared across messages.
+    pub templates: TemplateRegistry,
     /// Messages parsed so far.
     pub messages: u64,
     /// Data records decoded so far.
@@ -105,7 +106,7 @@ impl IpfixParser {
                         records.extend(parse_data_set(body, &template)?);
                     }
                     None => {
-                        self.templates.note_unknown();
+                        self.templates.note_unknown(observation_domain);
                         unknown_template_sets += 1;
                     }
                 },

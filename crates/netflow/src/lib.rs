@@ -16,18 +16,23 @@
 //!   template machinery,
 //! * [`extract`] — the generic extraction layer that turns any parsed
 //!   packet into the [`flowdns_types::FlowRecord`]s the correlator
-//!   consumes (the paper: "the system is not bound to NetFlow data").
+//!   consumes (the paper: "the system is not bound to NetFlow data"),
+//! * [`decode`] — per-exporter datagram decoding with v5/v9/IPFIX
+//!   auto-detection by version word, used by the live ingest layer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod decode;
 pub mod extract;
 pub mod ipfix;
 pub mod template;
 pub mod v5;
 pub mod v9;
 
+pub use decode::{DecodeStats, ExporterDecoder, FlowProtocol};
 pub use extract::{ExtractorConfig, FlowExtractor};
-pub use template::{FieldSpec, FieldType, Template, TemplateCache};
+pub use ipfix::{IpfixMessage, IpfixMessageBuilder, IpfixParser};
+pub use template::{FieldSpec, FieldType, Template, TemplateCache, TemplateRegistry};
 pub use v5::{V5Header, V5Packet, V5Record};
-pub use v9::{DataRecord, FlowSet, V9Packet, V9Parser};
+pub use v9::{DataRecord, FlowSet, V9Packet, V9PacketBuilder, V9Parser};

@@ -4,7 +4,8 @@
 //! (field type, field length) pairs announced in template flowsets/sets
 //! and referenced by id from data flowsets/sets. Exporters may emit data
 //! before templates or refresh templates periodically, so parsers keep a
-//! [`TemplateCache`] keyed by (source id, template id).
+//! [`TemplateRegistry`] — one [`TemplateCache`] (keyed by template id)
+//! per source id, so sources can never clobber each other's layouts.
 
 use std::collections::HashMap;
 
@@ -161,14 +162,16 @@ impl Template {
     }
 }
 
-/// Cache of templates keyed by (source id, template id).
+/// Cache of the templates announced by **one** source (one NetFlow v9
+/// source id / IPFIX observation domain), keyed by template id.
 ///
-/// NetFlow v9 exporters identify themselves with a 32-bit source id;
-/// template ids are only unique within a source. Records received before
-/// their template are counted so operators can see the warm-up loss.
-#[derive(Debug, Default)]
+/// Template ids are only unique within a source, so a cache never mixes
+/// sources; [`TemplateRegistry`] holds one cache per source. Records
+/// received before their template are counted so operators can see the
+/// warm-up loss.
+#[derive(Debug, Default, Clone)]
 pub struct TemplateCache {
-    templates: HashMap<(u32, u16), Template>,
+    templates: HashMap<u16, Template>,
     /// Data flowsets that referenced an unknown template.
     pub unknown_template_hits: u64,
 }
@@ -179,14 +182,14 @@ impl TemplateCache {
         TemplateCache::default()
     }
 
-    /// Insert or refresh a template for a source.
-    pub fn insert(&mut self, source_id: u32, template: Template) {
-        self.templates.insert((source_id, template.id), template);
+    /// Insert or refresh a template.
+    pub fn insert(&mut self, template: Template) {
+        self.templates.insert(template.id, template);
     }
 
     /// Look up a template.
-    pub fn get(&self, source_id: u32, template_id: u16) -> Option<&Template> {
-        self.templates.get(&(source_id, template_id))
+    pub fn get(&self, template_id: u16) -> Option<&Template> {
+        self.templates.get(&template_id)
     }
 
     /// Record a data flowset that arrived before its template.
@@ -202,6 +205,75 @@ impl TemplateCache {
     /// Is the cache empty?
     pub fn is_empty(&self) -> bool {
         self.templates.is_empty()
+    }
+}
+
+/// Per-source template state for one transport peer.
+///
+/// A collector socket receives packets from many exporters, and each
+/// exporter may use several source ids (v9) or observation domains
+/// (IPFIX). The registry keeps one [`TemplateCache`] per source id so two
+/// sources reusing the same template id with different field layouts can
+/// never clobber each other. The ingest layer goes one step further and
+/// keeps a whole registry per exporter *address*, mirroring how production
+/// collectors isolate decode state per peer.
+#[derive(Debug, Default, Clone)]
+pub struct TemplateRegistry {
+    sources: HashMap<u32, TemplateCache>,
+}
+
+impl TemplateRegistry {
+    /// A fresh registry with no sources.
+    pub fn new() -> Self {
+        TemplateRegistry::default()
+    }
+
+    /// The cache for `source_id`, created empty on first use.
+    pub fn source_mut(&mut self, source_id: u32) -> &mut TemplateCache {
+        self.sources.entry(source_id).or_default()
+    }
+
+    /// The cache for `source_id`, if any template or unknown-template hit
+    /// was ever recorded for it.
+    pub fn source(&self, source_id: u32) -> Option<&TemplateCache> {
+        self.sources.get(&source_id)
+    }
+
+    /// Insert or refresh a template for a source.
+    pub fn insert(&mut self, source_id: u32, template: Template) {
+        self.source_mut(source_id).insert(template);
+    }
+
+    /// Look up a template of a source.
+    pub fn get(&self, source_id: u32, template_id: u16) -> Option<&Template> {
+        self.sources.get(&source_id)?.get(template_id)
+    }
+
+    /// Record a data flowset of `source_id` that arrived before its
+    /// template.
+    pub fn note_unknown(&mut self, source_id: u32) {
+        self.source_mut(source_id).note_unknown();
+    }
+
+    /// Total templates cached across all sources.
+    pub fn len(&self) -> usize {
+        self.sources.values().map(TemplateCache::len).sum()
+    }
+
+    /// Is the registry empty of templates?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of distinct sources seen.
+    pub fn source_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Total data flowsets (across all sources) that referenced an unknown
+    /// template.
+    pub fn unknown_template_hits(&self) -> u64 {
+        self.sources.values().map(|c| c.unknown_template_hits).sum()
     }
 }
 
@@ -225,37 +297,55 @@ mod tests {
     }
 
     #[test]
-    fn cache_is_keyed_by_source_and_id() {
-        let mut cache = TemplateCache::new();
-        cache.insert(1, Template::standard_ipv4(256));
-        cache.insert(2, Template::standard_ipv6(256));
-        assert_eq!(cache.len(), 2);
+    fn registry_is_keyed_by_source_and_id() {
+        let mut reg = TemplateRegistry::new();
+        reg.insert(1, Template::standard_ipv4(256));
+        reg.insert(2, Template::standard_ipv6(256));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.source_count(), 2);
         assert_eq!(
-            cache.get(1, 256).unwrap().fields[0].ftype,
+            reg.get(1, 256).unwrap().fields[0].ftype,
             FieldType::Ipv4SrcAddr
         );
         assert_eq!(
-            cache.get(2, 256).unwrap().fields[0].ftype,
+            reg.get(2, 256).unwrap().fields[0].ftype,
             FieldType::Ipv6SrcAddr
         );
-        assert!(cache.get(3, 256).is_none());
-        assert!(!cache.is_empty());
+        assert!(reg.get(3, 256).is_none());
+        assert!(!reg.is_empty());
     }
 
     #[test]
     fn template_refresh_overwrites() {
-        let mut cache = TemplateCache::new();
-        cache.insert(1, Template::standard_ipv4(300));
-        cache.insert(1, Template::standard_ipv6(300));
-        assert_eq!(cache.len(), 1);
-        assert_eq!(cache.get(1, 300).unwrap().fields.len(), 7);
+        let mut reg = TemplateRegistry::new();
+        reg.insert(1, Template::standard_ipv4(300));
+        reg.insert(1, Template::standard_ipv6(300));
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.get(1, 300).unwrap().fields.len(), 7);
     }
 
     #[test]
-    fn unknown_template_counter() {
+    fn unknown_template_counters_are_per_source() {
+        let mut reg = TemplateRegistry::new();
+        reg.note_unknown(1);
+        reg.note_unknown(1);
+        reg.note_unknown(9);
+        assert_eq!(reg.source(1).unwrap().unknown_template_hits, 2);
+        assert_eq!(reg.source(9).unwrap().unknown_template_hits, 1);
+        assert_eq!(reg.unknown_template_hits(), 3);
+        assert!(reg.source(2).is_none());
+    }
+
+    #[test]
+    fn per_source_cache_stands_alone() {
         let mut cache = TemplateCache::new();
+        cache.insert(Template::standard_ipv4(256));
+        cache.insert(Template::standard_ipv6(256));
+        // Same id: the refresh wins; a cache never holds two layouts.
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(256).unwrap().fields.len(), 7);
+        assert!(cache.get(300).is_none());
         cache.note_unknown();
-        cache.note_unknown();
-        assert_eq!(cache.unknown_template_hits, 2);
+        assert_eq!(cache.unknown_template_hits, 1);
     }
 }

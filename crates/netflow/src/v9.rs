@@ -12,7 +12,7 @@ use std::net::IpAddr;
 
 use flowdns_types::FlowDnsError;
 
-use crate::template::{FieldSpec, FieldType, Template, TemplateCache};
+use crate::template::{FieldSpec, FieldType, Template, TemplateRegistry};
 
 fn err(msg: impl Into<String>) -> FlowDnsError {
     FlowDnsError::NetflowParse(msg.into())
@@ -115,11 +115,11 @@ impl V9Packet {
     }
 }
 
-/// Stateful NetFlow v9 parser (per collector socket).
+/// Stateful NetFlow v9 parser (one per exporter peer).
 #[derive(Debug, Default)]
 pub struct V9Parser {
-    /// Template cache shared across packets.
-    pub templates: TemplateCache,
+    /// Per-source template caches shared across packets.
+    pub templates: TemplateRegistry,
     /// Total packets parsed.
     pub packets: u64,
     /// Total data records decoded.
@@ -181,7 +181,7 @@ impl V9Parser {
                         });
                     }
                     None => {
-                        self.templates.note_unknown();
+                        self.templates.note_unknown(source_id);
                         flowsets.push(FlowSet::UnknownTemplate {
                             template_id: id,
                             bytes: body.len(),
@@ -482,7 +482,7 @@ mod tests {
                 ..
             }
         ));
-        assert_eq!(parser.templates.unknown_template_hits, 1);
+        assert_eq!(parser.templates.unknown_template_hits(), 1);
         // After the template arrives, subsequent data decodes.
         let pkt2 = parser.parse(&sample_packet(true)).unwrap();
         assert_eq!(pkt2.data_records().count(), 2);

@@ -23,5 +23,5 @@ pub mod meter;
 pub mod replay;
 
 pub use buffer::{BufferStats, StreamBuffer};
-pub use meter::RateMeter;
+pub use meter::{MeterSnapshot, RateMeter};
 pub use replay::{merge_by_time, split_round_robin, StreamSplitter};

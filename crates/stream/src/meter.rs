@@ -30,6 +30,55 @@ impl WindowSample {
     }
 }
 
+/// A cheap O(1) summary of everything a meter has seen so far.
+///
+/// Periodic reporters (the `flowdnsd` stats loop, `core::metrics`) used
+/// to re-derive totals and rates from the window list ad hoc; `snapshot`
+/// hands them out directly instead.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MeterSnapshot {
+    /// Total records counted since the meter was created.
+    pub count: u64,
+    /// Total bytes counted since the meter was created.
+    pub bytes: u64,
+    /// Timestamp of the first record seen, if any.
+    pub first: Option<SimTime>,
+    /// Timestamp of the most recent record seen, if any.
+    pub last: Option<SimTime>,
+}
+
+impl MeterSnapshot {
+    /// Simulated time spanned from the first to the last record.
+    pub fn elapsed(&self) -> SimDuration {
+        match (self.first, self.last) {
+            (Some(first), Some(last)) => last.saturating_since(first),
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Average records per simulated second over the observed span.
+    /// A span shorter than one second reports the raw count (the meter
+    /// cannot distinguish a rate faster than its resolution).
+    pub fn rate_per_sec(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs < 1.0 {
+            self.count as f64
+        } else {
+            self.count as f64 / secs
+        }
+    }
+
+    /// Average bytes per simulated second over the observed span.
+    pub fn bytes_per_sec(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs < 1.0 {
+            self.bytes as f64
+        } else {
+            self.bytes as f64 / secs
+        }
+    }
+}
+
 /// Buckets record/byte counts into fixed windows of simulated time.
 #[derive(Debug)]
 pub struct RateMeter {
@@ -38,6 +87,10 @@ pub struct RateMeter {
     current_count: u64,
     current_bytes: u64,
     completed: Vec<WindowSample>,
+    total_count: u64,
+    total_bytes: u64,
+    first_seen: Option<SimTime>,
+    last_seen: Option<SimTime>,
 }
 
 impl RateMeter {
@@ -50,6 +103,10 @@ impl RateMeter {
             current_count: 0,
             current_bytes: 0,
             completed: Vec::new(),
+            total_count: 0,
+            total_bytes: 0,
+            first_seen: None,
+            last_seen: None,
         }
     }
 
@@ -90,6 +147,26 @@ impl RateMeter {
         }
         self.current_count += 1;
         self.current_bytes += bytes;
+        self.total_count += 1;
+        self.total_bytes += bytes;
+        self.first_seen = Some(match self.first_seen {
+            Some(prev) if prev < ts => prev,
+            _ => ts,
+        });
+        self.last_seen = Some(match self.last_seen {
+            Some(prev) if prev > ts => prev,
+            _ => ts,
+        });
+    }
+
+    /// A cheap O(1) summary of the totals and span seen so far.
+    pub fn snapshot(&self) -> MeterSnapshot {
+        MeterSnapshot {
+            count: self.total_count,
+            bytes: self.total_bytes,
+            first: self.first_seen,
+            last: self.last_seen,
+        }
     }
 
     /// Close the current window and return every completed window.
@@ -184,5 +261,66 @@ mod tests {
     #[should_panic]
     fn zero_window_is_rejected() {
         let _ = RateMeter::new(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn snapshot_reports_totals_and_rate() {
+        let mut m = RateMeter::new(SimDuration::from_secs(60));
+        for s in 0..10u64 {
+            m.record(SimTime::from_secs(s), 200);
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.count, 10);
+        assert_eq!(snap.bytes, 2_000);
+        assert_eq!(snap.first, Some(SimTime::ZERO));
+        assert_eq!(snap.last, Some(SimTime::from_secs(9)));
+        assert_eq!(snap.elapsed(), SimDuration::from_secs(9));
+        assert!((snap.rate_per_sec() - 10.0 / 9.0).abs() < 1e-9);
+        assert!((snap.bytes_per_sec() - 2_000.0 / 9.0).abs() < 1e-9);
+        // Snapshot does not consume the meter; windows still finish.
+        assert_eq!(m.finish().len(), 1);
+    }
+
+    #[test]
+    fn snapshot_of_empty_meter_is_zero() {
+        let m = RateMeter::new(SimDuration::from_secs(1));
+        let snap = m.snapshot();
+        assert_eq!(snap, MeterSnapshot::default());
+        assert_eq!(snap.rate_per_sec(), 0.0);
+        assert_eq!(snap.bytes_per_sec(), 0.0);
+        assert_eq!(snap.elapsed(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn snapshot_survives_window_rollover_and_late_records() {
+        let mut m = RateMeter::new(SimDuration::from_secs(10));
+        m.record(SimTime::from_secs(5), 1);
+        m.record(SimTime::from_secs(25), 2);
+        m.record(SimTime::from_secs(7), 3); // late arrival
+        let snap = m.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.bytes, 6);
+        // Late records never move `last` backwards...
+        assert_eq!(snap.last, Some(SimTime::from_secs(25)));
+        // ...and an out-of-order start widens `first` downwards, so the
+        // span (and hence the rate) reflects the true extremes.
+        let mut m = RateMeter::new(SimDuration::from_secs(10));
+        m.record(SimTime::from_secs(100), 1);
+        m.record(SimTime::from_secs(10), 1);
+        m.record(SimTime::from_secs(50), 1);
+        let snap = m.snapshot();
+        assert_eq!(snap.first, Some(SimTime::from_secs(10)));
+        assert_eq!(snap.last, Some(SimTime::from_secs(100)));
+        assert_eq!(snap.elapsed(), SimDuration::from_secs(90));
+    }
+
+    #[test]
+    fn sub_second_span_reports_raw_count() {
+        let mut m = RateMeter::new(SimDuration::from_secs(1));
+        m.record(SimTime::from_millis(100), 50);
+        m.record(SimTime::from_millis(200), 50);
+        let snap = m.snapshot();
+        assert_eq!(snap.rate_per_sec(), 2.0);
+        assert_eq!(snap.bytes_per_sec(), 100.0);
     }
 }

@@ -13,6 +13,8 @@
 //! * [`stream`] — bounded lossy stream buffers and pacing,
 //! * [`storage`] — sharded, rotating DNS stores,
 //! * [`core`] — the FillUp/LookUp/Write correlation pipeline,
+//! * [`ingest`] — live socket ingestion (UDP NetFlow, TCP DNS feed) and
+//!   the `flowdnsd` daemon,
 //! * [`gen`] — synthetic ISP workload generation,
 //! * [`bgp`] — longest-prefix-match AS attribution,
 //! * [`dbl`] — domain blocklist and RFC 1035 validity analysis,
@@ -60,6 +62,7 @@ pub use flowdns_core as core;
 pub use flowdns_dbl as dbl;
 pub use flowdns_dns as dns;
 pub use flowdns_gen as gen;
+pub use flowdns_ingest as ingest;
 pub use flowdns_netflow as netflow;
 pub use flowdns_storage as storage;
 pub use flowdns_stream as stream;

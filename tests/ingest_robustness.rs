@@ -1,0 +1,193 @@
+//! Robustness of the live listeners against hostile or broken peers.
+//!
+//! Feeds truncated and garbage datagrams into the UDP listener and cuts
+//! TCP streams mid-frame; asserts the process never panics, malformed
+//! counters increment, and the listeners keep serving well-formed traffic
+//! afterwards. The property tests use the vendored `proptest` shim, so
+//! the byte soup is deterministic across runs.
+
+use std::io::Write as IoWrite;
+use std::net::{Ipv4Addr, TcpStream, UdpSocket};
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+
+use flowdns::dns::framing::FrameEncoder;
+use flowdns::ingest::{DaemonConfig, IngestRuntime};
+use flowdns::netflow::template::Template;
+use flowdns::netflow::v9::{encode_standard_ipv4_record, V9PacketBuilder};
+use flowdns::types::{DnsRecord, DomainName, SimTime};
+
+fn loopback_config() -> DaemonConfig {
+    let mut cfg = DaemonConfig::default();
+    cfg.ingest.netflow_bind = "127.0.0.1:0".parse().unwrap();
+    cfg.ingest.dns_bind = "127.0.0.1:0".parse().unwrap();
+    cfg
+}
+
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    cond()
+}
+
+fn valid_v9_packet() -> Vec<u8> {
+    let template = Template::standard_ipv4(256);
+    let mut b = V9PacketBuilder::new(1, 1, 1000);
+    b.add_templates(std::slice::from_ref(&template));
+    b.add_data(
+        &template,
+        &[encode_standard_ipv4_record(
+            Ipv4Addr::new(203, 0, 113, 8),
+            Ipv4Addr::new(10, 0, 0, 1),
+            443,
+            50_000,
+            6,
+            1_234,
+            7,
+            0,
+            1,
+        )],
+    )
+    .unwrap();
+    b.build(1)
+}
+
+#[test]
+fn crafted_bad_inputs_are_counted_and_survived() {
+    let rt = IngestRuntime::start_in_memory(&loopback_config()).expect("start runtime");
+    let nf = rt.netflow_addr();
+    let sender = UdpSocket::bind("127.0.0.1:0").unwrap();
+
+    // Unknown version word, truncated v9 header, truncated v5 body, and a
+    // v9 packet with a flowset running past the end: all malformed.
+    let valid = valid_v9_packet();
+    let mut overrun = valid.clone();
+    overrun[22] = 0xFF; // inflate the first flowset length
+    overrun[23] = 0xFF;
+    let bad: Vec<Vec<u8>> = vec![
+        vec![0xde, 0xad, 0xbe, 0xef],
+        vec![0x00], // too short even for a version word
+        valid[..10].to_vec(),
+        {
+            let mut v5ish = vec![0x00, 0x05];
+            v5ish.extend_from_slice(&[0u8; 10]);
+            v5ish
+        },
+        overrun,
+    ];
+    for datagram in &bad {
+        sender.send_to(datagram, nf).unwrap();
+    }
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            rt.snapshot().summary.netflow_malformed >= bad.len() as u64
+        }),
+        "malformed counter stuck: {:?}",
+        rt.snapshot()
+    );
+
+    // ---- TCP: a stream cut mid-frame, then an oversized length prefix. ----
+    let record = DnsRecord::address(
+        SimTime::from_secs(900),
+        DomainName::literal("ok.example"),
+        Ipv4Addr::new(203, 0, 113, 8).into(),
+        300,
+    );
+    let frame = FrameEncoder::new()
+        .encode_batch(std::slice::from_ref(&record))
+        .unwrap();
+    {
+        // Cut after 6 bytes of the frame; the handler must just end the
+        // stream, buffered partial bytes discarded.
+        let mut cut = TcpStream::connect(rt.dns_addr()).unwrap();
+        cut.write_all(&frame[..6]).unwrap();
+        cut.flush().unwrap();
+    }
+    {
+        // A length prefix beyond MAX_FRAME_LEN is a malformed stream.
+        let mut hostile = TcpStream::connect(rt.dns_addr()).unwrap();
+        hostile.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        hostile.flush().unwrap();
+        assert!(
+            wait_until(Duration::from_secs(10), || {
+                rt.snapshot().summary.dns_malformed_streams >= 1
+            }),
+            "malformed stream never counted: {:?}",
+            rt.snapshot()
+        );
+    }
+
+    // ---- Both listeners still serve well-formed traffic. DNS first and
+    // into the store, so the flow that follows is guaranteed a hit. ----
+    let mut good = TcpStream::connect(rt.dns_addr()).unwrap();
+    good.write_all(&frame).unwrap();
+    good.flush().unwrap();
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            rt.correlator().store().total_entries() >= 1
+        }),
+        "DNS listener stopped serving after garbage: {:?}",
+        rt.snapshot()
+    );
+    sender.send_to(&valid_v9_packet(), nf).unwrap();
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            rt.snapshot().summary.netflow_flows >= 1
+        }),
+        "NetFlow listener stopped serving after garbage: {:?}",
+        rt.snapshot()
+    );
+    drop(good);
+
+    let report = rt.shutdown().expect("clean shutdown");
+    let ingest = &report.metrics.ingest;
+    assert!(ingest.netflow_malformed >= bad.len() as u64);
+    assert!(ingest.dns_malformed_streams >= 1);
+    assert_eq!(ingest.netflow_flows, 1);
+    assert_eq!(ingest.dns_records, 1);
+    assert_eq!(report.metrics.write.records_written, 1);
+    assert_eq!(report.metrics.lookup.ip_hits, 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // Arbitrary byte soup over UDP and TCP never panics a listener and
+    // never stops the runtime from shutting down cleanly.
+    #[test]
+    fn random_garbage_never_kills_the_listeners(
+        datagrams in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..120), 1..12),
+        tcp_chunks in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..80), 1..6),
+    ) {
+        let rt = IngestRuntime::start_in_memory(&loopback_config()).unwrap();
+        let sender = UdpSocket::bind("127.0.0.1:0").unwrap();
+        for d in &datagrams {
+            sender.send_to(d, rt.netflow_addr()).unwrap();
+        }
+        let mut conn = TcpStream::connect(rt.dns_addr()).unwrap();
+        for chunk in &tcp_chunks {
+            if conn.write_all(chunk).is_err() {
+                break; // handler already rejected the stream — fine
+            }
+        }
+        drop(conn);
+        // Every datagram is either decoded or counted malformed; nothing
+        // vanishes and nothing panics.
+        let sent = datagrams.len() as u64;
+        wait_until(Duration::from_secs(10), || {
+            let s = rt.snapshot().summary;
+            s.netflow_datagrams + s.netflow_malformed >= sent
+        });
+        let report = rt.shutdown().unwrap();
+        let ingest = report.metrics.ingest;
+        prop_assert_eq!(ingest.netflow_datagrams + ingest.netflow_malformed, sent);
+    }
+}
