@@ -7,15 +7,20 @@
 
 use std::collections::{HashMap, HashSet};
 
-use flowdns_types::{DnsRecord, SimTime, TimeRange};
+use flowdns_types::{DnsRecord, IpKey, NameRef, SimTime, TimeRange};
 
 use crate::ecdf::Ecdf;
 
 /// Cardinality counters over a DNS sample window.
+///
+/// Keyed the same way as the correlator's hot maps: IPs as compact
+/// [`IpKey`]s and names as shared [`NameRef`] handles, so analyzing a
+/// long sample does not re-allocate the textual form of every address
+/// and name per record.
 #[derive(Debug, Default, Clone)]
 pub struct CardinalityAnalysis {
-    names_per_ip: HashMap<String, HashSet<String>>,
-    ips_per_name: HashMap<String, HashSet<String>>,
+    names_per_ip: HashMap<IpKey, HashSet<NameRef>>,
+    ips_per_name: HashMap<NameRef, HashSet<IpKey>>,
     window: Option<TimeRange>,
     /// Records skipped because they fell outside the window.
     pub out_of_window: u64,
@@ -54,10 +59,10 @@ impl CardinalityAnalysis {
             }
         }
         if let Some(ip) = record.answer.as_ip() {
-            let ip_key = ip.to_string();
-            let name_key = record.query.as_str().to_string();
+            let ip_key = IpKey::from_ip(ip);
+            let name_key = NameRef::from(&record.query);
             self.names_per_ip
-                .entry(ip_key.clone())
+                .entry(ip_key)
                 .or_default()
                 .insert(name_key.clone());
             self.ips_per_name

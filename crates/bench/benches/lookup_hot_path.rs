@@ -1,0 +1,104 @@
+//! The typed-key vs. formatted-string hot-path comparison.
+//!
+//! Every flow record costs one IP lookup, so the key representation is
+//! the system's tightest inner loop. This bench stores the same records
+//! two ways — keyed by compact [`IpKey`] with interned [`NameRef`]
+//! values (the shipped design) and keyed by the textual IP with `String`
+//! values (the seed design) — and measures lookups over a fixed batch of
+//! source addresses. The string baseline pays what the old
+//! `lookup.rs`/`fillup.rs` hot paths paid: one `to_string()` per record
+//! before the map probe.
+
+use std::net::{IpAddr, Ipv4Addr};
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use flowdns_storage::{RotatingStore, RotationPolicy};
+use flowdns_types::{IpKey, NameInterner, NameRef, SimTime};
+
+const ENTRIES: u32 = 20_000;
+const BATCH: u32 = 1_000;
+
+fn ip_of(i: u32) -> IpAddr {
+    Ipv4Addr::new(100, (i >> 16) as u8, (i >> 8) as u8, i as u8).into()
+}
+
+fn typed_store() -> RotatingStore<IpKey, NameRef> {
+    let store = RotatingStore::new(RotationPolicy::address_default(), 32);
+    let names = NameInterner::new();
+    for i in 0..ENTRIES {
+        store.insert(
+            IpKey::from_ip(ip_of(i)),
+            names.intern(&format!("edge{}.cdn.example.net", i % 512)),
+            300,
+            SimTime::from_secs(1),
+        );
+    }
+    store
+}
+
+fn string_store() -> RotatingStore<String, String> {
+    let store = RotatingStore::new(RotationPolicy::address_default(), 32);
+    for i in 0..ENTRIES {
+        store.insert(
+            ip_of(i).to_string(),
+            format!("edge{}.cdn.example.net", i % 512),
+            300,
+            SimTime::from_secs(1),
+        );
+    }
+    store
+}
+
+/// A batch of flow source addresses: 80% stored, 20% unknown, the mix a
+/// well-covered ISP trace produces.
+fn flow_batch() -> Vec<IpAddr> {
+    (0..BATCH)
+        .map(|i| {
+            if i % 5 == 4 {
+                Ipv4Addr::new(192, 0, 2, i as u8).into()
+            } else {
+                ip_of(i * 7 % ENTRIES)
+            }
+        })
+        .collect()
+}
+
+fn bench_lookup_hot_path(c: &mut Criterion) {
+    let typed = typed_store();
+    let stringly = string_store();
+    let batch = flow_batch();
+
+    let mut group = c.benchmark_group("lookup_hot_path");
+    group.sample_size(50);
+    group.throughput(Throughput::Elements(BATCH as u64));
+
+    group.bench_function("typed_ipkey", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for ip in &batch {
+                if typed.lookup(&IpKey::from_ip(*ip)).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+
+    group.bench_function("formatted_string", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for ip in &batch {
+                // The seed hot path: format the address, then probe.
+                if stringly.lookup(ip.to_string().as_str()).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup_hot_path);
+criterion_main!(benches);

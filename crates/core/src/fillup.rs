@@ -3,7 +3,9 @@
 //! Each FillUp worker picks DNS records off the FillUp queue, validates
 //! them, labels A/AAAA records by IP, and inserts them into the shared
 //! [`DnsStore`]. The clear-up check happens inside the store, driven by
-//! the record's own timestamp.
+//! the record's own timestamp. Inserts are allocation-free on the hot
+//! path: IPs become compact [`flowdns_types::IpKey`]s and names interned
+//! [`flowdns_types::NameRef`] handles inside the store.
 
 use flowdns_types::{DnsAnswer, DnsRecord, RecordType};
 
@@ -44,22 +46,12 @@ pub fn process_dns_record(store: &DnsStore, record: &DnsRecord, stats: &mut Fill
     }
     match (&record.rtype, &record.answer) {
         (RecordType::A | RecordType::Aaaa, DnsAnswer::Ip(ip)) => {
-            store.insert_address(
-                &ip.to_string(),
-                record.query.as_str(),
-                record.ttl,
-                record.ts,
-            );
+            store.insert_address(*ip, &record.query, record.ttl, record.ts);
             stats.addresses_stored += 1;
             true
         }
         (RecordType::Cname, DnsAnswer::Name(target)) => {
-            store.insert_cname(
-                target.as_str(),
-                record.query.as_str(),
-                record.ttl,
-                record.ts,
-            );
+            store.insert_cname(target, &record.query, record.ttl, record.ts);
             stats.cnames_stored += 1;
             true
         }
@@ -102,12 +94,16 @@ mod tests {
         assert_eq!(stats.addresses_stored, 1);
         assert_eq!(stats.cnames_stored, 1);
         assert_eq!(stats.filtered, 0);
-        assert!(s.lookup_ip("203.0.113.3", SimTime::from_secs(2)).is_some());
+        assert!(s
+            .lookup_ip("203.0.113.3".parse().unwrap(), SimTime::from_secs(2))
+            .is_some());
         // CNAME is keyed by the canonical target.
+        let edge = s.intern(&DomainName::literal("edge.cdn.example"));
         assert_eq!(
-            s.lookup_cname("edge.cdn.example", SimTime::from_secs(2))
+            s.lookup_cname(&edge, SimTime::from_secs(2))
                 .unwrap()
-                .0,
+                .0
+                .as_str(),
             "www.service.example"
         );
     }

@@ -5,8 +5,16 @@
 //! follows the CNAME chain in the NAME-CNAME store up to the loop limit
 //! (6 by default). Multi-hop resolutions are memoized back into the
 //! active NAME-CNAME map.
+//!
+//! The whole resolution runs on typed keys: the source IP is looked up
+//! as a compact [`flowdns_types::IpKey`] (no textual formatting per
+//! flow) and the chain is chased on interned [`NameRef`] handles, so a
+//! hit allocates only the chain `Vec` — every name in it is a shared
+//! reference-count bump.
 
-use flowdns_types::{CorrelatedRecord, CorrelationOutcome, DomainName, FlowRecord};
+use std::net::IpAddr;
+
+use flowdns_types::{CorrelatedRecord, CorrelationOutcome, DomainName, FlowRecord, NameRef};
 
 use crate::config::CorrelatorConfig;
 use crate::store::DnsStore;
@@ -83,7 +91,7 @@ impl<'a> Resolver<'a> {
         // Flow timestamps also advance the clear-up clock, so long DNS-quiet
         // periods cannot stall rotation.
         self.store.observe_time(flow.ts);
-        let outcome = self.resolve(&flow.key.src_ip.to_string(), flow.ts, stats);
+        let outcome = self.resolve(flow.key.src_ip, flow.ts, stats);
         CorrelatedRecord { flow, outcome }
     }
 
@@ -91,7 +99,7 @@ impl<'a> Resolver<'a> {
     /// wrapper). Public so analyses can resolve arbitrary IPs.
     pub fn resolve(
         &self,
-        src_ip: &str,
+        src_ip: IpAddr,
         now: flowdns_types::SimTime,
         stats: &mut LookUpStats,
     ) -> CorrelationOutcome {
@@ -101,9 +109,9 @@ impl<'a> Resolver<'a> {
         };
         stats.ip_hits += 1;
 
-        let mut chain: Vec<DomainName> = Vec::with_capacity(2);
+        let mut chain: Vec<NameRef> = Vec::with_capacity(2);
+        chain.push(first_name.clone());
         let mut current = first_name;
-        push_name(&mut chain, &current);
 
         let mut hops = 0usize;
         loop {
@@ -116,11 +124,12 @@ impl<'a> Resolver<'a> {
                     hops += 1;
                     stats.cname_hops += 1;
                     // A self-referencing CNAME would loop forever; treat it
-                    // as the end of the chain.
-                    if next == current || chain.iter().any(|n| n.as_str() == next) {
+                    // as the end of the chain. Handles from one interner
+                    // compare by pointer first, so this scan is cheap.
+                    if next == current || chain.contains(&next) {
                         break;
                     }
-                    push_name(&mut chain, &next);
+                    chain.push(next.clone());
                     current = next;
                 }
                 None => break,
@@ -130,23 +139,20 @@ impl<'a> Resolver<'a> {
         if chain.len() > 2 {
             // Multi-hop resolution: memoize the shortcut from the first
             // name straight to the final alias for later flows.
-            let first = chain.first().expect("chain non-empty").as_str();
-            let last = chain.last().expect("chain non-empty").as_str();
+            let first = chain.first().expect("chain non-empty");
+            let last = chain.last().expect("chain non-empty");
             self.store.memoize_cname(first, last);
             stats.memoized += 1;
         }
 
         if chain.len() == 1 {
-            CorrelationOutcome::Name(chain.into_iter().next().expect("single element"))
+            let only = chain.into_iter().next().expect("single element");
+            CorrelationOutcome::Name(only.into())
         } else {
-            CorrelationOutcome::Chain(chain)
+            // Each conversion rewraps the shared allocation; the store
+            // only ever hands out handles to normalized names.
+            CorrelationOutcome::Chain(chain.into_iter().map(DomainName::from).collect())
         }
-    }
-}
-
-fn push_name(chain: &mut Vec<DomainName>, name: &str) {
-    if let Ok(parsed) = DomainName::parse(name) {
-        chain.push(parsed);
     }
 }
 

@@ -12,8 +12,13 @@
 //!
 //! All queues are bounded and lossy (see `flowdns-stream`): when a queue
 //! overflows, records are dropped and counted, exactly like the paper's
-//! stream buffers. `finish()` performs an ordered shutdown (producers
-//! first, writers last) so no accepted record is lost on the way out.
+//! stream buffers. Ingress is available per record (`push_dns`,
+//! `push_flow`) and per batch (`push_dns_batch`, `push_flow_batch`); the
+//! batch forms amortize the queue's synchronization over a whole decoded
+//! datagram and are what the live ingest layer uses. `finish()` performs
+//! an ordered shutdown (producers first, writers last) so no accepted
+//! record is lost on the way out; `snapshot()` reads live
+//! [`PipelineMetrics`] without stopping anything.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -34,6 +39,12 @@ use crate::write::{MemorySink, OutputSink, SharedWriter};
 
 const POP_WAIT: Duration = Duration::from_millis(5);
 
+/// Records a worker processes between flushes of its thread-local stats
+/// into the shared counters `snapshot()` reads. Large enough to keep the
+/// hot loop lock-free in practice, small enough that live stats lag by
+/// at most a few hundred records per worker.
+const STATS_FLUSH_EVERY: u64 = 512;
+
 /// A running correlation pipeline.
 pub struct Correlator {
     config: CorrelatorConfig,
@@ -47,7 +58,10 @@ pub struct Correlator {
     input_shutdown: Arc<AtomicBool>,
     write_shutdown: Arc<AtomicBool>,
     writes_dropped: Arc<Mutex<u64>>,
-    workers: Vec<JoinHandle<()>>,
+    /// FillUp and LookUp worker handles (joined first at shutdown).
+    input_workers: Vec<JoinHandle<()>>,
+    /// Write worker handles (joined after the input stages have drained).
+    write_workers: Vec<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Correlator {
@@ -82,7 +96,8 @@ impl Correlator {
         let write_shutdown = Arc::new(AtomicBool::new(false));
         let writes_dropped = Arc::new(Mutex::new(0u64));
 
-        let mut workers = Vec::new();
+        let mut input_workers = Vec::new();
+        let mut write_workers = Vec::new();
 
         // FillUp workers.
         for i in 0..config.fillup_workers {
@@ -90,7 +105,7 @@ impl Correlator {
             let store = Arc::clone(&store);
             let stats = Arc::clone(&fillup_stats);
             let shutdown = Arc::clone(&input_shutdown);
-            workers.push(
+            input_workers.push(
                 std::thread::Builder::new()
                     .name(format!("fillup-{i}"))
                     .spawn(move || {
@@ -99,8 +114,18 @@ impl Correlator {
                             match queue.pop_wait(POP_WAIT) {
                                 Some(record) => {
                                     process_dns_record(&store, &record, &mut local);
+                                    if local.total() >= STATS_FLUSH_EVERY {
+                                        stats.lock().merge(&local);
+                                        local = FillUpStats::default();
+                                    }
                                 }
                                 None => {
+                                    // Idle: flush pending local stats so
+                                    // `snapshot()` converges on quiet streams.
+                                    if local != FillUpStats::default() {
+                                        stats.lock().merge(&local);
+                                        local = FillUpStats::default();
+                                    }
                                     if shutdown.load(Ordering::Acquire) && queue.is_empty() {
                                         break;
                                     }
@@ -121,7 +146,7 @@ impl Correlator {
             let stats = Arc::clone(&lookup_stats);
             let shutdown = Arc::clone(&input_shutdown);
             let config_copy = config;
-            workers.push(
+            input_workers.push(
                 std::thread::Builder::new()
                     .name(format!("lookup-{i}"))
                     .spawn(move || {
@@ -134,8 +159,18 @@ impl Correlator {
                                     // The write queue drop counter lives in the
                                     // buffer stats; nothing more to do on failure.
                                     let _ = out.push(record);
+                                    if local.total() >= STATS_FLUSH_EVERY {
+                                        stats.lock().merge(&local);
+                                        local = LookUpStats::default();
+                                    }
                                 }
                                 None => {
+                                    // Idle: flush pending local stats so
+                                    // `snapshot()` converges on quiet streams.
+                                    if local != LookUpStats::default() {
+                                        stats.lock().merge(&local);
+                                        local = LookUpStats::default();
+                                    }
                                     if shutdown.load(Ordering::Acquire) && queue.is_empty() {
                                         break;
                                     }
@@ -154,7 +189,7 @@ impl Correlator {
             let writer = Arc::clone(&writer);
             let shutdown = Arc::clone(&write_shutdown);
             let dropped = Arc::clone(&writes_dropped);
-            workers.push(
+            write_workers.push(
                 std::thread::Builder::new()
                     .name(format!("write-{i}"))
                     .spawn(move || {
@@ -190,7 +225,8 @@ impl Correlator {
             input_shutdown,
             write_shutdown,
             writes_dropped,
-            workers,
+            input_workers,
+            write_workers,
         })
     }
 
@@ -216,6 +252,27 @@ impl Correlator {
         self.lookup_queue.push(record)
     }
 
+    /// Offer a batch of DNS records to the FillUp queue, returning how
+    /// many were accepted. Records beyond the queue's free space are
+    /// dropped and counted as stream loss. One batch costs one pair of
+    /// counter updates regardless of size — push whole decoded datagrams
+    /// through here rather than record by record.
+    pub fn push_dns_batch<I>(&self, records: I) -> usize
+    where
+        I: IntoIterator<Item = DnsRecord>,
+    {
+        self.fillup_queue.push_batch(records)
+    }
+
+    /// Offer a batch of flow records to the LookUp queue, returning how
+    /// many were accepted (the rest were dropped and counted).
+    pub fn push_flow_batch<I>(&self, records: I) -> usize
+    where
+        I: IntoIterator<Item = FlowRecord>,
+    {
+        self.lookup_queue.push_batch(records)
+    }
+
     /// Current depth of the three queues (fillup, lookup, write): useful
     /// for examples that display live buffer usage.
     pub fn queue_depths(&self) -> (usize, usize, usize) {
@@ -226,45 +283,52 @@ impl Correlator {
         )
     }
 
-    /// Stop accepting input, drain every queue, join all workers, and
-    /// return the final report.
-    pub fn finish(mut self) -> Result<Report, FlowDnsError> {
-        // Phase 1: stop input stages and let them drain.
-        self.input_shutdown.store(true, Ordering::Release);
-        let mut write_handles = Vec::new();
-        for handle in self.workers.drain(..) {
-            let name = handle.thread().name().unwrap_or("").to_string();
-            if name.starts_with("write-") {
-                write_handles.push(handle);
-            } else {
-                handle
-                    .join()
-                    .map_err(|_| FlowDnsError::PipelineState("worker panicked".into()))?;
-            }
-        }
-        // Phase 2: input stages are done, so the write queue will receive
-        // nothing more; let the writers drain and stop.
-        self.write_shutdown.store(true, Ordering::Release);
-        for handle in write_handles {
-            handle
-                .join()
-                .map_err(|_| FlowDnsError::PipelineState("write worker panicked".into()))?;
-        }
-        self.writer.flush()?;
-
-        let fillup = *self.fillup_stats.lock();
-        let lookup = *self.lookup_stats.lock();
-        let write = self.writer.stats();
-        let metrics = PipelineMetrics {
-            fillup,
-            lookup,
-            write,
+    /// A live snapshot of the pipeline's metrics without consuming it:
+    /// worker stats (flushed every [`STATS_FLUSH_EVERY`] records, so
+    /// slightly behind the instantaneous truth), queue drop counters, and
+    /// the store's current memory estimate. This is what periodic stats
+    /// reporters (e.g. `flowdnsd`) should read; `finish()` returns the
+    /// exact final numbers.
+    pub fn snapshot(&self) -> PipelineMetrics {
+        PipelineMetrics {
+            fillup: *self.fillup_stats.lock(),
+            lookup: *self.lookup_stats.lock(),
+            write: self.writer.stats(),
             dns_dropped: self.fillup_queue.stats().dropped,
             flows_dropped: self.lookup_queue.stats().dropped,
             writes_dropped: self.write_queue.stats().dropped + *self.writes_dropped.lock(),
             work_units: 0.0,
             peak_memory: self.store.memory_estimate(),
             ingest: Default::default(),
+        }
+    }
+
+    /// Stop accepting input, drain every queue, join all workers, and
+    /// return the final report.
+    pub fn finish(mut self) -> Result<Report, FlowDnsError> {
+        // Phase 1: stop input stages and let them drain. The input and
+        // write stages keep their handles in separate vectors, so the
+        // ordering does not depend on thread names.
+        self.input_shutdown.store(true, Ordering::Release);
+        for handle in self.input_workers.drain(..) {
+            handle
+                .join()
+                .map_err(|_| FlowDnsError::PipelineState("worker panicked".into()))?;
+        }
+        // Phase 2: input stages are done, so the write queue will receive
+        // nothing more; let the writers drain and stop.
+        self.write_shutdown.store(true, Ordering::Release);
+        for handle in self.write_workers.drain(..) {
+            handle
+                .join()
+                .map_err(|_| FlowDnsError::PipelineState("write worker panicked".into()))?;
+        }
+        self.writer.flush()?;
+
+        let write = self.writer.stats();
+        let metrics = PipelineMetrics {
+            write,
+            ..self.snapshot()
         };
         Ok(Report {
             volumes: write.volumes,
@@ -374,6 +438,88 @@ mod tests {
         );
         // With a queue of 8 against a burst of 10k, some loss is certain.
         assert!(report.metrics.dns_dropped > 0);
+    }
+
+    #[test]
+    fn batched_ingress_matches_per_record_ingress() {
+        let correlator = Correlator::start(CorrelatorConfig::default()).unwrap();
+        let dns_batch: Vec<DnsRecord> = (0..40u8)
+            .map(|i| dns(1, &format!("svc{i}.example"), [203, 0, 113, i], 300))
+            .collect();
+        assert_eq!(correlator.push_dns_batch(dns_batch), 40);
+        while correlator.queue_depths().0 > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        let flow_batch: Vec<FlowRecord> = (0..40u8)
+            .map(|i| flow(2, [203, 0, 113, i], 1_000))
+            .collect();
+        assert_eq!(correlator.push_flow_batch(flow_batch), 40);
+        let report = correlator.finish().unwrap();
+        assert_eq!(report.metrics.lookup.ip_hits, 40);
+        assert_eq!(report.metrics.write.records_written, 40);
+        assert_eq!(report.metrics.dns_dropped, 0);
+    }
+
+    #[test]
+    fn batch_push_reports_partial_acceptance_on_overflow() {
+        let config = CorrelatorConfig {
+            fillup_queue_capacity: 8,
+            fillup_workers: 1,
+            lookup_workers: 1,
+            write_workers: 1,
+            ..CorrelatorConfig::default()
+        };
+        let correlator = Correlator::start(config).unwrap();
+        let batch: Vec<DnsRecord> = (0..10_000u32)
+            .map(|i| dns(1, "x.example", [10, (i >> 8) as u8, i as u8, 1], 60))
+            .collect();
+        let accepted = correlator.push_dns_batch(batch);
+        assert!(accepted < 10_000, "a burst past a queue of 8 must drop");
+        let report = correlator.finish().unwrap();
+        assert_eq!(report.metrics.fillup.total(), accepted as u64);
+        assert_eq!(report.metrics.dns_dropped, 10_000 - accepted as u64);
+    }
+
+    #[test]
+    fn snapshot_reads_live_metrics_without_consuming() {
+        let correlator = Correlator::start(CorrelatorConfig::default()).unwrap();
+        for i in 0..30u8 {
+            correlator.push_dns(dns(1, "snap.example", [198, 51, 100, i], 60));
+        }
+        while correlator.queue_depths().0 > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        for i in 0..30u8 {
+            correlator.push_flow(flow(2, [198, 51, 100, i], 500));
+        }
+        // Wait until the pipeline has visibly written everything, then
+        // snapshot: the pipeline keeps running afterwards.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let snap = correlator.snapshot();
+            // Worker-local stats flush on idle, so the live snapshot must
+            // converge to the full totals without finishing the pipeline.
+            if snap.write.records_written == 30
+                && snap.lookup.total() == 30
+                && snap.fillup.addresses_stored == 30
+            {
+                assert!(snap.peak_memory.entries > 0);
+                assert_eq!(snap.dns_dropped, 0);
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "live snapshot never converged to 30 records"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Worker-side stats (flushed periodically) must be exact in the
+        // final report even if the snapshot lagged.
+        let report = correlator.finish().unwrap();
+        assert_eq!(report.metrics.lookup.total(), 30);
+        assert_eq!(report.metrics.write.records_written, 30);
     }
 
     #[test]

@@ -3,13 +3,22 @@
 //! This is the "shared internal storage" of Figure 1 that FillUp workers
 //! write and LookUp workers read. It combines:
 //!
-//! * `NUM_SPLIT` rotating **IP-NAME** stores (key: textual IP address,
-//!   value: query domain name), rotated every `AClearUpInterval`,
-//! * one rotating **NAME-CNAME** store (key: canonical target name,
-//!   value: query/alias name is *not* what the paper stores — see below),
-//!   rotated every `CClearUpInterval`,
+//! * `NUM_SPLIT` rotating **IP-NAME** stores (key: compact [`IpKey`],
+//!   value: interned query domain name), rotated every `AClearUpInterval`,
+//! * one rotating **NAME-CNAME** store (key: interned canonical target
+//!   name, value: interned query/alias name — see below), rotated every
+//!   `CClearUpInterval`,
 //! * for the [`Variant::ExactTtl`] strawman, exact-TTL stores replace the
 //!   rotating ones.
+//!
+//! ### Typed keys
+//!
+//! Both hot loops — an insert per A/AAAA answer, a lookup per flow — go
+//! through this API, so keys are *typed*, not textual: IPs are stored as
+//! their raw bits ([`IpKey`]) and names as interned [`NameRef`] handles
+//! drawn from a per-store [`NameInterner`]. Inserting or looking up a
+//! record allocates nothing; cloning a stored value is a reference-count
+//! bump.
 //!
 //! ### Key orientation
 //!
@@ -24,10 +33,12 @@
 //! service attribution needs (the A record is keyed by the CDN edge name;
 //! following the chain recovers e.g. `www.netflix.com`).
 
+use std::net::IpAddr;
+
 use flowdns_storage::{
     ExactTtlStore, Generation, MemoryEstimate, RotatingStore, RotationPolicy, SplitStore,
 };
-use flowdns_types::SimTime;
+use flowdns_types::{DomainName, IpKey, NameInterner, NameRef, SimTime};
 
 use crate::config::{CorrelatorConfig, Variant};
 
@@ -35,10 +46,11 @@ use crate::config::{CorrelatorConfig, Variant};
 #[derive(Debug)]
 pub struct DnsStore {
     config: CorrelatorConfig,
-    ip_name: SplitStore,
-    name_cname: RotatingStore,
-    exact_ip_name: Option<ExactTtlStore>,
-    exact_name_cname: Option<ExactTtlStore>,
+    names: NameInterner,
+    ip_name: SplitStore<IpKey, NameRef>,
+    name_cname: RotatingStore<NameRef, NameRef>,
+    exact_ip_name: Option<ExactTtlStore<IpKey, NameRef>>,
+    exact_name_cname: Option<ExactTtlStore<NameRef, NameRef>>,
 }
 
 impl DnsStore {
@@ -59,6 +71,7 @@ impl DnsStore {
         let exact = matches!(config.variant, Variant::ExactTtl);
         DnsStore {
             config: *config,
+            names: NameInterner::new(),
             ip_name: SplitStore::new(ip_policy, config.effective_num_split(), config.map_shards),
             name_cname: RotatingStore::new(cname_policy, config.map_shards),
             exact_ip_name: exact
@@ -78,23 +91,34 @@ impl DnsStore {
         self.exact_ip_name.is_some()
     }
 
+    /// Intern a domain name in this store's pool, returning the shared
+    /// handle (allocates only the first time a name is seen).
+    pub fn intern(&self, name: &DomainName) -> NameRef {
+        self.names.intern_domain(name)
+    }
+
+    /// Number of distinct names currently pooled in the interner.
+    pub fn interned_names(&self) -> usize {
+        self.names.len()
+    }
+
     /// Store an A/AAAA mapping: IP (answer) → query name.
-    pub fn insert_address(&self, ip: &str, name: &str, ttl: u32, ts: SimTime) {
+    pub fn insert_address(&self, ip: IpAddr, name: &DomainName, ttl: u32, ts: SimTime) {
+        let key = IpKey::from_ip(ip);
+        let value = self.names.intern_domain(name);
         match &self.exact_ip_name {
-            Some(exact) => exact.insert(ip.to_string(), name.to_string(), ttl, ts),
-            None => self
-                .ip_name
-                .insert(ip.to_string(), name.to_string(), ttl, ts),
+            Some(exact) => exact.insert(key, value, ttl, ts),
+            None => self.ip_name.insert(key, value, ttl, ts),
         }
     }
 
     /// Store a CNAME mapping: canonical target (answer) → alias (query).
-    pub fn insert_cname(&self, target: &str, alias: &str, ttl: u32, ts: SimTime) {
+    pub fn insert_cname(&self, target: &DomainName, alias: &DomainName, ttl: u32, ts: SimTime) {
+        let key = self.names.intern_domain(target);
+        let value = self.names.intern_domain(alias);
         match &self.exact_name_cname {
-            Some(exact) => exact.insert(target.to_string(), alias.to_string(), ttl, ts),
-            None => self
-                .name_cname
-                .insert(target.to_string(), alias.to_string(), ttl, ts),
+            Some(exact) => exact.insert(key, value, ttl, ts),
+            None => self.name_cname.insert(key, value, ttl, ts),
         }
     }
 
@@ -116,16 +140,17 @@ impl DnsStore {
 
     /// `deepLookUp` on the IP-NAME store: the name a source IP maps to.
     /// `now` is the flow timestamp (only used by the exact-TTL variant).
-    pub fn lookup_ip(&self, ip: &str, now: SimTime) -> Option<(String, Generation)> {
+    pub fn lookup_ip(&self, ip: IpAddr, now: SimTime) -> Option<(NameRef, Generation)> {
+        let key = IpKey::from_ip(ip);
         match &self.exact_ip_name {
-            Some(exact) => exact.lookup(ip, now).map(|v| (v, Generation::Active)),
-            None => self.ip_name.lookup(ip),
+            Some(exact) => exact.lookup(&key, now).map(|v| (v, Generation::Active)),
+            None => self.ip_name.lookup(&key),
         }
     }
 
     /// `deepLookUp` on the NAME-CNAME store: the alias that `name` is the
     /// canonical answer for.
-    pub fn lookup_cname(&self, name: &str, now: SimTime) -> Option<(String, Generation)> {
+    pub fn lookup_cname(&self, name: &NameRef, now: SimTime) -> Option<(NameRef, Generation)> {
         match &self.exact_name_cname {
             Some(exact) => exact.lookup(name, now).map(|v| (v, Generation::Active)),
             None => self.name_cname.lookup(name),
@@ -134,11 +159,11 @@ impl DnsStore {
 
     /// Memoize a multi-hop CNAME resolution into the active NAME-CNAME map
     /// ("If the result is found with more than one look-up ... we add it
-    /// to NAME-CNAMEactive for later use").
-    pub fn memoize_cname(&self, target: &str, alias: &str) {
+    /// to NAME-CNAMEactive for later use"). Handles are shared, so this
+    /// clones two reference counts, not two strings.
+    pub fn memoize_cname(&self, target: &NameRef, alias: &NameRef) {
         if self.exact_name_cname.is_none() {
-            self.name_cname
-                .memoize(target.to_string(), alias.to_string());
+            self.name_cname.memoize(target.clone(), alias.clone());
         }
     }
 
@@ -196,46 +221,91 @@ impl DnsStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use flowdns_types::NameRef;
 
     fn store(variant: Variant) -> DnsStore {
         DnsStore::new(&CorrelatorConfig::for_variant(variant))
     }
 
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    fn name(s: &str) -> DomainName {
+        DomainName::literal(s)
+    }
+
     #[test]
     fn address_and_cname_lookups() {
         let s = store(Variant::Main);
-        s.insert_address("203.0.113.9", "edge7.cdn.example.net", 60, SimTime::ZERO);
+        s.insert_address(
+            ip("203.0.113.9"),
+            &name("edge7.cdn.example.net"),
+            60,
+            SimTime::ZERO,
+        );
         s.insert_cname(
-            "edge7.cdn.example.net",
-            "www.shop.example",
+            &name("edge7.cdn.example.net"),
+            &name("www.shop.example"),
             600,
             SimTime::ZERO,
         );
-        let (name, generation) = s.lookup_ip("203.0.113.9", SimTime::ZERO).unwrap();
-        assert_eq!(name, "edge7.cdn.example.net");
+        let (found, generation) = s.lookup_ip(ip("203.0.113.9"), SimTime::ZERO).unwrap();
+        assert_eq!(found.as_str(), "edge7.cdn.example.net");
         assert_eq!(generation, Generation::Active);
-        let (alias, _) = s.lookup_cname(&name, SimTime::ZERO).unwrap();
-        assert_eq!(alias, "www.shop.example");
-        assert!(s.lookup_ip("198.51.100.1", SimTime::ZERO).is_none());
+        let (alias, _) = s.lookup_cname(&found, SimTime::ZERO).unwrap();
+        assert_eq!(alias.as_str(), "www.shop.example");
+        assert!(s.lookup_ip(ip("198.51.100.1"), SimTime::ZERO).is_none());
         assert_eq!(s.total_entries(), 2);
+    }
+
+    #[test]
+    fn values_share_the_interned_allocation() {
+        let s = store(Variant::Main);
+        let edge = name("edge.cdn.example");
+        // The same name stored under two IPs is one pooled allocation.
+        s.insert_address(ip("203.0.113.1"), &edge, 60, SimTime::ZERO);
+        s.insert_address(ip("203.0.113.2"), &edge, 60, SimTime::ZERO);
+        let (a, _) = s.lookup_ip(ip("203.0.113.1"), SimTime::ZERO).unwrap();
+        let (b, _) = s.lookup_ip(ip("203.0.113.2"), SimTime::ZERO).unwrap();
+        assert!(NameRef::ptr_eq(&a, &b));
+        assert_eq!(s.interned_names(), 1);
+    }
+
+    #[test]
+    fn ipv6_addresses_are_first_class_keys() {
+        let s = store(Variant::Main);
+        s.insert_address(ip("2001:db8::7"), &name("v6.example"), 60, SimTime::ZERO);
+        let (found, _) = s.lookup_ip(ip("2001:db8::7"), SimTime::ZERO).unwrap();
+        assert_eq!(found.as_str(), "v6.example");
+        // The v4-mapped form is a different key.
+        assert!(s
+            .lookup_ip(ip("::ffff:203.0.113.9"), SimTime::ZERO)
+            .is_none());
     }
 
     #[test]
     fn clear_up_intervals_differ_between_maps() {
         let s = store(Variant::Main);
-        s.insert_address("1.1.1.1", "a.example", 60, SimTime::from_secs(0));
-        s.insert_cname("cdn.example", "www.example", 60, SimTime::from_secs(0));
+        s.insert_address(ip("1.1.1.1"), &name("a.example"), 60, SimTime::from_secs(0));
+        s.insert_cname(
+            &name("cdn.example"),
+            &name("www.example"),
+            60,
+            SimTime::from_secs(0),
+        );
         // After 4000 s the IP-NAME maps have rotated (interval 3600) but
         // the NAME-CNAME map (interval 7200) has not.
         s.observe_time(SimTime::from_secs(4000));
         assert_eq!(
-            s.lookup_ip("1.1.1.1", SimTime::from_secs(4000)).unwrap().1,
-            Generation::Inactive
-        );
-        assert_eq!(
-            s.lookup_cname("cdn.example", SimTime::from_secs(4000))
+            s.lookup_ip(ip("1.1.1.1"), SimTime::from_secs(4000))
                 .unwrap()
                 .1,
+            Generation::Inactive
+        );
+        let cdn = s.intern(&name("cdn.example"));
+        assert_eq!(
+            s.lookup_cname(&cdn, SimTime::from_secs(4000)).unwrap().1,
             Generation::Active
         );
         // Only the split that has seen data had an armed clear-up clock.
@@ -246,7 +316,12 @@ mod tests {
     fn no_split_variant_uses_one_split() {
         let s = store(Variant::NoSplit);
         for i in 0..20 {
-            s.insert_address(&format!("10.0.0.{i}"), "x.example", 60, SimTime::ZERO);
+            s.insert_address(
+                ip(&format!("10.0.0.{i}")),
+                &name("x.example"),
+                60,
+                SimTime::ZERO,
+            );
         }
         // A clear-up round on a single-split store counts once for IP-NAME.
         s.observe_time(SimTime::from_secs(4000));
@@ -257,9 +332,16 @@ mod tests {
     fn exact_ttl_variant_expires_by_record_ttl() {
         let s = store(Variant::ExactTtl);
         assert!(s.is_exact_ttl());
-        s.insert_address("9.9.9.9", "short.example", 30, SimTime::from_secs(0));
-        assert!(s.lookup_ip("9.9.9.9", SimTime::from_secs(10)).is_some());
-        assert!(s.lookup_ip("9.9.9.9", SimTime::from_secs(100)).is_none());
+        s.insert_address(
+            ip("9.9.9.9"),
+            &name("short.example"),
+            30,
+            SimTime::from_secs(0),
+        );
+        assert!(s.lookup_ip(ip("9.9.9.9"), SimTime::from_secs(10)).is_some());
+        assert!(s
+            .lookup_ip(ip("9.9.9.9"), SimTime::from_secs(100))
+            .is_none());
         // purge accounting becomes visible after the purge interval
         s.observe_time(SimTime::from_secs(1));
         s.observe_time(SimTime::from_secs(10_000));
@@ -270,9 +352,11 @@ mod tests {
     #[test]
     fn memoization_feeds_later_lookups() {
         let s = store(Variant::Main);
-        s.memoize_cname("edge.cdn.example", "service.example");
+        let edge = s.intern(&name("edge.cdn.example"));
+        let service = s.intern(&name("service.example"));
+        s.memoize_cname(&edge, &service);
         assert_eq!(
-            s.lookup_cname("edge.cdn.example", SimTime::ZERO).unwrap().0,
+            s.lookup_cname(&edge, SimTime::ZERO).unwrap().0.as_str(),
             "service.example"
         );
     }
@@ -283,8 +367,8 @@ mod tests {
         let before = s.memory_estimate().total_bytes();
         for i in 0..100 {
             s.insert_address(
-                &format!("198.51.100.{i}"),
-                "service.example.net",
+                ip(&format!("198.51.100.{i}")),
+                &name("service.example.net"),
                 60,
                 SimTime::ZERO,
             );

@@ -453,6 +453,7 @@ impl Iterator for WorkloadIter<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use flowdns_types::IpKey;
     use std::collections::HashSet;
 
     fn small_workload() -> Workload {
@@ -485,20 +486,20 @@ mod tests {
     #[test]
     fn most_flow_sources_are_announced_before_their_flows() {
         let w = small_workload();
-        let mut announced: HashSet<String> = HashSet::new();
+        let mut announced: HashSet<IpKey> = HashSet::new();
         let mut inbound = 0u64;
         let mut announced_first = 0u64;
         for event in w.events() {
             match event {
                 StreamEvent::Dns(r) => {
                     if let Some(ip) = r.answer.as_ip() {
-                        announced.insert(ip.to_string());
+                        announced.insert(IpKey::from_ip(ip));
                     }
                 }
                 StreamEvent::Flow(f) => {
                     if f.direction == FlowDirection::Inbound && f.key.dst_port == 443 {
                         inbound += 1;
-                        if announced.contains(&f.key.src_ip.to_string()) {
+                        if announced.contains(&IpKey::from_ip(f.key.src_ip)) {
                             announced_first += 1;
                         }
                     }
@@ -561,13 +562,17 @@ mod tests {
     #[test]
     fn hidden_ips_never_appear_in_dns() {
         let w = small_workload();
-        let hidden: HashSet<String> = w.hidden_ips().iter().map(|ip| ip.to_string()).collect();
+        let hidden: HashSet<IpKey> = w
+            .hidden_ips()
+            .iter()
+            .map(|ip| IpKey::from_ip(*ip))
+            .collect();
         assert!(!hidden.is_empty());
         for event in w.events() {
             if let StreamEvent::Dns(r) = event {
                 if let Some(ip) = r.answer.as_ip() {
                     assert!(
-                        !hidden.contains(&ip.to_string()),
+                        !hidden.contains(&IpKey::from_ip(ip)),
                         "hidden IP {ip} leaked into the DNS feed"
                     );
                 }

@@ -122,13 +122,27 @@ fn main() {
         }
         if last_stats.elapsed() >= config.ingest.stats_interval {
             last_stats = Instant::now();
+            // One snapshot carries ingest totals AND live pipeline metrics
+            // (worker stats, drop counters, queue depths, store memory).
             let snap = runtime.snapshot();
             let (fq, lq, wq) = snap.queue_depths;
+            let pipeline = &snap.pipeline;
             eprintln!(
                 "flowdnsd: {} | rates: {:.0} flows/s, {:.0} dns/s (sim) | queues fillup={fq} lookup={lq} write={wq}",
                 snap.summary.summary_line(),
                 snap.netflow_meter.rate_per_sec(),
                 snap.dns_meter.rate_per_sec(),
+            );
+            eprintln!(
+                "flowdnsd: pipeline: {} written ({:.1}% correlated), \
+                 {} dns stored, loss dns={:.2}% flows={:.2}%, store {} entries / {:.3} GB",
+                pipeline.write.records_written,
+                pipeline.write.volumes.correlation_rate_pct(),
+                pipeline.fillup.addresses_stored + pipeline.fillup.cnames_stored,
+                pipeline.dns_loss_pct(),
+                pipeline.flow_loss_pct(),
+                pipeline.peak_memory.entries,
+                pipeline.peak_memory.total_gb(),
             );
         }
     }

@@ -5,8 +5,9 @@
 //! connections; each connection gets its own handler thread running the
 //! incremental [`FrameDecoder`] over raw socket reads, so frames split
 //! across arbitrary read boundaries decode correctly and a connection cut
-//! mid-message simply ends that stream. Decoded records go onto the
-//! correlator's FillUp queue; a full queue is a counted drop.
+//! mid-message simply ends that stream. Each socket read's decoded
+//! records go onto the correlator's FillUp queue as one batch
+//! (`push_dns_batch`); a full queue is a counted drop.
 
 use std::io::Read;
 use std::net::{TcpListener, TcpStream};
@@ -120,13 +121,23 @@ fn spawn_connection(
                 };
                 match decoder.feed(&buf[..n]) {
                     Ok(records) => {
-                        let mut meter = meter.lock();
-                        for record in records {
-                            stats.records.fetch_add(1, Ordering::Relaxed);
-                            meter.record(record.ts, 0);
-                            if !correlator.push_dns(record) {
-                                stats.queue_drops.fetch_add(1, Ordering::Relaxed);
+                        {
+                            let mut meter = meter.lock();
+                            for record in &records {
+                                meter.record(record.ts, 0);
                             }
+                        }
+                        stats
+                            .records
+                            .fetch_add(records.len() as u64, Ordering::Relaxed);
+                        // Whole decoded read in one queue offer; the
+                        // overflow remainder is counted as dropped.
+                        let offered = records.len();
+                        let accepted = correlator.push_dns_batch(records);
+                        if accepted < offered {
+                            stats
+                                .queue_drops
+                                .fetch_add((offered - accepted) as u64, Ordering::Relaxed);
                         }
                     }
                     Err(_) => {

@@ -4,8 +4,10 @@
 //! demultiplexes them **by peer address** and keeps one
 //! [`ExporterDecoder`] — and therefore one per-source template registry —
 //! per exporter, exactly like the per-source decode state of production
-//! collectors. Decoded flow records go straight onto the correlator's
-//! LookUp queue; a full queue is a counted drop, never a blocked socket.
+//! collectors. Each decoded datagram's flow records go onto the
+//! correlator's LookUp queue as one batch (`push_flow_batch`), so queue
+//! synchronization is paid per datagram, not per record; a full queue is
+//! a counted drop, never a blocked socket.
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
@@ -99,12 +101,21 @@ pub(crate) fn spawn(
                 match decoder.decode_datagram(&buf[..len]) {
                     Ok(flows) => {
                         drop(decoders);
-                        let mut meter = meter.lock();
-                        for flow in flows {
-                            meter.record(flow.ts, flow.bytes);
-                            if !correlator.push_flow(flow) {
-                                table.queue_drops.fetch_add(1, Ordering::Relaxed);
+                        {
+                            let mut meter = meter.lock();
+                            for flow in &flows {
+                                meter.record(flow.ts, flow.bytes);
                             }
+                        }
+                        // One queue offer per datagram, not per flow: the
+                        // whole decoded batch goes in together and the
+                        // overflow remainder is counted as dropped.
+                        let offered = flows.len();
+                        let accepted = correlator.push_flow_batch(flows);
+                        if accepted < offered {
+                            table
+                                .queue_drops
+                                .fetch_add((offered - accepted) as u64, Ordering::Relaxed);
                         }
                     }
                     Err(_) => {

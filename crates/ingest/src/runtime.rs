@@ -18,7 +18,7 @@ use parking_lot::Mutex;
 
 use flowdns_core::metrics::IngestSummary;
 use flowdns_core::write::{MemorySink, OutputSink, TsvFileSink};
-use flowdns_core::{Correlator, Report};
+use flowdns_core::{Correlator, PipelineMetrics, Report};
 use flowdns_stream::{MeterSnapshot, RateMeter};
 use flowdns_types::{CorrelatedRecord, FlowDnsError, SimDuration};
 
@@ -52,6 +52,10 @@ pub struct IngestSnapshot {
     pub dns_meter: MeterSnapshot,
     /// Depths of the (fillup, lookup, write) queues.
     pub queue_depths: (usize, usize, usize),
+    /// Live pipeline metrics from [`Correlator::snapshot`]: worker stats,
+    /// queue drop counters, store memory. Periodic reporters read this
+    /// instead of probing queues and counters piecemeal.
+    pub pipeline: PipelineMetrics,
 }
 
 /// The live ingestion runtime: two listeners feeding one [`Correlator`].
@@ -166,13 +170,21 @@ impl IngestRuntime {
         &self.correlator
     }
 
-    /// Current ingest totals, meters and queue depths.
+    /// Current ingest totals, meters, queue depths and live pipeline
+    /// metrics.
     pub fn snapshot(&self) -> IngestSnapshot {
+        let summary = self.build_summary();
+        // Fold the ingest totals into the pipeline view too, mirroring
+        // what `shutdown()` does for the final report, so the two fields
+        // of the snapshot never disagree.
+        let mut pipeline = self.correlator.snapshot();
+        pipeline.ingest = summary.clone();
         IngestSnapshot {
-            summary: self.build_summary(),
+            summary,
             netflow_meter: self.netflow_meter.lock().snapshot(),
             dns_meter: self.dns_meter.lock().snapshot(),
             queue_depths: self.correlator.queue_depths(),
+            pipeline,
         }
     }
 
@@ -239,6 +251,10 @@ mod tests {
         let snap = rt.snapshot();
         assert!(!snap.summary.is_live());
         assert_eq!(snap.queue_depths, (0, 0, 0));
+        assert_eq!(snap.pipeline.write.records_written, 0);
+        assert_eq!(snap.pipeline.flows_dropped, 0);
+        // The snapshot's two views of the ingest totals must agree.
+        assert_eq!(snap.pipeline.ingest, snap.summary);
         let report = rt.shutdown().unwrap();
         assert_eq!(report.metrics.write.records_written, 0);
         assert!(!report.metrics.ingest.is_live());

@@ -14,13 +14,14 @@ use parking_lot::Mutex;
 
 use flowdns_types::{SimDuration, SimTime};
 
+use crate::keys::{StoreKey, StoreValue};
 use crate::memory::MemoryEstimate;
 use crate::sharded::ShardedMap;
 
 /// A value plus its absolute expiry time.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct Entry {
-    value: String,
+struct Entry<V> {
+    value: V,
     expires_at: SimTime,
 }
 
@@ -45,14 +46,14 @@ pub struct ExactTtlStats {
 
 /// Store that applies the exact TTL of every DNS record.
 #[derive(Debug)]
-pub struct ExactTtlStore {
-    map: ShardedMap<String, Entry>,
+pub struct ExactTtlStore<K: StoreKey, V: StoreValue> {
+    map: ShardedMap<K, Entry<V>>,
     purge_interval: SimDuration,
     last_purge: Mutex<Option<SimTime>>,
     stats: Mutex<ExactTtlStats>,
 }
 
-impl ExactTtlStore {
+impl<K: StoreKey, V: StoreValue> ExactTtlStore<K, V> {
     /// Create a store whose purge process runs every `purge_interval` of
     /// data time.
     pub fn new(purge_interval: SimDuration, shards: usize) -> Self {
@@ -66,7 +67,7 @@ impl ExactTtlStore {
 
     /// Insert a record observed at `ts` with TTL `ttl`, and run the purge
     /// process if it is due.
-    pub fn insert(&self, key: String, value: String, ttl: u32, ts: SimTime) {
+    pub fn insert(&self, key: K, value: V, ttl: u32, ts: SimTime) {
         self.map.insert(
             key,
             Entry {
@@ -79,8 +80,12 @@ impl ExactTtlStore {
     }
 
     /// Look `key` up at flow time `now`; only records whose TTL has not
-    /// yet expired are returned.
-    pub fn lookup(&self, key: &str, now: SimTime) -> Option<String> {
+    /// yet expired are returned. Accepts any borrowed form of the key.
+    pub fn lookup<Q>(&self, key: &Q, now: SimTime) -> Option<V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: std::hash::Hash + Eq + ?Sized,
+    {
         match self.map.get(key) {
             Some(entry) if entry.expires_at >= now => {
                 self.stats.lock().hits += 1;
@@ -155,8 +160,8 @@ impl ExactTtlStore {
     pub fn memory_estimate(&self) -> MemoryEstimate {
         self.map.fold(MemoryEstimate::new(), |mut acc, k, v| {
             // The expiry timestamp adds 16 bytes of payload per entry on
-            // top of the strings.
-            acc.add_entry(k.len(), v.value.len() + 16);
+            // top of the key/value payloads.
+            acc.add_entry(k.estimate_bytes(), v.value.estimate_bytes() + 16);
             acc
         })
     }
@@ -166,7 +171,7 @@ impl ExactTtlStore {
 mod tests {
     use super::*;
 
-    fn store() -> ExactTtlStore {
+    fn store() -> ExactTtlStore<String, String> {
         ExactTtlStore::new(SimDuration::from_secs(300), 8)
     }
 

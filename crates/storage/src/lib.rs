@@ -10,6 +10,9 @@
 //!
 //! * [`sharded`] — [`ShardedMap`], a lock-striped concurrent hashmap (the
 //!   `concurrent-map` equivalent),
+//! * [`keys`] — the [`StoreKey`]/[`StoreValue`] traits every store is
+//!   generic over, implemented for compact [`flowdns_types::IpKey`]s,
+//!   interned [`flowdns_types::NameRef`] handles, and plain strings,
 //! * [`rotating`] — [`RotatingStore`], one Active/Inactive/Long triple with
 //!   clear-up and buffer rotation (Algorithm 1's storage side),
 //! * [`split`] — [`SplitStore`], NUM_SPLIT rotating stores indexed by a
@@ -23,12 +26,14 @@
 #![warn(missing_docs)]
 
 pub mod exact_ttl;
+pub mod keys;
 pub mod memory;
 pub mod rotating;
 pub mod sharded;
 pub mod split;
 
 pub use exact_ttl::ExactTtlStore;
+pub use keys::{StoreKey, StoreValue};
 pub use memory::MemoryEstimate;
 pub use rotating::{Generation, RotatingStore, RotationPolicy};
 pub use sharded::ShardedMap;

@@ -20,6 +20,7 @@ use parking_lot::Mutex;
 
 use flowdns_types::{SimDuration, SimTime};
 
+use crate::keys::{StoreKey, StoreValue};
 use crate::memory::MemoryEstimate;
 use crate::sharded::ShardedMap;
 
@@ -94,17 +95,20 @@ pub struct RotatingStoreStats {
     pub misses: u64,
 }
 
-/// A string-keyed rotating store.
+/// A typed rotating store.
 ///
-/// Keys and values are `String`s: the IP-NAME store keys by the textual IP
-/// address, the NAME-CNAME store keys by domain name, matching the paper's
-/// "the key is the answer section, and the value is the query".
+/// Generic over its key and value: the IP-NAME store keys by compact
+/// [`flowdns_types::IpKey`] with interned [`flowdns_types::NameRef`]
+/// values, the NAME-CNAME store keys interned names by interned names —
+/// in both cases matching the paper's "the key is the answer section,
+/// and the value is the query". Plain `String` keys/values still satisfy
+/// the bounds for tests and ad-hoc tooling.
 #[derive(Debug)]
-pub struct RotatingStore {
+pub struct RotatingStore<K: StoreKey, V: StoreValue> {
     policy: RotationPolicy,
-    active: ShardedMap<String, String>,
-    inactive: ShardedMap<String, String>,
-    long: ShardedMap<String, String>,
+    active: ShardedMap<K, V>,
+    inactive: ShardedMap<K, V>,
+    long: ShardedMap<K, V>,
     state: Mutex<ClockState>,
     stats: Mutex<RotatingStoreStats>,
 }
@@ -114,7 +118,7 @@ struct ClockState {
     last_clear_ts: Option<SimTime>,
 }
 
-impl RotatingStore {
+impl<K: StoreKey, V: StoreValue> RotatingStore<K, V> {
     /// Create a store with the given policy and shard count per map.
     pub fn new(policy: RotationPolicy, shards: usize) -> Self {
         RotatingStore {
@@ -139,7 +143,7 @@ impl RotatingStore {
     /// This performs the clear-up check of Algorithm 1 first (driven by
     /// the record's own timestamp), then routes the record to the Active
     /// or Long map depending on its TTL.
-    pub fn insert(&self, key: String, value: String, ttl: u32, ts: SimTime) {
+    pub fn insert(&self, key: K, value: V, ttl: u32, ts: SimTime) {
         self.maybe_clear_up(ts);
         let goes_long = self.policy.long_maps
             && SimDuration::from_secs(ttl as u64) >= self.policy.clear_up_interval;
@@ -189,7 +193,15 @@ impl RotatingStore {
     }
 
     /// The `deepLookUp` of Algorithm 2: Active, then Inactive, then Long.
-    pub fn lookup(&self, key: &str) -> Option<(String, Generation)> {
+    ///
+    /// Accepts any borrowed form of the key (`&str` for `String` keys,
+    /// `&IpKey` for typed keys) so callers never materialize an owned key
+    /// just to look it up.
+    pub fn lookup<Q>(&self, key: &Q) -> Option<(V, Generation)>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: std::hash::Hash + Eq + ?Sized,
+    {
         if let Some(v) = self.active.get(key) {
             self.stats.lock().hits.0 += 1;
             return Some((v, Generation::Active));
@@ -213,7 +225,7 @@ impl RotatingStore {
     /// Insert directly into the Active map without the clear-up check.
     /// Used by the LookUp workers to memoize multi-hop CNAME resolutions
     /// ("we add it to NAME-CNAMEactive for later use").
-    pub fn memoize(&self, key: String, value: String) {
+    pub fn memoize(&self, key: K, value: V) {
         self.active.insert(key, value);
     }
 
@@ -238,7 +250,7 @@ impl RotatingStore {
         let mut est = MemoryEstimate::new();
         for map in [&self.active, &self.inactive, &self.long] {
             let partial = map.fold(MemoryEstimate::new(), |mut acc, k, v| {
-                acc.add_entry(k.len(), v.len());
+                acc.add_entry(k.estimate_bytes(), v.estimate_bytes());
                 acc
             });
             est.merge(partial);
@@ -262,7 +274,7 @@ mod tests {
 
     #[test]
     fn short_ttl_goes_active_long_ttl_goes_long() {
-        let store = RotatingStore::new(policy(3600), 8);
+        let store: RotatingStore<String, String> = RotatingStore::new(policy(3600), 8);
         store.insert(
             "1.2.3.4".into(),
             "a.example".into(),
@@ -294,7 +306,7 @@ mod tests {
 
     #[test]
     fn clear_up_rotates_active_into_inactive() {
-        let store = RotatingStore::new(policy(3600), 8);
+        let store: RotatingStore<String, String> = RotatingStore::new(policy(3600), 8);
         store.insert(
             "1.1.1.1".into(),
             "one.example".into(),
@@ -324,7 +336,7 @@ mod tests {
 
     #[test]
     fn second_clear_up_overwrites_inactive() {
-        let store = RotatingStore::new(policy(100), 4);
+        let store: RotatingStore<String, String> = RotatingStore::new(policy(100), 4);
         store.insert("gen0".into(), "v0".into(), 1, SimTime::from_secs(0));
         store.insert("gen1".into(), "v1".into(), 1, SimTime::from_secs(100));
         store.insert("gen2".into(), "v2".into(), 1, SimTime::from_secs(200));
@@ -346,7 +358,7 @@ mod tests {
     fn no_clear_up_variant_keeps_everything() {
         let mut p = policy(100);
         p.clear_up = false;
-        let store = RotatingStore::new(p, 4);
+        let store: RotatingStore<String, String> = RotatingStore::new(p, 4);
         for i in 0..10u64 {
             store.insert(
                 format!("k{i}"),
@@ -364,7 +376,7 @@ mod tests {
     fn no_rotation_variant_discards_on_clear_up() {
         let mut p = policy(100);
         p.rotation = false;
-        let store = RotatingStore::new(p, 4);
+        let store: RotatingStore<String, String> = RotatingStore::new(p, 4);
         store.insert("old".into(), "v".into(), 1, SimTime::from_secs(0));
         store.insert("new".into(), "v".into(), 1, SimTime::from_secs(150));
         assert_eq!(store.lookup("old"), None);
@@ -376,7 +388,7 @@ mod tests {
     fn no_long_variant_routes_long_ttls_to_active() {
         let mut p = policy(3600);
         p.long_maps = false;
-        let store = RotatingStore::new(p, 4);
+        let store: RotatingStore<String, String> = RotatingStore::new(p, 4);
         store.insert(
             "ip".into(),
             "stable.example".into(),
@@ -393,7 +405,7 @@ mod tests {
 
     #[test]
     fn observe_time_alone_triggers_clear_up() {
-        let store = RotatingStore::new(policy(100), 4);
+        let store: RotatingStore<String, String> = RotatingStore::new(policy(100), 4);
         store.insert("k".into(), "v".into(), 1, SimTime::from_secs(0));
         store.observe_time(SimTime::from_secs(500));
         assert_eq!(store.lookup("k"), Some(("v".into(), Generation::Inactive)));
@@ -401,7 +413,7 @@ mod tests {
 
     #[test]
     fn memoize_bypasses_clear_up_clock() {
-        let store = RotatingStore::new(policy(100), 4);
+        let store: RotatingStore<String, String> = RotatingStore::new(policy(100), 4);
         store.memoize("alias".into(), "canonical.example".into());
         assert_eq!(
             store.lookup("alias"),
@@ -415,7 +427,7 @@ mod tests {
     fn same_key_overwrites_value() {
         // The accuracy caveat of Section 4: a second domain observed for
         // the same IP overwrites the first.
-        let store = RotatingStore::new(policy(3600), 4);
+        let store: RotatingStore<String, String> = RotatingStore::new(policy(3600), 4);
         store.insert(
             "9.9.9.9".into(),
             "first.example".into(),
@@ -437,7 +449,7 @@ mod tests {
 
     #[test]
     fn memory_estimate_tracks_entries() {
-        let store = RotatingStore::new(policy(3600), 4);
+        let store: RotatingStore<String, String> = RotatingStore::new(policy(3600), 4);
         assert_eq!(store.memory_estimate().entries, 0);
         store.insert("1.2.3.4".into(), "example.com".into(), 60, SimTime::ZERO);
         store.insert("5.6.7.8".into(), "other.org".into(), 999_999, SimTime::ZERO);

@@ -7,8 +7,12 @@
 //! as much as possible" so concurrent LookUp workers contend on different
 //! maps. The *No Split* ablation is simply `num_split = 1`.
 
+use std::borrow::Borrow;
+use std::hash::Hash;
+
 use flowdns_types::SimTime;
 
+use crate::keys::{StoreKey, StoreValue};
 use crate::memory::MemoryEstimate;
 use crate::rotating::{Generation, RotatingStore, RotatingStoreStats, RotationPolicy};
 
@@ -17,11 +21,11 @@ pub const DEFAULT_NUM_SPLIT: usize = 10;
 
 /// A set of `num_split` rotating stores indexed by a key label.
 #[derive(Debug)]
-pub struct SplitStore {
-    splits: Vec<RotatingStore>,
+pub struct SplitStore<K: StoreKey, V: StoreValue> {
+    splits: Vec<RotatingStore<K, V>>,
 }
 
-impl SplitStore {
+impl<K: StoreKey, V: StoreValue> SplitStore<K, V> {
     /// Create `num_split` stores, each with `shards` shards and the given
     /// policy.
     pub fn new(policy: RotationPolicy, num_split: usize, shards: usize) -> Self {
@@ -40,21 +44,26 @@ impl SplitStore {
 
     /// The label function of Algorithm 1/2: a stable hash of the key,
     /// reduced to `0..num_split`. The same function labels A/AAAA answers
-    /// on insert and flow source IPs on lookup, so both sides agree.
-    pub fn label(&self, key: &str) -> usize {
-        use std::hash::{Hash, Hasher};
+    /// on insert and flow source IPs on lookup, so both sides agree; any
+    /// borrowed form of the key hashes identically (the `Borrow`
+    /// contract).
+    pub fn label<Q>(&self, key: &Q) -> usize
+    where
+        Q: Hash + ?Sized,
+    {
+        use std::hash::Hasher;
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut hasher);
         (hasher.finish() % self.splits.len() as u64) as usize
     }
 
     /// Access a split by label (for tests and diagnostics).
-    pub fn split(&self, label: usize) -> &RotatingStore {
+    pub fn split(&self, label: usize) -> &RotatingStore<K, V> {
         &self.splits[label]
     }
 
     /// Insert a record into the split chosen by its key label.
-    pub fn insert(&self, key: String, value: String, ttl: u32, ts: SimTime) {
+    pub fn insert(&self, key: K, value: V, ttl: u32, ts: SimTime) {
         let label = self.label(&key);
         self.splits[label].insert(key, value, ttl, ts);
     }
@@ -67,12 +76,16 @@ impl SplitStore {
     }
 
     /// Look a key up in its split (Active → Inactive → Long).
-    pub fn lookup(&self, key: &str) -> Option<(String, Generation)> {
+    pub fn lookup<Q>(&self, key: &Q) -> Option<(V, Generation)>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         self.splits[self.label(key)].lookup(key)
     }
 
     /// Memoize a derived mapping into the Active map of the key's split.
-    pub fn memoize(&self, key: String, value: String) {
+    pub fn memoize(&self, key: K, value: V) {
         let label = self.label(&key);
         self.splits[label].memoize(key, value);
     }
@@ -113,7 +126,7 @@ mod tests {
     use super::*;
     use flowdns_types::SimDuration;
 
-    fn store(num_split: usize) -> SplitStore {
+    fn store(num_split: usize) -> SplitStore<String, String> {
         SplitStore::new(
             RotationPolicy {
                 clear_up_interval: SimDuration::from_secs(3600),

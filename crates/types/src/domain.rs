@@ -74,6 +74,19 @@ impl DomainName {
         &self.normalized
     }
 
+    /// Share the underlying allocation (a reference-count bump). Used by
+    /// the interned-name machinery in [`crate::intern`].
+    pub(crate) fn shared_str(&self) -> Arc<str> {
+        Arc::clone(&self.normalized)
+    }
+
+    /// Wrap an already-normalized shared string. Callers must guarantee
+    /// the text is normalized (lower-case, non-empty, no trailing dot),
+    /// which holds for any string extracted from a parsed `DomainName`.
+    pub(crate) fn from_shared(normalized: Arc<str>) -> Self {
+        DomainName { normalized }
+    }
+
     /// The labels of the name, in order (e.g. `a.b.com` → `["a","b","com"]`).
     pub fn labels(&self) -> impl Iterator<Item = &str> {
         self.normalized.split('.')
@@ -99,9 +112,27 @@ impl DomainName {
     /// FlowDNS's service attribution groups names by their trailing labels
     /// (e.g. everything under `nflxvideo.net` is "Netflix").
     pub fn suffix(&self, n: usize) -> String {
-        let labels: Vec<&str> = self.labels().collect();
-        let start = labels.len().saturating_sub(n);
-        labels[start..].join(".")
+        self.suffix_str(n).to_string()
+    }
+
+    /// Borrowed view of the last `n` labels. The labels are already
+    /// dot-joined in the stored text, so the suffix is a plain subslice —
+    /// no per-call label vector, no allocation.
+    pub fn suffix_str(&self, n: usize) -> &str {
+        if n == 0 {
+            return "";
+        }
+        let s: &str = &self.normalized;
+        let mut dots = 0;
+        for (i, b) in s.bytes().enumerate().rev() {
+            if b == b'.' {
+                dots += 1;
+                if dots == n {
+                    return &s[i + 1..];
+                }
+            }
+        }
+        s
     }
 
     /// Is `self` equal to `other` or a subdomain of `other`?
@@ -202,6 +233,13 @@ mod tests {
         assert_eq!(d.label_count(), 4);
         assert_eq!(d.suffix(2), "netflix.com");
         assert_eq!(d.suffix(10), "cdn1.video.netflix.com");
+        assert_eq!(d.suffix(0), "");
+        assert_eq!(d.suffix_str(1), "com");
+        assert_eq!(d.suffix_str(3), "video.netflix.com");
+        assert_eq!(d.suffix_str(4), "cdn1.video.netflix.com");
+        let single = DomainName::literal("localhost");
+        assert_eq!(single.suffix(1), "localhost");
+        assert_eq!(single.suffix(5), "localhost");
     }
 
     #[test]

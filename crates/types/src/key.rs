@@ -1,0 +1,153 @@
+//! Compact typed IP keys for the hot correlation maps.
+//!
+//! Every NetFlow record triggers one IP-NAME lookup and every A/AAAA
+//! answer one insert, so the key representation sits squarely on the hot
+//! path. The seed implementation keyed those maps by the *textual* IP
+//! address, which costs a heap-allocated `String` (plus formatting) per
+//! record on both sides. [`IpKey`] replaces that with the raw address
+//! bits — a `u32` for IPv4, a `u128` for IPv6 — so keys are `Copy`,
+//! hash in a handful of instructions, and round-trip losslessly to and
+//! from [`IpAddr`].
+
+use std::fmt;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// A compact, hash-friendly key for one IP address.
+///
+/// `IpKey` preserves the address family: an IPv4-mapped IPv6 address
+/// (`::ffff:a.b.c.d`) stays V6, so the round trip `IpAddr → IpKey →
+/// IpAddr` is exact for every address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IpKey {
+    /// An IPv4 address as its 32 big-endian bits.
+    V4(u32),
+    /// An IPv6 address as its 128 big-endian bits.
+    V6(u128),
+}
+
+impl IpKey {
+    /// Build a key from any IP address.
+    pub fn from_ip(ip: IpAddr) -> Self {
+        match ip {
+            IpAddr::V4(v4) => IpKey::V4(u32::from(v4)),
+            IpAddr::V6(v6) => IpKey::V6(u128::from(v6)),
+        }
+    }
+
+    /// Recover the address this key was built from.
+    pub fn to_ip(self) -> IpAddr {
+        match self {
+            IpKey::V4(bits) => IpAddr::V4(Ipv4Addr::from(bits)),
+            IpKey::V6(bits) => IpAddr::V6(Ipv6Addr::from(bits)),
+        }
+    }
+
+    /// Is this an IPv4 key?
+    pub fn is_v4(self) -> bool {
+        matches!(self, IpKey::V4(_))
+    }
+
+    /// Is this an IPv6 key?
+    pub fn is_v6(self) -> bool {
+        matches!(self, IpKey::V6(_))
+    }
+
+    /// Bytes of address payload the key encodes (4 or 16), used by the
+    /// storage layer's memory accounting.
+    pub const fn encoded_len(self) -> usize {
+        match self {
+            IpKey::V4(_) => 4,
+            IpKey::V6(_) => 16,
+        }
+    }
+}
+
+impl From<IpAddr> for IpKey {
+    fn from(ip: IpAddr) -> Self {
+        IpKey::from_ip(ip)
+    }
+}
+
+impl From<Ipv4Addr> for IpKey {
+    fn from(ip: Ipv4Addr) -> Self {
+        IpKey::V4(u32::from(ip))
+    }
+}
+
+impl From<Ipv6Addr> for IpKey {
+    fn from(ip: Ipv6Addr) -> Self {
+        IpKey::V6(u128::from(ip))
+    }
+}
+
+impl From<IpKey> for IpAddr {
+    fn from(key: IpKey) -> Self {
+        key.to_ip()
+    }
+}
+
+impl fmt::Display for IpKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.to_ip().fmt(f)
+    }
+}
+
+impl std::str::FromStr for IpKey {
+    type Err = std::net::AddrParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        s.parse::<IpAddr>().map(IpKey::from_ip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v4_round_trip_and_family() {
+        let ip: IpAddr = Ipv4Addr::new(203, 0, 113, 9).into();
+        let key = IpKey::from_ip(ip);
+        assert!(key.is_v4());
+        assert!(!key.is_v6());
+        assert_eq!(key.encoded_len(), 4);
+        assert_eq!(key.to_ip(), ip);
+        assert_eq!(IpAddr::from(key), ip);
+        assert_eq!(key.to_string(), "203.0.113.9");
+    }
+
+    #[test]
+    fn v6_round_trip_preserves_mapped_addresses() {
+        let plain: IpAddr = "2001:db8::7".parse().unwrap();
+        let mapped: IpAddr = "::ffff:192.0.2.1".parse().unwrap();
+        for ip in [plain, mapped] {
+            let key = IpKey::from_ip(ip);
+            assert!(key.is_v6());
+            assert_eq!(key.encoded_len(), 16);
+            assert_eq!(key.to_ip(), ip);
+        }
+        // A v4 address and its v6-mapped form are *different* keys.
+        let v4: IpAddr = "192.0.2.1".parse().unwrap();
+        assert_ne!(IpKey::from_ip(v4), IpKey::from_ip(mapped));
+    }
+
+    #[test]
+    fn keys_are_comparable_and_hashable() {
+        use std::collections::HashMap;
+        let mut m: HashMap<IpKey, &str> = HashMap::new();
+        m.insert(Ipv4Addr::new(1, 2, 3, 4).into(), "a");
+        m.insert("2001:db8::1".parse().unwrap(), "b");
+        assert_eq!(
+            m.get(&IpKey::from_ip("1.2.3.4".parse().unwrap())),
+            Some(&"a")
+        );
+        assert_eq!(m.len(), 2);
+        assert!(IpKey::V4(1) < IpKey::V4(2));
+    }
+
+    #[test]
+    fn parses_from_text() {
+        let key: IpKey = "198.51.100.7".parse().unwrap();
+        assert_eq!(key, IpKey::from(Ipv4Addr::new(198, 51, 100, 7)));
+        assert!("not-an-ip".parse::<IpKey>().is_err());
+    }
+}

@@ -4,9 +4,10 @@
 //!
 //! This crate defines the vocabulary types that every other crate in the
 //! workspace speaks: timestamps ([`SimTime`]), domain names
-//! ([`DomainName`]), DNS records as seen by the correlator
-//! ([`DnsRecord`]), network flow records ([`FlowRecord`]), correlation
-//! output ([`CorrelatedRecord`]), and the common error type
+//! ([`DomainName`]), compact IP map keys ([`IpKey`]), interned name
+//! handles ([`NameRef`] / [`NameInterner`]), DNS records as seen by the
+//! correlator ([`DnsRecord`]), network flow records ([`FlowRecord`]),
+//! correlation output ([`CorrelatedRecord`]), and the common error type
 //! ([`FlowDnsError`]).
 //!
 //! The types are deliberately independent of any wire format: the
@@ -23,6 +24,8 @@ pub mod domain;
 pub mod error;
 pub mod flow;
 pub mod ids;
+pub mod intern;
+pub mod key;
 pub mod record;
 pub mod service;
 pub mod time;
@@ -32,6 +35,8 @@ pub use domain::{DomainName, DomainParseError};
 pub use error::FlowDnsError;
 pub use flow::{FlowDirection, FlowKey, FlowRecord, Protocol};
 pub use ids::{StreamId, StreamKind, WorkerId};
+pub use intern::{NameInterner, NameRef};
+pub use key::IpKey;
 pub use record::{DnsAnswer, DnsRecord, RecordType};
 pub use service::{CorrelatedRecord, CorrelationOutcome, ResolvedName, ServiceLabel};
 pub use time::{SimDuration, SimTime, TimeRange};

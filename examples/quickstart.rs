@@ -42,9 +42,10 @@ fn main() {
             300,
         ),
     ];
-    for record in dns_records {
-        correlator.push_dns(record);
-    }
+    // One queue offer for the whole batch — what the live listeners do
+    // per decoded datagram.
+    let accepted = correlator.push_dns_batch(dns_records);
+    assert_eq!(accepted, 4, "queue has room for the whole batch");
 
     // Give the FillUp workers a moment to drain the queue into the store.
     while correlator.queue_depths().0 > 0 {
@@ -59,14 +60,14 @@ fn main() {
         (Ipv4Addr::new(203, 0, 113, 50), 200_000),      // the news site
         (Ipv4Addr::new(192, 0, 2, 99), 800_000),        // unknown source
     ];
-    for (src, bytes) in flows {
-        correlator.push_flow(FlowRecord::inbound(
+    correlator.push_flow_batch(flows.into_iter().map(|(src, bytes)| {
+        FlowRecord::inbound(
             SimTime::from_secs(20),
             src.into(),
             Ipv4Addr::new(10, 0, 0, 1).into(),
             bytes,
-        ));
-    }
+        )
+    }));
 
     // 4. Shut down and inspect the report.
     let report = correlator.finish().expect("clean shutdown");

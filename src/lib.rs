@@ -7,7 +7,8 @@
 //! to the service (domain name) that caused it. This crate re-exports the
 //! public API of every workspace member under one roof:
 //!
-//! * [`types`] — shared record and time types,
+//! * [`types`] — shared record and time types, plus the typed store keys
+//!   ([`types::IpKey`], interned [`types::NameRef`] handles),
 //! * [`dns`] — RFC 1035 wire codec, validation and resolver-feed framing,
 //! * [`netflow`] — NetFlow v5/v9 and IPFIX-subset codecs,
 //! * [`stream`] — bounded lossy stream buffers and pacing,
@@ -22,6 +23,12 @@
 //!
 //! ## Quick start
 //!
+//! The store API is typed end to end: the correlator keys its IP-NAME
+//! maps by [`types::IpKey`] (raw address bits, never a formatted string)
+//! and stores names as interned [`types::NameRef`] handles, so feeding
+//! it records is allocation-free on the hot path. Ingress accepts single
+//! records (`push_dns` / `push_flow`) or whole batches:
+//!
 //! ```
 //! use flowdns::core::{Correlator, CorrelatorConfig};
 //! use flowdns::types::{DnsRecord, DomainName, FlowRecord, SimTime};
@@ -30,28 +37,36 @@
 //! // Build a correlator with default (paper) parameters.
 //! let correlator = Correlator::start(CorrelatorConfig::default()).unwrap();
 //!
-//! // Feed one DNS record: video.example.com -> 203.0.113.7
-//! correlator.push_dns(DnsRecord::address(
-//!     SimTime::from_secs(1),
-//!     DomainName::literal("video.example.com"),
-//!     Ipv4Addr::new(203, 0, 113, 7).into(),
-//!     300,
-//! ));
+//! // Feed a batch of DNS records: video.example.com -> 203.0.113.7, ...
+//! let dns: Vec<DnsRecord> = (0..4u8)
+//!     .map(|i| DnsRecord::address(
+//!         SimTime::from_secs(1),
+//!         DomainName::literal("video.example.com"),
+//!         Ipv4Addr::new(203, 0, 113, i).into(),
+//!         300,
+//!     ))
+//!     .collect();
+//! assert_eq!(correlator.push_dns_batch(dns), 4);
 //!
-//! // Wait until the FillUp worker has stored the record, as a live
-//! // deployment's DNS head start does, so the lookup cannot race it.
-//! while correlator.store().total_entries() == 0 {
+//! // Wait until the FillUp workers have stored the records, as a live
+//! // deployment's DNS head start does, so the lookups cannot race them.
+//! while correlator.store().total_entries() < 4 {
 //!     std::thread::sleep(std::time::Duration::from_millis(1));
 //! }
 //!
-//! // Feed one flow whose source is that IP.
-//! correlator.push_flow(FlowRecord::inbound(
-//!     SimTime::from_secs(2),
-//!     Ipv4Addr::new(203, 0, 113, 7).into(),
-//!     Ipv4Addr::new(10, 0, 0, 1).into(),
-//!     1_000_000,
-//! ));
+//! // Feed a batch of flows whose sources are those IPs.
+//! let flows: Vec<FlowRecord> = (0..4u8)
+//!     .map(|i| FlowRecord::inbound(
+//!         SimTime::from_secs(2),
+//!         Ipv4Addr::new(203, 0, 113, i).into(),
+//!         Ipv4Addr::new(10, 0, 0, 1).into(),
+//!         1_000_000,
+//!     ))
+//!     .collect();
+//! assert_eq!(correlator.push_flow_batch(flows), 4);
 //!
+//! // `snapshot()` reads live metrics without stopping the pipeline;
+//! // `finish()` drains everything and returns the exact final report.
 //! let report = correlator.finish().unwrap();
 //! assert!(report.volumes.correlation_rate_pct() > 99.0);
 //! ```
