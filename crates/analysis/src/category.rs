@@ -232,23 +232,23 @@ mod tests {
     }
 
     fn inbound(src: [u8; 4], dst: [u8; 4], bytes: u64, name: Option<&str>) -> CorrelatedRecord {
-        CorrelatedRecord {
-            flow: FlowRecord::inbound(
+        CorrelatedRecord::new(
+            FlowRecord::inbound(
                 SimTime::from_secs(100),
                 Ipv4Addr::from(src).into(),
                 Ipv4Addr::from(dst).into(),
                 bytes,
             ),
-            outcome: match name {
+            match name {
                 Some(n) => CorrelationOutcome::Name(DomainName::literal(n)),
                 None => CorrelationOutcome::NotFound,
             },
-        }
+        )
     }
 
     fn outbound(src: [u8; 4], dst: [u8; 4], bytes: u64) -> CorrelatedRecord {
-        CorrelatedRecord {
-            flow: FlowRecord {
+        CorrelatedRecord::new(
+            FlowRecord {
                 ts: SimTime::from_secs(200),
                 key: FlowKey {
                     src_ip: Ipv4Addr::from(src).into(),
@@ -262,8 +262,8 @@ mod tests {
                 stream: StreamId::new(0),
                 direction: FlowDirection::Outbound,
             },
-            outcome: CorrelationOutcome::NotFound,
-        }
+            CorrelationOutcome::NotFound,
+        )
     }
 
     #[test]

@@ -3,12 +3,17 @@
 //! The paper shows, for two streaming services S1 and S2, the cumulative
 //! traffic volume per source AS over a week: S1 is originated almost
 //! entirely by one AS, S2 mainly by two. This module reduces the
-//! correlated record stream with a BGP routing table to exactly that
-//! series.
+//! correlated record stream to exactly that series.
+//!
+//! Since the in-pipeline BGP enrichment, every [`CorrelatedRecord`]
+//! arrives with its origin AS already stamped by the LookUp stage
+//! (`src_asn`), so the analysis no longer re-runs a longest-prefix-match
+//! per record — it only buckets what the pipeline resolved. Feed it the
+//! output of a pipeline with a loaded `routing_table` (or an
+//! `OfflineSimulator` with an `AsnView`).
 
 use std::collections::BTreeMap;
 
-use flowdns_bgp::RoutingTable;
 use flowdns_types::CorrelatedRecord;
 
 /// Accumulates traffic per (hour, origin AS) for one service.
@@ -16,7 +21,8 @@ use flowdns_types::CorrelatedRecord;
 pub struct PerAsTraffic {
     /// bytes[(hour, asn)] = bytes
     bytes: BTreeMap<(u64, u32), u64>,
-    /// Bytes whose source IP had no covering BGP announcement.
+    /// Bytes whose record carried no source-AS attribution (address not
+    /// covered by any announcement, or pipeline run without a table).
     pub unattributed_bytes: u64,
 }
 
@@ -28,10 +34,11 @@ impl PerAsTraffic {
 
     /// Observe one correlated record belonging to the service being
     /// analyzed. The caller filters records by service (e.g. by final
-    /// domain name suffix); this method only performs the AS attribution.
-    pub fn observe(&mut self, record: &CorrelatedRecord, table: &RoutingTable) {
+    /// domain name suffix); this method buckets the record's pre-stamped
+    /// `src_asn` by hour.
+    pub fn observe(&mut self, record: &CorrelatedRecord) {
         let hour = record.flow.ts.as_secs() / 3600;
-        match table.origin_as(record.flow.key.src_ip) {
+        match record.src_asn {
             Some(asn) => {
                 *self.bytes.entry((hour, asn)).or_insert(0) += record.flow.bytes;
             }
@@ -92,11 +99,11 @@ impl PerAsTraffic {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flowdns_bgp::{Announcement, RoutingTable};
+    use flowdns_bgp::{Announcement, AsnView, RoutingTable};
     use flowdns_types::{CorrelationOutcome, DomainName, FlowRecord, SimTime};
     use std::net::Ipv4Addr;
 
-    fn table() -> RoutingTable {
+    fn view() -> AsnView {
         let mut t = RoutingTable::new();
         t.announce(Announcement {
             prefix: "100.64.0.0/16".parse().unwrap(),
@@ -106,29 +113,33 @@ mod tests {
             prefix: "100.65.0.0/16".parse().unwrap(),
             origin_as: 64601,
         });
-        t
+        AsnView::new(t.freeze())
     }
 
-    fn record(hour: u64, src: [u8; 4], bytes: u64) -> CorrelatedRecord {
-        CorrelatedRecord {
-            flow: FlowRecord::inbound(
+    /// A record as the enriched pipeline would emit it: `src_asn` stamped
+    /// from the frozen table at LookUp time.
+    fn record(view: &AsnView, hour: u64, src: [u8; 4], bytes: u64) -> CorrelatedRecord {
+        let src_ip = Ipv4Addr::from(src).into();
+        CorrelatedRecord::new(
+            FlowRecord::inbound(
                 SimTime::from_secs(hour * 3600 + 10),
-                Ipv4Addr::from(src).into(),
+                src_ip,
                 Ipv4Addr::new(10, 0, 0, 1).into(),
                 bytes,
             ),
-            outcome: CorrelationOutcome::Name(DomainName::literal("video.stream-one.example")),
-        }
+            CorrelationOutcome::Name(DomainName::literal("video.stream-one.example")),
+        )
+        .with_asns(view.reader().origin_as(src_ip), None)
     }
 
     #[test]
     fn attribution_and_ranking() {
-        let table = table();
+        let view = view();
         let mut per_as = PerAsTraffic::new();
-        per_as.observe(&record(0, [100, 64, 1, 1], 1000), &table);
-        per_as.observe(&record(1, [100, 64, 2, 2], 3000), &table);
-        per_as.observe(&record(1, [100, 65, 1, 1], 500), &table);
-        per_as.observe(&record(2, [198, 51, 100, 1], 999), &table);
+        per_as.observe(&record(&view, 0, [100, 64, 1, 1], 1000));
+        per_as.observe(&record(&view, 1, [100, 64, 2, 2], 3000));
+        per_as.observe(&record(&view, 1, [100, 65, 1, 1], 500));
+        per_as.observe(&record(&view, 2, [198, 51, 100, 1], 999));
         assert_eq!(per_as.total_bytes(), 4500);
         assert_eq!(per_as.unattributed_bytes, 999);
         let ranked = per_as.ases_by_traffic();
@@ -139,15 +150,31 @@ mod tests {
 
     #[test]
     fn hourly_and_cumulative_series() {
-        let table = table();
+        let view = view();
         let mut per_as = PerAsTraffic::new();
-        per_as.observe(&record(0, [100, 64, 1, 1], 100), &table);
-        per_as.observe(&record(2, [100, 64, 1, 2], 300), &table);
+        per_as.observe(&record(&view, 0, [100, 64, 1, 1], 100));
+        per_as.observe(&record(&view, 2, [100, 64, 1, 2], 300));
         let hourly = per_as.hourly_series(64501);
         assert_eq!(hourly, vec![(0, 100), (2, 300)]);
         let cumulative = per_as.cumulative_series(64501);
         assert_eq!(cumulative, vec![(0, 100), (2, 400)]);
         assert!(per_as.hourly_series(99999).is_empty());
+    }
+
+    #[test]
+    fn unstamped_records_count_as_unattributed() {
+        let mut per_as = PerAsTraffic::new();
+        per_as.observe(&CorrelatedRecord::new(
+            FlowRecord::inbound(
+                SimTime::from_secs(10),
+                Ipv4Addr::new(100, 64, 1, 1).into(),
+                Ipv4Addr::new(10, 0, 0, 1).into(),
+                777,
+            ),
+            CorrelationOutcome::NotFound,
+        ));
+        assert_eq!(per_as.total_bytes(), 0);
+        assert_eq!(per_as.unattributed_bytes, 777);
     }
 
     #[test]

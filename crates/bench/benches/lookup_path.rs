@@ -59,7 +59,7 @@ fn bench_lookup(c: &mut Criterion) {
     let config = CorrelatorConfig::default();
     let store = DnsStore::new(&config);
     populate(&store, 2_000);
-    let resolver = Resolver::new(&store, &config);
+    let mut resolver = Resolver::new(&store, &config);
     let hit_flow = FlowRecord::inbound(
         SimTime::from_secs(10),
         Ipv4Addr::new(100, 64, 3, 200).into(),

@@ -19,7 +19,7 @@ fn run_scenario(scenario: AccuracyScenario) -> (f64, usize) {
     for record in &capture.dns {
         process_dns_record(&store, record, &mut fillup);
     }
-    let resolver = Resolver::new(&store, &config);
+    let mut resolver = Resolver::new(&store, &config);
     let mut lookup = LookUpStats::default();
     let attributions: Vec<_> = capture
         .flows

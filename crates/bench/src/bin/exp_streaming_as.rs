@@ -3,14 +3,15 @@
 //!
 //! Paper: streaming service S1's traffic originates almost entirely from
 //! one AS; S2's traffic originates mainly from two ASes; both show a
-//! diurnal pattern. FlowDNS output is joined with BGP data to obtain the
-//! origin AS of each flow's source address.
+//! diurnal pattern. Since the in-pipeline BGP enrichment the join happens
+//! in the LookUp stage: records arrive with `src_asn` already stamped
+//! from the frozen routing table, and the analysis only buckets them.
 //!
 //! Usage: `exp_streaming_as [hours]` (default: 12).
 
 use flowdns_analysis::{render_table, PerAsTraffic};
 use flowdns_bench::{
-    experiment_workload, outcome_matches_service, routing_table_for, run_variant_with,
+    asn_view_for, experiment_workload, outcome_matches_service, run_variant_with_asn,
 };
 use flowdns_core::Variant;
 
@@ -18,21 +19,21 @@ fn main() {
     let hours = flowdns_bench::hours_arg(12);
     let workload = experiment_workload(hours, 45.0);
     let universe = workload.universe().clone();
-    let table = routing_table_for(&universe);
+    let view = asn_view_for(&universe);
     let s1 = universe.services[universe.streaming_s1].clone();
     let s2 = universe.services[universe.streaming_s2].clone();
 
     println!("== Figure 4: per-source-AS traffic for streaming services S1 and S2 ==");
     let mut per_as_s1 = PerAsTraffic::new();
     let mut per_as_s2 = PerAsTraffic::new();
-    run_variant_with(Variant::Main, &workload, |record| {
+    run_variant_with_asn(Variant::Main, &workload, &view, |record| {
         if !record.is_correlated() {
             return;
         }
         if outcome_matches_service(&record.outcome, &s1) {
-            per_as_s1.observe(record, &table);
+            per_as_s1.observe(record);
         } else if outcome_matches_service(&record.outcome, &s2) {
-            per_as_s2.observe(record, &table);
+            per_as_s2.observe(record);
         }
     });
 

@@ -14,7 +14,7 @@
 #![warn(missing_docs)]
 
 use flowdns_analysis::CategoryAnalysis;
-use flowdns_bgp::RoutingTable;
+use flowdns_bgp::{AsnView, RoutingTable};
 use flowdns_core::simulate::Event;
 use flowdns_core::{CorrelatorConfig, OfflineSimulator, SimulationOutcome, Variant};
 use flowdns_dbl::{Blocklist, BlocklistCategory};
@@ -31,25 +31,21 @@ pub fn to_event(event: StreamEvent) -> Event {
     }
 }
 
-/// Build a routing table consistent with the generated universe: every
-/// service's edge IPs are announced as host routes (/32 IPv4, /128 IPv6)
-/// originated by that service's AS(es), IPs being spread across the ASes
-/// round-robin. Host routes keep neighbouring services (whose synthetic
-/// edge IPs share /24 blocks) from hijacking each other's attribution.
+/// Build a routing table consistent with the generated universe by
+/// parsing the universe's own announcement emission
+/// ([`DomainUniverse::announcements_text`]) — the exact text a deployment
+/// would point its `routing_table` config key at, so experiments and the
+/// live pipeline attribute identically.
 pub fn routing_table_for(universe: &DomainUniverse) -> RoutingTable {
-    let mut table = RoutingTable::new();
-    for service in &universe.services {
-        if service.origin_asns.is_empty() {
-            continue;
-        }
-        for (i, ip) in service.edge_ips.iter().enumerate() {
-            // Spread the service's address space across its origin ASes
-            // (uneven when there are two, matching Figure 4b's shape).
-            let asn = service.origin_asns[i % service.origin_asns.len()];
-            table.announce_ips(std::slice::from_ref(ip), 32, 128, asn);
-        }
-    }
-    table
+    RoutingTable::from_announcements_text(&universe.announcements_text())
+        .expect("generated announcements parse")
+}
+
+/// The universe's routing table compiled and wrapped for in-pipeline AS
+/// attribution (what `OfflineSimulator::with_asn_view` and the live
+/// `Correlator` consume).
+pub fn asn_view_for(universe: &DomainUniverse) -> AsnView {
+    AsnView::new(routing_table_for(universe).freeze())
 }
 
 /// Build a blocklist consistent with the universe's suspicious domains.
@@ -100,6 +96,23 @@ where
 {
     let config = CorrelatorConfig::for_variant(variant);
     let sim = OfflineSimulator::new(config);
+    sim.run_with(workload.events().map(to_event), on_record)
+}
+
+/// Run one variant with in-pipeline AS attribution from `view`: every
+/// record reaching `on_record` carries `src_asn`/`dst_asn` stamped by
+/// the simulated LookUp stage.
+pub fn run_variant_with_asn<F>(
+    variant: Variant,
+    workload: &Workload,
+    view: &AsnView,
+    on_record: F,
+) -> SimulationOutcome
+where
+    F: FnMut(&CorrelatedRecord),
+{
+    let config = CorrelatorConfig::for_variant(variant);
+    let sim = OfflineSimulator::new(config).with_asn_view(view.clone());
     sim.run_with(workload.events().map(to_event), on_record)
 }
 

@@ -1,0 +1,446 @@
+//! The frozen routing table: the trie compiled into flat sorted arrays.
+//!
+//! The live pipeline cannot afford pointer-chasing a [`RoutingTable`]
+//! trie per flow record (two lookups per record once both endpoints are
+//! attributed). [`FrozenTable`] compiles the trie into per-prefix-length
+//! groups of parallel sorted arrays: a longest-prefix-match becomes at
+//! most one binary search per *distinct announced prefix length* over
+//! contiguous memory — no allocation, no locks, no pointers.
+//!
+//! [`AsnView`] wraps a frozen table for the LookUp workers: reads are a
+//! single relaxed atomic epoch check against a worker-cached `Arc`
+//! snapshot (lock-free on the per-record path), while
+//! [`AsnView::swap`] installs a freshly compiled table for live BGP
+//! feed reloads without stopping the pipeline.
+
+use std::net::IpAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::table::{Announcement, RoutingTable};
+
+/// Address bits usable as a frozen-table key: `u32` for IPv4, `u128`
+/// for IPv6.
+trait AddrBits: Copy + Ord {
+    /// The network mask for a prefix of `len` bits.
+    fn prefix_mask(len: u8) -> Self;
+    /// Bitwise AND.
+    fn masked(self, mask: Self) -> Self;
+}
+
+impl AddrBits for u32 {
+    fn prefix_mask(len: u8) -> Self {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len as u32)
+        }
+    }
+    fn masked(self, mask: Self) -> Self {
+        self & mask
+    }
+}
+
+impl AddrBits for u128 {
+    fn prefix_mask(len: u8) -> Self {
+        if len == 0 {
+            0
+        } else {
+            u128::MAX << (128 - len as u32)
+        }
+    }
+    fn masked(self, mask: Self) -> Self {
+        self & mask
+    }
+}
+
+/// All announcements of one prefix length: `networks` sorted ascending,
+/// `asns[i]` the origin of `networks[i]`.
+#[derive(Debug, Clone)]
+struct LenGroup<B> {
+    len: u8,
+    mask: B,
+    networks: Vec<B>,
+    asns: Vec<u32>,
+}
+
+impl<B: AddrBits> LenGroup<B> {
+    fn lookup(&self, addr: B) -> Option<u32> {
+        let masked = addr.masked(self.mask);
+        self.networks
+            .binary_search(&masked)
+            .ok()
+            .map(|i| self.asns[i])
+    }
+}
+
+/// One address family of the frozen table: length groups ordered longest
+/// prefix first, so the first hit *is* the longest match.
+#[derive(Debug, Clone, Default)]
+struct FamilyTable<B> {
+    groups: Vec<LenGroup<B>>,
+}
+
+impl<B: AddrBits> FamilyTable<B> {
+    fn insert(&mut self, network: B, len: u8, asn: u32) {
+        let group = match self.groups.iter_mut().find(|g| g.len == len) {
+            Some(g) => g,
+            None => {
+                self.groups.push(LenGroup {
+                    len,
+                    mask: B::prefix_mask(len),
+                    networks: Vec::new(),
+                    asns: Vec::new(),
+                });
+                self.groups.last_mut().expect("just pushed")
+            }
+        };
+        // Mask host bits here too: lookups compare masked probes, and a
+        // `Prefix` built through its public fields may carry host bits
+        // that `Prefix::new` would have zeroed. The trie masks
+        // implicitly via `prefix.bits()`; this keeps the answers equal.
+        let masked = network.masked(group.mask);
+        group.networks.push(masked);
+        group.asns.push(asn);
+    }
+
+    fn finish(&mut self) {
+        // Longest length first; within a group sort the parallel arrays
+        // by network, keeping the *last* announcement of a duplicate
+        // prefix (trie semantics: later announcements overwrite).
+        self.groups.sort_by_key(|g| std::cmp::Reverse(g.len));
+        for group in &mut self.groups {
+            let mut paired: Vec<(B, u32)> = group
+                .networks
+                .iter()
+                .copied()
+                .zip(group.asns.iter().copied())
+                .collect();
+            // Stable sort preserves announcement order among equal
+            // networks; dedup keeps the last occurrence.
+            paired.sort_by_key(|&(network, _)| network);
+            let mut deduped: Vec<(B, u32)> = Vec::with_capacity(paired.len());
+            for (network, asn) in paired {
+                match deduped.last_mut() {
+                    Some(last) if last.0 == network => last.1 = asn,
+                    _ => deduped.push((network, asn)),
+                }
+            }
+            group.networks = deduped.iter().map(|&(n, _)| n).collect();
+            group.asns = deduped.iter().map(|&(_, a)| a).collect();
+        }
+    }
+
+    fn lookup(&self, addr: B) -> Option<(u32, u8)> {
+        self.groups
+            .iter()
+            .find_map(|g| g.lookup(addr).map(|asn| (asn, g.len)))
+    }
+
+    fn len(&self) -> usize {
+        self.groups.iter().map(|g| g.networks.len()).sum()
+    }
+}
+
+/// An immutable longest-prefix-match table compiled into flat sorted
+/// arrays — the cache-friendly, lock-free form the live pipeline reads.
+///
+/// Build one with [`RoutingTable::freeze`] or
+/// [`FrozenTable::from_announcements`]; answers are identical to the
+/// trie's (the property tests assert exactly that).
+#[derive(Debug, Clone, Default)]
+pub struct FrozenTable {
+    v4: FamilyTable<u32>,
+    v6: FamilyTable<u128>,
+}
+
+impl FrozenTable {
+    /// An empty table that matches nothing.
+    pub fn new() -> Self {
+        FrozenTable::default()
+    }
+
+    /// Compile a table from a list of announcements. Duplicate prefixes
+    /// keep the last announcement, like repeated [`RoutingTable::announce`]
+    /// calls.
+    pub fn from_announcements<I>(announcements: I) -> Self
+    where
+        I: IntoIterator<Item = Announcement>,
+    {
+        let mut table = FrozenTable::default();
+        for a in announcements {
+            match a.prefix.network {
+                IpAddr::V4(v4) => table.v4.insert(u32::from(v4), a.prefix.len, a.origin_as),
+                IpAddr::V6(v6) => table.v6.insert(u128::from(v6), a.prefix.len, a.origin_as),
+            }
+        }
+        table.v4.finish();
+        table.v6.finish();
+        table
+    }
+
+    /// Number of distinct announced prefixes.
+    pub fn len(&self) -> usize {
+        self.v4.len() + self.v6.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Longest-prefix-match lookup: the origin AS and matched prefix
+    /// length for `addr`, if any announcement covers it.
+    pub fn lookup(&self, addr: IpAddr) -> Option<(u32, u8)> {
+        match addr {
+            IpAddr::V4(v4) => self.v4.lookup(u32::from(v4)),
+            IpAddr::V6(v6) => self.v6.lookup(u128::from(v6)),
+        }
+    }
+
+    /// The origin AS for `addr`, if known.
+    pub fn origin_as(&self, addr: IpAddr) -> Option<u32> {
+        self.lookup(addr).map(|(asn, _)| asn)
+    }
+}
+
+impl From<&RoutingTable> for FrozenTable {
+    fn from(table: &RoutingTable) -> Self {
+        FrozenTable::from_announcements(table.announcements())
+    }
+}
+
+/// Shared state behind an [`AsnView`]: the current snapshot plus an
+/// epoch counter readers poll without taking the lock.
+#[derive(Debug)]
+struct ViewSlot {
+    epoch: AtomicU64,
+    table: RwLock<Arc<FrozenTable>>,
+}
+
+/// A handle to an atomically swappable [`FrozenTable`] snapshot.
+///
+/// The owner (pipeline, daemon) keeps the `AsnView` and calls
+/// [`swap`](AsnView::swap) when a new routing table arrives; each LookUp
+/// worker calls [`reader`](AsnView::reader) once and does per-record
+/// lookups through its [`AsnReader`], which costs one relaxed atomic
+/// load per record while the table is stable.
+#[derive(Debug, Clone)]
+pub struct AsnView {
+    slot: Arc<ViewSlot>,
+}
+
+impl AsnView {
+    /// A view initially serving `table`.
+    pub fn new(table: FrozenTable) -> Self {
+        AsnView {
+            slot: Arc::new(ViewSlot {
+                epoch: AtomicU64::new(0),
+                table: RwLock::new(Arc::new(table)),
+            }),
+        }
+    }
+
+    /// Install a new snapshot. Readers pick it up on their next lookup.
+    pub fn swap(&self, table: FrozenTable) {
+        *self.slot.table.write() = Arc::new(table);
+        self.slot.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// The current snapshot (for analyses that want the whole table).
+    pub fn snapshot(&self) -> Arc<FrozenTable> {
+        Arc::clone(&self.slot.table.read())
+    }
+
+    /// Number of swaps performed so far.
+    pub fn epoch(&self) -> u64 {
+        self.slot.epoch.load(Ordering::Acquire)
+    }
+
+    /// A per-worker reader caching the current snapshot.
+    pub fn reader(&self) -> AsnReader {
+        AsnReader {
+            cached: self.snapshot(),
+            seen_epoch: self.epoch(),
+            slot: Arc::clone(&self.slot),
+        }
+    }
+}
+
+/// A worker-local reader over an [`AsnView`].
+///
+/// `origin_as` is lock-free while the view is stable: one relaxed epoch
+/// load, then a lookup in the cached snapshot. Only when the owner has
+/// swapped the table does the reader briefly take the view's read lock
+/// to refresh its cache.
+#[derive(Debug)]
+pub struct AsnReader {
+    cached: Arc<FrozenTable>,
+    seen_epoch: u64,
+    slot: Arc<ViewSlot>,
+}
+
+impl AsnReader {
+    fn refresh_if_swapped(&mut self) {
+        let epoch = self.slot.epoch.load(Ordering::Acquire);
+        if epoch != self.seen_epoch {
+            self.cached = Arc::clone(&self.slot.table.read());
+            self.seen_epoch = epoch;
+        }
+    }
+
+    /// The origin AS for `addr` in the latest snapshot, if known.
+    pub fn origin_as(&mut self, addr: IpAddr) -> Option<u32> {
+        self.refresh_if_swapped();
+        self.cached.origin_as(addr)
+    }
+
+    /// Longest-prefix-match in the latest snapshot.
+    pub fn lookup(&mut self, addr: IpAddr) -> Option<(u32, u8)> {
+        self.refresh_if_swapped();
+        self.cached.lookup(addr)
+    }
+
+    /// The snapshot this reader currently serves from.
+    pub fn table(&self) -> &FrozenTable {
+        &self.cached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frozen(prefixes: &[(&str, u32)]) -> FrozenTable {
+        FrozenTable::from_announcements(prefixes.iter().map(|&(p, asn)| Announcement {
+            prefix: p.parse().unwrap(),
+            origin_as: asn,
+        }))
+    }
+
+    #[test]
+    fn longest_prefix_wins_in_flat_form() {
+        let t = frozen(&[
+            ("100.64.0.0/10", 64500),
+            ("100.64.8.0/24", 64501),
+            ("100.64.8.128/25", 64502),
+            ("2001:db8::/32", 64600),
+            ("2001:db8:cd::/48", 64601),
+        ]);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.origin_as("100.64.200.1".parse().unwrap()), Some(64500));
+        assert_eq!(t.lookup("100.64.8.5".parse().unwrap()), Some((64501, 24)));
+        assert_eq!(t.lookup("100.64.8.200".parse().unwrap()), Some((64502, 25)));
+        assert_eq!(t.origin_as("198.51.100.1".parse().unwrap()), None);
+        assert_eq!(t.origin_as("2001:db8:cd::9".parse().unwrap()), Some(64601));
+        assert_eq!(t.origin_as("2001:db8:1::1".parse().unwrap()), Some(64600));
+        assert_eq!(t.origin_as("2a00::1".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn host_bits_are_masked_even_when_bypassing_prefix_new() {
+        use crate::prefix::Prefix;
+        // A prefix built through the public fields, host bits set — the
+        // frozen table must still answer like the trie.
+        let rogue = Announcement {
+            prefix: Prefix {
+                network: "10.0.0.7".parse().unwrap(),
+                len: 8,
+            },
+            origin_as: 42,
+        };
+        let mut trie = RoutingTable::new();
+        trie.announce(rogue);
+        let frozen = FrozenTable::from_announcements([rogue]);
+        let probe: IpAddr = "10.99.1.2".parse().unwrap();
+        assert_eq!(frozen.lookup(probe), trie.lookup(probe));
+        assert_eq!(frozen.origin_as(probe), Some(42));
+    }
+
+    #[test]
+    fn duplicate_prefix_keeps_the_last_announcement() {
+        let t = frozen(&[("203.0.113.0/24", 64510), ("203.0.113.0/24", 65000)]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.origin_as("203.0.113.1".parse().unwrap()), Some(65000));
+    }
+
+    #[test]
+    fn default_route_and_empty_table() {
+        let t = frozen(&[("0.0.0.0/0", 1)]);
+        assert_eq!(t.lookup("8.8.8.8".parse().unwrap()), Some((1, 0)));
+        assert_eq!(t.origin_as("::1".parse().unwrap()), None);
+        let empty = FrozenTable::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.lookup("1.2.3.4".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn freeze_matches_trie_on_fixture() {
+        let mut trie = RoutingTable::new();
+        for (p, asn) in [
+            ("10.0.0.0/8", 1u32),
+            ("10.1.0.0/16", 2),
+            ("10.1.2.0/24", 3),
+            ("10.1.2.128/25", 4),
+            ("0.0.0.0/0", 5),
+            ("2001:db8::/32", 6),
+        ] {
+            trie.announce(Announcement {
+                prefix: p.parse().unwrap(),
+                origin_as: asn,
+            });
+        }
+        let frozen = trie.freeze();
+        assert_eq!(frozen.len(), trie.len());
+        for addr in [
+            "10.1.2.200",
+            "10.1.2.1",
+            "10.1.9.9",
+            "10.200.0.1",
+            "192.0.2.1",
+            "2001:db8::77",
+            "2a00::1",
+        ] {
+            let addr: IpAddr = addr.parse().unwrap();
+            assert_eq!(frozen.lookup(addr), trie.lookup(addr), "addr {addr}");
+        }
+    }
+
+    #[test]
+    fn view_swap_is_visible_through_existing_readers() {
+        let view = AsnView::new(frozen(&[("198.51.100.0/24", 100)]));
+        let mut reader = view.reader();
+        let probe: IpAddr = "198.51.100.7".parse().unwrap();
+        assert_eq!(reader.origin_as(probe), Some(100));
+        assert_eq!(view.epoch(), 0);
+        view.swap(frozen(&[("198.51.100.0/24", 200)]));
+        assert_eq!(view.epoch(), 1);
+        assert_eq!(reader.origin_as(probe), Some(200));
+        // A brand-new reader starts from the latest snapshot.
+        assert_eq!(view.reader().origin_as(probe), Some(200));
+        assert_eq!(view.snapshot().origin_as(probe), Some(200));
+    }
+
+    #[test]
+    fn readers_are_independent_across_threads() {
+        let view = AsnView::new(frozen(&[("203.0.113.0/24", 7)]));
+        let probe: IpAddr = "203.0.113.9".parse().unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let view = view.clone();
+                scope.spawn(move || {
+                    let mut reader = view.reader();
+                    for _ in 0..1000 {
+                        assert!(reader.origin_as(probe).is_some());
+                    }
+                });
+            }
+            for asn in 8..32u32 {
+                view.swap(frozen(&[("203.0.113.0/24", asn)]));
+            }
+        });
+        assert_eq!(view.snapshot().origin_as(probe), Some(31));
+    }
+}

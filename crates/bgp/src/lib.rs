@@ -5,16 +5,21 @@
 //! The paper's Network Provisioning use case (Figure 4) correlates
 //! FlowDNS output with BGP data to learn which source AS originates each
 //! service's traffic. The real deployment has live BGP sessions; this
-//! crate provides the piece the analysis actually needs: a routing table
-//! with longest-prefix-match lookup from IP address to origin AS, plus a
-//! builder for synthetic announcements that the workload generator aligns
-//! with its CDN universe.
+//! crate provides the pieces the analysis and the live pipeline need: a
+//! trie [`RoutingTable`] with longest-prefix-match lookup from IP address
+//! to origin AS, a [`FrozenTable`] compiling that trie into flat sorted
+//! arrays for the lock-free in-pipeline hot path, an [`AsnView`] handle
+//! supporting atomic snapshot swap for live table reloads, and an
+//! announcement-file format aligning all of it with the workload
+//! generator's CDN universe.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod frozen;
 pub mod prefix;
 pub mod table;
 
+pub use frozen::{AsnReader, AsnView, FrozenTable};
 pub use prefix::Prefix;
 pub use table::{Announcement, RoutingTable};

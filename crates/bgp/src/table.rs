@@ -5,8 +5,12 @@
 //! RIB. Lookups walk the trie bit by bit and remember the last announced
 //! node passed — that is the longest matching prefix.
 
-use std::net::IpAddr;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+use std::path::Path;
 
+use flowdns_types::FlowDnsError;
+
+use crate::frozen::FrozenTable;
 use crate::prefix::{addr_bits, Prefix};
 
 /// One announcement: a prefix originated by an AS.
@@ -97,6 +101,81 @@ impl RoutingTable {
         self.lookup(addr).map(|(asn, _)| asn)
     }
 
+    /// Enumerate every announcement currently in the table, in no
+    /// particular order. This is what [`RoutingTable::freeze`] compiles
+    /// and what serialization walks.
+    pub fn announcements(&self) -> Vec<Announcement> {
+        let mut out = Vec::with_capacity(self.announcements);
+        collect(&self.v4, 0u128, 0, false, &mut out);
+        collect(&self.v6, 0u128, 0, true, &mut out);
+        out
+    }
+
+    /// Compile the trie into a [`FrozenTable`] — the flat, lock-free form
+    /// the live pipeline reads. The frozen snapshot answers every lookup
+    /// identically but no longer accepts announcements.
+    pub fn freeze(&self) -> FrozenTable {
+        FrozenTable::from_announcements(self.announcements())
+    }
+
+    /// Parse a routing table from announcement text: one
+    /// `prefix origin_as` pair per line (whitespace-separated), `#`
+    /// comments and blank lines ignored. This is the format
+    /// `flowdns-gen` emits and the `routing_table` config key loads.
+    pub fn from_announcements_text(text: &str) -> Result<Self, FlowDnsError> {
+        let mut table = RoutingTable::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(prefix), Some(asn), None) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(FlowDnsError::Config(format!(
+                    "line {}: expected 'prefix origin_as'",
+                    lineno + 1
+                )));
+            };
+            let prefix: Prefix = prefix
+                .parse()
+                .map_err(|e| FlowDnsError::Config(format!("line {}: {e}", lineno + 1)))?;
+            let origin_as: u32 = asn.parse().map_err(|_| {
+                FlowDnsError::Config(format!("line {}: '{asn}' is not an AS number", lineno + 1))
+            })?;
+            table.announce(Announcement { prefix, origin_as });
+        }
+        Ok(table)
+    }
+
+    /// Read and parse an announcement file (see
+    /// [`RoutingTable::from_announcements_text`] for the format).
+    pub fn load_announcements<P: AsRef<Path>>(path: P) -> Result<Self, FlowDnsError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            FlowDnsError::Config(format!(
+                "cannot read routing table '{}': {e}",
+                path.display()
+            ))
+        })?;
+        RoutingTable::from_announcements_text(&text)
+    }
+
+    /// Render the table as announcement text that
+    /// [`RoutingTable::from_announcements_text`] parses back.
+    pub fn to_announcements_text(&self) -> String {
+        let mut lines: Vec<String> = self
+            .announcements()
+            .iter()
+            .map(|a| format!("{} {}", a.prefix, a.origin_as))
+            .collect();
+        lines.sort();
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+
     /// Announce a whole set of `/prefix_len` blocks covering `ips` for one
     /// AS: a convenience used by the experiment harness to align the
     /// routing table with the generated CDN universe.
@@ -114,6 +193,31 @@ impl RoutingTable {
             };
             let prefix = Prefix::new(*ip, len).expect("valid prefix length");
             self.announce(Announcement { prefix, origin_as });
+        }
+    }
+}
+
+/// DFS over one family's trie, reconstructing each announced prefix from
+/// the path bits. `bits` accumulates most-significant-first into the low
+/// `depth` positions below the family width.
+fn collect(node: &TrieNode, bits: u128, depth: u8, is_v6: bool, out: &mut Vec<Announcement>) {
+    let width: u8 = if is_v6 { 128 } else { 32 };
+    if let Some(origin_as) = node.origin_as {
+        let network = if is_v6 {
+            IpAddr::V6(Ipv6Addr::from(bits))
+        } else {
+            IpAddr::V4(Ipv4Addr::from(bits as u32))
+        };
+        let prefix = Prefix::new(network, depth).expect("depth bounded by family width");
+        out.push(Announcement { prefix, origin_as });
+    }
+    if depth == width {
+        return;
+    }
+    for (idx, child) in node.children.iter().enumerate() {
+        if let Some(child) = child {
+            let bit = (idx as u128) << (width - 1 - depth);
+            collect(child, bits | bit, depth + 1, is_v6, out);
         }
     }
 }
@@ -197,6 +301,63 @@ mod tests {
         // A sibling address in the same /24 is also covered.
         assert_eq!(t.origin_as("100.70.1.200".parse().unwrap()), Some(64999));
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn announcements_enumerate_the_whole_table() {
+        let t = table();
+        let mut listed: Vec<String> = t
+            .announcements()
+            .iter()
+            .map(|a| format!("{} {}", a.prefix, a.origin_as))
+            .collect();
+        listed.sort();
+        assert_eq!(
+            listed,
+            vec![
+                "100.64.0.0/10 64500",
+                "100.64.8.0/24 64501",
+                "100.64.8.128/25 64502",
+                "2001:db8::/32 64600",
+                "2001:db8:cd::/48 64601",
+                "203.0.113.0/24 64510",
+            ]
+        );
+        assert_eq!(t.announcements().len(), t.len());
+    }
+
+    #[test]
+    fn announcement_text_round_trips() {
+        let t = table();
+        let text = t.to_announcements_text();
+        let parsed = RoutingTable::from_announcements_text(&text).unwrap();
+        assert_eq!(parsed.len(), t.len());
+        for probe in ["100.64.8.200", "203.0.113.77", "2001:db8:cd::9", "8.8.8.8"] {
+            let addr: IpAddr = probe.parse().unwrap();
+            assert_eq!(parsed.lookup(addr), t.lookup(addr), "addr {addr}");
+        }
+        // Comments and blank lines are tolerated; junk is not.
+        let ok = RoutingTable::from_announcements_text("# rib dump\n\n10.0.0.0/8 64496\n");
+        assert_eq!(
+            ok.unwrap().origin_as("10.1.2.3".parse().unwrap()),
+            Some(64496)
+        );
+        assert!(RoutingTable::from_announcements_text("10.0.0.0/8").is_err());
+        assert!(RoutingTable::from_announcements_text("10.0.0.0/8 AS1").is_err());
+        assert!(RoutingTable::from_announcements_text("10.0.0.0/8 1 extra").is_err());
+        assert!(RoutingTable::from_announcements_text("10.0.0.0/99 1").is_err());
+    }
+
+    #[test]
+    fn load_announcements_reads_a_file() {
+        let dir = std::env::temp_dir().join("flowdns-bgp-table-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rib.txt");
+        std::fs::write(&path, table().to_announcements_text()).unwrap();
+        let loaded = RoutingTable::load_announcements(&path).unwrap();
+        assert_eq!(loaded.len(), table().len());
+        assert!(RoutingTable::load_announcements("/nonexistent/rib.txt").is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

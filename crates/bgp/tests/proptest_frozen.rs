@@ -1,0 +1,129 @@
+//! Property tests: the flat [`FrozenTable`] must agree with the trie
+//! [`RoutingTable`] on every lookup, for random announcement sets that
+//! deliberately include overlapping (nested) prefixes, across both
+//! address families, and across the announcement-text round trip.
+
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+use flowdns_bgp::{Announcement, Prefix, RoutingTable};
+use proptest::prelude::*;
+
+/// Derive a v4 announcement pair from one seed: the prefix itself plus a
+/// shorter nested ancestor, so overlap is guaranteed in every case.
+fn v4_announcements(seed: u64) -> Vec<Announcement> {
+    let bits = (seed >> 16) as u32;
+    let len = (seed % 33) as u8;
+    let ancestor_len = len / 2;
+    let asn = ((seed >> 48) as u32 & 0xffff) + 1;
+    let mk = |len: u8, asn: u32| Announcement {
+        prefix: Prefix::new(IpAddr::V4(Ipv4Addr::from(bits)), len).expect("len <= 32"),
+        origin_as: asn,
+    };
+    vec![mk(len, asn), mk(ancestor_len, asn + 1)]
+}
+
+/// Same construction over 128-bit addresses.
+fn v6_announcements(hi: u64, lo: u64) -> Vec<Announcement> {
+    let bits = (hi as u128) << 64 | lo as u128;
+    let len = (lo % 129) as u8;
+    let ancestor_len = len / 3;
+    let asn = ((hi >> 32) as u32 & 0xffff) + 1;
+    let mk = |len: u8, asn: u32| Announcement {
+        prefix: Prefix::new(IpAddr::V6(Ipv6Addr::from(bits)), len).expect("len <= 128"),
+        origin_as: asn,
+    };
+    vec![mk(len, asn), mk(ancestor_len, asn + 1)]
+}
+
+fn assert_tables_agree(trie: &RoutingTable, probes: impl IntoIterator<Item = IpAddr>) {
+    let frozen = trie.freeze();
+    assert_eq!(frozen.len(), trie.len());
+    for addr in probes {
+        assert_eq!(frozen.lookup(addr), trie.lookup(addr), "addr {addr}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn frozen_matches_trie_for_v4(
+        seeds in proptest::collection::vec(any::<u64>(), 1..24),
+        probes in proptest::collection::vec(any::<u32>(), 1..48),
+    ) {
+        let mut trie = RoutingTable::new();
+        let mut targeted: Vec<IpAddr> = Vec::new();
+        for seed in seeds {
+            for a in v4_announcements(seed) {
+                // Probe inside every announced prefix (the network address
+                // and its max-host sibling) so hits are guaranteed, then
+                // announce — order mirrors a live feed.
+                let IpAddr::V4(net) = a.prefix.network else { unreachable!() };
+                let span = if a.prefix.len == 32 { 0 } else { u32::MAX >> a.prefix.len };
+                targeted.push(IpAddr::V4(net));
+                targeted.push(IpAddr::V4(Ipv4Addr::from(u32::from(net) | span)));
+                trie.announce(a);
+            }
+        }
+        let random = probes.into_iter().map(|p| IpAddr::V4(Ipv4Addr::from(p)));
+        assert_tables_agree(&trie, targeted.into_iter().chain(random));
+    }
+
+    #[test]
+    fn frozen_matches_trie_for_v6(
+        his in proptest::collection::vec(any::<u64>(), 1..16),
+        los in proptest::collection::vec(any::<u64>(), 1..16),
+        probe_hi in any::<u64>(),
+    ) {
+        let mut trie = RoutingTable::new();
+        let mut targeted: Vec<IpAddr> = Vec::new();
+        for (&hi, &lo) in his.iter().zip(los.iter()) {
+            for a in v6_announcements(hi, lo) {
+                let IpAddr::V6(net) = a.prefix.network else { unreachable!() };
+                let span = if a.prefix.len == 128 { 0 } else { u128::MAX >> a.prefix.len };
+                targeted.push(IpAddr::V6(net));
+                targeted.push(IpAddr::V6(Ipv6Addr::from(u128::from(net) | span)));
+                trie.announce(a);
+            }
+        }
+        let random = los
+            .iter()
+            .map(|&lo| IpAddr::V6(Ipv6Addr::from((probe_hi as u128) << 64 | lo as u128)));
+        assert_tables_agree(&trie, targeted.into_iter().chain(random));
+    }
+
+    #[test]
+    fn families_do_not_leak_into_each_other(seed in any::<u64>(), probe in any::<u32>()) {
+        let mut trie = RoutingTable::new();
+        for a in v4_announcements(seed) {
+            trie.announce(a);
+        }
+        let frozen = trie.freeze();
+        // A v4-only table must never answer a v6 probe (including the
+        // v4-mapped form of an announced address) — same as the trie.
+        let mapped = IpAddr::V6(Ipv4Addr::from(probe).to_ipv6_mapped());
+        prop_assert_eq!(frozen.lookup(mapped), None);
+        prop_assert_eq!(trie.lookup(mapped), None);
+    }
+
+    #[test]
+    fn text_round_trip_preserves_every_lookup(
+        seeds in proptest::collection::vec(any::<u64>(), 1..16),
+        probes in proptest::collection::vec(any::<u32>(), 1..32),
+    ) {
+        let mut trie = RoutingTable::new();
+        for seed in seeds {
+            for a in v4_announcements(seed) {
+                trie.announce(a);
+            }
+        }
+        let reparsed = RoutingTable::from_announcements_text(&trie.to_announcements_text())
+            .expect("emitted text parses");
+        prop_assert_eq!(reparsed.len(), trie.len());
+        let frozen = reparsed.freeze();
+        for p in probes {
+            let addr = IpAddr::V4(Ipv4Addr::from(p));
+            prop_assert_eq!(frozen.lookup(addr), trie.lookup(addr));
+        }
+    }
+}

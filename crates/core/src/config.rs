@@ -74,7 +74,7 @@ impl std::fmt::Display for Variant {
 }
 
 /// Full configuration of a correlator instance.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CorrelatorConfig {
     /// `AClearUpInterval`: seconds after which the IP-NAME Active maps are
     /// rotated and cleared (paper value: 3600).
@@ -104,6 +104,11 @@ pub struct CorrelatorConfig {
     pub exact_ttl_purge_interval: SimDuration,
     /// Which ablation variant to run.
     pub variant: Variant,
+    /// Path to a BGP announcement file (`prefix origin_as` lines, see
+    /// `flowdns_bgp::RoutingTable::from_announcements_text`). When set,
+    /// the pipeline compiles it into a frozen table and the LookUp
+    /// workers stamp `src_asn`/`dst_asn` on every record.
+    pub routing_table: Option<String>,
 }
 
 impl Default for CorrelatorConfig {
@@ -122,6 +127,7 @@ impl Default for CorrelatorConfig {
             write_queue_capacity: 262_144,
             exact_ttl_purge_interval: SimDuration::from_secs(300),
             variant: Variant::Main,
+            routing_table: None,
         }
     }
 }
@@ -238,6 +244,7 @@ impl CorrelatorConfig {
                     cfg.exact_ttl_purge_interval = SimDuration::from_secs(parse_u64(value)?)
                 }
                 "variant" => cfg.variant = Variant::parse(value)?,
+                "routing_table" => cfg.routing_table = Some(value.to_string()),
                 other => {
                     return Err(FlowDnsError::Config(format!(
                         "line {}: unknown key '{other}'",
@@ -306,6 +313,17 @@ lookup_workers = 8
         assert_eq!(cfg.lookup_workers, 8);
         // untouched keys keep defaults
         assert_eq!(cfg.c_clear_up_interval.as_secs(), 7200);
+        assert_eq!(cfg.routing_table, None);
+    }
+
+    #[test]
+    fn routing_table_key_is_parsed() {
+        let cfg =
+            CorrelatorConfig::from_config_text("routing_table = /var/lib/flowdns/rib.txt").unwrap();
+        assert_eq!(
+            cfg.routing_table.as_deref(),
+            Some("/var/lib/flowdns/rib.txt")
+        );
     }
 
     #[test]

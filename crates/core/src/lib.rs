@@ -12,7 +12,9 @@
 //!                                                       (IP-NAME splits,
 //!                                                        NAME-CNAME,
 //!                                                        Active/Inactive/Long)
-//!  NetFlow streams ──► LookUp queue ──► LookUp workers ──► Write queue ──► Write workers ──► output
+//!  NetFlow streams ──► LookUp queue ──► LookUp workers ──► Write queues ──► Write workers ──► output
+//!                                        (BGP origin-AS    (flow-key hash    (one owned sink
+//!                                         stamping)          sharding)         per worker)
 //! ```
 //!
 //! Modules:
@@ -24,7 +26,8 @@
 //! * [`fillup`] — Algorithm 1 (DNS read and fill-up),
 //! * [`lookup`] — Algorithm 2 (NetFlow read and look-up with CNAME chain
 //!   following),
-//! * [`write`] — the Write workers and output sinks,
+//! * [`write`] — the output sinks each Write worker owns (single file,
+//!   paper-style rotating window files, fan-out, memory),
 //! * [`metrics`] — correlation-rate, loss, work-unit (CPU) and memory
 //!   accounting,
 //! * [`pipeline`] — [`Correlator`], the threaded live pipeline,
@@ -50,4 +53,6 @@ pub use metrics::{CostModel, ExporterStats, IngestSummary, PipelineMetrics, Repo
 pub use pipeline::Correlator;
 pub use simulate::{HourlySample, OfflineSimulator, SimulationOutcome};
 pub use store::DnsStore;
-pub use write::{MemorySink, OutputSink, TsvFileSink, WriteStats};
+pub use write::{
+    DiscardSink, MemorySink, MultiSink, OutputSink, RotatingFileSink, TsvFileSink, WriteStats,
+};

@@ -11,9 +11,16 @@
 //! flow) and the chain is chased on interned [`NameRef`] handles, so a
 //! hit allocates only the chain `Vec` — every name in it is a shared
 //! reference-count bump.
+//!
+//! When a routing table is loaded, the resolver additionally stamps both
+//! flow endpoints with their BGP origin AS via an [`AsnReader`] — a
+//! lock-free longest-prefix-match over the frozen table — so the paper's
+//! Network Provisioning join (Figure 4) happens in the hot path instead
+//! of in a separate offline pass.
 
 use std::net::IpAddr;
 
+use flowdns_bgp::AsnReader;
 use flowdns_types::{CorrelatedRecord, CorrelationOutcome, DomainName, FlowRecord, NameRef};
 
 use crate::config::CorrelatorConfig;
@@ -34,6 +41,8 @@ pub struct LookUpStats {
     pub memoized: u64,
     /// Flows dropped by the validity filter.
     pub filtered: u64,
+    /// Flows whose source address was attributed to an origin AS.
+    pub asn_stamped: u64,
 }
 
 impl LookUpStats {
@@ -50,24 +59,41 @@ impl LookUpStats {
         self.loop_limit_hits += other.loop_limit_hits;
         self.memoized += other.memoized;
         self.filtered += other.filtered;
+        self.asn_stamped += other.asn_stamped;
     }
 }
 
 /// The lookup side of the correlator: wraps the store with the chain
-/// following logic and the loop limit.
+/// following logic, the loop limit, and (optionally) the BGP origin-AS
+/// attribution reader.
 #[derive(Debug)]
 pub struct Resolver<'a> {
     store: &'a DnsStore,
     loop_limit: usize,
+    asn: Option<AsnReader>,
 }
 
 impl<'a> Resolver<'a> {
-    /// A resolver over `store` using the loop limit from `config`.
+    /// A resolver over `store` using the loop limit from `config`, with
+    /// no AS attribution.
     pub fn new(store: &'a DnsStore, config: &CorrelatorConfig) -> Self {
         Resolver {
             store,
             loop_limit: config.cname_loop_limit,
+            asn: None,
         }
+    }
+
+    /// Attach an [`AsnReader`]: every processed flow gets `src_asn` and
+    /// `dst_asn` stamped from the reader's current snapshot.
+    pub fn with_asn_reader(mut self, reader: AsnReader) -> Self {
+        self.asn = Some(reader);
+        self
+    }
+
+    /// Does this resolver stamp origin-AS attribution?
+    pub fn stamps_asns(&self) -> bool {
+        self.asn.is_some()
     }
 
     /// The configured CNAME loop limit.
@@ -75,24 +101,44 @@ impl<'a> Resolver<'a> {
         self.loop_limit
     }
 
+    /// Origin-AS attribution for both flow endpoints (`(None, None)`
+    /// when no routing table is attached).
+    fn stamp_asns(
+        &mut self,
+        flow: &FlowRecord,
+        stats: &mut LookUpStats,
+    ) -> (Option<u32>, Option<u32>) {
+        match &mut self.asn {
+            Some(reader) => {
+                let src = reader.origin_as(flow.key.src_ip);
+                let dst = reader.origin_as(flow.key.dst_ip);
+                if src.is_some() {
+                    stats.asn_stamped += 1;
+                }
+                (src, dst)
+            }
+            None => (None, None),
+        }
+    }
+
     /// Process one flow record (the body of the LookUp worker loop).
     ///
     /// Invalid flow records are counted and returned with a `NotFound`
     /// outcome so the Write stage still accounts their bytes as
-    /// uncorrelated traffic.
-    pub fn process_flow(&self, flow: FlowRecord, stats: &mut LookUpStats) -> CorrelatedRecord {
+    /// uncorrelated traffic. `&mut self` because the attribution reader
+    /// caches the routing-table snapshot it serves from.
+    pub fn process_flow(&mut self, flow: FlowRecord, stats: &mut LookUpStats) -> CorrelatedRecord {
+        let (src_asn, dst_asn) = self.stamp_asns(&flow, stats);
         if !flow.is_valid() {
             stats.filtered += 1;
-            return CorrelatedRecord {
-                flow,
-                outcome: CorrelationOutcome::NotFound,
-            };
+            return CorrelatedRecord::new(flow, CorrelationOutcome::NotFound)
+                .with_asns(src_asn, dst_asn);
         }
         // Flow timestamps also advance the clear-up clock, so long DNS-quiet
         // periods cannot stall rotation.
         self.store.observe_time(flow.ts);
         let outcome = self.resolve(flow.key.src_ip, flow.ts, stats);
-        CorrelatedRecord { flow, outcome }
+        CorrelatedRecord::new(flow, outcome).with_asns(src_asn, dst_asn)
     }
 
     /// Resolve a source IP to a name chain (Algorithm 2 without the flow
@@ -216,7 +262,7 @@ mod tests {
     #[test]
     fn direct_a_record_resolves_to_single_name() {
         let (store, config) = populated_store();
-        let resolver = Resolver::new(&store, &config);
+        let mut resolver = Resolver::new(&store, &config);
         let mut stats = LookUpStats::default();
         let rec = resolver.process_flow(flow([203, 0, 113, 50]), &mut stats);
         assert_eq!(
@@ -230,7 +276,7 @@ mod tests {
     #[test]
     fn cname_chain_is_followed_to_customer_facing_name() {
         let (store, config) = populated_store();
-        let resolver = Resolver::new(&store, &config);
+        let mut resolver = Resolver::new(&store, &config);
         let mut stats = LookUpStats::default();
         let rec = resolver.process_flow(flow([198, 51, 100, 7]), &mut stats);
         let names: Vec<&str> = rec.outcome.names().iter().map(|n| n.as_str()).collect();
@@ -261,7 +307,7 @@ mod tests {
     #[test]
     fn unknown_ip_is_not_found() {
         let (store, config) = populated_store();
-        let resolver = Resolver::new(&store, &config);
+        let mut resolver = Resolver::new(&store, &config);
         let mut stats = LookUpStats::default();
         let rec = resolver.process_flow(flow([192, 0, 2, 99]), &mut stats);
         assert_eq!(rec.outcome, CorrelationOutcome::NotFound);
@@ -272,7 +318,7 @@ mod tests {
     #[test]
     fn invalid_flow_is_filtered_but_reported() {
         let (store, config) = populated_store();
-        let resolver = Resolver::new(&store, &config);
+        let mut resolver = Resolver::new(&store, &config);
         let mut stats = LookUpStats::default();
         let mut f = flow([198, 51, 100, 7]);
         f.bytes = 0;
@@ -311,7 +357,7 @@ mod tests {
             ),
             &mut fstats,
         );
-        let resolver = Resolver::new(&store, &config);
+        let mut resolver = Resolver::new(&store, &config);
         let mut stats = LookUpStats::default();
         let rec = resolver.process_flow(flow([198, 51, 100, 77]), &mut stats);
         // 1 name from the A record + at most loop_limit CNAME hops.
@@ -346,11 +392,50 @@ mod tests {
             ),
             &mut fstats,
         );
-        let resolver = Resolver::new(&store, &config);
+        let mut resolver = Resolver::new(&store, &config);
         let mut stats = LookUpStats::default();
         let rec = resolver.process_flow(flow([198, 51, 100, 80]), &mut stats);
         assert!(rec.is_correlated());
         assert!(rec.outcome.names().len() <= 2);
+    }
+
+    #[test]
+    fn resolver_stamps_both_endpoints_from_the_frozen_table() {
+        use flowdns_bgp::{Announcement, AsnView, RoutingTable};
+        let (store, config) = populated_store();
+        let mut table = RoutingTable::new();
+        for (p, asn) in [("203.0.113.0/24", 64500u32), ("10.0.0.0/8", 64501)] {
+            table.announce(Announcement {
+                prefix: p.parse().unwrap(),
+                origin_as: asn,
+            });
+        }
+        let view = AsnView::new(table.freeze());
+        let mut resolver = Resolver::new(&store, &config).with_asn_reader(view.reader());
+        assert!(resolver.stamps_asns());
+        let mut stats = LookUpStats::default();
+        // src 203.0.113.50 → AS64500; dst 10.0.0.1 → AS64501.
+        let rec = resolver.process_flow(flow([203, 0, 113, 50]), &mut stats);
+        assert_eq!(rec.src_asn, Some(64500));
+        assert_eq!(rec.dst_asn, Some(64501));
+        assert!(rec.is_correlated());
+        // Unannounced source: no src stamp, dst still covered.
+        let rec = resolver.process_flow(flow([198, 51, 100, 7]), &mut stats);
+        assert_eq!(rec.src_asn, None);
+        assert_eq!(rec.dst_asn, Some(64501));
+        assert_eq!(stats.asn_stamped, 1);
+        // Invalid flows are stamped too (they are still written).
+        let mut bad = flow([203, 0, 113, 50]);
+        bad.bytes = 0;
+        let rec = resolver.process_flow(bad, &mut stats);
+        assert_eq!(rec.src_asn, Some(64500));
+        assert_eq!(stats.asn_stamped, 2);
+        // Without a reader nothing is stamped.
+        let mut plain = Resolver::new(&store, &config);
+        assert!(!plain.stamps_asns());
+        let rec = plain.process_flow(flow([203, 0, 113, 50]), &mut stats);
+        assert_eq!(rec.src_asn, None);
+        assert_eq!(rec.dst_asn, None);
     }
 
     #[test]
@@ -373,7 +458,7 @@ mod tests {
                 &mut fstats,
             );
         }
-        let resolver = Resolver::new(&store, &config);
+        let mut resolver = Resolver::new(&store, &config);
         let mut stats = LookUpStats::default();
         let rec = resolver.process_flow(flow([203, 0, 113, 200]), &mut stats);
         assert_eq!(rec.outcome.final_name().unwrap().as_str(), "site-b.example");

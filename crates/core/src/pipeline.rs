@@ -5,10 +5,13 @@
 //! * `push_dns` places DNS records on the **FillUp queue**; FillUp worker
 //!   threads drain it into the shared [`DnsStore`];
 //! * `push_flow` places flow records on the **LookUp queue**; LookUp
-//!   worker threads resolve them against the store and place the results
-//!   on the **Write queue**;
-//! * Write worker threads drain the Write queue into the configured
-//!   [`OutputSink`].
+//!   worker threads resolve them against the store — stamping origin-AS
+//!   attribution from the loaded routing table on the way — and place the
+//!   results on one of the **Write queues**;
+//! * each Write worker owns one queue shard and one [`OutputSink`]:
+//!   records are partitioned by flow-key hash, so one flow's records
+//!   always land in the same output shard and **no lock sits on the
+//!   per-record write path**.
 //!
 //! All queues are bounded and lossy (see `flowdns-stream`): when a queue
 //! overflows, records are dropped and counted, exactly like the paper's
@@ -20,22 +23,24 @@
 //! record is lost on the way out; `snapshot()` reads live
 //! [`PipelineMetrics`] without stopping anything.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use flowdns_bgp::{AsnView, FrozenTable, RoutingTable};
 use flowdns_stream::StreamBuffer;
-use flowdns_types::{CorrelatedRecord, DnsRecord, FlowDnsError, FlowRecord};
+use flowdns_types::{CorrelatedRecord, DnsRecord, FlowDnsError, FlowKey, FlowRecord};
 
 use crate::config::CorrelatorConfig;
 use crate::fillup::{process_dns_record, FillUpStats};
 use crate::lookup::{LookUpStats, Resolver};
 use crate::metrics::{PipelineMetrics, Report};
 use crate::store::DnsStore;
-use crate::write::{MemorySink, OutputSink, SharedWriter};
+use crate::write::{MemorySink, OutputSink, WriteStats};
 
 const POP_WAIT: Duration = Duration::from_millis(5);
 
@@ -45,19 +50,41 @@ const POP_WAIT: Duration = Duration::from_millis(5);
 /// at most a few hundred records per worker.
 const STATS_FLUSH_EVERY: u64 = 512;
 
+/// The write-queue shard a flow's records belong to: a stable hash of
+/// the flow 5-tuple modulo the shard count, so every record of one flow
+/// lands in the same output file.
+fn shard_of(key: &FlowKey, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() % shards as u64) as usize
+}
+
 /// A running correlation pipeline.
 pub struct Correlator {
     config: CorrelatorConfig,
     store: Arc<DnsStore>,
     fillup_queue: StreamBuffer<DnsRecord>,
     lookup_queue: StreamBuffer<FlowRecord>,
-    write_queue: StreamBuffer<CorrelatedRecord>,
-    writer: Arc<SharedWriter>,
+    /// One bounded queue per Write worker; LookUp workers partition
+    /// records across them by flow-key hash.
+    write_queues: Vec<StreamBuffer<CorrelatedRecord>>,
     fillup_stats: Arc<Mutex<FillUpStats>>,
     lookup_stats: Arc<Mutex<LookUpStats>>,
+    /// Write stats merged from the workers' thread-local counters.
+    write_stats: Arc<Mutex<WriteStats>>,
     input_shutdown: Arc<AtomicBool>,
     write_shutdown: Arc<AtomicBool>,
-    writes_dropped: Arc<Mutex<u64>>,
+    /// Records lost to sink errors (queue overflow is counted by the
+    /// queues themselves).
+    writes_dropped: Arc<AtomicU64>,
+    /// First end-of-run sink failure (flush/rotation rename), surfaced
+    /// by `finish()`.
+    egress_error: Arc<Mutex<Option<FlowDnsError>>>,
+    /// The swappable routing-table view, when AS attribution is on.
+    asn_view: Option<AsnView>,
     /// FillUp and LookUp worker handles (joined first at shutdown).
     input_workers: Vec<JoinHandle<()>>,
     /// Write worker handles (joined after the input stages have drained).
@@ -74,27 +101,79 @@ impl std::fmt::Debug for Correlator {
 }
 
 impl Correlator {
-    /// Start a pipeline writing to an in-memory sink.
+    /// Start a pipeline writing to in-memory sinks (one per Write
+    /// worker).
     pub fn start(config: CorrelatorConfig) -> Result<Self, FlowDnsError> {
-        Correlator::start_with_sink(config, Box::new(MemorySink::new()))
+        Correlator::start_with_sink_factory(config, |_| {
+            Ok(Box::new(MemorySink::new()) as Box<dyn OutputSink>)
+        })
     }
 
-    /// Start a pipeline writing to the given sink.
+    /// Start a pipeline writing to the given single sink. The sink is
+    /// owned by the one Write worker, so this form requires
+    /// `write_workers == 1`; use [`Correlator::start_with_sink_factory`]
+    /// to scale the write stage.
     pub fn start_with_sink(
         config: CorrelatorConfig,
         sink: Box<dyn OutputSink>,
     ) -> Result<Self, FlowDnsError> {
+        let factory = crate::write::single_sink_factory(config.write_workers, sink)?;
+        Correlator::start_with_sink_factory(config, factory)
+    }
+
+    /// Start a pipeline whose Write stage is sharded: `factory(i)` builds
+    /// the sink owned by Write worker `i` (e.g. a
+    /// [`crate::write::RotatingFileSink`] tagged with the shard id).
+    pub fn start_with_sink_factory<F>(
+        config: CorrelatorConfig,
+        factory: F,
+    ) -> Result<Self, FlowDnsError>
+    where
+        F: FnMut(usize) -> Result<Box<dyn OutputSink>, FlowDnsError>,
+    {
+        let asn_view = match &config.routing_table {
+            Some(path) => Some(AsnView::new(
+                RoutingTable::load_announcements(path)?.freeze(),
+            )),
+            None => None,
+        };
+        Correlator::start_with_egress(config, factory, asn_view)
+    }
+
+    /// The full-control constructor: sharded sinks from `factory` plus an
+    /// explicit routing-table view (pass a view built from an in-memory
+    /// table, or `None` to disable AS attribution even if
+    /// `config.routing_table` is set — the config path is only consulted
+    /// by the other constructors).
+    pub fn start_with_egress<F>(
+        config: CorrelatorConfig,
+        mut factory: F,
+        asn_view: Option<AsnView>,
+    ) -> Result<Self, FlowDnsError>
+    where
+        F: FnMut(usize) -> Result<Box<dyn OutputSink>, FlowDnsError>,
+    {
         config.validate()?;
+        // Build every sink before spawning anything: a factory error must
+        // fail the whole start without leaking already-running workers.
+        let sinks: Vec<Box<dyn OutputSink>> = (0..config.write_workers)
+            .map(&mut factory)
+            .collect::<Result<_, _>>()?;
         let store = Arc::new(DnsStore::new(&config));
         let fillup_queue = StreamBuffer::new(config.fillup_queue_capacity);
         let lookup_queue = StreamBuffer::new(config.lookup_queue_capacity);
-        let write_queue = StreamBuffer::new(config.write_queue_capacity);
-        let writer = Arc::new(SharedWriter::new(sink));
+        // The configured write capacity is the total across shards.
+        let per_shard_capacity = (config.write_queue_capacity / config.write_workers).max(1);
+        let write_queues: Vec<StreamBuffer<CorrelatedRecord>> = (0..config.write_workers)
+            .map(|_| StreamBuffer::new(per_shard_capacity))
+            .collect();
         let fillup_stats = Arc::new(Mutex::new(FillUpStats::default()));
         let lookup_stats = Arc::new(Mutex::new(LookUpStats::default()));
+        let write_stats = Arc::new(Mutex::new(WriteStats::default()));
         let input_shutdown = Arc::new(AtomicBool::new(false));
         let write_shutdown = Arc::new(AtomicBool::new(false));
-        let writes_dropped = Arc::new(Mutex::new(0u64));
+        let writes_dropped = Arc::new(AtomicU64::new(0));
+        let egress_error = Arc::new(Mutex::new(None::<FlowDnsError>));
 
         let mut input_workers = Vec::new();
         let mut write_workers = Vec::new();
@@ -141,24 +220,30 @@ impl Correlator {
         // LookUp workers.
         for i in 0..config.lookup_workers {
             let queue = lookup_queue.clone();
-            let out = write_queue.clone();
+            let out_queues = write_queues.clone();
             let store = Arc::clone(&store);
             let stats = Arc::clone(&lookup_stats);
             let shutdown = Arc::clone(&input_shutdown);
-            let config_copy = config;
+            let config_copy = config.clone();
+            let asn_reader = asn_view.as_ref().map(|view| view.reader());
             input_workers.push(
                 std::thread::Builder::new()
                     .name(format!("lookup-{i}"))
                     .spawn(move || {
-                        let resolver = Resolver::new(&store, &config_copy);
+                        let mut resolver = Resolver::new(&store, &config_copy);
+                        if let Some(reader) = asn_reader {
+                            resolver = resolver.with_asn_reader(reader);
+                        }
+                        let shards = out_queues.len();
                         let mut local = LookUpStats::default();
                         loop {
                             match queue.pop_wait(POP_WAIT) {
                                 Some(flow) => {
                                     let record = resolver.process_flow(flow, &mut local);
+                                    let shard = shard_of(&record.flow.key, shards);
                                     // The write queue drop counter lives in the
                                     // buffer stats; nothing more to do on failure.
-                                    let _ = out.push(record);
+                                    let _ = out_queues[shard].push(record);
                                     if local.total() >= STATS_FLUSH_EVERY {
                                         stats.lock().merge(&local);
                                         local = LookUpStats::default();
@@ -183,31 +268,57 @@ impl Correlator {
             );
         }
 
-        // Write workers.
-        for i in 0..config.write_workers {
-            let queue = write_queue.clone();
-            let writer = Arc::clone(&writer);
+        // Write workers: each owns its queue shard and its sink. Stats
+        // are thread-local and merged like the input stages', so the
+        // per-record path takes no lock at all.
+        for (i, (queue, mut sink)) in write_queues.iter().zip(sinks).enumerate() {
+            let queue = queue.clone();
+            let stats = Arc::clone(&write_stats);
             let shutdown = Arc::clone(&write_shutdown);
             let dropped = Arc::clone(&writes_dropped);
+            let sink_error = Arc::clone(&egress_error);
             write_workers.push(
                 std::thread::Builder::new()
                     .name(format!("write-{i}"))
                     .spawn(move || {
+                        let mut local = WriteStats::default();
                         loop {
                             match queue.pop_wait(POP_WAIT) {
                                 Some(record) => {
-                                    if writer.write(&record).is_err() {
-                                        *dropped.lock() += 1;
+                                    if sink.write_record(&record).is_ok() {
+                                        local.records_written += 1;
+                                        local
+                                            .volumes
+                                            .record(record.flow.bytes, record.is_correlated());
+                                    } else {
+                                        dropped.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    if local.records_written >= STATS_FLUSH_EVERY {
+                                        stats.lock().merge(&local);
+                                        local = WriteStats::default();
                                     }
                                 }
                                 None => {
+                                    if local != WriteStats::default() {
+                                        stats.lock().merge(&local);
+                                        local = WriteStats::default();
+                                    }
                                     if shutdown.load(Ordering::Acquire) && queue.is_empty() {
                                         break;
                                     }
                                 }
                             }
                         }
-                        let _ = writer.flush();
+                        stats.lock().merge(&local);
+                        // Finish the sink (flush, rotation rename). An
+                        // end-of-run I/O failure must surface through
+                        // `finish()`, not vanish in a Drop impl.
+                        if let Err(e) = sink.finalize() {
+                            let mut slot = sink_error.lock();
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                        }
                     })
                     .expect("spawn write worker"),
             );
@@ -218,13 +329,15 @@ impl Correlator {
             store,
             fillup_queue,
             lookup_queue,
-            write_queue,
-            writer,
+            write_queues,
             fillup_stats,
             lookup_stats,
+            write_stats,
             input_shutdown,
             write_shutdown,
             writes_dropped,
+            egress_error,
+            asn_view,
             input_workers,
             write_workers,
         })
@@ -238,6 +351,26 @@ impl Correlator {
     /// The shared DNS store (for inspection in tests and examples).
     pub fn store(&self) -> &DnsStore {
         &self.store
+    }
+
+    /// The routing-table view the LookUp workers read, if AS attribution
+    /// is enabled.
+    pub fn asn_view(&self) -> Option<&AsnView> {
+        self.asn_view.as_ref()
+    }
+
+    /// Install a freshly compiled routing table without stopping the
+    /// pipeline (live BGP feed reload). Returns `false` when the
+    /// pipeline was started without a routing table — attribution cannot
+    /// be turned on after the fact.
+    pub fn swap_routing_table(&self, table: FrozenTable) -> bool {
+        match &self.asn_view {
+            Some(view) => {
+                view.swap(table);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Offer one DNS record to the FillUp queue. Returns `false` if the
@@ -273,14 +406,21 @@ impl Correlator {
         self.lookup_queue.push_batch(records)
     }
 
-    /// Current depth of the three queues (fillup, lookup, write): useful
-    /// for examples that display live buffer usage.
+    /// Current depth of the three stages' queues (fillup, lookup, write):
+    /// the write figure sums the per-shard queues.
     pub fn queue_depths(&self) -> (usize, usize, usize) {
         (
             self.fillup_queue.len(),
             self.lookup_queue.len(),
-            self.write_queue.len(),
+            self.write_queues.iter().map(|q| q.len()).sum(),
         )
+    }
+
+    /// Records dropped on the write path: shard-queue overflow plus sink
+    /// write errors.
+    fn writes_dropped_total(&self) -> u64 {
+        let overflow: u64 = self.write_queues.iter().map(|q| q.stats().dropped).sum();
+        overflow + self.writes_dropped.load(Ordering::Relaxed)
     }
 
     /// A live snapshot of the pipeline's metrics without consuming it:
@@ -293,10 +433,10 @@ impl Correlator {
         PipelineMetrics {
             fillup: *self.fillup_stats.lock(),
             lookup: *self.lookup_stats.lock(),
-            write: self.writer.stats(),
+            write: *self.write_stats.lock(),
             dns_dropped: self.fillup_queue.stats().dropped,
             flows_dropped: self.lookup_queue.stats().dropped,
-            writes_dropped: self.write_queue.stats().dropped + *self.writes_dropped.lock(),
+            writes_dropped: self.writes_dropped_total(),
             work_units: 0.0,
             peak_memory: self.store.memory_estimate(),
             ingest: Default::default(),
@@ -315,23 +455,23 @@ impl Correlator {
                 .join()
                 .map_err(|_| FlowDnsError::PipelineState("worker panicked".into()))?;
         }
-        // Phase 2: input stages are done, so the write queue will receive
-        // nothing more; let the writers drain and stop.
+        // Phase 2: input stages are done, so the write queues will receive
+        // nothing more; let the writers drain, flush their sinks and stop.
         self.write_shutdown.store(true, Ordering::Release);
         for handle in self.write_workers.drain(..) {
             handle
                 .join()
                 .map_err(|_| FlowDnsError::PipelineState("write worker panicked".into()))?;
         }
-        self.writer.flush()?;
+        // A failed end-of-run flush or rotation rename means output is
+        // incomplete; report it instead of an Ok-looking Report.
+        if let Some(e) = self.egress_error.lock().take() {
+            return Err(e);
+        }
 
-        let write = self.writer.stats();
-        let metrics = PipelineMetrics {
-            write,
-            ..self.snapshot()
-        };
+        let metrics = self.snapshot();
         Ok(Report {
-            volumes: write.volumes,
+            volumes: metrics.write.volumes,
             metrics,
         })
     }
@@ -341,7 +481,9 @@ impl Correlator {
 mod tests {
     use super::*;
     use crate::config::Variant;
-    use flowdns_types::{DomainName, SimTime};
+    use crate::write::RotatingFileSink;
+    use flowdns_bgp::Announcement;
+    use flowdns_types::{DomainName, SimDuration, SimTime};
     use std::net::Ipv4Addr;
 
     fn dns(ts: u64, name: &str, ip: [u8; 4], ttl: u32) -> DnsRecord {
@@ -410,6 +552,115 @@ mod tests {
             report.metrics.fillup.addresses_stored + report.metrics.fillup.filtered,
             200
         );
+    }
+
+    #[test]
+    fn sharded_writers_cover_every_record_exactly_once() {
+        // Four write shards, plenty of flows: the per-shard partitioning
+        // must neither lose nor duplicate records, and the merged stats
+        // must equal the single-writer totals.
+        let config = CorrelatorConfig {
+            write_workers: 4,
+            ..CorrelatorConfig::default()
+        };
+        let correlator = Correlator::start(config).unwrap();
+        for i in 0..100u8 {
+            correlator.push_dns(dns(1, &format!("s{i}.example"), [203, 0, 113, i], 300));
+        }
+        while correlator.queue_depths().0 > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        for round in 0..4u64 {
+            for i in 0..100u8 {
+                correlator.push_flow(flow(2 + round, [203, 0, 113, i], 1_000));
+            }
+        }
+        let report = correlator.finish().unwrap();
+        assert_eq!(report.metrics.write.records_written, 400);
+        assert_eq!(report.metrics.lookup.ip_hits, 400);
+        assert_eq!(report.metrics.writes_dropped, 0);
+        assert_eq!(report.volumes.total.bytes(), 400_000);
+    }
+
+    #[test]
+    fn shard_partitioning_is_stable_per_flow_key() {
+        let key = FlowKey {
+            src_ip: Ipv4Addr::new(203, 0, 113, 5).into(),
+            dst_ip: Ipv4Addr::new(10, 0, 0, 1).into(),
+            src_port: 443,
+            dst_port: 50000,
+            proto: flowdns_types::Protocol::Tcp,
+        };
+        let shard = shard_of(&key, 8);
+        for _ in 0..100 {
+            assert_eq!(shard_of(&key, 8), shard);
+        }
+        assert!(shard < 8);
+        assert_eq!(shard_of(&key, 1), 0);
+        // Different keys spread across shards.
+        let spread: std::collections::HashSet<usize> = (0..64u8)
+            .map(|i| {
+                let mut k = key;
+                k.src_ip = Ipv4Addr::new(203, 0, 113, i).into();
+                shard_of(&k, 8)
+            })
+            .collect();
+        assert!(spread.len() > 1);
+    }
+
+    #[test]
+    fn start_with_sink_rejects_multiple_write_workers() {
+        let config = CorrelatorConfig {
+            write_workers: 2,
+            ..CorrelatorConfig::default()
+        };
+        assert!(Correlator::start_with_sink(config, Box::new(MemorySink::new())).is_err());
+    }
+
+    #[test]
+    fn sink_factory_error_fails_start_without_leaking_workers() {
+        // Sinks are built before any worker thread is spawned, so a
+        // factory failure (e.g. an unwritable output path) is a clean
+        // start error — nothing is left spinning on the queues.
+        let config = CorrelatorConfig {
+            write_workers: 2,
+            ..CorrelatorConfig::default()
+        };
+        let mut calls = 0usize;
+        let result = Correlator::start_with_sink_factory(config, |shard| {
+            calls += 1;
+            if shard == 1 {
+                Err(FlowDnsError::Config("no disk".into()))
+            } else {
+                Ok(Box::new(MemorySink::new()) as Box<dyn OutputSink>)
+            }
+        });
+        assert!(result.is_err());
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn finalize_errors_surface_through_finish() {
+        // A sink whose end-of-run finalize fails (disk full during the
+        // last flush / rotation rename) must turn finish() into an
+        // error, not an Ok-looking report with missing output.
+        struct BadEndSink;
+        impl crate::write::OutputSink for BadEndSink {
+            fn write_record(&mut self, _record: &CorrelatedRecord) -> Result<(), FlowDnsError> {
+                Ok(())
+            }
+            fn finalize(&mut self) -> Result<(), FlowDnsError> {
+                Err(FlowDnsError::Io("disk full at shutdown".into()))
+            }
+        }
+        let correlator =
+            Correlator::start_with_sink(CorrelatorConfig::default(), Box::new(BadEndSink)).unwrap();
+        correlator.push_flow(flow(1, [203, 0, 113, 1], 100));
+        match correlator.finish() {
+            Err(FlowDnsError::Io(msg)) => assert!(msg.contains("disk full")),
+            other => panic!("expected the finalize error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -537,5 +788,75 @@ mod tests {
         let report = correlator.finish().unwrap();
         assert_eq!(report.metrics.lookup.ip_hits, 1);
         assert_eq!(report.metrics.lookup.ip_misses, 1);
+    }
+
+    #[test]
+    fn pipeline_stamps_asns_and_swaps_tables_live() {
+        let table = |asn: u32| {
+            let mut t = RoutingTable::new();
+            t.announce(Announcement {
+                prefix: "203.0.113.0/24".parse().unwrap(),
+                origin_as: asn,
+            });
+            t.freeze()
+        };
+        let view = AsnView::new(table(64500));
+        let dir = std::env::temp_dir().join("flowdns-pipeline-asn-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let correlator = Correlator::start_with_egress(
+            CorrelatorConfig::default(),
+            |shard| {
+                Ok(Box::new(
+                    RotatingFileSink::new(&dir, "corr", SimDuration::from_secs(3600))?
+                        .with_shard(shard),
+                ))
+            },
+            Some(view),
+        )
+        .unwrap();
+
+        correlator.push_dns(dns(1, "svc.example", [203, 0, 113, 9], 300));
+        while correlator.queue_depths().0 > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        correlator.push_flow(flow(2, [203, 0, 113, 9], 1_000));
+
+        // Live reload: later flows must see the new origin AS.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while correlator.snapshot().write.records_written < 1 {
+            assert!(std::time::Instant::now() < deadline);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(correlator.swap_routing_table(table(64999)));
+        assert_eq!(correlator.asn_view().unwrap().epoch(), 1);
+        correlator.push_flow(flow(3, [203, 0, 113, 9], 2_000));
+
+        let report = correlator.finish().unwrap();
+        assert_eq!(report.metrics.write.records_written, 2);
+        assert_eq!(report.metrics.lookup.asn_stamped, 2);
+
+        let mut lines: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flat_map(|e| {
+                let content = std::fs::read_to_string(e.unwrap().path()).unwrap_or_default();
+                content.lines().map(String::from).collect::<Vec<_>>()
+            })
+            .collect();
+        lines.sort();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\t64500\t"), "line: {}", lines[0]);
+        assert!(lines[1].contains("\t64999\t"), "line: {}", lines[1]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pipeline_without_table_leaves_asns_unstamped() {
+        let correlator = Correlator::start(CorrelatorConfig::default()).unwrap();
+        assert!(correlator.asn_view().is_none());
+        assert!(!correlator.swap_routing_table(FrozenTable::new()));
+        correlator.push_flow(flow(1, [203, 0, 113, 1], 100));
+        let report = correlator.finish().unwrap();
+        assert_eq!(report.metrics.lookup.asn_stamped, 0);
     }
 }

@@ -23,6 +23,7 @@
 //! correlation rate, loss) — one row per point of the paper's time-series
 //! figures — plus the same [`Report`] the live pipeline produces.
 
+use flowdns_bgp::AsnView;
 use flowdns_types::{CorrelatedRecord, DnsRecord, FlowRecord, SimTime};
 
 use crate::config::CorrelatorConfig;
@@ -119,6 +120,9 @@ pub struct OfflineSimulator {
     capacity_cores: f64,
     /// Work-unit backlog tolerated before drops begin (the stream buffer).
     backlog_allowance: f64,
+    /// Routing-table view for in-pipeline AS attribution, mirroring the
+    /// live pipeline's LookUp-side stamping.
+    asn_view: Option<AsnView>,
 }
 
 impl OfflineSimulator {
@@ -133,7 +137,16 @@ impl OfflineSimulator {
             cost,
             capacity_cores,
             backlog_allowance: cost.core_units_per_sec * capacity_cores * 5.0,
+            asn_view: None,
         }
+    }
+
+    /// Attach a routing-table view: the simulated LookUp stage stamps
+    /// `src_asn`/`dst_asn` on every record, exactly like the live
+    /// pipeline with a loaded `routing_table`.
+    pub fn with_asn_view(mut self, view: AsnView) -> Self {
+        self.asn_view = Some(view);
+        self
     }
 
     /// Override the cost model.
@@ -181,7 +194,10 @@ impl OfflineSimulator {
         F: FnMut(&CorrelatedRecord),
     {
         let store = DnsStore::new(&self.config);
-        let resolver = Resolver::new(&store, &self.config);
+        let mut resolver = Resolver::new(&store, &self.config);
+        if let Some(view) = &self.asn_view {
+            resolver = resolver.with_asn_reader(view.reader());
+        }
         let mut fillup_stats = FillUpStats::default();
         let mut lookup_stats = LookUpStats::default();
 
@@ -584,6 +600,35 @@ mod tests {
             .run_with(events.iter().cloned(), |_| seen += 1);
         assert_eq!(seen, outcome.report.metrics.write.records_written);
         assert_eq!(seen, 120);
+    }
+
+    #[test]
+    fn simulator_stamps_asns_like_the_live_pipeline() {
+        use flowdns_bgp::{Announcement, RoutingTable};
+        let mut table = RoutingTable::new();
+        table.announce(Announcement {
+            prefix: "203.0.113.0/24".parse().unwrap(),
+            origin_as: 64500,
+        });
+        let events = small_trace();
+        let mut stamped = 0u64;
+        let mut unstamped = 0u64;
+        let outcome = OfflineSimulator::new(CorrelatorConfig::default())
+            .with_asn_view(AsnView::new(table.freeze()))
+            .run_with(events.iter().cloned(), |record| {
+                if record.src_asn == Some(64500) {
+                    stamped += 1;
+                } else {
+                    unstamped += 1;
+                }
+            });
+        // The 203.0.113.0/24 sources are announced, the 192.0.2.x are not.
+        assert_eq!(stamped, 100);
+        assert_eq!(unstamped, 20);
+        assert_eq!(outcome.report.metrics.lookup.asn_stamped, 100);
+        // Without a view, nothing is stamped.
+        let plain = OfflineSimulator::new(CorrelatorConfig::default()).run(&events);
+        assert_eq!(plain.report.metrics.lookup.asn_stamped, 0);
     }
 
     #[test]

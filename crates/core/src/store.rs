@@ -70,7 +70,7 @@ impl DnsStore {
         };
         let exact = matches!(config.variant, Variant::ExactTtl);
         DnsStore {
-            config: *config,
+            config: config.clone(),
             names: NameInterner::new(),
             ip_name: SplitStore::new(ip_policy, config.effective_num_split(), config.map_shards),
             name_cname: RotatingStore::new(cname_policy, config.map_shards),

@@ -386,6 +386,41 @@ impl DomainUniverse {
         self.services.iter().filter(move |s| s.category == category)
     }
 
+    /// Render the universe's BGP announcements in the `prefix origin_as`
+    /// text format `flowdns_bgp::RoutingTable::from_announcements_text`
+    /// parses and the `routing_table` config key loads: every service's
+    /// edge IPs announced as host routes (/32 IPv4, /128 IPv6) spread
+    /// round-robin across the service's origin ASes. Host routes keep
+    /// neighbouring services (whose synthetic edge IPs share /24 blocks)
+    /// from hijacking each other's attribution.
+    pub fn announcements_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# BGP announcements derived from the generated CDN universe\n");
+        for service in &self.services {
+            if service.origin_asns.is_empty() {
+                continue;
+            }
+            for (i, ip) in service.edge_ips.iter().enumerate() {
+                // Spread the service's address space across its origin
+                // ASes (uneven when there are two, matching Figure 4b).
+                let asn = service.origin_asns[i % service.origin_asns.len()];
+                let len = match ip {
+                    IpAddr::V4(_) => 32,
+                    IpAddr::V6(_) => 128,
+                };
+                out.push_str(&format!("{ip}/{len} {asn}\n"));
+            }
+        }
+        out
+    }
+
+    /// Write [`DomainUniverse::announcements_text`] to a file, so a
+    /// `flowdnsd` deployment (or test) can point its `routing_table`
+    /// config key at the generated universe.
+    pub fn write_announcements<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        std::fs::write(path, self.announcements_text())
+    }
+
     /// The share of total popularity weight carried by DNS-related
     /// services visible in the universe (an upper bound on the
     /// correlation rate before coverage effects).
@@ -526,6 +561,48 @@ mod tests {
         assert_eq!(s2.origin_asns, vec![S2_ASN_A, S2_ASN_B]);
         assert_eq!(s1.label.as_str(), "S1");
         assert!(!s1.cname_chain.is_empty());
+    }
+
+    #[test]
+    fn announcements_cover_every_edge_ip_as_host_routes() {
+        let u = universe();
+        let text = u.announcements_text();
+        // One line per edge IP of every AS-bearing service (plus header).
+        let expected: usize = u
+            .services
+            .iter()
+            .filter(|s| !s.origin_asns.is_empty())
+            .map(|s| s.edge_ips.len())
+            .sum();
+        let lines: Vec<&str> = text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .collect();
+        assert_eq!(lines.len(), expected);
+        for line in &lines {
+            let (prefix, asn) = line.split_once(' ').expect("prefix asn");
+            assert!(
+                prefix.ends_with("/32") || prefix.ends_with("/128"),
+                "{prefix}"
+            );
+            assert!(asn.parse::<u32>().unwrap() > 0);
+        }
+        // S1's edge IPs are all announced by S1's single AS.
+        let s1 = &u.services[u.streaming_s1];
+        for ip in &s1.edge_ips {
+            assert!(
+                text.contains(&format!("{ip}/32 {S1_ASN}"))
+                    || text.contains(&format!("{ip}/128 {S1_ASN}")),
+                "missing host route for {ip}"
+            );
+        }
+        // write_announcements round-trips through the filesystem.
+        let dir = std::env::temp_dir().join("flowdns-gen-announcements-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rib.txt");
+        u.write_announcements(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), text);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

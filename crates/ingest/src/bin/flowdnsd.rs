@@ -74,6 +74,22 @@ fn main() {
         config.correlator.lookup_workers,
         config.correlator.write_workers,
     );
+    if let Some(view) = runtime.correlator().asn_view() {
+        eprintln!(
+            "flowdnsd: routing table loaded ({} prefixes) — stamping src/dst origin AS",
+            view.snapshot().len()
+        );
+    }
+    if let (Some(output), Some(window)) =
+        (&config.ingest.output, config.ingest.output_rotate_interval)
+    {
+        let (dir, prefix) = flowdns_ingest::runtime::rotating_output_parts(output);
+        eprintln!(
+            "flowdnsd: rotating output files {}-<window>.tsv every {} s",
+            dir.join(prefix).display(),
+            window.as_secs()
+        );
+    }
 
     // Shutdown watcher: stdin EOF or an explicit quit/stop line. The
     // thread is detached on purpose — if the duration path wins, a thread

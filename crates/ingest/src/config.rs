@@ -29,8 +29,17 @@ pub struct IngestConfig {
     /// Interval between periodic stats lines (`stats_interval`, seconds).
     pub stats_interval: Duration,
     /// Output TSV path (`output`); correlated records are discarded after
-    /// accounting when unset.
+    /// accounting when unset. With more than one write worker each shard
+    /// writes its own file (`.w{shard}` suffix, or a `-w{shard}` filename
+    /// tag when rotation is on).
     pub output: Option<String>,
+    /// Rotation window of the output files
+    /// (`output_rotate_interval`, seconds; `0` disables rotation and
+    /// writes one file per shard). When set, `output` names the
+    /// directory-plus-prefix of paper-style per-interval files:
+    /// `output = /var/log/flowdns/corr` produces
+    /// `/var/log/flowdns/corr-<window>.tsv`.
+    pub output_rotate_interval: Option<Duration>,
 }
 
 impl Default for IngestConfig {
@@ -40,6 +49,7 @@ impl Default for IngestConfig {
             dns_bind: "127.0.0.1:9953".parse().expect("valid default addr"),
             stats_interval: Duration::from_secs(10),
             output: None,
+            output_rotate_interval: None,
         }
     }
 }
@@ -57,7 +67,8 @@ impl DaemonConfig {
     /// Parse a daemon configuration from `key = value` text.
     ///
     /// Ingest keys (`netflow_bind`, `dns_bind`, `stats_interval`,
-    /// `output`) are consumed here; all other lines — including comments
+    /// `output`, `output_rotate_interval`) are consumed here; all other
+    /// lines — including comments
     /// and blanks — are forwarded verbatim to
     /// [`CorrelatorConfig::from_config_text`], which keeps that parser's
     /// line numbers accurate in error messages.
@@ -85,6 +96,13 @@ impl DaemonConfig {
                         ingest.stats_interval = Duration::from_secs(secs);
                     }
                     "output" => ingest.output = Some(value.to_string()),
+                    "output_rotate_interval" => {
+                        let secs = value.parse::<u64>().map_err(|_| {
+                            err(format!("line {}: '{value}' is not a number", lineno + 1))
+                        })?;
+                        ingest.output_rotate_interval =
+                            (secs > 0).then(|| Duration::from_secs(secs));
+                    }
                     _ => consumed = false,
                 }
             } else {
@@ -141,6 +159,8 @@ netflow_bind = 127.0.0.1:0
 dns_bind = 127.0.0.1:0
 stats_interval = 2
 output = /tmp/flowdns.tsv
+output_rotate_interval = 60
+routing_table = /tmp/rib.txt
 
 lookup_workers = 8
 variant = NoRotation
@@ -150,10 +170,26 @@ variant = NoRotation
         assert_eq!(cfg.ingest.dns_bind.port(), 0);
         assert_eq!(cfg.ingest.stats_interval, Duration::from_secs(2));
         assert_eq!(cfg.ingest.output.as_deref(), Some("/tmp/flowdns.tsv"));
+        assert_eq!(
+            cfg.ingest.output_rotate_interval,
+            Some(Duration::from_secs(60))
+        );
         assert_eq!(cfg.correlator.lookup_workers, 8);
         assert_eq!(cfg.correlator.variant, Variant::NoRotation);
+        // The routing table path lands on the correlator side.
+        assert_eq!(
+            cfg.correlator.routing_table.as_deref(),
+            Some("/tmp/rib.txt")
+        );
         // Untouched correlator keys keep their defaults.
         assert_eq!(cfg.correlator.num_split, 10);
+    }
+
+    #[test]
+    fn zero_rotate_interval_disables_rotation() {
+        let cfg = DaemonConfig::from_config_text("output_rotate_interval = 0").unwrap();
+        assert_eq!(cfg.ingest.output_rotate_interval, None);
+        assert!(DaemonConfig::from_config_text("output_rotate_interval = soon").is_err());
     }
 
     #[test]

@@ -35,5 +35,8 @@ pub mod runtime;
 
 pub use config::{DaemonConfig, IngestConfig};
 pub use dns_listener::DnsFeedStats;
+// Re-exported for compatibility: the discard sink moved into the core
+// write module with the sharded-egress refactor.
+pub use flowdns_core::write::DiscardSink;
 pub use netflow_listener::ExporterTable;
-pub use runtime::{DiscardSink, IngestRuntime, IngestSnapshot};
+pub use runtime::{IngestRuntime, IngestSnapshot};

@@ -17,10 +17,10 @@ use std::thread::JoinHandle;
 use parking_lot::Mutex;
 
 use flowdns_core::metrics::IngestSummary;
-use flowdns_core::write::{MemorySink, OutputSink, TsvFileSink};
+use flowdns_core::write::{DiscardSink, MemorySink, OutputSink, RotatingFileSink, TsvFileSink};
 use flowdns_core::{Correlator, PipelineMetrics, Report};
 use flowdns_stream::{MeterSnapshot, RateMeter};
-use flowdns_types::{CorrelatedRecord, FlowDnsError, SimDuration};
+use flowdns_types::{FlowDnsError, SimDuration};
 
 use crate::config::DaemonConfig;
 use crate::dns_listener::{self, DnsFeedStats};
@@ -29,15 +29,23 @@ use crate::netflow_listener::{self, ExporterTable};
 /// Width of the per-listener meter windows.
 const METER_WINDOW_SECS: u64 = 60;
 
-/// A sink that discards records after the shared writer has done its
-/// volume accounting — the daemon default when no `output` is configured.
-#[derive(Debug, Default)]
-pub struct DiscardSink;
-
-impl OutputSink for DiscardSink {
-    fn write_record(&mut self, _record: &CorrelatedRecord) -> Result<(), FlowDnsError> {
-        Ok(())
-    }
+/// Split the `output` config value into the directory and filename
+/// prefix the rotating sinks actually use (the extension is stripped:
+/// `/var/log/flowdns/corr.tsv` → files `/var/log/flowdns/corr-<window>.tsv`).
+/// Shared by [`IngestRuntime::start`] and `flowdnsd`'s startup banner so
+/// the logged paths always match the files on disk.
+pub fn rotating_output_parts(output: &str) -> (std::path::PathBuf, String) {
+    let path = std::path::Path::new(output);
+    let dir = path
+        .parent()
+        .map(|p| p.to_path_buf())
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let prefix = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "flowdns".to_string());
+    (dir, prefix)
 }
 
 /// A point-in-time view of the ingest side, cheap enough to take every
@@ -82,28 +90,68 @@ impl std::fmt::Debug for IngestRuntime {
 }
 
 impl IngestRuntime {
-    /// Start the runtime with the sink named by the configuration
-    /// (`output = path` → TSV file, otherwise records are discarded after
-    /// accounting).
+    /// Start the runtime with the egress named by the configuration: with
+    /// `output = path` each write-worker shard owns a
+    /// [`RotatingFileSink`] (when `output_rotate_interval` is set) or a
+    /// plain TSV file; otherwise records are discarded after accounting.
     pub fn start(config: &DaemonConfig) -> Result<Self, FlowDnsError> {
-        let sink: Box<dyn OutputSink> = match &config.ingest.output {
-            Some(path) => Box::new(TsvFileSink::create(path)?),
-            None => Box::new(DiscardSink),
-        };
-        IngestRuntime::start_with_sink(config, sink)
+        let sharded = config.correlator.write_workers > 1;
+        match &config.ingest.output {
+            Some(path) => match config.ingest.output_rotate_interval {
+                Some(window) => {
+                    let window = SimDuration::from_secs(window.as_secs());
+                    let (dir, prefix) = rotating_output_parts(path);
+                    IngestRuntime::start_with_sink_factory(config, move |shard| {
+                        let mut sink = RotatingFileSink::new(&dir, &prefix, window)?;
+                        if sharded {
+                            sink = sink.with_shard(shard);
+                        }
+                        Ok(Box::new(sink))
+                    })
+                }
+                None => {
+                    let path = path.clone();
+                    IngestRuntime::start_with_sink_factory(config, move |shard| {
+                        let shard_path = if sharded {
+                            format!("{path}.w{shard}")
+                        } else {
+                            path.clone()
+                        };
+                        Ok(Box::new(TsvFileSink::create(shard_path)?))
+                    })
+                }
+            },
+            None => IngestRuntime::start_with_sink_factory(config, |_| Ok(Box::new(DiscardSink))),
+        }
     }
 
-    /// Start the runtime writing correlated records into an in-memory
-    /// sink (tests and examples that inspect the output).
+    /// Start the runtime writing correlated records into in-memory sinks
+    /// (tests and examples that inspect the output).
     pub fn start_in_memory(config: &DaemonConfig) -> Result<Self, FlowDnsError> {
-        IngestRuntime::start_with_sink(config, Box::new(MemorySink::new()))
+        IngestRuntime::start_with_sink_factory(config, |_| Ok(Box::new(MemorySink::new())))
     }
 
-    /// Start the runtime with an explicit output sink.
+    /// Start the runtime with an explicit single output sink (requires
+    /// `write_workers = 1`; use
+    /// [`IngestRuntime::start_with_sink_factory`] for sharded egress).
     pub fn start_with_sink(
         config: &DaemonConfig,
         sink: Box<dyn OutputSink>,
     ) -> Result<Self, FlowDnsError> {
+        let factory =
+            flowdns_core::write::single_sink_factory(config.correlator.write_workers, sink)?;
+        IngestRuntime::start_with_sink_factory(config, factory)
+    }
+
+    /// Start the runtime with one sink per write-worker shard, built by
+    /// `factory(shard)`.
+    pub fn start_with_sink_factory<F>(
+        config: &DaemonConfig,
+        factory: F,
+    ) -> Result<Self, FlowDnsError>
+    where
+        F: FnMut(usize) -> Result<Box<dyn OutputSink>, FlowDnsError>,
+    {
         let io_err = |e: std::io::Error| FlowDnsError::Io(e.to_string());
 
         let udp = UdpSocket::bind(config.ingest.netflow_bind).map_err(io_err)?;
@@ -111,7 +159,10 @@ impl IngestRuntime {
         let tcp = TcpListener::bind(config.ingest.dns_bind).map_err(io_err)?;
         let dns_addr = tcp.local_addr().map_err(io_err)?;
 
-        let correlator = Arc::new(Correlator::start_with_sink(config.correlator, sink)?);
+        let correlator = Arc::new(Correlator::start_with_sink_factory(
+            config.correlator.clone(),
+            factory,
+        )?);
         let shutdown = Arc::new(AtomicBool::new(false));
         let exporters = Arc::new(ExporterTable::default());
         let dns_stats = Arc::new(DnsFeedStats::default());

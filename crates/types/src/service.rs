@@ -116,19 +116,50 @@ pub enum ResolvedName {
 }
 
 /// One line of FlowDNS output: the original flow plus the resolution
-/// result. This is what the Write workers serialize.
+/// result and the BGP origin-AS attribution of both endpoints. This is
+/// what the Write workers serialize.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CorrelatedRecord {
     /// The original flow record.
     pub flow: FlowRecord,
     /// The resolution outcome.
     pub outcome: CorrelationOutcome,
+    /// Origin AS of the flow's source address, stamped by the LookUp
+    /// stage when a routing table is loaded (the paper's Figure 4 join
+    /// performed in-pipeline). `None` when no announcement covers the
+    /// address or no table is loaded.
+    pub src_asn: Option<u32>,
+    /// Origin AS of the flow's destination address.
+    pub dst_asn: Option<u32>,
 }
 
 impl CorrelatedRecord {
+    /// A record without AS attribution (offline analyses, tests, and
+    /// pipelines running with no routing table).
+    pub fn new(flow: FlowRecord, outcome: CorrelationOutcome) -> Self {
+        CorrelatedRecord {
+            flow,
+            outcome,
+            src_asn: None,
+            dst_asn: None,
+        }
+    }
+
+    /// The same record with origin-AS attribution attached.
+    pub fn with_asns(mut self, src_asn: Option<u32>, dst_asn: Option<u32>) -> Self {
+        self.src_asn = src_asn;
+        self.dst_asn = dst_asn;
+        self
+    }
+
     /// Is this record attributed to a domain name?
     pub fn is_correlated(&self) -> bool {
         self.outcome.is_correlated()
+    }
+
+    /// Was the source address attributed to an origin AS?
+    pub fn has_src_asn(&self) -> bool {
+        self.src_asn.is_some()
     }
 
     /// Bytes carried by the underlying flow.
@@ -137,8 +168,8 @@ impl CorrelatedRecord {
     }
 
     /// Render the record as a single TSV output line:
-    /// `ts  srcIP  dstIP  bytes  query_name  final_name`.
-    /// Uncorrelated flows have `-` in the name columns.
+    /// `ts  srcIP  dstIP  bytes  src_asn  dst_asn  query_name  final_name`.
+    /// Unattributed columns carry `-`.
     pub fn to_tsv(&self) -> String {
         let query = self
             .outcome
@@ -150,12 +181,18 @@ impl CorrelatedRecord {
             .final_name()
             .map(|n| n.as_str().to_string())
             .unwrap_or_else(|| "-".to_string());
+        let asn_col = |asn: Option<u32>| match asn {
+            Some(asn) => asn.to_string(),
+            None => "-".to_string(),
+        };
         format!(
-            "{}\t{}\t{}\t{}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             self.flow.ts.as_secs(),
             self.flow.key.src_ip,
             self.flow.key.dst_ip,
             self.flow.bytes,
+            asn_col(self.src_asn),
+            asn_col(self.dst_asn),
             query,
             final_name
         )
@@ -217,27 +254,29 @@ mod tests {
 
     #[test]
     fn tsv_output_contains_all_fields() {
-        let rec = CorrelatedRecord {
-            flow: flow(),
-            outcome: CorrelationOutcome::Name(DomainName::literal("video.example.com")),
-        };
+        let rec = CorrelatedRecord::new(
+            flow(),
+            CorrelationOutcome::Name(DomainName::literal("video.example.com")),
+        )
+        .with_asns(Some(64500), None);
         let line = rec.to_tsv();
         let cols: Vec<&str> = line.split('\t').collect();
-        assert_eq!(cols.len(), 6);
+        assert_eq!(cols.len(), 8);
         assert_eq!(cols[0], "42");
         assert_eq!(cols[1], "203.0.113.9");
         assert_eq!(cols[3], "5000");
-        assert_eq!(cols[4], "video.example.com");
+        assert_eq!(cols[4], "64500");
+        assert_eq!(cols[5], "-");
+        assert_eq!(cols[6], "video.example.com");
+        assert!(rec.has_src_asn());
     }
 
     #[test]
     fn tsv_output_uses_dash_for_uncorrelated() {
-        let rec = CorrelatedRecord {
-            flow: flow(),
-            outcome: CorrelationOutcome::NotFound,
-        };
-        assert!(rec.to_tsv().ends_with("-\t-"));
+        let rec = CorrelatedRecord::new(flow(), CorrelationOutcome::NotFound);
+        assert!(rec.to_tsv().ends_with("-\t-\t-\t-"));
         assert!(!rec.is_correlated());
+        assert!(!rec.has_src_asn());
         assert_eq!(rec.bytes(), 5000);
     }
 

@@ -19,7 +19,7 @@ fn run(scenario: AccuracyScenario, label: &str) {
         process_dns_record(&store, record, &mut fillup);
     }
 
-    let resolver = Resolver::new(&store, &config);
+    let mut resolver = Resolver::new(&store, &config);
     let mut lookup = LookUpStats::default();
     let mut attributions = Vec::new();
     for (flow, truth) in &capture.flows {
