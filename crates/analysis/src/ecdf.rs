@@ -39,7 +39,7 @@ impl Ecdf {
         count as f64 / self.sorted.len() as f64
     }
 
-    /// The q-quantile (q in [0,1]); `None` for an empty ECDF.
+    /// The q-quantile (q in `[0, 1]`); `None` for an empty ECDF.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.sorted.is_empty() {
             return None;

@@ -261,9 +261,16 @@ impl AsnView {
 
     /// A per-worker reader caching the current snapshot.
     pub fn reader(&self) -> AsnReader {
+        // Epoch BEFORE snapshot, mirroring `refresh_if_swapped` (swap
+        // publishes the table before bumping the epoch): a swap landing
+        // between the two reads leaves the reader holding the *new*
+        // table under the old epoch, and the first lookup harmlessly
+        // re-refreshes. The inverted order could tag the old table with
+        // the new epoch and serve it until the next swap.
+        let seen_epoch = self.epoch();
         AsnReader {
             cached: self.snapshot(),
-            seen_epoch: self.epoch(),
+            seen_epoch,
             slot: Arc::clone(&self.slot),
         }
     }

@@ -6,6 +6,8 @@
 //! parses the small `key = value` format used for that purpose, so
 //! deployments can be described in a file rather than code.
 
+use std::time::Duration;
+
 use flowdns_types::{FlowDnsError, SimDuration};
 
 /// The ablation variants evaluated in Section 4 (Figure 3, Figure 7) plus
@@ -109,6 +111,17 @@ pub struct CorrelatorConfig {
     /// the pipeline compiles it into a frozen table and the LookUp
     /// workers stamp `src_asn`/`dst_asn` on every record.
     pub routing_table: Option<String>,
+    /// Path of the DNS-store snapshot file. When set, the pipeline
+    /// warm-starts from the file at boot (if it exists and passes its
+    /// checksum), writes it periodically from a background thread (see
+    /// [`CorrelatorConfig::snapshot_interval`]) and once more at
+    /// shutdown, always via `.part` + atomic rename. `None` (the
+    /// default) disables persistence entirely.
+    pub snapshot_path: Option<String>,
+    /// Wall-clock interval between background snapshot writes.
+    /// `Duration::ZERO` keeps only the shutdown snapshot. Ignored unless
+    /// [`CorrelatorConfig::snapshot_path`] is set.
+    pub snapshot_interval: Duration,
 }
 
 impl Default for CorrelatorConfig {
@@ -128,6 +141,8 @@ impl Default for CorrelatorConfig {
             exact_ttl_purge_interval: SimDuration::from_secs(300),
             variant: Variant::Main,
             routing_table: None,
+            snapshot_path: None,
+            snapshot_interval: Duration::from_secs(300),
         }
     }
 }
@@ -207,6 +222,27 @@ impl CorrelatorConfig {
     /// Parse a configuration from `key = value` text. Unknown keys are an
     /// error (they are usually typos); missing keys keep their defaults.
     /// Lines starting with `#` and blank lines are ignored.
+    ///
+    /// Every key is documented in `docs/CONFIG.md`; the `flowdnsd`
+    /// config file feeds its non-ingest lines through this parser.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flowdns_core::CorrelatorConfig;
+    ///
+    /// let cfg = CorrelatorConfig::from_config_text(
+    ///     "# deployment overrides\n\
+    ///      num_split = 4\n\
+    ///      lookup_workers = 8\n\
+    ///      snapshot_path = /var/lib/flowdns/store.fdns\n",
+    /// )
+    /// .unwrap();
+    /// assert_eq!(cfg.num_split, 4);
+    /// assert_eq!(cfg.lookup_workers, 8);
+    /// assert_eq!(cfg.a_clear_up_interval.as_secs(), 3600); // default kept
+    /// assert!(CorrelatorConfig::from_config_text("num_splits = 4").is_err());
+    /// ```
     pub fn from_config_text(text: &str) -> Result<Self, FlowDnsError> {
         let mut cfg = CorrelatorConfig::default();
         for (lineno, raw) in text.lines().enumerate() {
@@ -245,6 +281,10 @@ impl CorrelatorConfig {
                 }
                 "variant" => cfg.variant = Variant::parse(value)?,
                 "routing_table" => cfg.routing_table = Some(value.to_string()),
+                "snapshot_path" => cfg.snapshot_path = Some(value.to_string()),
+                "snapshot_interval" => {
+                    cfg.snapshot_interval = Duration::from_secs(parse_u64(value)?)
+                }
                 other => {
                     return Err(FlowDnsError::Config(format!(
                         "line {}: unknown key '{other}'",
@@ -314,6 +354,26 @@ lookup_workers = 8
         // untouched keys keep defaults
         assert_eq!(cfg.c_clear_up_interval.as_secs(), 7200);
         assert_eq!(cfg.routing_table, None);
+    }
+
+    #[test]
+    fn snapshot_keys_are_parsed_with_defaults() {
+        let cfg = CorrelatorConfig::default();
+        assert_eq!(cfg.snapshot_path, None);
+        assert_eq!(cfg.snapshot_interval, Duration::from_secs(300));
+        let cfg = CorrelatorConfig::from_config_text(
+            "snapshot_path = /var/lib/flowdns/store.fdns\nsnapshot_interval = 60",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.snapshot_path.as_deref(),
+            Some("/var/lib/flowdns/store.fdns")
+        );
+        assert_eq!(cfg.snapshot_interval, Duration::from_secs(60));
+        // 0 keeps only the shutdown snapshot.
+        let cfg = CorrelatorConfig::from_config_text("snapshot_interval = 0").unwrap();
+        assert_eq!(cfg.snapshot_interval, Duration::ZERO);
+        assert!(CorrelatorConfig::from_config_text("snapshot_interval = soon").is_err());
     }
 
     #[test]

@@ -26,8 +26,8 @@
 //! * [`fillup`] — Algorithm 1 (DNS read and fill-up),
 //! * [`lookup`] — Algorithm 2 (NetFlow read and look-up with CNAME chain
 //!   following),
-//! * [`write`] — the output sinks each Write worker owns (single file,
-//!   paper-style rotating window files, fan-out, memory),
+//! * [`write`](mod@write) — the output sinks each Write worker owns
+//!   (single file, paper-style rotating window files, fan-out, memory),
 //! * [`metrics`] — correlation-rate, loss, work-unit (CPU) and memory
 //!   accounting,
 //! * [`pipeline`] — [`Correlator`], the threaded live pipeline,
@@ -49,7 +49,9 @@ pub mod write;
 pub use config::{CorrelatorConfig, Variant};
 pub use fillup::FillUpStats;
 pub use lookup::{LookUpStats, Resolver};
-pub use metrics::{CostModel, ExporterStats, IngestSummary, PipelineMetrics, Report};
+pub use metrics::{
+    CostModel, ExporterStats, IngestSummary, PipelineMetrics, Report, SnapshotStats,
+};
 pub use pipeline::Correlator;
 pub use simulate::{HourlySample, OfflineSimulator, SimulationOutcome};
 pub use store::DnsStore;

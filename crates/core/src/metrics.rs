@@ -20,7 +20,7 @@ use crate::write::WriteStats;
 /// The constants are chosen so that the relative cost ordering matches the
 /// paper's observations: per-record costs dominate in steady state,
 /// rotation copies are amortized, per-split bookkeeping adds a small
-/// per-record overhead (the paper: splitting "consum[es] higher CPU for
+/// per-record overhead (the paper: splitting "consum\[es\] higher CPU for
 /// the same amount of data"), and full-map purge scans (exact-TTL) are
 /// catastrophic.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -143,6 +143,49 @@ impl IngestSummary {
     }
 }
 
+/// Counters of the snapshot persistence subsystem (all zero when no
+/// `snapshot_path` is configured).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SnapshotStats {
+    /// Snapshots successfully written since start (periodic + shutdown).
+    pub snapshots_written: u64,
+    /// File size in bytes of the most recent successful snapshot.
+    pub last_bytes: u64,
+    /// Store entries serialized into the most recent successful snapshot.
+    pub last_entries: u64,
+    /// Wall-clock seconds since the most recent successful write
+    /// (`None` until the first write succeeds). A periodic reporter can
+    /// alert when this grows well past the configured
+    /// `snapshot_interval`.
+    pub last_write_age_secs: Option<f64>,
+    /// Entries restored from a snapshot at warm start (0 = cold start).
+    pub warm_start_entries: u64,
+    /// The most recent snapshot write or warm-start load failure, if
+    /// any. A corrupt or torn snapshot shows up here (the daemon starts
+    /// cold rather than dying).
+    pub last_error: Option<String>,
+}
+
+impl SnapshotStats {
+    /// Did this pipeline warm-start from a snapshot?
+    pub fn warm_started(&self) -> bool {
+        self.warm_start_entries > 0
+    }
+
+    /// Short stats fragment for periodic reporting, e.g.
+    /// `3 written, last 15083 B / 120 entries, age 12s`.
+    pub fn summary_line(&self) -> String {
+        let age = match self.last_write_age_secs {
+            Some(age) => format!("{age:.0}s"),
+            None => "never".to_string(),
+        };
+        format!(
+            "{} written, last {} B / {} entries, age {age}",
+            self.snapshots_written, self.last_bytes, self.last_entries
+        )
+    }
+}
+
 /// Aggregated metrics of a pipeline run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PipelineMetrics {
@@ -164,6 +207,9 @@ pub struct PipelineMetrics {
     pub peak_memory: MemoryEstimate,
     /// Network-ingest counters (all zero for offline runs).
     pub ingest: IngestSummary,
+    /// Snapshot persistence counters (all zero without a
+    /// `snapshot_path`).
+    pub snapshot: SnapshotStats,
 }
 
 impl PipelineMetrics {

@@ -27,18 +27,18 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use flowdns_bgp::{AsnView, FrozenTable, RoutingTable};
 use flowdns_stream::StreamBuffer;
-use flowdns_types::{CorrelatedRecord, DnsRecord, FlowDnsError, FlowKey, FlowRecord};
+use flowdns_types::{CorrelatedRecord, DnsRecord, FlowDnsError, FlowKey, FlowRecord, SimDuration};
 
 use crate::config::CorrelatorConfig;
 use crate::fillup::{process_dns_record, FillUpStats};
 use crate::lookup::{LookUpStats, Resolver};
-use crate::metrics::{PipelineMetrics, Report};
+use crate::metrics::{PipelineMetrics, Report, SnapshotStats};
 use crate::store::DnsStore;
 use crate::write::{MemorySink, OutputSink, WriteStats};
 
@@ -49,6 +49,64 @@ const POP_WAIT: Duration = Duration::from_millis(5);
 /// hot loop lock-free in practice, small enough that live stats lag by
 /// at most a few hundred records per worker.
 const STATS_FLUSH_EVERY: u64 = 512;
+
+/// Shared bookkeeping of the snapshot subsystem: counters plus the
+/// wall-clock instant of the last successful write, read by `snapshot()`
+/// to compute the snapshot age.
+#[derive(Debug, Default)]
+struct SnapshotShared {
+    stats: Mutex<SnapshotStats>,
+    last_write: Mutex<Option<Instant>>,
+    /// Serializes export+write: the background thread and
+    /// [`Correlator::write_snapshot_now`] share one `.part` path, so two
+    /// concurrent writers could interleave into it and then publish a
+    /// torn file via the rename — exactly what the checksum would later
+    /// reject. One writer at a time keeps the atomicity contract.
+    write_serial: Mutex<()>,
+}
+
+impl SnapshotShared {
+    fn record_write(&self, bytes: u64, entries: u64) {
+        let mut stats = self.stats.lock();
+        stats.snapshots_written += 1;
+        stats.last_bytes = bytes;
+        stats.last_entries = entries;
+        stats.last_error = None;
+        *self.last_write.lock() = Some(Instant::now());
+    }
+
+    fn record_error(&self, context: &str, e: &FlowDnsError) {
+        self.stats.lock().last_error = Some(format!("{context}: {e}"));
+    }
+
+    fn record_warm_start(&self, entries: u64) {
+        self.stats.lock().warm_start_entries = entries;
+    }
+
+    fn stats(&self) -> SnapshotStats {
+        let mut stats = self.stats.lock().clone();
+        stats.last_write_age_secs = self
+            .last_write
+            .lock()
+            .map(|instant| instant.elapsed().as_secs_f64());
+        stats
+    }
+}
+
+/// Export the store and write it to `path` atomically, folding the
+/// outcome into the shared snapshot stats. A `None` export (the
+/// exact-TTL variant) is a silent no-op.
+fn write_store_snapshot(store: &DnsStore, path: &str, shared: &SnapshotShared) {
+    let _one_writer = shared.write_serial.lock();
+    let Some(image) = store.export_image() else {
+        return;
+    };
+    let entries = image.entry_count() as u64;
+    match flowdns_snapshot::write_snapshot(path, &image) {
+        Ok(bytes) => shared.record_write(bytes, entries),
+        Err(e) => shared.record_error("snapshot write", &e),
+    }
+}
 
 /// The write-queue shard a flow's records belong to: a stable hash of
 /// the flow 5-tuple modulo the shard count, so every record of one flow
@@ -85,6 +143,12 @@ pub struct Correlator {
     egress_error: Arc<Mutex<Option<FlowDnsError>>>,
     /// The swappable routing-table view, when AS attribution is on.
     asn_view: Option<AsnView>,
+    /// Snapshot counters shared with the background snapshot thread.
+    snapshot_shared: Arc<SnapshotShared>,
+    /// Stops the background snapshot thread.
+    snapshot_shutdown: Arc<AtomicBool>,
+    /// The background snapshot thread, when periodic persistence is on.
+    snapshot_worker: Option<JoinHandle<()>>,
     /// FillUp and LookUp worker handles (joined first at shutdown).
     input_workers: Vec<JoinHandle<()>>,
     /// Write worker handles (joined after the input stages have drained).
@@ -160,6 +224,36 @@ impl Correlator {
             .map(&mut factory)
             .collect::<Result<_, _>>()?;
         let store = Arc::new(DnsStore::new(&config));
+        let snapshot_shared = Arc::new(SnapshotShared::default());
+        // Warm start: restore the store from the configured snapshot file
+        // before any worker runs. A missing file is a normal cold start; a
+        // torn or corrupt file is *recorded* (and visible in the metrics)
+        // but never fatal — the daemon starts cold and overwrites the bad
+        // file at the next snapshot write.
+        //
+        // The import ages generations to `as_of + downtime`: the file's
+        // modification time tells us how long the process was down, so a
+        // quick supervisor restart loses nothing while a day-long outage
+        // correctly expires everything but the Long maps (live record
+        // timestamps are wall-clock-derived, so the two clocks advance
+        // together). An unreadable mtime degrades to "quick restart".
+        if let Some(path) = &config.snapshot_path {
+            if std::path::Path::new(path).exists() {
+                let downtime = std::fs::metadata(path)
+                    .and_then(|meta| meta.modified())
+                    .ok()
+                    .and_then(|written| written.elapsed().ok())
+                    .unwrap_or_default();
+                let loaded = flowdns_snapshot::read_snapshot(path).and_then(|image| {
+                    let now = image.as_of + SimDuration::from_secs(downtime.as_secs());
+                    store.import_image(&image, Some(now))
+                });
+                match loaded {
+                    Ok(entries) => snapshot_shared.record_warm_start(entries as u64),
+                    Err(e) => snapshot_shared.record_error("warm start", &e),
+                }
+            }
+        }
         let fillup_queue = StreamBuffer::new(config.fillup_queue_capacity);
         let lookup_queue = StreamBuffer::new(config.lookup_queue_capacity);
         // The configured write capacity is the total across shards.
@@ -324,6 +418,44 @@ impl Correlator {
             );
         }
 
+        // Background snapshot thread: periodically export the store (from
+        // per-shard read views — the hot path is never globally locked)
+        // and write it via `.part` + atomic rename. Only spawned when a
+        // path is configured, the interval is nonzero, and the store
+        // variant has durable state to write.
+        let snapshot_shutdown = Arc::new(AtomicBool::new(false));
+        let mut snapshot_worker = None;
+        if let Some(path) = config
+            .snapshot_path
+            .clone()
+            .filter(|_| !config.snapshot_interval.is_zero() && !store.is_exact_ttl())
+        {
+            let store = Arc::clone(&store);
+            let shared = Arc::clone(&snapshot_shared);
+            let shutdown = Arc::clone(&snapshot_shutdown);
+            let interval = config.snapshot_interval;
+            snapshot_worker = Some(
+                std::thread::Builder::new()
+                    .name("snapshot".into())
+                    .spawn(move || {
+                        let mut last = Instant::now();
+                        loop {
+                            // Sleep in short steps so shutdown is prompt
+                            // even with long snapshot intervals.
+                            std::thread::sleep(Duration::from_millis(50));
+                            if shutdown.load(Ordering::Acquire) {
+                                break;
+                            }
+                            if last.elapsed() >= interval {
+                                write_store_snapshot(&store, &path, &shared);
+                                last = Instant::now();
+                            }
+                        }
+                    })
+                    .expect("spawn snapshot worker"),
+            );
+        }
+
         Ok(Correlator {
             config,
             store,
@@ -338,6 +470,9 @@ impl Correlator {
             writes_dropped,
             egress_error,
             asn_view,
+            snapshot_shared,
+            snapshot_shutdown,
+            snapshot_worker,
             input_workers,
             write_workers,
         })
@@ -424,7 +559,7 @@ impl Correlator {
     }
 
     /// A live snapshot of the pipeline's metrics without consuming it:
-    /// worker stats (flushed every [`STATS_FLUSH_EVERY`] records, so
+    /// worker stats (flushed every `STATS_FLUSH_EVERY` = 512 records, so
     /// slightly behind the instantaneous truth), queue drop counters, and
     /// the store's current memory estimate. This is what periodic stats
     /// reporters (e.g. `flowdnsd`) should read; `finish()` returns the
@@ -440,12 +575,51 @@ impl Correlator {
             work_units: 0.0,
             peak_memory: self.store.memory_estimate(),
             ingest: Default::default(),
+            snapshot: self.snapshot_shared.stats(),
         }
     }
 
-    /// Stop accepting input, drain every queue, join all workers, and
-    /// return the final report.
+    /// Live snapshot-persistence counters: writes so far, last file size,
+    /// wall-clock age of the last write, warm-start entry count, and the
+    /// most recent error if any. All zero when no `snapshot_path` is
+    /// configured.
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        self.snapshot_shared.stats()
+    }
+
+    /// Export the store and write the configured snapshot file now,
+    /// regardless of the periodic interval. Returns `false` when no
+    /// `snapshot_path` is configured (or the variant has no durable
+    /// state); errors are folded into [`Correlator::snapshot_stats`]
+    /// like the background thread's.
+    pub fn write_snapshot_now(&self) -> bool {
+        match &self.config.snapshot_path {
+            Some(path) if !self.store.is_exact_ttl() => {
+                write_store_snapshot(&self.store, path, &self.snapshot_shared);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Stop accepting input, drain every queue, join all workers, write
+    /// the final store snapshot (when configured), and return the final
+    /// report.
     pub fn finish(mut self) -> Result<Report, FlowDnsError> {
+        // Phase 0: stop the periodic snapshot thread. The *final*
+        // snapshot is written below, after the input stages have drained,
+        // so a clean shutdown always persists the complete store. A
+        // panicked snapshot thread must NOT abort the shutdown here —
+        // the worker stages still have to drain and flush their sinks —
+        // so the error is held and surfaced at the end.
+        self.snapshot_shutdown.store(true, Ordering::Release);
+        let snapshot_panic = match self.snapshot_worker.take() {
+            Some(handle) => handle
+                .join()
+                .err()
+                .map(|_| FlowDnsError::PipelineState("snapshot worker panicked".into())),
+            None => None,
+        };
         // Phase 1: stop input stages and let them drain. The input and
         // write stages keep their handles in separate vectors, so the
         // ordering does not depend on thread names.
@@ -463,9 +637,23 @@ impl Correlator {
                 .join()
                 .map_err(|_| FlowDnsError::PipelineState("write worker panicked".into()))?;
         }
+        // Final snapshot BEFORE the egress-error check: the store is
+        // quiescent now (every accepted DNS record has been applied), so
+        // this image is exact — and an output-disk failure must not also
+        // forfeit the warm-start file (the snapshot usually lives on a
+        // different path or volume than the TSV output). A snapshot
+        // *write* failure lands in the metrics, not in the Result —
+        // losing the warm-start file must not mask an otherwise clean
+        // run.
+        self.write_snapshot_now();
         // A failed end-of-run flush or rotation rename means output is
         // incomplete; report it instead of an Ok-looking Report.
         if let Some(e) = self.egress_error.lock().take() {
+            return Err(e);
+        }
+        // A snapshot-thread panic is a real defect and errors out (after
+        // the output is safely flushed above).
+        if let Some(e) = snapshot_panic {
             return Err(e);
         }
 
@@ -847,6 +1035,148 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\t64500\t"), "line: {}", lines[0]);
         assert!(lines[1].contains("\t64999\t"), "line: {}", lines[1]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn finish_writes_a_snapshot_and_restart_warm_starts_from_it() {
+        let dir = std::env::temp_dir().join("flowdns-pipeline-snapshot-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("store.fdns");
+        let config = CorrelatorConfig {
+            snapshot_path: Some(path.to_string_lossy().into_owned()),
+            snapshot_interval: Duration::ZERO, // shutdown snapshot only
+            ..CorrelatorConfig::default()
+        };
+
+        // First run: learn 20 DNS records, shut down cleanly.
+        let first = Correlator::start(config.clone()).unwrap();
+        assert!(!first.snapshot_stats().warm_started());
+        for i in 0..20u8 {
+            first.push_dns(dns(1, &format!("svc{i}.example"), [203, 0, 113, i], 300));
+        }
+        let report = first.finish().unwrap();
+        assert_eq!(report.metrics.snapshot.snapshots_written, 1);
+        assert!(report.metrics.snapshot.last_bytes > 0);
+        assert_eq!(report.metrics.snapshot.last_entries, 20);
+        assert!(path.exists());
+        assert!(!flowdns_snapshot::part_path(&path).exists());
+
+        // Second run: no DNS ingest at all — flows must still correlate
+        // from the snapshotted state.
+        let second = Correlator::start(config).unwrap();
+        let stats = second.snapshot_stats();
+        assert!(stats.warm_started(), "expected a warm start: {stats:?}");
+        assert_eq!(stats.warm_start_entries, 20);
+        assert_eq!(second.store().total_entries(), 20);
+        for i in 0..20u8 {
+            second.push_flow(flow(2, [203, 0, 113, i], 1_000));
+        }
+        let report = second.finish().unwrap();
+        assert_eq!(report.metrics.lookup.ip_hits, 20);
+        assert_eq!(report.metrics.lookup.ip_misses, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn periodic_snapshot_thread_writes_while_live() {
+        let dir = std::env::temp_dir().join("flowdns-pipeline-snapshot-periodic");
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("store.fdns");
+        let config = CorrelatorConfig {
+            snapshot_path: Some(path.to_string_lossy().into_owned()),
+            snapshot_interval: Duration::from_millis(100),
+            ..CorrelatorConfig::default()
+        };
+        let correlator = Correlator::start(config).unwrap();
+        for i in 0..10u8 {
+            correlator.push_dns(dns(1, "live.example", [198, 51, 100, i], 60));
+        }
+        // The background thread must write without any shutdown.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let stats = correlator.snapshot_stats();
+            if stats.snapshots_written >= 1 {
+                assert!(path.exists());
+                assert!(stats.last_write_age_secs.is_some());
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "periodic snapshot never appeared"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let report = correlator.finish().unwrap();
+        // Shutdown adds a final snapshot on top of the periodic ones.
+        assert!(report.metrics.snapshot.snapshots_written >= 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn warm_start_ages_snapshotted_state_by_process_downtime() {
+        let dir = std::env::temp_dir().join("flowdns-pipeline-snapshot-downtime");
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("store.fdns");
+        let config = CorrelatorConfig {
+            snapshot_path: Some(path.to_string_lossy().into_owned()),
+            snapshot_interval: Duration::ZERO,
+            ..CorrelatorConfig::default()
+        };
+        let first = Correlator::start(config.clone()).unwrap();
+        // One short-TTL record (Active map) and one long-TTL (Long map).
+        first.push_dns(dns(1, "short.example", [203, 0, 113, 1], 300));
+        first.push_dns(dns(1, "stable.example", [203, 0, 113, 2], 86_400));
+        first.finish().unwrap();
+
+        // Backdate the snapshot by two days, as if the process had been
+        // down that long; live record timestamps are wall-clock-derived,
+        // so the warm start must expire everything but the Long maps.
+        let file = std::fs::File::options().write(true).open(&path).unwrap();
+        file.set_modified(std::time::SystemTime::now() - Duration::from_secs(2 * 86_400))
+            .unwrap();
+        drop(file);
+
+        let second = Correlator::start(config).unwrap();
+        let stats = second.snapshot_stats();
+        assert!(stats.warm_started(), "{stats:?}");
+        // Only the Long entry survived the simulated outage.
+        assert_eq!(second.store().total_entries(), 1);
+        second.push_flow(flow(2, [203, 0, 113, 1], 1_000)); // expired
+        second.push_flow(flow(2, [203, 0, 113, 2], 1_000)); // long-lived
+        let report = second.finish().unwrap();
+        assert_eq!(report.metrics.lookup.ip_hits, 1);
+        assert_eq!(report.metrics.lookup.ip_misses, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_degrades_to_a_cold_start() {
+        let dir = std::env::temp_dir().join("flowdns-pipeline-snapshot-corrupt");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.fdns");
+        std::fs::write(&path, b"FDNSSNAPgarbage-not-a-snapshot").unwrap();
+        let config = CorrelatorConfig {
+            snapshot_path: Some(path.to_string_lossy().into_owned()),
+            snapshot_interval: Duration::ZERO,
+            ..CorrelatorConfig::default()
+        };
+        let correlator = Correlator::start(config).unwrap();
+        let stats = correlator.snapshot_stats();
+        assert!(!stats.warm_started());
+        assert!(
+            stats
+                .last_error
+                .as_deref()
+                .is_some_and(|e| e.contains("warm start")),
+            "expected a recorded warm-start error: {stats:?}"
+        );
+        // The pipeline still runs, and shutdown replaces the bad file.
+        correlator.push_dns(dns(1, "fresh.example", [203, 0, 113, 1], 60));
+        let report = correlator.finish().unwrap();
+        assert_eq!(report.metrics.snapshot.snapshots_written, 1);
+        assert!(flowdns_snapshot::read_snapshot(&path).is_ok());
         std::fs::remove_dir_all(&dir).ok();
     }
 

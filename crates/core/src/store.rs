@@ -33,14 +33,39 @@
 //! service attribution needs (the A record is keyed by the CDN edge name;
 //! following the chain recovers e.g. `www.netflix.com`).
 
+use std::collections::HashMap;
 use std::net::IpAddr;
 
+use flowdns_snapshot::{DnsStoreImage, SnapshotKey, StoreImage};
 use flowdns_storage::{
-    ExactTtlStore, Generation, MemoryEstimate, RotatingStore, RotationPolicy, SplitStore,
+    ExactTtlStore, Generation, GenerationsImage, MemoryEstimate, RotatingStore, RotationPolicy,
+    SplitStore,
 };
-use flowdns_types::{DomainName, IpKey, NameInterner, NameRef, SimTime};
+use flowdns_types::{DomainName, FlowDnsError, IpKey, NameInterner, NameRef, SimTime};
 
 use crate::config::{CorrelatorConfig, Variant};
+
+/// Builds the deduplicated name table of a snapshot: each distinct
+/// [`NameRef`] gets one index, assigned on first sight, so the on-disk
+/// image stores every name exactly once — mirroring the interner's
+/// one-allocation-per-name invariant.
+#[derive(Default)]
+struct NameTable {
+    names: Vec<String>,
+    index: HashMap<NameRef, u32>,
+}
+
+impl NameTable {
+    fn index_of(&mut self, name: &NameRef) -> u32 {
+        if let Some(&idx) = self.index.get(name) {
+            return idx;
+        }
+        let idx = self.names.len() as u32;
+        self.names.push(name.as_str().to_string());
+        self.index.insert(name.clone(), idx);
+        idx
+    }
+}
 
 /// The shared DNS storage used by one correlator instance.
 #[derive(Debug)]
@@ -191,6 +216,138 @@ impl DnsStore {
         est
     }
 
+    /// Export the store as a snapshot image for persistence: the
+    /// deduplicated name table, one generation triple per IP-NAME split,
+    /// the NAME-CNAME triple, and the rotation clocks.
+    ///
+    /// Returns `None` for the exact-TTL strawman — its validity depends
+    /// on per-entry expiry deadlines the store does not retain, so there
+    /// is nothing durable to write.
+    ///
+    /// The export reads each map shard under its read lock (never a
+    /// global lock), so it is safe to run from a background thread while
+    /// FillUp workers keep inserting; see
+    /// [`RotatingStore::export_image`] for the exact consistency
+    /// guarantee.
+    pub fn export_image(&self) -> Option<DnsStoreImage> {
+        if self.is_exact_ttl() {
+            return None;
+        }
+        let mut table = NameTable::default();
+        let ip_splits = self.ip_name.export_images();
+        let mut as_of = SimTime::ZERO;
+        let mut observe = |seen: Option<SimTime>| {
+            if let Some(seen) = seen {
+                as_of = as_of.max(seen);
+            }
+        };
+        let mut ip_name = Vec::with_capacity(ip_splits.len());
+        for split in ip_splits {
+            observe(split.last_seen_ts);
+            ip_name.push(StoreImage {
+                last_clear_ts: split.last_clear_ts,
+                last_seen_ts: split.last_seen_ts,
+                active: encode_ip_entries(split.active, &mut table),
+                inactive: encode_ip_entries(split.inactive, &mut table),
+                long: encode_ip_entries(split.long, &mut table),
+            });
+        }
+        let cname = self.name_cname.export_image();
+        observe(cname.last_seen_ts);
+        let name_cname = StoreImage {
+            last_clear_ts: cname.last_clear_ts,
+            last_seen_ts: cname.last_seen_ts,
+            active: encode_name_entries(cname.active, &mut table),
+            inactive: encode_name_entries(cname.inactive, &mut table),
+            long: encode_name_entries(cname.long, &mut table),
+        };
+        Some(DnsStoreImage {
+            as_of,
+            num_split: ip_name.len() as u32,
+            a_interval_secs: self.config.a_clear_up_interval.as_secs(),
+            c_interval_secs: self.config.c_clear_up_interval.as_secs(),
+            names: table.names,
+            ip_name,
+            name_cname,
+        })
+    }
+
+    /// Warm-start the store from a snapshot image, returning how many
+    /// entries survived the aging rules.
+    ///
+    /// The image's name table is interned once through this store's pool
+    /// (so the dedup invariant — one allocation per distinct name across
+    /// every generation — is reconstructed exactly), then each store's
+    /// generations are loaded and aged to `now`: generations older than
+    /// the rotation window are discarded, a one-window-old Active
+    /// demotes to Inactive, and the Long maps always survive (see
+    /// [`RotatingStore::import_image`]). `now` defaults to the image's
+    /// own [`DnsStoreImage::as_of`] — right for a quick restart, where
+    /// data time effectively stood still while the process was down.
+    ///
+    /// Errors if this store is the exact-TTL variant, if the split count
+    /// or clear-up intervals changed between runs (the aging math above
+    /// is only meaningful against the intervals the image was built
+    /// with), or if the image references names out of its table's
+    /// bounds.
+    pub fn import_image(
+        &self,
+        image: &DnsStoreImage,
+        now: Option<SimTime>,
+    ) -> Result<usize, FlowDnsError> {
+        if self.is_exact_ttl() {
+            return Err(FlowDnsError::Snapshot(
+                "the exact-TTL store variant cannot warm-start from a snapshot".into(),
+            ));
+        }
+        for (key, image_secs, config_secs) in [
+            (
+                "a_clear_up_interval",
+                image.a_interval_secs,
+                self.config.a_clear_up_interval.as_secs(),
+            ),
+            (
+                "c_clear_up_interval",
+                image.c_interval_secs,
+                self.config.c_clear_up_interval.as_secs(),
+            ),
+        ] {
+            if image_secs != config_secs {
+                return Err(FlowDnsError::Snapshot(format!(
+                    "snapshot was written with {key} = {image_secs} s, \
+                     this store is configured for {config_secs} s \
+                     (delete the snapshot to change intervals)"
+                )));
+            }
+        }
+        let now = now.unwrap_or(image.as_of);
+        let handles = self.names.import_names(&image.names);
+        let before = self.total_entries();
+        let mut splits = Vec::with_capacity(image.ip_name.len());
+        for split in &image.ip_name {
+            splits.push(GenerationsImage {
+                last_clear_ts: split.last_clear_ts,
+                last_seen_ts: split.last_seen_ts,
+                active: decode_ip_entries(&split.active, &handles)?,
+                inactive: decode_ip_entries(&split.inactive, &handles)?,
+                long: decode_ip_entries(&split.long, &handles)?,
+            });
+        }
+        self.ip_name.import_images(splits, now)?;
+        let cname = &image.name_cname;
+        self.name_cname.import_image(
+            GenerationsImage {
+                last_clear_ts: cname.last_clear_ts,
+                last_seen_ts: cname.last_seen_ts,
+                active: decode_name_entries(&cname.active, &handles)?,
+                inactive: decode_name_entries(&cname.inactive, &handles)?,
+                long: decode_name_entries(&cname.long, &handles)?,
+            },
+            now,
+        );
+        Ok(self.total_entries().saturating_sub(before))
+    }
+
     /// Number of clear-up rounds performed so far (0 for exact-TTL).
     pub fn clear_ups(&self) -> u64 {
         if self.is_exact_ttl() {
@@ -216,6 +373,72 @@ impl DnsStore {
             self.ip_name.stats().rotated_entries + self.name_cname.stats().rotated_entries
         }
     }
+}
+
+fn encode_ip_entries(
+    entries: Vec<(IpKey, NameRef)>,
+    table: &mut NameTable,
+) -> Vec<(SnapshotKey, u32)> {
+    entries
+        .into_iter()
+        .map(|(key, value)| (SnapshotKey::Ip(key), table.index_of(&value)))
+        .collect()
+}
+
+fn encode_name_entries(
+    entries: Vec<(NameRef, NameRef)>,
+    table: &mut NameTable,
+) -> Vec<(SnapshotKey, u32)> {
+    entries
+        .into_iter()
+        .map(|(key, value)| {
+            (
+                SnapshotKey::Name(table.index_of(&key)),
+                table.index_of(&value),
+            )
+        })
+        .collect()
+}
+
+fn resolve_name(handles: &[NameRef], idx: u32) -> Result<NameRef, FlowDnsError> {
+    handles.get(idx as usize).cloned().ok_or_else(|| {
+        FlowDnsError::Snapshot(format!(
+            "name index {idx} out of bounds (table has {} names)",
+            handles.len()
+        ))
+    })
+}
+
+fn decode_ip_entries(
+    entries: &[(SnapshotKey, u32)],
+    handles: &[NameRef],
+) -> Result<Vec<(IpKey, NameRef)>, FlowDnsError> {
+    entries
+        .iter()
+        .map(|(key, value)| match key {
+            SnapshotKey::Ip(ip) => Ok((*ip, resolve_name(handles, *value)?)),
+            SnapshotKey::Name(_) => Err(FlowDnsError::Snapshot(
+                "IP-NAME split contains a non-IP key".into(),
+            )),
+        })
+        .collect()
+}
+
+fn decode_name_entries(
+    entries: &[(SnapshotKey, u32)],
+    handles: &[NameRef],
+) -> Result<Vec<(NameRef, NameRef)>, FlowDnsError> {
+    entries
+        .iter()
+        .map(|(key, value)| match key {
+            SnapshotKey::Name(idx) => {
+                Ok((resolve_name(handles, *idx)?, resolve_name(handles, *value)?))
+            }
+            SnapshotKey::Ip(_) => Err(FlowDnsError::Snapshot(
+                "NAME-CNAME store contains an IP key".into(),
+            )),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -359,6 +582,109 @@ mod tests {
             s.lookup_cname(&edge, SimTime::ZERO).unwrap().0.as_str(),
             "service.example"
         );
+    }
+
+    #[test]
+    fn snapshot_round_trip_restores_lookups_and_dedup() {
+        let s = store(Variant::Main);
+        let ts = SimTime::from_secs(10);
+        s.insert_address(ip("203.0.113.9"), &name("edge7.cdn.example.net"), 60, ts);
+        s.insert_address(ip("203.0.113.10"), &name("edge7.cdn.example.net"), 60, ts);
+        s.insert_address(ip("2001:db8::7"), &name("v6.example"), 86_400, ts);
+        s.insert_cname(
+            &name("edge7.cdn.example.net"),
+            &name("www.shop.example"),
+            600,
+            ts,
+        );
+        let image = s.export_image().unwrap();
+        // The same name under two IPs (and as a CNAME key) is stored once.
+        assert_eq!(image.names.len(), 3);
+        assert_eq!(image.entry_count(), 4);
+        assert_eq!(image.as_of, ts);
+
+        let restored = store(Variant::Main);
+        let loaded = restored.import_image(&image, None).unwrap();
+        assert_eq!(loaded, 4);
+        assert_eq!(restored.interned_names(), 3);
+        let (a, gen_a) = restored.lookup_ip(ip("203.0.113.9"), ts).unwrap();
+        assert_eq!(a.as_str(), "edge7.cdn.example.net");
+        assert_eq!(gen_a, Generation::Active);
+        let (b, _) = restored.lookup_ip(ip("203.0.113.10"), ts).unwrap();
+        // Interner dedup reconstructed exactly: one allocation again.
+        assert!(NameRef::ptr_eq(&a, &b));
+        assert_eq!(
+            restored.lookup_ip(ip("2001:db8::7"), ts).unwrap().1,
+            Generation::Long
+        );
+        let (alias, _) = restored.lookup_cname(&a, ts).unwrap();
+        assert_eq!(alias.as_str(), "www.shop.example");
+    }
+
+    #[test]
+    fn import_ages_generations_past_the_rotation_window() {
+        let s = store(Variant::Main);
+        s.insert_address(ip("1.2.3.4"), &name("short.example"), 60, SimTime::ZERO);
+        s.insert_address(
+            ip("5.6.7.8"),
+            &name("stable.example"),
+            86_400,
+            SimTime::ZERO,
+        );
+        let image = s.export_image().unwrap();
+        let restored = store(Variant::Main);
+        // Restart a full day later: only the Long generation survives.
+        let now = SimTime::from_secs(86_400);
+        restored.import_image(&image, Some(now)).unwrap();
+        assert!(restored.lookup_ip(ip("1.2.3.4"), now).is_none());
+        assert_eq!(
+            restored.lookup_ip(ip("5.6.7.8"), now).unwrap().0.as_str(),
+            "stable.example"
+        );
+    }
+
+    #[test]
+    fn exact_ttl_variant_has_no_snapshot() {
+        let s = store(Variant::ExactTtl);
+        assert!(s.export_image().is_none());
+        let donor = store(Variant::Main);
+        donor.insert_address(ip("1.1.1.1"), &name("a.example"), 60, SimTime::ZERO);
+        let image = donor.export_image().unwrap();
+        assert!(matches!(
+            s.import_image(&image, None),
+            Err(FlowDnsError::Snapshot(_))
+        ));
+    }
+
+    #[test]
+    fn import_rejects_changed_split_counts() {
+        let s = store(Variant::Main); // 10 splits
+        s.insert_address(ip("1.1.1.1"), &name("a.example"), 60, SimTime::ZERO);
+        let image = s.export_image().unwrap();
+        let single = store(Variant::NoSplit); // 1 split
+        assert!(matches!(
+            single.import_image(&image, None),
+            Err(FlowDnsError::Snapshot(_))
+        ));
+    }
+
+    #[test]
+    fn import_rejects_changed_clear_up_intervals() {
+        let s = store(Variant::Main);
+        s.insert_address(ip("1.1.1.1"), &name("a.example"), 60, SimTime::ZERO);
+        let image = s.export_image().unwrap();
+        // The aging rules are computed against the exporting intervals;
+        // a reconfigured store must reject the file, not misage it.
+        let shorter = DnsStore::new(&CorrelatorConfig {
+            a_clear_up_interval: flowdns_types::SimDuration::from_secs(60),
+            ..CorrelatorConfig::default()
+        });
+        match shorter.import_image(&image, None) {
+            Err(FlowDnsError::Snapshot(msg)) => {
+                assert!(msg.contains("a_clear_up_interval"), "{msg}")
+            }
+            other => panic!("expected interval rejection, got {other:?}"),
+        }
     }
 
     #[test]

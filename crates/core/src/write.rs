@@ -11,7 +11,7 @@
 //! single-threaded `&mut self` objects and no lock sits on the
 //! per-record write path. The old `SharedWriter` (one mutexed sink shared
 //! by every worker) is gone; see `pipeline.rs` for the worker loop and
-//! CHANGES.md for migration notes.
+//! `docs/MIGRATION.md` for migration notes.
 
 use std::fs::File;
 use std::io::{BufWriter, Write as IoWrite};

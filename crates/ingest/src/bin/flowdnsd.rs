@@ -90,6 +90,41 @@ fn main() {
             window.as_secs()
         );
     }
+    if let Some(path) = &config.correlator.snapshot_path {
+        if runtime.correlator().store().is_exact_ttl() {
+            // Be honest with the operator: the exact-TTL strawman store
+            // has nothing durable to write, so a configured path gives
+            // no restart protection at all.
+            eprintln!(
+                "flowdnsd: snapshot_path is set but the ExactTTL store variant \
+                 has no durable state — snapshots are disabled"
+            );
+        } else {
+            let stats = runtime.correlator().snapshot_stats();
+            if stats.warm_started() {
+                eprintln!(
+                    "flowdnsd: warm start — {} store entries restored from {path}",
+                    stats.warm_start_entries
+                );
+            } else {
+                match &stats.last_error {
+                    // A torn/corrupt snapshot is rejected by its checksum
+                    // and the daemon serves cold rather than refusing to
+                    // start.
+                    Some(error) => eprintln!("flowdnsd: cold start — {error}"),
+                    None => eprintln!("flowdnsd: cold start — no snapshot at {path} yet"),
+                }
+            }
+            if config.correlator.snapshot_interval.is_zero() {
+                eprintln!("flowdnsd: snapshotting store to {path} at shutdown only");
+            } else {
+                eprintln!(
+                    "flowdnsd: snapshotting store to {path} every {} s",
+                    config.correlator.snapshot_interval.as_secs()
+                );
+            }
+        }
+    }
 
     // Shutdown watcher: stdin EOF or an explicit quit/stop line. The
     // thread is detached on purpose — if the duration path wins, a thread
@@ -160,6 +195,14 @@ fn main() {
                 pipeline.peak_memory.entries,
                 pipeline.peak_memory.total_gb(),
             );
+            if config.correlator.snapshot_path.is_some()
+                && !runtime.correlator().store().is_exact_ttl()
+            {
+                eprintln!("flowdnsd: snapshots: {}", pipeline.snapshot.summary_line());
+                if let Some(error) = &pipeline.snapshot.last_error {
+                    eprintln!("flowdnsd: snapshot error: {error}");
+                }
+            }
         }
     }
 

@@ -4,9 +4,10 @@
 //! `flowdnsd` reads a single small file describing the whole deployment:
 //! the ingest keys documented on [`IngestConfig`] are consumed here, and
 //! every remaining line is handed to
-//! [`CorrelatorConfig::from_config_text`], so worker counts, queue sizes
-//! and store intervals use exactly the vocabulary the offline tools
-//! already understand.
+//! [`CorrelatorConfig::from_config_text`], so worker counts, queue sizes,
+//! store intervals and snapshot persistence use exactly the vocabulary
+//! the offline tools already understand. The complete key reference —
+//! every key with defaults and units — lives in `docs/CONFIG.md`.
 
 use std::net::SocketAddr;
 use std::time::Duration;

@@ -3,9 +3,10 @@
 //! A v9 packet is a 20-byte header followed by *flowsets*. A template
 //! flowset (id 0) announces templates; a data flowset (id ≥ 256) carries
 //! records laid out according to a previously announced template. The
-//! [`V9Parser`] keeps a [`TemplateCache`] across packets, exactly like a
-//! real collector, so data flowsets arriving before their templates are
-//! counted instead of crashing the parse.
+//! [`V9Parser`] keeps a [`TemplateCache`](crate::template::TemplateCache)
+//! across packets, exactly like a real collector, so data flowsets
+//! arriving before their templates are counted instead of crashing the
+//! parse.
 
 use std::collections::BTreeMap;
 use std::net::IpAddr;

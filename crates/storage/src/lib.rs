@@ -35,6 +35,6 @@ pub mod split;
 pub use exact_ttl::ExactTtlStore;
 pub use keys::{StoreKey, StoreValue};
 pub use memory::MemoryEstimate;
-pub use rotating::{Generation, RotatingStore, RotationPolicy};
+pub use rotating::{Generation, GenerationsImage, RotatingStore, RotationPolicy};
 pub use sharded::ShardedMap;
 pub use split::SplitStore;

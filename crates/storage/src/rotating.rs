@@ -24,6 +24,35 @@ use crate::keys::{StoreKey, StoreValue};
 use crate::memory::MemoryEstimate;
 use crate::sharded::ShardedMap;
 
+/// A plain-data picture of one rotating store: the three generation maps
+/// as entry lists plus the rotation clock. This is the storage half of
+/// the snapshot/warm-restart path — `flowdns-snapshot` defines the byte
+/// format, this type carries live keys and values between a store and
+/// the codec.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GenerationsImage<K, V> {
+    /// When the store last cleared up, in data time (`None`: never; the
+    /// clock arms at the first inserted record).
+    pub last_clear_ts: Option<SimTime>,
+    /// The latest data timestamp the store observed (`None`: no record
+    /// or `observe_time` call yet, or a store that never clears up —
+    /// those skip the clock entirely, and their import skips aging).
+    pub last_seen_ts: Option<SimTime>,
+    /// Entries of the Active generation.
+    pub active: Vec<(K, V)>,
+    /// Entries of the Inactive generation.
+    pub inactive: Vec<(K, V)>,
+    /// Entries of the Long generation.
+    pub long: Vec<(K, V)>,
+}
+
+impl<K, V> GenerationsImage<K, V> {
+    /// Total entries across the three generations.
+    pub fn entry_count(&self) -> usize {
+        self.active.len() + self.inactive.len() + self.long.len()
+    }
+}
+
 /// Which generation a lookup hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Generation {
@@ -116,6 +145,9 @@ pub struct RotatingStore<K: StoreKey, V: StoreValue> {
 #[derive(Debug, Clone, Copy)]
 struct ClockState {
     last_clear_ts: Option<SimTime>,
+    /// Latest data timestamp observed — exported with snapshots so a
+    /// warm restart knows how old the image is in data time.
+    last_seen_ts: Option<SimTime>,
 }
 
 impl<K: StoreKey, V: StoreValue> RotatingStore<K, V> {
@@ -128,6 +160,7 @@ impl<K: StoreKey, V: StoreValue> RotatingStore<K, V> {
             long: ShardedMap::new(shards),
             state: Mutex::new(ClockState {
                 last_clear_ts: None,
+                last_seen_ts: None,
             }),
             stats: Mutex::new(RotatingStoreStats::default()),
         }
@@ -164,9 +197,16 @@ impl<K: StoreKey, V: StoreValue> RotatingStore<K, V> {
 
     fn maybe_clear_up(&self, ts: SimTime) {
         if !self.policy.clear_up {
+            // Keep the pre-snapshot fast path: a store that never clears
+            // up (the NoClearUp variant) takes no clock lock per record.
+            // Its snapshot aging is skipped on import anyway, so not
+            // tracking last_seen_ts costs nothing.
             return;
         }
         let mut state = self.state.lock();
+        if state.last_seen_ts.map_or(true, |last| ts > last) {
+            state.last_seen_ts = Some(ts);
+        }
         match state.last_clear_ts {
             None => {
                 state.last_clear_ts = Some(ts);
@@ -243,6 +283,141 @@ impl<K: StoreKey, V: StoreValue> RotatingStore<K, V> {
     /// Statistics snapshot.
     pub fn stats(&self) -> RotatingStoreStats {
         *self.stats.lock()
+    }
+
+    /// Export the store's generations and clock as a plain-data image.
+    ///
+    /// The export walks each map shard under its *read* lock — concurrent
+    /// inserts are never blocked globally, so this is safe to call from a
+    /// background snapshot thread against a live store. The image is a
+    /// point-in-time-ish view: entries inserted while the walk is in
+    /// flight may or may not appear, which is exactly the guarantee a
+    /// periodic snapshot needs (the next snapshot catches them).
+    ///
+    /// Generation *boundaries* are exact, though: if a clear-up rotates
+    /// the maps mid-walk (which would duplicate the Active contents into
+    /// both the active and inactive sections of the image, resurrecting
+    /// them a generation fresher than the truth), the walk is retried.
+    /// Clear-ups happen at most once per `clear_up_interval` of data
+    /// time, so a retry is vanishingly rare; after a few collisions the
+    /// export falls back to holding the clock lock, which keeps clear-up
+    /// (and inserts) out for one final walk.
+    pub fn export_image(&self) -> GenerationsImage<K, V> {
+        let collect = |map: &ShardedMap<K, V>| {
+            map.fold(Vec::with_capacity(map.len()), |mut acc, k, v| {
+                acc.push((k.clone(), v.clone()));
+                acc
+            })
+        };
+        for _ in 0..3 {
+            // Read the clear-up counter *under the clock lock*: rotations
+            // run entirely inside that lock, so an unchanged counter at
+            // both fence points proves no rotation overlapped the walk.
+            let (clock, clear_ups_before) = {
+                let state = self.state.lock();
+                (*state, self.stats.lock().clear_ups)
+            };
+            let image = GenerationsImage {
+                last_clear_ts: clock.last_clear_ts,
+                last_seen_ts: clock.last_seen_ts,
+                active: collect(&self.active),
+                inactive: collect(&self.inactive),
+                long: collect(&self.long),
+            };
+            let clear_ups_after = {
+                let _state = self.state.lock();
+                self.stats.lock().clear_ups
+            };
+            if clear_ups_after == clear_ups_before {
+                return image;
+            }
+        }
+        // Pathological clock churn: take the clock lock so no clear-up
+        // can run during this walk (inserts block on the same lock in
+        // `maybe_clear_up`, so this is a bounded, last-resort stall).
+        let state = self.state.lock();
+        GenerationsImage {
+            last_clear_ts: state.last_clear_ts,
+            last_seen_ts: state.last_seen_ts,
+            active: collect(&self.active),
+            inactive: collect(&self.inactive),
+            long: collect(&self.long),
+        }
+    }
+
+    /// Import an image exported earlier, aging its generations to `now`
+    /// (data time) so TTL/rotation semantics survive the round trip:
+    ///
+    /// * less than one `clear_up_interval` since the image's last
+    ///   clear-up: all three generations load verbatim and the rotation
+    ///   clock resumes where it left off;
+    /// * between one and two intervals: the snapshotted Active generation
+    ///   would have been rotated by now, so it loads as Inactive, the
+    ///   snapshotted Inactive is discarded, and the clock restarts at
+    ///   `now`;
+    /// * two intervals or more: only the Long generation (which a live
+    ///   store never clears) survives.
+    ///
+    /// Policy switches are honored: without `rotation` nothing is demoted
+    /// (stale Active entries are simply dropped), without `long_maps` the
+    /// image's Long entries join the Active generation, and without
+    /// `clear_up` everything loads verbatim. Entries land *on top of* any
+    /// current contents; importing into a freshly built store (the warm
+    /// restart path) reproduces the exported state exactly when `now` is
+    /// within the rotation window.
+    pub fn import_image(&self, image: GenerationsImage<K, V>, now: SimTime) {
+        let GenerationsImage {
+            last_clear_ts,
+            last_seen_ts,
+            mut active,
+            inactive,
+            mut long,
+        } = image;
+        if !self.policy.long_maps {
+            // No Long maps: those entries live (and die) with Active.
+            active.append(&mut long);
+        }
+        let anchor = last_clear_ts.or(last_seen_ts);
+        let elapsed = match (self.policy.clear_up, anchor) {
+            (false, _) | (_, None) => SimDuration::ZERO,
+            (true, Some(anchor)) => now.saturating_since(anchor),
+        };
+        let interval = self.policy.clear_up_interval;
+        let mut state = self.state.lock();
+        if state.last_seen_ts.map_or(true, |cur| cur < now) {
+            state.last_seen_ts = Some(now);
+        }
+        if elapsed < interval {
+            // Same window: restore verbatim and resume the clock.
+            for (k, v) in active {
+                self.active.insert(k, v);
+            }
+            if self.policy.rotation {
+                for (k, v) in inactive {
+                    self.inactive.insert(k, v);
+                }
+            }
+            if state.last_clear_ts.is_none() {
+                state.last_clear_ts = anchor;
+            }
+        } else if self.policy.rotation && elapsed < interval + interval {
+            // One missed rotation: the old Active is now the Inactive
+            // generation; the old Inactive aged out.
+            for (k, v) in active {
+                self.inactive.insert(k, v);
+            }
+            if state.last_clear_ts.map_or(true, |cur| cur < now) {
+                state.last_clear_ts = Some(now);
+            }
+        } else {
+            // Older than the rotation window: short-TTL state is stale.
+            if state.last_clear_ts.map_or(true, |cur| cur < now) {
+                state.last_clear_ts = Some(now);
+            }
+        }
+        for (k, v) in long {
+            self.long.insert(k, v);
+        }
     }
 
     /// Estimate the memory held by the store.
@@ -445,6 +620,113 @@ mod tests {
             "second.example".to_string()
         );
         assert_eq!(store.total_entries(), 1);
+    }
+
+    #[test]
+    fn export_import_round_trips_within_the_window() {
+        let store: RotatingStore<String, String> = RotatingStore::new(policy(3600), 4);
+        store.insert("a".into(), "v-a".into(), 60, SimTime::from_secs(0));
+        store.insert("b".into(), "v-b".into(), 86_400, SimTime::from_secs(10));
+        store.insert("c".into(), "v-c".into(), 60, SimTime::from_secs(3600)); // rotates a
+        let image = store.export_image();
+        assert_eq!(image.entry_count(), 3);
+        assert_eq!(image.last_clear_ts, Some(SimTime::from_secs(3600)));
+        assert_eq!(image.last_seen_ts, Some(SimTime::from_secs(3600)));
+
+        // Restart within the same window: every generation survives.
+        let restored: RotatingStore<String, String> = RotatingStore::new(policy(3600), 8);
+        restored.import_image(image.clone(), SimTime::from_secs(3700));
+        assert_eq!(
+            restored.lookup("a"),
+            Some(("v-a".into(), Generation::Inactive))
+        );
+        assert_eq!(restored.lookup("b"), Some(("v-b".into(), Generation::Long)));
+        assert_eq!(
+            restored.lookup("c"),
+            Some(("v-c".into(), Generation::Active))
+        );
+        // The rotation clock resumed: the next clear-up comes one interval
+        // after the snapshot's last clear-up, not after the import.
+        restored.observe_time(SimTime::from_secs(7200));
+        assert_eq!(restored.lookup("c").unwrap().1, Generation::Inactive);
+        assert_eq!(restored.lookup("a"), None);
+    }
+
+    #[test]
+    fn import_ages_one_missed_rotation() {
+        let store: RotatingStore<String, String> = RotatingStore::new(policy(3600), 4);
+        store.insert("act".into(), "v".into(), 60, SimTime::from_secs(0));
+        store.insert("inact".into(), "v".into(), 60, SimTime::from_secs(3600));
+        store.insert("long".into(), "v".into(), 86_400, SimTime::from_secs(3601));
+        // "inact" is Active, "act" is Inactive in the image.
+        let image = store.export_image();
+        let restored: RotatingStore<String, String> = RotatingStore::new(policy(3600), 4);
+        // Restart 1.5 intervals after the last clear-up: the snapshotted
+        // Active demotes to Inactive, the snapshotted Inactive ages out.
+        restored.import_image(image, SimTime::from_secs(3600 + 5400));
+        assert_eq!(
+            restored.lookup("inact"),
+            Some(("v".into(), Generation::Inactive))
+        );
+        assert_eq!(restored.lookup("act"), None);
+        assert_eq!(restored.lookup("long").unwrap().1, Generation::Long);
+    }
+
+    #[test]
+    fn import_of_a_stale_image_keeps_only_long() {
+        let store: RotatingStore<String, String> = RotatingStore::new(policy(3600), 4);
+        store.insert("short".into(), "v".into(), 60, SimTime::from_secs(0));
+        store.insert("stable".into(), "v".into(), 86_400, SimTime::from_secs(1));
+        let image = store.export_image();
+        let restored: RotatingStore<String, String> = RotatingStore::new(policy(3600), 4);
+        restored.import_image(image, SimTime::from_secs(50_000));
+        assert_eq!(restored.lookup("short"), None);
+        assert_eq!(
+            restored.lookup("stable"),
+            Some(("v".into(), Generation::Long))
+        );
+    }
+
+    #[test]
+    fn import_honors_policy_switches() {
+        let store: RotatingStore<String, String> = RotatingStore::new(policy(3600), 4);
+        store.insert("a".into(), "v".into(), 60, SimTime::from_secs(0));
+        store.insert("l".into(), "v".into(), 86_400, SimTime::from_secs(1));
+        let image = store.export_image();
+
+        // No Long maps: the Long entry joins Active.
+        let mut p = policy(3600);
+        p.long_maps = false;
+        let no_long: RotatingStore<String, String> = RotatingStore::new(p, 4);
+        no_long.import_image(image.clone(), SimTime::from_secs(100));
+        assert_eq!(no_long.lookup("l").unwrap().1, Generation::Active);
+        assert_eq!(no_long.entry_counts(), (2, 0, 0));
+
+        // No rotation: a one-interval-old Active cannot demote; it drops.
+        let mut p = policy(3600);
+        p.rotation = false;
+        let no_rot: RotatingStore<String, String> = RotatingStore::new(p, 4);
+        no_rot.import_image(image.clone(), SimTime::from_secs(5400));
+        assert_eq!(no_rot.lookup("a"), None);
+        assert_eq!(no_rot.lookup("l").unwrap().1, Generation::Long);
+
+        // No clear-up: age is irrelevant, everything loads.
+        let mut p = policy(3600);
+        p.clear_up = false;
+        let no_clear: RotatingStore<String, String> = RotatingStore::new(p, 4);
+        no_clear.import_image(image, SimTime::from_secs(1_000_000));
+        assert!(no_clear.lookup("a").is_some());
+        assert!(no_clear.lookup("l").is_some());
+    }
+
+    #[test]
+    fn export_does_not_disturb_the_live_store() {
+        let store: RotatingStore<String, String> = RotatingStore::new(policy(3600), 4);
+        store.insert("k".into(), "v".into(), 60, SimTime::from_secs(0));
+        let before = store.stats();
+        let _ = store.export_image();
+        assert_eq!(store.stats(), before);
+        assert_eq!(store.lookup("k").unwrap().1, Generation::Active);
     }
 
     #[test]

@@ -10,11 +10,13 @@
 use std::borrow::Borrow;
 use std::hash::Hash;
 
-use flowdns_types::SimTime;
+use flowdns_types::{FlowDnsError, SimTime};
 
 use crate::keys::{StoreKey, StoreValue};
 use crate::memory::MemoryEstimate;
-use crate::rotating::{Generation, RotatingStore, RotatingStoreStats, RotationPolicy};
+use crate::rotating::{
+    Generation, GenerationsImage, RotatingStore, RotatingStoreStats, RotationPolicy,
+};
 
 /// The paper's empirically chosen number of splits.
 pub const DEFAULT_NUM_SPLIT: usize = 10;
@@ -109,6 +111,39 @@ impl<K: StoreKey, V: StoreValue> SplitStore<K, V> {
             agg.misses += s.misses;
         }
         agg
+    }
+
+    /// Export every split's generations, in split-label order (index `i`
+    /// of the result is split `i`'s image). Each split exports under its
+    /// own shard read locks; the live store is never globally blocked.
+    pub fn export_images(&self) -> Vec<GenerationsImage<K, V>> {
+        self.splits.iter().map(|s| s.export_image()).collect()
+    }
+
+    /// Import previously exported split images, aging each split's
+    /// generations to `now` (see [`RotatingStore::import_image`]).
+    ///
+    /// The image count must equal this store's split count: the label
+    /// function is deterministic, so entries keep their split membership
+    /// across restarts — but an image from a differently-split deployment
+    /// cannot be mapped generation-by-generation and is rejected.
+    pub fn import_images(
+        &self,
+        images: Vec<GenerationsImage<K, V>>,
+        now: SimTime,
+    ) -> Result<(), FlowDnsError> {
+        if images.len() != self.splits.len() {
+            return Err(FlowDnsError::Snapshot(format!(
+                "snapshot has {} splits, this store is configured for {} \
+                 (num_split changed between runs?)",
+                images.len(),
+                self.splits.len()
+            )));
+        }
+        for (split, image) in self.splits.iter().zip(images) {
+            split.import_image(image, now);
+        }
+        Ok(())
     }
 
     /// Aggregate memory estimate across splits.
@@ -216,6 +251,45 @@ mod tests {
         assert_eq!(stats.hits.0, 1);
         assert_eq!(stats.misses, 1);
         assert_eq!(s.memory_estimate().entries, 2);
+    }
+
+    #[test]
+    fn export_import_preserves_split_membership() {
+        let s = store(10);
+        for i in 0..200 {
+            s.insert(
+                format!("198.51.100.{i}"),
+                format!("host{i}.example"),
+                if i % 3 == 0 { 86_400 } else { 60 },
+                SimTime::from_secs(10),
+            );
+        }
+        let images = s.export_images();
+        assert_eq!(images.len(), 10);
+        assert_eq!(images.iter().map(|i| i.entry_count()).sum::<usize>(), 200);
+
+        let restored = store(10);
+        restored
+            .import_images(images, SimTime::from_secs(20))
+            .unwrap();
+        assert_eq!(restored.total_entries(), 200);
+        for i in 0..200 {
+            let key = format!("198.51.100.{i}");
+            // Same label function, so the entry is found via its split.
+            assert_eq!(restored.lookup(&key).unwrap().0, format!("host{i}.example"),);
+        }
+    }
+
+    #[test]
+    fn import_rejects_mismatched_split_counts() {
+        let s = store(10);
+        s.insert("a".into(), "v".into(), 60, SimTime::ZERO);
+        let images = s.export_images();
+        let other = store(4);
+        assert!(matches!(
+            other.import_images(images, SimTime::ZERO),
+            Err(flowdns_types::FlowDnsError::Snapshot(_))
+        ));
     }
 
     #[test]

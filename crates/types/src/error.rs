@@ -19,6 +19,9 @@ pub enum FlowDnsError {
     PipelineState(String),
     /// An I/O error, stringified (std::io::Error is not Clone/PartialEq).
     Io(String),
+    /// A store snapshot file could not be decoded (bad magic, unsupported
+    /// version, checksum mismatch, or truncated payload).
+    Snapshot(String),
 }
 
 impl fmt::Display for FlowDnsError {
@@ -30,6 +33,7 @@ impl fmt::Display for FlowDnsError {
             FlowDnsError::Config(msg) => write!(f, "configuration error: {msg}"),
             FlowDnsError::PipelineState(msg) => write!(f, "pipeline state error: {msg}"),
             FlowDnsError::Io(msg) => write!(f, "I/O error: {msg}"),
+            FlowDnsError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
         }
     }
 }

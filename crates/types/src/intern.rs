@@ -145,6 +145,19 @@ struct Shard {
 /// mark, dropping entries whose only remaining reference is the pool
 /// itself, so the pool tracks the live population of the stores feeding
 /// from it.
+///
+/// # Examples
+///
+/// ```
+/// use flowdns_types::{NameInterner, NameRef};
+///
+/// let pool = NameInterner::new();
+/// let a = pool.intern("edge7.cdn.example.net");
+/// let b = pool.intern("edge7.cdn.example.net");
+/// // One allocation backs every copy of a pooled name.
+/// assert!(NameRef::ptr_eq(&a, &b));
+/// assert_eq!(pool.len(), 1);
+/// ```
 #[derive(Debug)]
 pub struct NameInterner {
     shards: Vec<RwLock<Shard>>,
@@ -216,6 +229,23 @@ impl NameInterner {
             shard.purge_at = (shard.names.len() * 2).max(PURGE_HIGH_WATER);
         }
         NameRef(arc)
+    }
+
+    /// Bulk-intern a sequence of names, returning the pooled handle for
+    /// each input in order. This is the import half of the
+    /// snapshot/warm-restart path: a snapshot's name table is interned
+    /// once, and every stored entry then resolves its name index to the
+    /// *same* handle — so the dedup invariant (one allocation per distinct
+    /// name) is reconstructed exactly.
+    pub fn import_names<I, S>(&self, names: I) -> Vec<NameRef>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        names
+            .into_iter()
+            .map(|name| self.intern(name.as_ref()))
+            .collect()
     }
 
     /// Drop every pooled name whose only reference is the pool itself.
@@ -312,6 +342,22 @@ mod tests {
         assert_eq!(removed, 1);
         assert_eq!(pool.len(), 1);
         assert!(NameRef::ptr_eq(&kept, &pool.intern("kept.example")));
+    }
+
+    #[test]
+    fn bulk_import_reconstructs_dedup() {
+        // The snapshot warm-start path: a name table is bulk-interned and
+        // every later resolution of the same text must share the pooled
+        // allocation.
+        let restored = NameInterner::with_shards(4);
+        let texts = ["a.example".to_string(), "b.example".to_string()];
+        let handles = restored.import_names(&texts);
+        assert_eq!(handles.len(), 2);
+        assert_eq!(restored.len(), 2);
+        // Re-importing the same name yields the same handle (dedup).
+        let again = restored.import_names(texts.iter().take(1));
+        assert!(NameRef::ptr_eq(&handles[0], &again[0]));
+        assert!(NameRef::ptr_eq(&handles[0], &restored.intern("a.example")));
     }
 
     #[test]

@@ -17,6 +17,23 @@ use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 /// `IpKey` preserves the address family: an IPv4-mapped IPv6 address
 /// (`::ffff:a.b.c.d`) stays V6, so the round trip `IpAddr → IpKey →
 /// IpAddr` is exact for every address.
+///
+/// # Examples
+///
+/// ```
+/// use flowdns_types::IpKey;
+/// use std::net::IpAddr;
+///
+/// let ip: IpAddr = "203.0.113.9".parse().unwrap();
+/// let key = IpKey::from_ip(ip);
+/// assert!(key.is_v4());
+/// assert_eq!(key.to_ip(), ip);           // exact round trip
+/// assert_eq!(key.encoded_len(), 4);      // 4 payload bytes, not a String
+///
+/// // The v6-mapped form of the same address is a *different* key.
+/// let mapped: IpAddr = "::ffff:203.0.113.9".parse().unwrap();
+/// assert_ne!(IpKey::from_ip(mapped), key);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum IpKey {
     /// An IPv4 address as its 32 big-endian bits.

@@ -13,6 +13,8 @@
 //! * [`netflow`] — NetFlow v5/v9 and IPFIX-subset codecs,
 //! * [`stream`] — bounded lossy stream buffers and pacing,
 //! * [`storage`] — sharded, rotating DNS stores,
+//! * [`snapshot`] — the durable store snapshot format behind
+//!   `flowdnsd`'s warm restarts,
 //! * [`core`] — the FillUp/LookUp/Write correlation pipeline,
 //! * [`ingest`] — live socket ingestion (UDP NetFlow, TCP DNS feed) and
 //!   the `flowdnsd` daemon,
@@ -79,6 +81,7 @@ pub use flowdns_dns as dns;
 pub use flowdns_gen as gen;
 pub use flowdns_ingest as ingest;
 pub use flowdns_netflow as netflow;
+pub use flowdns_snapshot as snapshot;
 pub use flowdns_storage as storage;
 pub use flowdns_stream as stream;
 pub use flowdns_types as types;
