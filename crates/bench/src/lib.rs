@@ -13,6 +13,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod saturation;
+
 use flowdns_analysis::CategoryAnalysis;
 use flowdns_bgp::{AsnView, RoutingTable};
 use flowdns_core::simulate::Event;

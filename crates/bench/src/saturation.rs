@@ -1,0 +1,999 @@
+//! The ingest saturation harness behind `exp_saturation`.
+//!
+//! Measures the live wire-to-queue path the way the paper frames its
+//! core claim (keeping up with ~1M flows/s at a large ISP): a loopback
+//! [`IngestRuntime`] is driven with pre-encoded NetFlow v5 datagrams at
+//! stepped offered loads until it shows sustained drop, and each step
+//! records accepted records/s, drop rate, and the sampled p50/p99
+//! residency of the LookUp ingress queue. The whole procedure runs
+//! twice — once with the batched drain path (`recv_batch > 1`, listener
+//! group) and once with the per-datagram baseline (`recv_batch = 1`,
+//! single listener, the seed's design) — and the ratio of the two peak
+//! accepted rates is the tracked `speedup_vs_baseline`.
+//!
+//! The result serializes to `BENCH_saturation.json` (schema
+//! `flowdns-bench/saturation/v1`, documented field-by-field in
+//! `docs/PERFORMANCE.md`); [`validate_json`] is the structural checker
+//! CI runs against the committed file, rejecting missing keys, empty
+//! step lists, and non-finite numbers.
+//!
+//! Everything here measures *wall-clock* behaviour of real sockets and
+//! threads, unlike the Criterion benches, which measure in-process
+//! function costs — see the methodology note in `docs/PERFORMANCE.md`.
+
+use std::io::Write as IoWrite;
+use std::net::{SocketAddr, TcpStream, UdpSocket};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use flowdns_dns::framing::FrameEncoder;
+use flowdns_gen::workload::saturation_pool;
+use flowdns_ingest::{DaemonConfig, IngestRuntime, IngestSnapshot};
+use flowdns_netflow::{V5Header, V5Packet, V5Record, V5_MAX_RECORDS};
+use flowdns_types::{DnsRecord, FlowDnsError, SimTime};
+
+/// Hard cap on flow records per pre-encoded datagram (the v5 wire
+/// maximum); the effective count is [`SaturationConfig::records_per_datagram`].
+pub const MAX_RECORDS_PER_DATAGRAM: usize = V5_MAX_RECORDS;
+/// Pause after each step's senders stop, letting the kernel socket
+/// queue drain before the closing snapshot is taken.
+const DRAIN_PAUSE: Duration = Duration::from_millis(300);
+/// Bisection steps used to refine the saturation knee once the stepped
+/// ladder overshoots the drop limit.
+const REFINE_STEPS: usize = 4;
+/// Most datagrams one sender pacing iteration hands to `sendmmsg(2)`.
+const SEND_BURST: usize = 32;
+/// Sender pacing tick. Kept small so per-tick bursts stay well inside
+/// the default kernel socket buffer even near the saturation point.
+const PACING_TICK: Duration = Duration::from_millis(1);
+/// DNS records timestamp (store side) and flow export time: 100 s apart,
+/// comfortably inside the default clear-up interval, so every flow's
+/// source address is a store hit.
+const DNS_TS_SECS: u64 = 900;
+const FLOW_TS_SECS: u32 = 1000;
+
+/// Parameters of one harness invocation.
+#[derive(Debug, Clone)]
+pub struct SaturationConfig {
+    /// `true` for the CI smoke mode (seconds, not minutes, of runtime).
+    pub smoke: bool,
+    /// NetFlow `SO_REUSEPORT` group size of the batched run.
+    pub netflow_listeners: usize,
+    /// Drain bound of the batched run (the baseline always uses 1).
+    pub recv_batch: usize,
+    /// LookUp worker threads.
+    pub lookup_workers: usize,
+    /// Sender threads driving the offered load.
+    pub senders: usize,
+    /// Duration of each offered-load step.
+    pub step: Duration,
+    /// Distinct (name, address) pairs preloaded into the DNS store.
+    pub dns_entries: usize,
+    /// Flow records per NetFlow datagram, 1..=[`MAX_RECORDS_PER_DATAGRAM`].
+    /// Real exporters flush export packets on timers, so partial
+    /// datagrams are the norm at an ISP edge with many routers; a small
+    /// value stresses the per-datagram path the batching work targets.
+    pub records_per_datagram: usize,
+    /// First step's offered load, records/s.
+    pub initial_rate: f64,
+    /// Multiplier between steps.
+    pub growth: f64,
+    /// Hard cap on steps per run.
+    pub max_steps: usize,
+    /// A step whose drop rate exceeds this (percent) ends the run.
+    pub drop_limit_pct: f64,
+    /// Attempts per step before declaring it over the drop limit. Loss
+    /// has no negative direction — scheduler noise can only *inflate* a
+    /// step's drop rate — so the best of N trials is the honest reading
+    /// and retries filter transient interference on shared hosts.
+    pub trials: usize,
+}
+
+/// Listener count for the batched run: one per core, capped at 4. The
+/// `SO_REUSEPORT` group exists to spread load across cores, so on a
+/// single-core CI box one listener is correct — extra listener threads
+/// there only add scheduler churn and would make the batched run *slower*
+/// than the baseline for reasons unrelated to the drain path under test.
+fn listeners_for_host() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4)
+}
+
+impl SaturationConfig {
+    /// The full measurement mode: steps until sustained drop.
+    pub fn full() -> Self {
+        // Thread counts are deliberately lean: the harness usually runs
+        // inside small CI boxes (often a single core), where extra
+        // listener and worker threads only add scheduler churn. On big
+        // multi-core hosts, raising `netflow_listeners`, `senders`, and
+        // `lookup_workers` together scales the measured ceiling up.
+        SaturationConfig {
+            smoke: false,
+            netflow_listeners: listeners_for_host(),
+            recv_batch: 32,
+            lookup_workers: 2,
+            senders: 1,
+            step: Duration::from_secs(2),
+            dns_entries: 4096,
+            records_per_datagram: 5,
+            initial_rate: 50_000.0,
+            growth: 1.5,
+            max_steps: 14,
+            drop_limit_pct: 1.0,
+            trials: 3,
+        }
+    }
+
+    /// The CI smoke mode: same code path, fixed short duration.
+    pub fn smoke() -> Self {
+        SaturationConfig {
+            smoke: true,
+            netflow_listeners: listeners_for_host(),
+            recv_batch: 32,
+            lookup_workers: 2,
+            senders: 1,
+            step: Duration::from_millis(400),
+            dns_entries: 256,
+            records_per_datagram: 5,
+            initial_rate: 30_000.0,
+            growth: 2.0,
+            max_steps: 3,
+            drop_limit_pct: 5.0,
+            trials: 2,
+        }
+    }
+}
+
+/// What one offered-load step measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepMetrics {
+    /// The load the pacing aimed for, records/s.
+    pub offered_per_sec: f64,
+    /// What the senders actually put on the wire, records/s.
+    pub sent_per_sec: f64,
+    /// Records that entered the LookUp queue, records/s (decoded flows
+    /// minus queue drops).
+    pub accepted_per_sec: f64,
+    /// Share of sent records not accepted, percent — kernel socket-buffer
+    /// loss plus pipeline queue drops, the paper's "loss on the streams".
+    pub drop_pct: f64,
+    /// The part of `drop_pct` lost at the bounded LookUp queue (the rest
+    /// never made it off the kernel socket buffer).
+    pub queue_drop_pct: f64,
+    /// Median sampled LookUp-queue residency during the step, µs.
+    pub p50_queue_latency_us: u64,
+    /// 99th-percentile sampled LookUp-queue residency, µs.
+    pub p99_queue_latency_us: u64,
+    /// Residency samples resolved during the step.
+    pub queue_latency_samples: u64,
+}
+
+/// One run of the stepped procedure (batched or baseline).
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Effective listener-group size (may be clamped to 1 off-Linux).
+    pub listeners: usize,
+    /// `recv_batch` the run used.
+    pub recv_batch: usize,
+    /// Every step, in offered-load order.
+    pub steps: Vec<StepMetrics>,
+    /// The highest-accepted-rate step that stayed within the drop limit
+    /// (the rate the run *sustained*; falls back to the best step overall
+    /// if every step was over the limit).
+    pub peak: StepMetrics,
+    /// Whether the run ended by exceeding the drop limit (as opposed to
+    /// running out of steps or out-driving the senders).
+    pub saturated: bool,
+    /// Mean datagrams taken per socket drain across the whole run —
+    /// direct evidence of how deep the batched receive loop actually
+    /// went (1.0 by construction for the per-datagram baseline).
+    pub avg_drain: f64,
+}
+
+/// The harness's complete result, ready to serialize.
+#[derive(Debug, Clone)]
+pub struct SaturationReport {
+    /// Configuration the harness ran with.
+    pub config: SaturationConfig,
+    /// The batched-drain run.
+    pub batched: RunResult,
+    /// The per-datagram, single-listener baseline run.
+    pub baseline: RunResult,
+}
+
+impl SaturationReport {
+    /// Peak-accepted-rate ratio of the batched run over the baseline.
+    pub fn speedup_vs_baseline(&self) -> f64 {
+        if self.baseline.peak.accepted_per_sec > 0.0 {
+            self.batched.peak.accepted_per_sec / self.baseline.peak.accepted_per_sec
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Run the full procedure: batched run, then baseline run.
+pub fn run(config: &SaturationConfig) -> Result<SaturationReport, FlowDnsError> {
+    let pool = saturation_pool(config.dns_entries);
+    let datagrams = Arc::new(encode_datagrams(&pool, config.records_per_datagram)?);
+    let batched = run_one(
+        config,
+        config.netflow_listeners,
+        config.recv_batch,
+        &pool,
+        &datagrams,
+    )?;
+    let baseline = run_one(config, 1, 1, &pool, &datagrams)?;
+    Ok(SaturationReport {
+        config: config.clone(),
+        batched,
+        baseline,
+    })
+}
+
+/// Pre-encode the whole pool as max-size v5 datagrams; every pool
+/// address appears, so the steady-state lookup path is all store hits.
+/// The pool is cycled up to a multiple of `per_datagram` so every
+/// datagram carries exactly the same record count — the senders'
+/// `packets × records_per_datagram` accounting stays exact.
+fn encode_datagrams(
+    pool: &[(flowdns_types::DomainName, std::net::Ipv4Addr)],
+    per_datagram: usize,
+) -> Result<Vec<Vec<u8>>, FlowDnsError> {
+    let per_datagram = per_datagram.clamp(1, MAX_RECORDS_PER_DATAGRAM);
+    let full_len = pool.len().div_ceil(per_datagram) * per_datagram;
+    let cycled: Vec<_> = pool.iter().cycle().take(full_len).collect();
+    let mut out = Vec::with_capacity(full_len / per_datagram);
+    for chunk in cycled.chunks(per_datagram) {
+        let packet = V5Packet {
+            header: V5Header {
+                unix_secs: FLOW_TS_SECS,
+                ..Default::default()
+            },
+            records: chunk
+                .iter()
+                .map(|(_, ip)| V5Record {
+                    src_addr: *ip,
+                    dst_addr: std::net::Ipv4Addr::new(192, 0, 2, 1),
+                    src_port: 443,
+                    dst_port: 50_000,
+                    proto: 6,
+                    packets: 10,
+                    octets: 1_400,
+                    ..Default::default()
+                })
+                .collect(),
+        };
+        out.push(packet.encode()?);
+    }
+    Ok(out)
+}
+
+/// Preload the DNS store over the real TCP feed and wait until every
+/// entry is queryable.
+fn preload_dns(
+    rt: &IngestRuntime,
+    pool: &[(flowdns_types::DomainName, std::net::Ipv4Addr)],
+) -> Result<(), FlowDnsError> {
+    let io_err = |e: std::io::Error| FlowDnsError::Io(e.to_string());
+    let encoder = FrameEncoder::new();
+    let records: Vec<DnsRecord> = pool
+        .iter()
+        .map(|(name, ip)| {
+            DnsRecord::address(
+                SimTime::from_secs(DNS_TS_SECS),
+                name.clone(),
+                (*ip).into(),
+                86_400,
+            )
+        })
+        .collect();
+    let mut conn = TcpStream::connect(rt.dns_addr()).map_err(io_err)?;
+    for chunk in records.chunks(512) {
+        let frame = encoder.encode_batch(chunk)?;
+        conn.write_all(&frame).map_err(io_err)?;
+    }
+    conn.flush().map_err(io_err)?;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while rt.correlator().store().total_entries() < pool.len() {
+        if Instant::now() > deadline {
+            return Err(FlowDnsError::PipelineState(format!(
+                "DNS preload stalled: {}/{} entries",
+                rt.correlator().store().total_entries(),
+                pool.len()
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    Ok(())
+}
+
+fn run_one(
+    config: &SaturationConfig,
+    listeners: usize,
+    recv_batch: usize,
+    pool: &[(flowdns_types::DomainName, std::net::Ipv4Addr)],
+    datagrams: &Arc<Vec<Vec<u8>>>,
+) -> Result<RunResult, FlowDnsError> {
+    let mut daemon = DaemonConfig::default();
+    daemon.ingest.netflow_bind = "127.0.0.1:0".parse().expect("loopback addr");
+    daemon.ingest.dns_bind = "127.0.0.1:0".parse().expect("loopback addr");
+    daemon.ingest.netflow_listeners = listeners;
+    daemon.ingest.recv_batch = recv_batch;
+    daemon.correlator.lookup_workers = config.lookup_workers;
+    // Correlated records are discarded after accounting (no `output`),
+    // so the harness measures ingest + correlation, not disk.
+    let rt = IngestRuntime::start(&daemon)?;
+    let effective_listeners = rt.snapshot().netflow_listeners.len();
+    preload_dns(&rt, pool)?;
+
+    // Warm caches, threads, and queues before the first measured step.
+    let mut warm = config.clone();
+    warm.step = Duration::from_millis(300);
+    let _ = run_step(&rt, datagrams, config.initial_rate, &warm);
+
+    // Best-of-N: loss can only be inflated by transient host noise,
+    // so a step counts as sustained if any trial stays clean.
+    let measured = |offered: f64| -> StepMetrics {
+        let mut step = run_step(&rt, datagrams, offered, config);
+        for _ in 1..config.trials.max(1) {
+            if step.drop_pct <= config.drop_limit_pct {
+                break;
+            }
+            let again = run_step(&rt, datagrams, offered, config);
+            if again.drop_pct < step.drop_pct {
+                step = again;
+            }
+        }
+        step
+    };
+
+    let mut steps: Vec<StepMetrics> = Vec::new();
+    let mut offered = config.initial_rate;
+    let mut saturated = false;
+    for _ in 0..config.max_steps {
+        let step = measured(offered);
+        let sender_bound = step.sent_per_sec < 0.7 * step.offered_per_sec;
+        let over_limit = step.drop_pct > config.drop_limit_pct;
+        steps.push(step);
+        if over_limit {
+            saturated = true;
+            break;
+        }
+        if sender_bound {
+            break; // the loopback driver, not the listener, is the limit
+        }
+        offered *= config.growth;
+    }
+
+    // The geometric ladder is coarse — `growth`× per step — so two
+    // configurations with different capacities can fail on the same
+    // rung. Bisect between the last clean rate and the failing rate to
+    // locate this configuration's own knee.
+    if saturated && steps.len() >= 2 {
+        let mut lo = steps[steps.len() - 2].offered_per_sec;
+        let mut hi = steps[steps.len() - 1].offered_per_sec;
+        for _ in 0..REFINE_STEPS {
+            let mid = (lo + hi) / 2.0;
+            let step = measured(mid);
+            let clean = step.drop_pct <= config.drop_limit_pct;
+            steps.push(step);
+            if clean {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+    }
+    let counters = rt.snapshot().netflow_listeners;
+    let (datagram_total, drain_total) = counters
+        .iter()
+        .fold((0u64, 0u64), |(d, r), c| (d + c.datagrams, r + c.drains));
+    let avg_drain = if drain_total == 0 {
+        0.0
+    } else {
+        datagram_total as f64 / drain_total as f64
+    };
+    rt.shutdown()?;
+
+    let best = |candidates: &[&StepMetrics]| {
+        candidates
+            .iter()
+            .max_by(|a, b| a.accepted_per_sec.total_cmp(&b.accepted_per_sec))
+            .map(|s| **s)
+    };
+    let clean: Vec<&StepMetrics> = steps
+        .iter()
+        .filter(|s| s.drop_pct <= config.drop_limit_pct)
+        .collect();
+    let peak = best(&clean)
+        .or_else(|| best(&steps.iter().collect::<Vec<_>>()))
+        .expect("at least one step ran");
+    Ok(RunResult {
+        listeners: effective_listeners,
+        recv_batch,
+        steps,
+        peak,
+        saturated,
+        avg_drain,
+    })
+}
+
+/// Drive one offered-load step and measure it from snapshot deltas.
+fn run_step(
+    rt: &IngestRuntime,
+    datagrams: &Arc<Vec<Vec<u8>>>,
+    offered_per_sec: f64,
+    config: &SaturationConfig,
+) -> StepMetrics {
+    let senders = config.senders;
+    let step = config.step;
+    let per_datagram = config
+        .records_per_datagram
+        .clamp(1, MAX_RECORDS_PER_DATAGRAM);
+    let target = rt.netflow_addr();
+    let before = rt.snapshot();
+    let start = Instant::now();
+    let handles: Vec<_> = (0..senders.max(1))
+        .map(|s| {
+            let datagrams = Arc::clone(datagrams);
+            let pps = offered_per_sec / per_datagram as f64 / senders.max(1) as f64;
+            std::thread::spawn(move || send_paced(&datagrams, target, s, pps, step))
+        })
+        .collect();
+    let packets_sent: u64 = handles.into_iter().map(|h| h.join().unwrap_or(0)).sum();
+    let send_window = start.elapsed().as_secs_f64().max(1e-6);
+    std::thread::sleep(DRAIN_PAUSE);
+    let after = rt.snapshot();
+
+    let sent = packets_sent * per_datagram as u64;
+    let decoded = after.summary.netflow_flows - before.summary.netflow_flows;
+    let queue_dropped = after.summary.netflow_queue_drops - before.summary.netflow_queue_drops;
+    let accepted = decoded.saturating_sub(queue_dropped).min(sent);
+    let latency = latency_delta(&after, &before);
+    let pct = |part: u64| {
+        if sent == 0 {
+            0.0
+        } else {
+            part as f64 / sent as f64 * 100.0
+        }
+    };
+    StepMetrics {
+        offered_per_sec,
+        sent_per_sec: sent as f64 / send_window,
+        accepted_per_sec: accepted as f64 / send_window,
+        drop_pct: pct(sent - accepted),
+        queue_drop_pct: pct(queue_dropped.min(sent)),
+        p50_queue_latency_us: latency.p50_us(),
+        p99_queue_latency_us: latency.p99_us(),
+        queue_latency_samples: latency.count,
+    }
+}
+
+fn latency_delta(
+    after: &IngestSnapshot,
+    before: &IngestSnapshot,
+) -> flowdns_stream::LatencySnapshot {
+    after
+        .pipeline
+        .lookup_queue_latency
+        .delta(&before.pipeline.lookup_queue_latency)
+}
+
+/// One sender thread: fire pre-encoded datagrams at `pps` packets/s
+/// until the step window closes. Returns packets sent.
+fn send_paced(
+    datagrams: &[Vec<u8>],
+    target: SocketAddr,
+    seed: usize,
+    pps: f64,
+    window: Duration,
+) -> u64 {
+    let socket = match UdpSocket::bind("127.0.0.1:0") {
+        Ok(s) => s,
+        Err(_) => return 0,
+    };
+    if socket.connect(target).is_err() {
+        return 0;
+    }
+    let start = Instant::now();
+    let mut sent = 0u64;
+    // Different senders start at different pool offsets so the union of
+    // their traffic still covers every exporter address evenly.
+    let mut index = seed * datagrams.len() / 4;
+    loop {
+        let elapsed = start.elapsed();
+        if elapsed >= window {
+            break;
+        }
+        // Send whatever the pacing schedule says should have left by
+        // now, in sendmmsg(2) bursts so the driver's own syscall rate
+        // stays far below the listener's — otherwise the load generator
+        // competing for the same cores becomes the thing measured.
+        let due = (elapsed.as_secs_f64() * pps).ceil() as u64;
+        while sent < due {
+            let backlog = ((due - sent) as usize).min(SEND_BURST);
+            let from = index % datagrams.len();
+            let to = (from + backlog).min(datagrams.len());
+            let views: Vec<&[u8]> = datagrams[from..to].iter().map(|d| d.as_slice()).collect();
+            match flowdns_ingest::mmsg::send_burst(&socket, &views) {
+                Ok(n) => {
+                    sent += n as u64;
+                    index += n.max(1);
+                }
+                Err(_) => index += 1, // transient; skip one slot and retry
+            }
+            if start.elapsed() >= window {
+                return sent;
+            }
+        }
+        std::thread::sleep(PACING_TICK);
+    }
+    sent
+}
+
+// ---------------------------------------------------------------------
+// JSON emission
+// ---------------------------------------------------------------------
+
+/// Render a float for JSON: finite values with three decimals, non-finite
+/// as `null` (which the schema validator then rejects — NaNs must fail
+/// loudly, not round-trip silently).
+fn jnum(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn step_json(step: &StepMetrics, indent: &str) -> String {
+    format!(
+        "{indent}{{\"offered_per_sec\": {}, \"sent_per_sec\": {}, \"accepted_per_sec\": {}, \
+         \"drop_pct\": {}, \"queue_drop_pct\": {}, \"p50_queue_latency_us\": {}, \
+         \"p99_queue_latency_us\": {}, \"queue_latency_samples\": {}}}",
+        jnum(step.offered_per_sec),
+        jnum(step.sent_per_sec),
+        jnum(step.accepted_per_sec),
+        jnum(step.drop_pct),
+        jnum(step.queue_drop_pct),
+        step.p50_queue_latency_us,
+        step.p99_queue_latency_us,
+        step.queue_latency_samples,
+    )
+}
+
+fn run_json(run: &RunResult) -> String {
+    let steps: Vec<String> = run.steps.iter().map(|s| step_json(s, "      ")).collect();
+    format!(
+        "{{\n    \"listeners\": {},\n    \"recv_batch\": {},\n    \"saturated\": {},\n    \
+         \"avg_drain\": {},\n    \"steps\": [\n{}\n    ],\n    \"peak\": {}\n  }}",
+        run.listeners,
+        run.recv_batch,
+        run.saturated,
+        jnum(run.avg_drain),
+        steps.join(",\n"),
+        step_json(&run.peak, "").trim_start(),
+    )
+}
+
+impl SaturationReport {
+    /// Serialize to the `flowdns-bench/saturation/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": \"flowdns-bench/saturation/v1\",\n  \"bench\": \"saturation\",\n  \
+             \"mode\": \"{}\",\n  \"config\": {{\"netflow_listeners\": {}, \"recv_batch\": {}, \
+             \"lookup_workers\": {}, \"senders\": {}, \"step_secs\": {}, \"trials\": {}, \
+             \"dns_entries\": {}, \"records_per_datagram\": {}}},\n  \"batched\": {},\n  \
+             \"baseline\": {},\n  \"speedup_vs_baseline\": {}\n}}\n",
+            if self.config.smoke { "smoke" } else { "full" },
+            self.config.netflow_listeners,
+            self.config.recv_batch,
+            self.config.lookup_workers,
+            self.config.senders,
+            jnum(self.config.step.as_secs_f64()),
+            self.config.trials,
+            self.config.dns_entries,
+            self.config.records_per_datagram,
+            run_json(&self.batched),
+            run_json(&self.baseline),
+            jnum(self.speedup_vs_baseline()),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON validation (the CI `--check` path)
+// ---------------------------------------------------------------------
+
+/// A minimal JSON value for schema checking (this build links no JSON
+/// crate; the emitter above and this parser are the whole round trip).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn fail<T>(&self, what: &str) -> Result<T, String> {
+        Err(format!("invalid JSON at byte {}: {what}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, byte: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => self.fail("expected a value"),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.fail("bad literal")
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("invalid JSON at byte {start}: bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        if !self.eat(b'"') {
+            return self.fail("expected string");
+        }
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    // The emitter never escapes anything beyond these.
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        _ => return self.fail("unsupported escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                None => return self.fail("unterminated string"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{');
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return self.fail("expected ':'");
+            }
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            if self.eat(b'}') {
+                return Ok(Json::Obj(fields));
+            }
+            return self.fail("expected ',' or '}'");
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[');
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            if self.eat(b']') {
+                return Ok(Json::Arr(items));
+            }
+            return self.fail("expected ',' or ']'");
+        }
+    }
+}
+
+fn require_num(obj: &Json, key: &str, context: &str) -> Result<f64, String> {
+    let value = obj
+        .get(key)
+        .ok_or_else(|| format!("{context}: missing key '{key}'"))?;
+    let x = value
+        .as_num()
+        .ok_or_else(|| format!("{context}: '{key}' is not a number (empty or NaN?)"))?;
+    if !x.is_finite() {
+        return Err(format!("{context}: '{key}' is not finite"));
+    }
+    Ok(x)
+}
+
+fn check_step(step: &Json, context: &str) -> Result<(), String> {
+    for key in [
+        "offered_per_sec",
+        "sent_per_sec",
+        "accepted_per_sec",
+        "drop_pct",
+        "queue_drop_pct",
+        "p50_queue_latency_us",
+        "p99_queue_latency_us",
+        "queue_latency_samples",
+    ] {
+        let x = require_num(step, key, context)?;
+        if x < 0.0 {
+            return Err(format!("{context}: '{key}' is negative"));
+        }
+    }
+    if require_num(step, "offered_per_sec", context)? <= 0.0 {
+        return Err(format!("{context}: offered_per_sec must be positive"));
+    }
+    Ok(())
+}
+
+fn check_run(doc: &Json, name: &str) -> Result<(), String> {
+    let run = doc
+        .get(name)
+        .ok_or_else(|| format!("missing top-level object '{name}'"))?;
+    require_num(run, "listeners", name)?;
+    require_num(run, "recv_batch", name)?;
+    require_num(run, "avg_drain", name)?;
+    match run.get("saturated") {
+        Some(Json::Bool(_)) => {}
+        _ => return Err(format!("{name}: 'saturated' must be a boolean")),
+    }
+    let steps = match run.get("steps") {
+        Some(Json::Arr(steps)) => steps,
+        _ => return Err(format!("{name}: 'steps' must be an array")),
+    };
+    if steps.is_empty() {
+        return Err(format!("{name}: 'steps' is empty"));
+    }
+    for (i, step) in steps.iter().enumerate() {
+        check_step(step, &format!("{name}.steps[{i}]"))?;
+    }
+    let peak = run
+        .get("peak")
+        .ok_or_else(|| format!("{name}: missing 'peak'"))?;
+    check_step(peak, &format!("{name}.peak"))?;
+    if require_num(peak, "accepted_per_sec", name)? <= 0.0 {
+        return Err(format!("{name}.peak: accepted_per_sec must be positive"));
+    }
+    Ok(())
+}
+
+/// Validate a `BENCH_saturation.json` document against the v1 schema:
+/// every documented key present, steps non-empty, every numeric field
+/// finite and non-negative, both runs' peaks positive, and the speedup
+/// recorded. Returns a human-readable reason on failure.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    if text.trim().is_empty() {
+        return Err("file is empty".into());
+    }
+    let mut parser = Parser::new(text);
+    let doc = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err("trailing garbage after the JSON document".into());
+    }
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("flowdns-bench/saturation/v1") => {}
+        Some(other) => return Err(format!("unknown schema '{other}'")),
+        None => return Err("missing 'schema'".into()),
+    }
+    match doc.get("mode").and_then(Json::as_str) {
+        Some("smoke") | Some("full") => {}
+        _ => return Err("'mode' must be \"smoke\" or \"full\"".into()),
+    }
+    let config = doc.get("config").ok_or("missing 'config'")?;
+    for key in [
+        "netflow_listeners",
+        "recv_batch",
+        "lookup_workers",
+        "senders",
+        "step_secs",
+        "trials",
+        "dns_entries",
+        "records_per_datagram",
+    ] {
+        if require_num(config, key, "config")? <= 0.0 {
+            return Err(format!("config: '{key}' must be positive"));
+        }
+    }
+    check_run(&doc, "batched")?;
+    check_run(&doc, "baseline")?;
+    let speedup = require_num(&doc, "speedup_vs_baseline", "document")?;
+    if speedup <= 0.0 {
+        return Err("speedup_vs_baseline must be positive".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_step(rate: f64) -> StepMetrics {
+        StepMetrics {
+            offered_per_sec: rate,
+            sent_per_sec: rate * 0.98,
+            accepted_per_sec: rate * 0.97,
+            drop_pct: 1.02,
+            queue_drop_pct: 0.4,
+            p50_queue_latency_us: 120,
+            p99_queue_latency_us: 900,
+            queue_latency_samples: 1_000,
+        }
+    }
+
+    fn fake_report() -> SaturationReport {
+        let run = |listeners, recv_batch, rate| RunResult {
+            listeners,
+            recv_batch,
+            steps: vec![fake_step(rate), fake_step(rate * 1.5)],
+            peak: fake_step(rate * 1.5),
+            saturated: true,
+            avg_drain: if recv_batch > 1 { 11.2 } else { 1.0 },
+        };
+        SaturationReport {
+            config: SaturationConfig::smoke(),
+            batched: run(2, 32, 100_000.0),
+            baseline: run(1, 1, 60_000.0),
+        }
+    }
+
+    #[test]
+    fn emitted_json_passes_validation() {
+        let report = fake_report();
+        let json = report.to_json();
+        validate_json(&json).unwrap_or_else(|e| panic!("{e}\n{json}"));
+        assert!(
+            (report.speedup_vs_baseline() - 100_000.0 * 1.5 * 0.97 / (60_000.0 * 1.5 * 0.97))
+                .abs()
+                .lt(&1e-9)
+        );
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        assert!(validate_json("").is_err());
+        assert!(validate_json("{}").is_err());
+        assert!(validate_json("not json at all").is_err());
+        let good = fake_report().to_json();
+        // Remove a required key.
+        let missing = good.replace("\"speedup_vs_baseline\"", "\"renamed\"");
+        assert!(validate_json(&missing).is_err());
+        // Wrong schema string.
+        let wrong = good.replace("saturation/v1", "saturation/v0");
+        assert!(validate_json(&wrong).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_null_and_empty_steps() {
+        let good = fake_report().to_json();
+        // A NaN rate is emitted as null and must be rejected.
+        let mut broken = fake_report();
+        broken.batched.peak.accepted_per_sec = f64::NAN;
+        let err = validate_json(&broken.to_json()).unwrap_err();
+        assert!(err.contains("accepted_per_sec"), "{err}");
+        // An empty steps array must be rejected.
+        let mut no_steps = fake_report();
+        no_steps.baseline.steps.clear();
+        // (serializes to "steps": [\n\n    ] — still an empty array)
+        assert!(validate_json(&no_steps.to_json()).is_err());
+        // The unmodified document still passes.
+        validate_json(&good).unwrap();
+    }
+
+    #[test]
+    fn parser_handles_scalars_and_nesting() {
+        let mut p = Parser::new("{\"a\": [1, 2.5, true, null, \"x\"], \"b\": {\"c\": -3e2}}");
+        let v = p.value().unwrap();
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_num(), Some(-300.0));
+        match v.get("a") {
+            Some(Json::Arr(items)) => assert_eq!(items.len(), 5),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -9,6 +9,7 @@
 //! record, not from the absolute speed of the host machine.
 
 use flowdns_storage::MemoryEstimate;
+use flowdns_stream::LatencySnapshot;
 use flowdns_types::VolumeAccumulator;
 
 use crate::fillup::FillUpStats;
@@ -73,7 +74,7 @@ impl CostModel {
 
 /// Counters of one network exporter peer, as folded into the final
 /// report by the live ingest layer.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ExporterStats {
     /// The exporter's socket address, stringified.
     pub exporter: String,
@@ -201,6 +202,12 @@ pub struct PipelineMetrics {
     pub flows_dropped: u64,
     /// Correlated records dropped because the Write queue overflowed.
     pub writes_dropped: u64,
+    /// Sampled enqueue→dequeue residency of the FillUp queue (empty when
+    /// sampling never resolved a record, e.g. an idle run).
+    pub fillup_queue_latency: LatencySnapshot,
+    /// Sampled enqueue→dequeue residency of the LookUp queue — the
+    /// "p99 ingress-queue latency" of the saturation harness.
+    pub lookup_queue_latency: LatencySnapshot,
     /// Total abstract work units spent (offline simulator only).
     pub work_units: f64,
     /// Peak memory estimate observed.

@@ -50,6 +50,13 @@ const POP_WAIT: Duration = Duration::from_millis(5);
 /// at most a few hundred records per worker.
 const STATS_FLUSH_EVERY: u64 = 512;
 
+/// Every n-th record accepted into the FillUp/LookUp queues is timed from
+/// enqueue to dequeue (see [`StreamBuffer::with_latency`]). Sparse enough
+/// to be free at millions of records per second, dense enough that a
+/// one-second measurement window at interesting load still collects
+/// thousands of samples.
+const QUEUE_LATENCY_SAMPLE_EVERY: u64 = 64;
+
 /// Shared bookkeeping of the snapshot subsystem: counters plus the
 /// wall-clock instant of the last successful write, read by `snapshot()`
 /// to compute the snapshot age.
@@ -254,8 +261,10 @@ impl Correlator {
                 }
             }
         }
-        let fillup_queue = StreamBuffer::new(config.fillup_queue_capacity);
-        let lookup_queue = StreamBuffer::new(config.lookup_queue_capacity);
+        let fillup_queue =
+            StreamBuffer::with_latency(config.fillup_queue_capacity, QUEUE_LATENCY_SAMPLE_EVERY);
+        let lookup_queue =
+            StreamBuffer::with_latency(config.lookup_queue_capacity, QUEUE_LATENCY_SAMPLE_EVERY);
         // The configured write capacity is the total across shards.
         let per_shard_capacity = (config.write_queue_capacity / config.write_workers).max(1);
         let write_queues: Vec<StreamBuffer<CorrelatedRecord>> = (0..config.write_workers)
@@ -572,6 +581,8 @@ impl Correlator {
             dns_dropped: self.fillup_queue.stats().dropped,
             flows_dropped: self.lookup_queue.stats().dropped,
             writes_dropped: self.writes_dropped_total(),
+            fillup_queue_latency: self.fillup_queue.latency_snapshot().unwrap_or_default(),
+            lookup_queue_latency: self.lookup_queue.latency_snapshot().unwrap_or_default(),
             work_units: 0.0,
             peak_memory: self.store.memory_estimate(),
             ingest: Default::default(),
@@ -740,6 +751,10 @@ mod tests {
             report.metrics.fillup.addresses_stored + report.metrics.fillup.filtered,
             200
         );
+        // 200 accepted records cross the 64-record sampling boundary at
+        // least once per queue, so the residency histograms are live.
+        assert!(report.metrics.fillup_queue_latency.count >= 1);
+        assert!(report.metrics.lookup_queue_latency.count >= 1);
     }
 
     #[test]

@@ -431,6 +431,23 @@ impl<'a> WorkloadIter<'a> {
     }
 }
 
+/// A deterministic `(name, address)` population for wire-level load
+/// drivers (the saturation harness): `n` distinct names, each resolving
+/// to one distinct 10.0.0.0/8 address. Unlike [`Workload`], this makes
+/// no attempt at statistical realism — it exists so a sender can
+/// pre-encode NetFlow datagrams whose source addresses are guaranteed to
+/// hit the DNS store, making the measured path the full decode → lookup
+/// → write pipeline rather than the uncorrelated fast path.
+pub fn saturation_pool(n: usize) -> Vec<(DomainName, Ipv4Addr)> {
+    (0..n)
+        .map(|i| {
+            let name = DomainName::literal(&format!("s{i}.bench.example"));
+            let ip = Ipv4Addr::new(10, (i >> 16) as u8, (i >> 8) as u8, (i & 0xff) as u8);
+            (name, ip)
+        })
+        .collect()
+}
+
 impl Iterator for WorkloadIter<'_> {
     type Item = StreamEvent;
 

@@ -66,14 +66,32 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let startup = runtime.snapshot();
     eprintln!(
-        "flowdnsd: netflow/udp on {}, dns-feed/tcp on {} ({} fillup + {} lookup + {} write workers)",
+        "flowdnsd: netflow/udp on {} ({} listener{}), dns-feed/tcp on {} ({} listener{}) \
+         ({} fillup + {} lookup + {} write workers, recv_batch {})",
         runtime.netflow_addr(),
+        startup.netflow_listeners.len(),
+        if startup.netflow_listeners.len() == 1 {
+            ""
+        } else {
+            "s"
+        },
         runtime.dns_addr(),
+        startup.dns_listeners,
+        if startup.dns_listeners == 1 { "" } else { "s" },
         config.correlator.fillup_workers,
         config.correlator.lookup_workers,
         config.correlator.write_workers,
+        config.ingest.recv_batch,
     );
+    if config.ingest.netflow_listeners > startup.netflow_listeners.len()
+        || config.ingest.dns_listeners > startup.dns_listeners
+    {
+        eprintln!(
+            "flowdnsd: SO_REUSEPORT unavailable — listener groups clamped to a single socket"
+        );
+    }
     if let Some(view) = runtime.correlator().asn_view() {
         eprintln!(
             "flowdnsd: routing table loaded ({} prefixes) — stamping src/dst origin AS",
@@ -194,6 +212,31 @@ fn main() {
                 pipeline.flow_loss_pct(),
                 pipeline.peak_memory.entries,
                 pipeline.peak_memory.total_gb(),
+            );
+            // Per-listener drain efficiency: how many datagrams each
+            // NetFlow listener takes per socket wake-up, plus buffer-pool
+            // reuse. avg≈1 means the batched path is idling (or
+            // recv_batch = 1).
+            let drains: Vec<String> = snap
+                .netflow_listeners
+                .iter()
+                .enumerate()
+                .map(|(i, l)| {
+                    format!(
+                        "#{i} {} dgrams ({:.1}/drain, max {})",
+                        l.datagrams,
+                        l.avg_drain(),
+                        l.max_drain
+                    )
+                })
+                .collect();
+            eprintln!(
+                "flowdnsd: listeners: netflow [{}] | dns {} accept loop{} | pool {} hits / {} misses",
+                drains.join(", "),
+                snap.dns_listeners,
+                if snap.dns_listeners == 1 { "" } else { "s" },
+                snap.buffer_pool.hits,
+                snap.buffer_pool.misses,
             );
             if config.correlator.snapshot_path.is_some()
                 && !runtime.correlator().store().is_exact_ttl()

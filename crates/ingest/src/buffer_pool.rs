@@ -1,0 +1,176 @@
+//! A shared pool of reusable receive buffers.
+//!
+//! Listener threads and per-connection handlers used to allocate their
+//! socket buffers on spawn and drop them on exit, so a busy DNS feed
+//! (resolvers reconnect constantly) and every listener restart paid
+//! allocation churn on the hot path. The [`BufferPool`] keeps returned
+//! buffers around instead: [`BufferPool::take`] hands out a
+//! [`PooledBuf`] — a plain `Vec<u8>` behind `Deref` — and dropping the
+//! `PooledBuf` returns the allocation to the pool (up to the configured
+//! retention cap, the `buffer_pool` config key). The pool never zeroes
+//! recycled memory beyond the requested length, so a take is O(1) after
+//! warm-up.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Point-in-time pool counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Takes served from a recycled buffer.
+    pub hits: u64,
+    /// Takes that had to allocate.
+    pub misses: u64,
+    /// Buffers currently parked in the pool.
+    pub pooled: u64,
+}
+
+/// A bounded pool of `Vec<u8>` buffers shared by every listener.
+#[derive(Debug)]
+pub struct BufferPool {
+    parked: Mutex<Vec<Vec<u8>>>,
+    /// Retention cap: buffers returned beyond this are simply freed.
+    max_parked: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BufferPool {
+    /// A pool retaining at most `max_parked` idle buffers.
+    pub fn new(max_parked: usize) -> Arc<Self> {
+        Arc::new(BufferPool {
+            parked: Mutex::new(Vec::new()),
+            max_parked,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// Take a buffer of exactly `len` readable bytes (recycled capacity
+    /// when available, freshly allocated otherwise).
+    pub fn take(self: &Arc<Self>, len: usize) -> PooledBuf {
+        let recycled = self.parked.lock().pop();
+        let mut buf = match recycled {
+            Some(buf) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                buf
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(len)
+            }
+        };
+        buf.resize(len, 0);
+        PooledBuf {
+            buf,
+            pool: Arc::clone(self),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            pooled: self.parked.lock().len() as u64,
+        }
+    }
+
+    fn put_back(&self, buf: Vec<u8>) {
+        let mut parked = self.parked.lock();
+        if parked.len() < self.max_parked {
+            parked.push(buf);
+        }
+    }
+}
+
+/// A buffer borrowed from a [`BufferPool`]; returns its allocation to
+/// the pool on drop.
+#[derive(Debug)]
+pub struct PooledBuf {
+    buf: Vec<u8>,
+    pool: Arc<BufferPool>,
+}
+
+impl Deref for PooledBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        self.pool.put_back(std::mem::take(&mut self.buf));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_up_to_the_cap() {
+        let pool = BufferPool::new(2);
+        let a = pool.take(100);
+        let b = pool.take(200);
+        let c = pool.take(300);
+        assert_eq!((a.len(), b.len(), c.len()), (100, 200, 300));
+        assert_eq!(pool.stats().misses, 3);
+        drop(a);
+        drop(b);
+        drop(c); // beyond the cap: freed, not parked
+        assert_eq!(pool.stats().pooled, 2);
+        let d = pool.take(64);
+        assert_eq!(d.len(), 64);
+        let stats = pool.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.pooled, 1);
+    }
+
+    #[test]
+    fn recycled_buffers_are_resized_for_the_new_take() {
+        let pool = BufferPool::new(4);
+        {
+            let mut big = pool.take(1000);
+            big[999] = 42;
+        }
+        let small = pool.take(10);
+        assert_eq!(small.len(), 10);
+        let grown = pool.take(50);
+        assert_eq!(grown.len(), 50);
+        // Freshly exposed bytes are zeroed by `resize`.
+        assert!(grown.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let pool = BufferPool::new(8);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        let buf = pool.take(4096);
+                        assert_eq!(buf.len(), 4096);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.hits + stats.misses, 400);
+        assert!(stats.pooled <= 8);
+    }
+}

@@ -27,6 +27,30 @@ pub struct IngestConfig {
     pub netflow_bind: SocketAddr,
     /// TCP socket address the DNS-feed listener binds (`dns_bind`).
     pub dns_bind: SocketAddr,
+    /// Size of the NetFlow `SO_REUSEPORT` listener group
+    /// (`netflow_listeners`): N sockets on one port, each with its own
+    /// decode thread and per-exporter decoder shard. Clamped to 1 where
+    /// `SO_REUSEPORT` is unavailable.
+    pub netflow_listeners: usize,
+    /// Size of the DNS-feed `SO_REUSEPORT` accept-loop group
+    /// (`dns_listeners`).
+    pub dns_listeners: usize,
+    /// Upper bound of one receive drain (`recv_batch`): how many
+    /// datagrams (UDP) or reads (TCP) a listener takes per blocking
+    /// wake-up before pushing the decoded records as one batch. `1`
+    /// disables draining — the per-datagram baseline the saturation
+    /// harness measures against.
+    pub recv_batch: usize,
+    /// Retention cap of the shared receive-buffer pool (`buffer_pool`):
+    /// idle buffers kept for reuse across listeners and connections.
+    pub buffer_pool: usize,
+    /// Kernel receive-buffer request per NetFlow socket
+    /// (`recv_buffer_bytes`, `SO_RCVBUF`). A deep buffer absorbs
+    /// exporter bursts and scheduling gaps that would otherwise drop
+    /// datagrams before the listener is ever scheduled; the kernel
+    /// silently clamps the request to `net.core.rmem_max`. `0` keeps
+    /// the system default.
+    pub recv_buffer_bytes: usize,
     /// Interval between periodic stats lines (`stats_interval`, seconds).
     pub stats_interval: Duration,
     /// Output TSV path (`output`); correlated records are discarded after
@@ -48,6 +72,11 @@ impl Default for IngestConfig {
         IngestConfig {
             netflow_bind: "127.0.0.1:9995".parse().expect("valid default addr"),
             dns_bind: "127.0.0.1:9953".parse().expect("valid default addr"),
+            netflow_listeners: 1,
+            dns_listeners: 1,
+            recv_batch: 32,
+            buffer_pool: 16,
+            recv_buffer_bytes: 4 << 20,
             stats_interval: Duration::from_secs(10),
             output: None,
             output_rotate_interval: None,
@@ -67,7 +96,9 @@ pub struct DaemonConfig {
 impl DaemonConfig {
     /// Parse a daemon configuration from `key = value` text.
     ///
-    /// Ingest keys (`netflow_bind`, `dns_bind`, `stats_interval`,
+    /// Ingest keys (`netflow_bind`, `dns_bind`, `netflow_listeners`,
+    /// `dns_listeners`, `recv_batch`, `buffer_pool`,
+    /// `recv_buffer_bytes`, `stats_interval`,
     /// `output`, `output_rotate_interval`) are consumed here; all other
     /// lines — including comments
     /// and blanks — are forwarded verbatim to
@@ -84,6 +115,21 @@ impl DaemonConfig {
                 match key {
                     "netflow_bind" => ingest.netflow_bind = parse_addr(lineno, value)?,
                     "dns_bind" => ingest.dns_bind = parse_addr(lineno, value)?,
+                    "netflow_listeners" => {
+                        ingest.netflow_listeners = parse_count(lineno, key, value, 1)?;
+                    }
+                    "dns_listeners" => {
+                        ingest.dns_listeners = parse_count(lineno, key, value, 1)?;
+                    }
+                    "recv_batch" => {
+                        ingest.recv_batch = parse_count(lineno, key, value, 1)?;
+                    }
+                    "buffer_pool" => {
+                        ingest.buffer_pool = parse_count(lineno, key, value, 0)?;
+                    }
+                    "recv_buffer_bytes" => {
+                        ingest.recv_buffer_bytes = parse_count(lineno, key, value, 0)?;
+                    }
                     "stats_interval" => {
                         let secs = value.parse::<u64>().map_err(|_| {
                             err(format!("line {}: '{value}' is not a number", lineno + 1))
@@ -126,6 +172,19 @@ impl DaemonConfig {
             .map_err(|e| err(format!("cannot read config file '{path}': {e}")))?;
         DaemonConfig::from_config_text(&text)
     }
+}
+
+fn parse_count(lineno: usize, key: &str, value: &str, min: usize) -> Result<usize, FlowDnsError> {
+    let n = value
+        .parse::<usize>()
+        .map_err(|_| err(format!("line {}: '{value}' is not a number", lineno + 1)))?;
+    if n < min {
+        return Err(err(format!(
+            "line {}: {key} must be at least {min}",
+            lineno + 1
+        )));
+    }
+    Ok(n)
 }
 
 fn parse_addr(lineno: usize, value: &str) -> Result<SocketAddr, FlowDnsError> {
@@ -184,6 +243,36 @@ variant = NoRotation
         );
         // Untouched correlator keys keep their defaults.
         assert_eq!(cfg.correlator.num_split, 10);
+    }
+
+    #[test]
+    fn listener_and_batch_keys_parse_and_validate() {
+        let cfg = DaemonConfig::from_config_text(
+            "netflow_listeners = 4\ndns_listeners = 2\nrecv_batch = 64\nbuffer_pool = 8\n\
+             recv_buffer_bytes = 8388608\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.ingest.netflow_listeners, 4);
+        assert_eq!(cfg.ingest.dns_listeners, 2);
+        assert_eq!(cfg.ingest.recv_batch, 64);
+        assert_eq!(cfg.ingest.buffer_pool, 8);
+        assert_eq!(cfg.ingest.recv_buffer_bytes, 8 << 20);
+        // Defaults: single listeners, batched receive on, deep rcvbuf.
+        let defaults = IngestConfig::default();
+        assert_eq!(defaults.netflow_listeners, 1);
+        assert_eq!(defaults.dns_listeners, 1);
+        assert_eq!(defaults.recv_batch, 32);
+        assert_eq!(defaults.buffer_pool, 16);
+        assert_eq!(defaults.recv_buffer_bytes, 4 << 20);
+        // Zero listeners / zero recv_batch are configuration errors
+        // (buffer_pool = 0 disables pooling; recv_buffer_bytes = 0
+        // keeps the kernel's default socket depth).
+        assert!(DaemonConfig::from_config_text("netflow_listeners = 0").is_err());
+        assert!(DaemonConfig::from_config_text("dns_listeners = 0").is_err());
+        assert!(DaemonConfig::from_config_text("recv_batch = 0").is_err());
+        assert!(DaemonConfig::from_config_text("buffer_pool = 0").is_ok());
+        assert!(DaemonConfig::from_config_text("recv_buffer_bytes = 0").is_ok());
+        assert!(DaemonConfig::from_config_text("recv_batch = lots").is_err());
     }
 
     #[test]

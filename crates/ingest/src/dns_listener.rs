@@ -1,13 +1,28 @@
-//! The TCP DNS-feed listener.
+//! The TCP DNS-feed listener group.
 //!
 //! The ISP's resolvers forward cache-miss records over framed TCP
-//! (Section 4, Coverage). The listener accepts any number of resolver
-//! connections; each connection gets its own handler thread running the
-//! incremental [`FrameDecoder`] over raw socket reads, so frames split
-//! across arbitrary read boundaries decode correctly and a connection cut
-//! mid-message simply ends that stream. Each socket read's decoded
-//! records go onto the correlator's FillUp queue as one batch
-//! (`push_dns_batch`); a full queue is a counted drop.
+//! (Section 4, Coverage). With `dns_listeners > 1` the runtime binds a
+//! `SO_REUSEPORT` listener group (see [`crate::reuseport`]) and the
+//! kernel spreads incoming resolver connections across the accept
+//! loops; each group member runs its own accept thread, and each
+//! accepted connection still gets a dedicated handler thread running the
+//! incremental [`FrameDecoder`] — frames split across arbitrary read
+//! boundaries decode correctly and a connection cut mid-message simply
+//! ends that stream.
+//!
+//! # Drain loop and ownership
+//!
+//! A handler thread owns its connection's socket, decoder, and one
+//! receive buffer borrowed from the shared [`BufferPool`] (returned to
+//! the pool when the connection closes). Reads are batched like the UDP
+//! side's drain: one blocking read (short timeout, keeps shutdown
+//! responsive) opens the round, then the socket flips non-blocking and
+//! further reads are consumed until `WouldBlock` or `recv_batch` reads
+//! are in hand. All records decoded during the round are offered to the
+//! FillUp queue in **one** `push_dns_batch`; a full queue is a counted
+//! drop. A framing error counts the stream malformed and drops the
+//! connection — records decoded earlier in the same round are still
+//! delivered.
 
 use std::io::Read;
 use std::net::{TcpListener, TcpStream};
@@ -21,6 +36,9 @@ use parking_lot::Mutex;
 use flowdns_core::Correlator;
 use flowdns_dns::framing::FrameDecoder;
 use flowdns_stream::RateMeter;
+use flowdns_types::DnsRecord;
+
+use crate::buffer_pool::BufferPool;
 
 /// How long a blocked accept/read waits before re-checking shutdown.
 const POLL_INTERVAL: Duration = Duration::from_millis(20);
@@ -30,70 +48,99 @@ const READ_BUF: usize = 16 * 1024;
 /// Listener-level DNS-feed counters shared with the runtime.
 #[derive(Debug, Default)]
 pub struct DnsFeedStats {
-    /// Connections accepted.
+    /// Connections accepted (across every listener of the group).
     pub connections: AtomicU64,
     /// Records decoded across all connections.
     pub records: AtomicU64,
+    /// Socket reads that returned data.
+    pub reads: AtomicU64,
+    /// Batches offered to the FillUp queue (≤ `reads`: a drain round
+    /// folds several reads into one push).
+    pub batch_pushes: AtomicU64,
     /// Connections dropped because their stream was malformed.
     pub malformed_streams: AtomicU64,
     /// Records dropped because the FillUp queue was full.
     pub queue_drops: AtomicU64,
 }
 
-/// Spawn the TCP accept-loop thread. Per-connection handler threads are
-/// pushed onto `conn_handles` so the runtime can join them at shutdown.
-pub(crate) fn spawn(
-    listener: TcpListener,
+/// Spawn one accept-loop thread per listener in the group.
+/// Per-connection handler threads are pushed onto `conn_handles` so the
+/// runtime can join them at shutdown.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn spawn_group(
+    listeners: Vec<TcpListener>,
+    recv_batch: usize,
+    pool: Arc<BufferPool>,
     correlator: Arc<Correlator>,
     shutdown: Arc<AtomicBool>,
     stats: Arc<DnsFeedStats>,
     meter: Arc<Mutex<RateMeter>>,
     conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
-) -> std::io::Result<JoinHandle<()>> {
-    listener.set_nonblocking(true)?;
-    std::thread::Builder::new()
-        .name("ingest-dns-accept".into())
-        .spawn(move || {
-            let mut next_conn = 0u64;
-            while !shutdown.load(Ordering::Acquire) {
-                match listener.accept() {
-                    Ok((stream, _peer)) => {
-                        stats.connections.fetch_add(1, Ordering::Relaxed);
-                        let handle = spawn_connection(
-                            stream,
-                            next_conn,
-                            Arc::clone(&correlator),
-                            Arc::clone(&shutdown),
-                            Arc::clone(&stats),
-                            Arc::clone(&meter),
-                        );
-                        next_conn += 1;
-                        match handle {
-                            Ok(h) => conn_handles.lock().push(h),
-                            Err(_) => {
-                                stats.malformed_streams.fetch_add(1, Ordering::Relaxed);
+) -> std::io::Result<Vec<JoinHandle<()>>> {
+    let recv_batch = recv_batch.max(1);
+    let mut handles = Vec::with_capacity(listeners.len());
+    for (i, listener) in listeners.into_iter().enumerate() {
+        listener.set_nonblocking(true)?;
+        let pool = Arc::clone(&pool);
+        let correlator = Arc::clone(&correlator);
+        let shutdown = Arc::clone(&shutdown);
+        let stats = Arc::clone(&stats);
+        let meter = Arc::clone(&meter);
+        let conn_handles = Arc::clone(&conn_handles);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("ingest-dns-accept-{i}"))
+                .spawn(move || {
+                    let mut next_conn = 0u64;
+                    while !shutdown.load(Ordering::Acquire) {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                stats.connections.fetch_add(1, Ordering::Relaxed);
+                                let handle = spawn_connection(
+                                    stream,
+                                    i,
+                                    next_conn,
+                                    recv_batch,
+                                    Arc::clone(&pool),
+                                    Arc::clone(&correlator),
+                                    Arc::clone(&shutdown),
+                                    Arc::clone(&stats),
+                                    Arc::clone(&meter),
+                                );
+                                next_conn += 1;
+                                match handle {
+                                    Ok(h) => conn_handles.lock().push(h),
+                                    Err(_) => {
+                                        stats.malformed_streams.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
                             }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(POLL_INTERVAL);
+                            }
+                            Err(_) => std::thread::sleep(POLL_INTERVAL),
                         }
                     }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(POLL_INTERVAL);
-                    }
-                    Err(_) => std::thread::sleep(POLL_INTERVAL),
-                }
-            }
-        })
+                })?,
+        );
+    }
+    Ok(handles)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn spawn_connection(
     stream: TcpStream,
+    listener_id: usize,
     id: u64,
+    recv_batch: usize,
+    pool: Arc<BufferPool>,
     correlator: Arc<Correlator>,
     shutdown: Arc<AtomicBool>,
     stats: Arc<DnsFeedStats>,
     meter: Arc<Mutex<RateMeter>>,
 ) -> std::io::Result<JoinHandle<()>> {
     std::thread::Builder::new()
-        .name(format!("ingest-dns-{id}"))
+        .name(format!("ingest-dns-{listener_id}-{id}"))
         .spawn(move || {
             // The accept loop runs nonblocking; the accepted stream
             // inherits that on some platforms, so switch to blocking reads
@@ -106,8 +153,10 @@ fn spawn_connection(
             }
             let mut stream = stream;
             let mut decoder = FrameDecoder::new();
-            let mut buf = vec![0u8; READ_BUF];
-            while !shutdown.load(Ordering::Acquire) {
+            let mut buf = pool.take(READ_BUF);
+            let mut batch: Vec<DnsRecord> = Vec::new();
+            'conn: while !shutdown.load(Ordering::Acquire) {
+                // One blocking read opens the drain round.
                 let n = match stream.read(&mut buf) {
                     Ok(0) => break, // clean EOF; partial frame (if any) discarded
                     Ok(n) => n,
@@ -119,34 +168,79 @@ fn spawn_connection(
                     }
                     Err(_) => break, // reset mid-stream; never a panic
                 };
-                match decoder.feed(&buf[..n]) {
-                    Ok(records) => {
-                        {
-                            let mut meter = meter.lock();
-                            for record in &records {
-                                meter.record(record.ts, 0);
+                stats.reads.fetch_add(1, Ordering::Relaxed);
+                let mut closing = !feed(&mut decoder, &buf[..n], &mut batch, &stats);
+                // Drain whatever else is already buffered, folding every
+                // read's records into the same batch.
+                let mut reads = 1usize;
+                if !closing && recv_batch > 1 && stream.set_nonblocking(true).is_ok() {
+                    while reads < recv_batch {
+                        match stream.read(&mut buf) {
+                            Ok(0) => {
+                                closing = true;
+                                break;
                             }
+                            Ok(n) => {
+                                reads += 1;
+                                stats.reads.fetch_add(1, Ordering::Relaxed);
+                                if !feed(&mut decoder, &buf[..n], &mut batch, &stats) {
+                                    closing = true;
+                                    break;
+                                }
+                            }
+                            Err(_) => break, // WouldBlock: nothing queued
                         }
+                    }
+                    if stream.set_nonblocking(false).is_err() {
+                        closing = true;
+                    }
+                }
+                // One queue offer for the whole round; the overflow
+                // remainder is counted as dropped.
+                if !batch.is_empty() {
+                    {
+                        let mut meter = meter.lock();
+                        for record in &batch {
+                            meter.record(record.ts, 0);
+                        }
+                    }
+                    stats
+                        .records
+                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    stats.batch_pushes.fetch_add(1, Ordering::Relaxed);
+                    let offered = batch.len();
+                    let accepted = correlator.push_dns_batch(batch.drain(..));
+                    if accepted < offered {
                         stats
-                            .records
-                            .fetch_add(records.len() as u64, Ordering::Relaxed);
-                        // Whole decoded read in one queue offer; the
-                        // overflow remainder is counted as dropped.
-                        let offered = records.len();
-                        let accepted = correlator.push_dns_batch(records);
-                        if accepted < offered {
-                            stats
-                                .queue_drops
-                                .fetch_add((offered - accepted) as u64, Ordering::Relaxed);
-                        }
+                            .queue_drops
+                            .fetch_add((offered - accepted) as u64, Ordering::Relaxed);
                     }
-                    Err(_) => {
-                        // Corrupt framing: count it and drop the
-                        // connection; the resolver will reconnect.
-                        stats.malformed_streams.fetch_add(1, Ordering::Relaxed);
-                        break;
-                    }
+                }
+                if closing {
+                    break 'conn;
                 }
             }
         })
+}
+
+/// Feed one read's bytes through the connection's decoder, appending the
+/// decoded records to `batch`. Returns `false` when the stream is
+/// corrupt (counted; the connection must close — records already decoded
+/// into `batch` are still delivered by the caller).
+fn feed(
+    decoder: &mut FrameDecoder,
+    bytes: &[u8],
+    batch: &mut Vec<DnsRecord>,
+    stats: &DnsFeedStats,
+) -> bool {
+    match decoder.feed(bytes) {
+        Ok(records) => {
+            batch.extend(records);
+            true
+        }
+        Err(_) => {
+            stats.malformed_streams.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
 }

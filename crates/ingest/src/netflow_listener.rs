@@ -1,13 +1,43 @@
-//! The UDP NetFlow/IPFIX listener.
+//! The UDP NetFlow/IPFIX listener group.
 //!
-//! One socket receives export datagrams from every exporter; the listener
-//! demultiplexes them **by peer address** and keeps one
-//! [`ExporterDecoder`] — and therefore one per-source template registry —
-//! per exporter, exactly like the per-source decode state of production
-//! collectors. Each decoded datagram's flow records go onto the
-//! correlator's LookUp queue as one batch (`push_flow_batch`), so queue
-//! synchronization is paid per datagram, not per record; a full queue is
-//! a counted drop, never a blocked socket.
+//! # Drain loop
+//!
+//! Each listener thread owns one socket of a `SO_REUSEPORT` group (see
+//! [`crate::reuseport`]; a group of one is just a plain socket) and runs
+//! a batched receive loop instead of one syscall-decode-push round trip
+//! per datagram:
+//!
+//! 1. block on `recv_from` (with a short timeout so the shutdown flag
+//!    stays responsive);
+//! 2. once the first datagram arrives, pull everything else the kernel
+//!    has queued, up to `recv_batch` datagrams: on Linux with one real
+//!    `recvmmsg(2)` call into the thread's pre-allocated receive ring
+//!    ([`crate::mmsg`], one syscall per drain), elsewhere by
+//!    flipping the socket non-blocking and receiving until `WouldBlock`
+//!    (the portable per-datagram fallback);
+//! 3. decode every drained datagram **during** the drain into one
+//!    reusable `Vec<FlowRecord>` (the receive buffer is reused for the
+//!    next datagram the moment its records are extracted);
+//! 4. offer the whole batch to the correlator's LookUp queue with a
+//!    single `push_flow_batch` — queue synchronization is paid once per
+//!    drain, not per datagram, and the overflow remainder is a counted
+//!    drop, never a blocked socket.
+//!
+//! With `recv_batch = 1` step 2 is skipped entirely and the loop is the
+//! classic per-datagram baseline (that is what the saturation harness
+//! measures the batched path against).
+//!
+//! # Ownership
+//!
+//! Decode state is **sharded per listener thread**: thread *i* owns
+//! [`ListenerShard`] *i*, whose per-exporter [`ExporterDecoder`] map it
+//! alone mutates (the mutex is only there so stats readers can walk the
+//! map; it is never contended by another listener). `SO_REUSEPORT`
+//! hashes by source address, so one exporter's datagrams consistently
+//! land on one socket and its template state never migrates between
+//! shards. A malformed datagram increments that exporter's own
+//! `DecodeStats` and poisons nothing: the drain continues and the
+//! already-decoded records of the same batch are still delivered.
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
@@ -22,106 +52,293 @@ use flowdns_core::metrics::ExporterStats;
 use flowdns_core::Correlator;
 use flowdns_netflow::{DecodeStats, ExporterDecoder, ExtractorConfig};
 use flowdns_stream::RateMeter;
+use flowdns_types::FlowRecord;
+
+use crate::buffer_pool::BufferPool;
+use crate::mmsg::MmsgRing;
 
 /// Largest datagram the listener accepts (64 KiB, the UDP maximum).
 const MAX_DATAGRAM: usize = 65_535;
-/// How long one `recv_from` waits before re-checking the shutdown flag.
+/// How long one blocking `recv_from` waits before re-checking shutdown.
 const RECV_TIMEOUT: Duration = Duration::from_millis(50);
 
-/// Shared per-exporter decode state plus listener-level counters.
-/// Malformed/unknown-template counts live inside each exporter's
-/// [`DecodeStats`]; [`ExporterTable::totals`] folds them.
+/// Per-listener-thread drain counters (all monotonic).
 #[derive(Debug, Default)]
-pub struct ExporterTable {
+pub struct ListenerStats {
+    /// Datagrams received by this listener.
+    pub datagrams: AtomicU64,
+    /// Drain rounds (each starts with one blocking receive).
+    pub drains: AtomicU64,
+    /// Batches offered to the LookUp queue (≤ `drains`; a drain of
+    /// purely malformed datagrams pushes nothing).
+    pub batch_pushes: AtomicU64,
+    /// Largest number of datagrams taken in a single drain.
+    pub max_drain: AtomicU64,
+}
+
+/// A point-in-time copy of one listener's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ListenerCounters {
+    /// Datagrams received.
+    pub datagrams: u64,
+    /// Drain rounds completed.
+    pub drains: u64,
+    /// Batches pushed to the pipeline.
+    pub batch_pushes: u64,
+    /// Largest single drain, in datagrams.
+    pub max_drain: u64,
+}
+
+impl ListenerCounters {
+    /// Mean datagrams per drain round (1.0 = no batching happening).
+    pub fn avg_drain(&self) -> f64 {
+        if self.drains == 0 {
+            0.0
+        } else {
+            self.datagrams as f64 / self.drains as f64
+        }
+    }
+}
+
+/// One listener thread's decode state: its exporters' decoders plus its
+/// drain counters. The mutex exists for stats readers; the owning
+/// listener thread is the only writer.
+#[derive(Debug, Default)]
+pub struct ListenerShard {
     decoders: Mutex<HashMap<SocketAddr, ExporterDecoder>>,
+    /// Drain counters for this listener.
+    pub stats: ListenerStats,
+}
+
+impl ListenerShard {
+    fn counters(&self) -> ListenerCounters {
+        ListenerCounters {
+            datagrams: self.stats.datagrams.load(Ordering::Relaxed),
+            drains: self.stats.drains.load(Ordering::Relaxed),
+            batch_pushes: self.stats.batch_pushes.load(Ordering::Relaxed),
+            max_drain: self.stats.max_drain.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Sharded per-exporter decode state plus listener-level counters.
+/// Malformed/unknown-template counts live inside each exporter's
+/// [`DecodeStats`]; [`ExporterTable::totals`] folds them across shards.
+#[derive(Debug)]
+pub struct ExporterTable {
+    shards: Vec<Arc<ListenerShard>>,
     /// Flow records dropped because the LookUp queue was full.
     pub queue_drops: AtomicU64,
 }
 
+impl Default for ExporterTable {
+    fn default() -> Self {
+        ExporterTable::new(1)
+    }
+}
+
 impl ExporterTable {
-    /// Per-exporter counters, sorted by exporter address.
+    /// A table with one decoder shard per listener thread.
+    pub fn new(listeners: usize) -> Self {
+        ExporterTable {
+            shards: (0..listeners.max(1))
+                .map(|_| Arc::new(ListenerShard::default()))
+                .collect(),
+            queue_drops: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of listener shards.
+    pub fn listeners(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-listener drain counters, in listener order.
+    pub fn per_listener(&self) -> Vec<ListenerCounters> {
+        self.shards.iter().map(|s| s.counters()).collect()
+    }
+
+    /// Per-exporter counters merged across shards, sorted by exporter
+    /// address. (An exporter normally lives in exactly one shard, but a
+    /// group resize across restarts may leave its history split.)
     pub fn per_exporter(&self) -> Vec<ExporterStats> {
-        let mut out: Vec<ExporterStats> = self
-            .decoders
-            .lock()
-            .iter()
-            .map(|(addr, dec)| ExporterStats {
-                exporter: addr.to_string(),
-                datagrams: dec.stats.datagrams,
-                flows: dec.stats.flows,
-                malformed: dec.stats.malformed,
-                unknown_template_drops: dec.stats.unknown_template_drops,
-            })
-            .collect();
+        let mut merged: HashMap<String, ExporterStats> = HashMap::new();
+        for shard in &self.shards {
+            for (addr, dec) in shard.decoders.lock().iter() {
+                let entry = merged
+                    .entry(addr.to_string())
+                    .or_insert_with(|| ExporterStats {
+                        exporter: addr.to_string(),
+                        ..Default::default()
+                    });
+                entry.datagrams += dec.stats.datagrams;
+                entry.flows += dec.stats.flows;
+                entry.malformed += dec.stats.malformed;
+                entry.unknown_template_drops += dec.stats.unknown_template_drops;
+            }
+        }
+        let mut out: Vec<ExporterStats> = merged.into_values().collect();
         out.sort_by(|a, b| a.exporter.cmp(&b.exporter));
         out
     }
 
-    /// Totals folded over every exporter.
+    /// Totals folded over every exporter in every shard.
     pub fn totals(&self) -> DecodeStats {
         let mut total = DecodeStats::default();
-        for dec in self.decoders.lock().values() {
-            total.merge(&dec.stats);
+        for shard in &self.shards {
+            for dec in shard.decoders.lock().values() {
+                total.merge(&dec.stats);
+            }
         }
         total
     }
 }
 
-/// Spawn the UDP listener thread. It owns the socket and exits once
-/// `shutdown` is set.
-pub(crate) fn spawn(
-    socket: UdpSocket,
+/// Spawn one listener thread per socket. Thread *i* owns socket *i* and
+/// decoder shard *i* of `table` (which must have been built with
+/// `ExporterTable::new(sockets.len())`); each exits once `shutdown` is
+/// set.
+pub(crate) fn spawn_group(
+    sockets: Vec<UdpSocket>,
+    recv_batch: usize,
+    pool: Arc<BufferPool>,
     correlator: Arc<Correlator>,
     shutdown: Arc<AtomicBool>,
     table: Arc<ExporterTable>,
     meter: Arc<Mutex<RateMeter>>,
-) -> std::io::Result<JoinHandle<()>> {
-    socket.set_read_timeout(Some(RECV_TIMEOUT))?;
-    std::thread::Builder::new()
-        .name("ingest-netflow".into())
-        .spawn(move || {
-            let mut buf = vec![0u8; MAX_DATAGRAM];
-            while !shutdown.load(Ordering::Acquire) {
-                let (len, peer) = match socket.recv_from(&mut buf) {
-                    Ok(pair) => pair,
-                    Err(e)
-                        if e.kind() == std::io::ErrorKind::WouldBlock
-                            || e.kind() == std::io::ErrorKind::TimedOut =>
-                    {
-                        continue;
+) -> std::io::Result<Vec<JoinHandle<()>>> {
+    assert_eq!(
+        sockets.len(),
+        table.listeners(),
+        "listener group and shard count must match"
+    );
+    let recv_batch = recv_batch.max(1);
+    let mut handles = Vec::with_capacity(sockets.len());
+    for (i, socket) in sockets.into_iter().enumerate() {
+        socket.set_read_timeout(Some(RECV_TIMEOUT))?;
+        let shard = Arc::clone(&table.shards[i]);
+        let pool = Arc::clone(&pool);
+        let correlator = Arc::clone(&correlator);
+        let shutdown = Arc::clone(&shutdown);
+        let table = Arc::clone(&table);
+        let meter = Arc::clone(&meter);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("ingest-netflow-{i}"))
+                .spawn(move || {
+                    listener_loop(
+                        &socket,
+                        recv_batch,
+                        &pool,
+                        &correlator,
+                        &shutdown,
+                        &shard,
+                        &table,
+                        &meter,
+                    )
+                })?,
+        );
+    }
+    Ok(handles)
+}
+
+/// Decode one datagram into `batch` under this shard's (uncontended)
+/// decoder lock. Errors are already counted in the exporter's stats.
+fn decode_into(shard: &ListenerShard, peer: SocketAddr, bytes: &[u8], batch: &mut Vec<FlowRecord>) {
+    let mut decoders = shard.decoders.lock();
+    let decoder = decoders
+        .entry(peer)
+        .or_insert_with(|| ExporterDecoder::new(ExtractorConfig::default()));
+    let _ = decoder.decode_datagram_into(bytes, batch);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn listener_loop(
+    socket: &UdpSocket,
+    recv_batch: usize,
+    pool: &Arc<BufferPool>,
+    correlator: &Correlator,
+    shutdown: &AtomicBool,
+    shard: &ListenerShard,
+    table: &ExporterTable,
+    meter: &Mutex<RateMeter>,
+) {
+    let mut buf = pool.take(MAX_DATAGRAM);
+    let mut batch: Vec<FlowRecord> = Vec::new();
+    // The recvmmsg ring holds the rest of a drain after the opening
+    // blocking receive; `None` once the platform reports Unsupported.
+    let mut ring = (recv_batch > 1).then(|| MmsgRing::new(recv_batch - 1, MAX_DATAGRAM));
+    while !shutdown.load(Ordering::Acquire) {
+        // Step 1: one blocking receive opens the drain round.
+        let (len, peer) = match socket.recv_from(&mut buf) {
+            Ok(pair) => pair,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            // Transient network errors (e.g. ICMP port unreachable
+            // bounced back on Linux) must not kill the listener.
+            Err(_) => continue,
+        };
+        decode_into(shard, peer, &buf[..len], &mut batch);
+        let mut drained = 1u64;
+        // Step 2+3: drain whatever else is already queued in the kernel
+        // buffer, decoding as we go.
+        if let Some(r) = ring.as_mut() {
+            // One recvmmsg syscall takes the rest of the round.
+            match r.recv(socket) {
+                Ok(count) => {
+                    for i in 0..count {
+                        let (bytes, peer) = r.datagram(i);
+                        decode_into(shard, peer, bytes, &mut batch);
                     }
-                    // Transient network errors (e.g. ICMP port unreachable
-                    // bounced back on Linux) must not kill the listener.
-                    Err(_) => continue,
-                };
-                let mut decoders = table.decoders.lock();
-                let decoder = decoders
-                    .entry(peer)
-                    .or_insert_with(|| ExporterDecoder::new(ExtractorConfig::default()));
-                match decoder.decode_datagram(&buf[..len]) {
-                    Ok(flows) => {
-                        drop(decoders);
-                        {
-                            let mut meter = meter.lock();
-                            for flow in &flows {
-                                meter.record(flow.ts, flow.bytes);
-                            }
-                        }
-                        // One queue offer per datagram, not per flow: the
-                        // whole decoded batch goes in together and the
-                        // overflow remainder is counted as dropped.
-                        let offered = flows.len();
-                        let accepted = correlator.push_flow_batch(flows);
-                        if accepted < offered {
-                            table
-                                .queue_drops
-                                .fetch_add((offered - accepted) as u64, Ordering::Relaxed);
-                        }
+                    drained += count as u64;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Unsupported => {
+                    ring = None; // fall back permanently on this platform
+                }
+                Err(_) => {} // WouldBlock: kernel queue is empty
+            }
+        }
+        if ring.is_none() && recv_batch > 1 && socket.set_nonblocking(true).is_ok() {
+            // Portable fallback: per-datagram non-blocking receives.
+            while (drained as usize) < recv_batch {
+                match socket.recv_from(&mut buf) {
+                    Ok((len, peer)) => {
+                        drained += 1;
+                        decode_into(shard, peer, &buf[..len], &mut batch);
                     }
-                    Err(_) => {
-                        // Already counted in the exporter's DecodeStats.
-                    }
+                    Err(_) => break, // WouldBlock: kernel queue is empty
                 }
             }
-        })
+            // Back to blocking mode; the read timeout set at spawn still
+            // applies (SO_RCVTIMEO is independent of O_NONBLOCK).
+            let _ = socket.set_nonblocking(false);
+        }
+        shard.stats.datagrams.fetch_add(drained, Ordering::Relaxed);
+        shard.stats.drains.fetch_add(1, Ordering::Relaxed);
+        shard.stats.max_drain.fetch_max(drained, Ordering::Relaxed);
+        if batch.is_empty() {
+            continue; // purely malformed / unknown-template drain
+        }
+        {
+            let mut meter = meter.lock();
+            for flow in &batch {
+                meter.record(flow.ts, flow.bytes);
+            }
+        }
+        // Step 4: the whole drain in one queue offer; the overflow
+        // remainder is counted as dropped. `drain(..)` keeps the batch
+        // vector's capacity for the next round.
+        let offered = batch.len();
+        shard.stats.batch_pushes.fetch_add(1, Ordering::Relaxed);
+        let accepted = correlator.push_flow_batch(batch.drain(..));
+        if accepted < offered {
+            table
+                .queue_drops
+                .fetch_add((offered - accepted) as u64, Ordering::Relaxed);
+        }
+    }
 }

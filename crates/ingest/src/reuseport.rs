@@ -1,0 +1,356 @@
+//! `SO_REUSEPORT` listener groups.
+//!
+//! With `netflow_listeners`/`dns_listeners` > 1 the runtime binds N
+//! sockets to the *same* address with `SO_REUSEPORT` set, and the kernel
+//! load-balances datagrams (by 4-tuple hash) and connections across
+//! them — each socket gets its own decode thread with no shared recv
+//! path. Because the hash pins one exporter's source address to one
+//! socket, every listener thread can keep its own per-exporter decoder
+//! shard without cross-thread locking.
+//!
+//! `std` cannot set socket options before `bind`, and this build is
+//! dependency-free, so on Linux the sockets are created with a small,
+//! contained set of raw `socket(2)`/`setsockopt(2)`/`bind(2)` calls and
+//! then handed to `std` types via `FromRawFd`. On other platforms (or
+//! when a group bind fails) the group degrades gracefully to a single
+//! `std`-bound socket — correctness is identical, only the parallelism
+//! is lost — and the effective group size is visible to the operator via
+//! the returned vector's length.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, UdpSocket};
+
+/// Bind `count` UDP sockets to `addr` as a `SO_REUSEPORT` group.
+/// Returns the sockets and the resolved local address (meaningful when
+/// `addr` asked for port 0). The group is clamped to one socket when
+/// `count <= 1` or the platform has no usable `SO_REUSEPORT`.
+pub(crate) fn bind_udp_group(
+    addr: SocketAddr,
+    count: usize,
+) -> io::Result<(Vec<UdpSocket>, SocketAddr)> {
+    if count <= 1 {
+        let socket = UdpSocket::bind(addr)?;
+        let local = socket.local_addr()?;
+        return Ok((vec![socket], local));
+    }
+    match sys::udp_group(addr, count) {
+        Ok(group) => Ok(group),
+        // Graceful fallback: no REUSEPORT support (or the raw path
+        // failed) — a single listener keeps the daemon correct.
+        Err(_) => {
+            let socket = UdpSocket::bind(addr)?;
+            let local = socket.local_addr()?;
+            Ok((vec![socket], local))
+        }
+    }
+}
+
+/// Bind `count` TCP listeners to `addr` as a `SO_REUSEPORT` group; same
+/// contract as [`bind_udp_group`].
+pub(crate) fn bind_tcp_group(
+    addr: SocketAddr,
+    count: usize,
+) -> io::Result<(Vec<TcpListener>, SocketAddr)> {
+    if count <= 1 {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        return Ok((vec![listener], local));
+    }
+    match sys::tcp_group(addr, count) {
+        Ok(group) => Ok(group),
+        Err(_) => {
+            let listener = TcpListener::bind(addr)?;
+            let local = listener.local_addr()?;
+            Ok((vec![listener], local))
+        }
+    }
+}
+
+/// Ask the kernel for `bytes` of receive buffering on `socket`
+/// (`SO_RCVBUF`). The kernel silently clamps the request to
+/// `net.core.rmem_max`, so this is best-effort sizing, not a guarantee;
+/// a deep buffer is what lets a collector ride out scheduling gaps and
+/// exporter bursts without kernel-side datagram loss. No-op off Linux.
+pub(crate) fn set_recv_buffer(socket: &UdpSocket, bytes: usize) -> io::Result<()> {
+    sys::set_recv_buffer(socket, bytes)
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use std::io;
+    use std::net::{SocketAddr, TcpListener, UdpSocket};
+    use std::os::fd::{AsRawFd, FromRawFd, RawFd};
+
+    // Linux ABI constants and layouts (x86_64/aarch64 generic values);
+    // hand-declared because this build links no libc crate.
+    const AF_INET: i32 = 2;
+    const AF_INET6: i32 = 10;
+    const SOCK_DGRAM: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOCK_CLOEXEC: i32 = 0o2000000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_RCVBUF: i32 = 8;
+    const SO_REUSEPORT: i32 = 15;
+    const LISTEN_BACKLOG: i32 = 1024;
+
+    #[repr(C)]
+    struct SockAddrIn {
+        sin_family: u16,
+        sin_port: u16, // network byte order
+        sin_addr: [u8; 4],
+        sin_zero: [u8; 8],
+    }
+
+    #[repr(C)]
+    struct SockAddrIn6 {
+        sin6_family: u16,
+        sin6_port: u16, // network byte order
+        sin6_flowinfo: u32,
+        sin6_addr: [u8; 16],
+        sin6_scope_id: u32,
+    }
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const core::ffi::c_void,
+            optlen: u32,
+        ) -> i32;
+        fn bind(fd: i32, addr: *const core::ffi::c_void, addrlen: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// Owned raw fd: closed on drop unless released into a std type.
+    struct Fd(RawFd);
+
+    impl Fd {
+        fn release(self) -> RawFd {
+            let fd = self.0;
+            std::mem::forget(self);
+            fd
+        }
+    }
+
+    impl Drop for Fd {
+        fn drop(&mut self) {
+            // SAFETY: `self.0` is an fd this module opened and still owns.
+            unsafe {
+                close(self.0);
+            }
+        }
+    }
+
+    /// socket() + SO_REUSEPORT + bind(), returning the still-raw fd.
+    fn bound_reuseport(addr: SocketAddr, ty: i32) -> io::Result<Fd> {
+        let domain = if addr.is_ipv4() { AF_INET } else { AF_INET6 };
+        // SAFETY: plain syscall with constant arguments.
+        let raw = unsafe { socket(domain, ty | SOCK_CLOEXEC, 0) };
+        if raw < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let fd = Fd(raw);
+        let one: i32 = 1;
+        // SAFETY: `one` outlives the call; optlen matches its size.
+        let rc = unsafe {
+            setsockopt(
+                fd.0,
+                SOL_SOCKET,
+                SO_REUSEPORT,
+                (&one as *const i32).cast(),
+                std::mem::size_of::<i32>() as u32,
+            )
+        };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let rc = match addr {
+            SocketAddr::V4(v4) => {
+                let sa = SockAddrIn {
+                    sin_family: AF_INET as u16,
+                    sin_port: v4.port().to_be(),
+                    sin_addr: v4.ip().octets(),
+                    sin_zero: [0; 8],
+                };
+                // SAFETY: `sa` is a valid sockaddr_in for the call's
+                // duration and addrlen matches its layout.
+                unsafe {
+                    bind(
+                        fd.0,
+                        (&sa as *const SockAddrIn).cast(),
+                        std::mem::size_of::<SockAddrIn>() as u32,
+                    )
+                }
+            }
+            SocketAddr::V6(v6) => {
+                let sa = SockAddrIn6 {
+                    sin6_family: AF_INET6 as u16,
+                    sin6_port: v6.port().to_be(),
+                    sin6_flowinfo: v6.flowinfo(),
+                    sin6_addr: v6.ip().octets(),
+                    sin6_scope_id: v6.scope_id(),
+                };
+                // SAFETY: as above, for sockaddr_in6.
+                unsafe {
+                    bind(
+                        fd.0,
+                        (&sa as *const SockAddrIn6).cast(),
+                        std::mem::size_of::<SockAddrIn6>() as u32,
+                    )
+                }
+            }
+        };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(fd)
+    }
+
+    pub(super) fn set_recv_buffer(socket: &UdpSocket, bytes: usize) -> io::Result<()> {
+        let requested: i32 = bytes.min(i32::MAX as usize) as i32;
+        // SAFETY: `requested` outlives the call; optlen matches its size.
+        let rc = unsafe {
+            setsockopt(
+                socket.as_raw_fd(),
+                SOL_SOCKET,
+                SO_RCVBUF,
+                (&requested as *const i32).cast(),
+                std::mem::size_of::<i32>() as u32,
+            )
+        };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    pub(super) fn udp_group(
+        addr: SocketAddr,
+        count: usize,
+    ) -> io::Result<(Vec<UdpSocket>, SocketAddr)> {
+        // SAFETY: the fd is freshly bound, owned here, and released
+        // exactly once into the std type.
+        let first = unsafe { UdpSocket::from_raw_fd(bound_reuseport(addr, SOCK_DGRAM)?.release()) };
+        // Port 0 resolves on the first bind; siblings join that port.
+        let local = first.local_addr()?;
+        let mut sockets = vec![first];
+        for _ in 1..count {
+            let fd = bound_reuseport(local, SOCK_DGRAM)?;
+            // SAFETY: as above.
+            sockets.push(unsafe { UdpSocket::from_raw_fd(fd.release()) });
+        }
+        Ok((sockets, local))
+    }
+
+    pub(super) fn tcp_group(
+        addr: SocketAddr,
+        count: usize,
+    ) -> io::Result<(Vec<TcpListener>, SocketAddr)> {
+        let mut listeners = Vec::with_capacity(count);
+        let mut local = addr;
+        for i in 0..count {
+            let fd = bound_reuseport(local, SOCK_STREAM)?;
+            // SAFETY: plain syscall on an owned, bound fd.
+            if unsafe { listen(fd.0, LISTEN_BACKLOG) } != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            // SAFETY: bound+listening fd released exactly once.
+            let listener = unsafe { TcpListener::from_raw_fd(fd.release()) };
+            if i == 0 {
+                local = listener.local_addr()?;
+            }
+            listeners.push(listener);
+        }
+        Ok((listeners, local))
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    //! Non-Linux stub: report "unsupported" so the callers fall back to
+    //! one `std`-bound socket per port.
+    use std::io;
+    use std::net::{SocketAddr, TcpListener, UdpSocket};
+
+    pub(super) fn set_recv_buffer(_socket: &UdpSocket, _bytes: usize) -> io::Result<()> {
+        Ok(())
+    }
+
+    pub(super) fn udp_group(
+        _addr: SocketAddr,
+        _count: usize,
+    ) -> io::Result<(Vec<UdpSocket>, SocketAddr)> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "SO_REUSEPORT groups are only implemented on Linux",
+        ))
+    }
+
+    pub(super) fn tcp_group(
+        _addr: SocketAddr,
+        _count: usize,
+    ) -> io::Result<(Vec<TcpListener>, SocketAddr)> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "SO_REUSEPORT groups are only implemented on Linux",
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_socket_group_uses_std_bind() {
+        let (sockets, local) = bind_udp_group("127.0.0.1:0".parse().unwrap(), 1).unwrap();
+        assert_eq!(sockets.len(), 1);
+        assert_ne!(local.port(), 0);
+        assert_eq!(sockets[0].local_addr().unwrap(), local);
+    }
+
+    #[test]
+    fn udp_group_shares_one_port() {
+        let (sockets, local) = bind_udp_group("127.0.0.1:0".parse().unwrap(), 4).unwrap();
+        assert_ne!(local.port(), 0);
+        // On Linux this is a real 4-socket group; elsewhere it clamps to 1.
+        assert!(sockets.len() == 4 || sockets.len() == 1);
+        for socket in &sockets {
+            assert_eq!(socket.local_addr().unwrap().port(), local.port());
+        }
+        // The group receives: a datagram sent to the port lands on
+        // exactly one member.
+        let sender = UdpSocket::bind("127.0.0.1:0").unwrap();
+        sender.send_to(b"ping", local).unwrap();
+        for socket in &sockets {
+            socket
+                .set_read_timeout(Some(std::time::Duration::from_millis(200)))
+                .unwrap();
+        }
+        let mut buf = [0u8; 16];
+        let received = sockets
+            .iter()
+            .filter_map(|s| s.recv_from(&mut buf).ok())
+            .count();
+        assert_eq!(received, 1);
+    }
+
+    #[test]
+    fn tcp_group_accepts_on_one_port() {
+        let (listeners, local) = bind_tcp_group("127.0.0.1:0".parse().unwrap(), 2).unwrap();
+        assert_ne!(local.port(), 0);
+        assert!(listeners.len() == 2 || listeners.len() == 1);
+        let _client = std::net::TcpStream::connect(local).unwrap();
+        for listener in &listeners {
+            listener.set_nonblocking(true).unwrap();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let accepted = listeners.iter().filter(|l| l.accept().is_ok()).count();
+        assert_eq!(accepted, 1);
+    }
+}

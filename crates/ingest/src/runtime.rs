@@ -1,15 +1,17 @@
 //! [`IngestRuntime`]: sockets in, correlated records out.
 //!
-//! The runtime binds the two listeners, starts a [`Correlator`] and wires
-//! everything together: UDP datagrams → per-exporter decoders → LookUp
-//! queue; TCP frames → incremental decoder → FillUp queue. Each listener
-//! carries its own [`RateMeter`], and shutdown is ordered: listeners stop
-//! accepting, connection handlers drain and join, then the pipeline
-//! drains its bounded queues and the final [`Report`] — with every
-//! per-exporter drop/malformed counter folded into
-//! `core::metrics::IngestSummary` — comes back.
+//! The runtime binds the two listener groups (`SO_REUSEPORT` when more
+//! than one socket per port is configured), starts a [`Correlator`] and
+//! wires everything together: UDP datagram drains → per-listener
+//! decoder shards → LookUp queue; TCP read drains → incremental decoder
+//! → FillUp queue — with receive buffers drawn from one shared
+//! [`BufferPool`]. Each side carries its own [`RateMeter`], and
+//! shutdown is ordered: listeners stop accepting, connection handlers
+//! drain and join, then the pipeline drains its bounded queues and the
+//! final [`Report`] — with every per-exporter drop/malformed counter
+//! folded into `core::metrics::IngestSummary` — comes back.
 
-use std::net::{SocketAddr, TcpListener, UdpSocket};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -22,9 +24,11 @@ use flowdns_core::{Correlator, PipelineMetrics, Report};
 use flowdns_stream::{MeterSnapshot, RateMeter};
 use flowdns_types::{FlowDnsError, SimDuration};
 
+use crate::buffer_pool::{BufferPool, PoolStats};
 use crate::config::DaemonConfig;
 use crate::dns_listener::{self, DnsFeedStats};
-use crate::netflow_listener::{self, ExporterTable};
+use crate::netflow_listener::{self, ExporterTable, ListenerCounters};
+use crate::reuseport;
 
 /// Width of the per-listener meter windows.
 const METER_WINDOW_SECS: u64 = 60;
@@ -60,6 +64,13 @@ pub struct IngestSnapshot {
     pub dns_meter: MeterSnapshot,
     /// Depths of the (fillup, lookup, write) queues.
     pub queue_depths: (usize, usize, usize),
+    /// Per-listener drain counters of the NetFlow group, in listener
+    /// order (length = effective `netflow_listeners`).
+    pub netflow_listeners: Vec<ListenerCounters>,
+    /// Effective size of the DNS accept-loop group.
+    pub dns_listeners: usize,
+    /// Shared receive-buffer pool counters.
+    pub buffer_pool: PoolStats,
     /// Live pipeline metrics from [`Correlator::snapshot`]: worker stats,
     /// queue drop counters, store memory. Periodic reporters read this
     /// instead of probing queues and counters piecemeal.
@@ -78,6 +89,8 @@ pub struct IngestRuntime {
     dns_stats: Arc<DnsFeedStats>,
     netflow_meter: Arc<Mutex<RateMeter>>,
     dns_meter: Arc<Mutex<RateMeter>>,
+    pool: Arc<BufferPool>,
+    dns_listener_count: usize,
 }
 
 impl std::fmt::Debug for IngestRuntime {
@@ -154,34 +167,53 @@ impl IngestRuntime {
     {
         let io_err = |e: std::io::Error| FlowDnsError::Io(e.to_string());
 
-        let udp = UdpSocket::bind(config.ingest.netflow_bind).map_err(io_err)?;
-        let netflow_addr = udp.local_addr().map_err(io_err)?;
-        let tcp = TcpListener::bind(config.ingest.dns_bind).map_err(io_err)?;
-        let dns_addr = tcp.local_addr().map_err(io_err)?;
+        // Bind the listener groups first — the effective group sizes
+        // (clamped to 1 where SO_REUSEPORT is unavailable) shape the
+        // decoder shard layout below.
+        let (udp_sockets, netflow_addr) =
+            reuseport::bind_udp_group(config.ingest.netflow_bind, config.ingest.netflow_listeners)
+                .map_err(io_err)?;
+        if config.ingest.recv_buffer_bytes > 0 {
+            for socket in &udp_sockets {
+                // Best-effort: the kernel clamps to rmem_max, and a
+                // denied resize still leaves a working (default-depth)
+                // socket, so failure is not fatal.
+                let _ = reuseport::set_recv_buffer(socket, config.ingest.recv_buffer_bytes);
+            }
+        }
+        let (tcp_listeners, dns_addr) =
+            reuseport::bind_tcp_group(config.ingest.dns_bind, config.ingest.dns_listeners)
+                .map_err(io_err)?;
+        let dns_listener_count = tcp_listeners.len();
 
         let correlator = Arc::new(Correlator::start_with_sink_factory(
             config.correlator.clone(),
             factory,
         )?);
         let shutdown = Arc::new(AtomicBool::new(false));
-        let exporters = Arc::new(ExporterTable::default());
+        let exporters = Arc::new(ExporterTable::new(udp_sockets.len()));
         let dns_stats = Arc::new(DnsFeedStats::default());
+        let pool = BufferPool::new(config.ingest.buffer_pool);
         let window = SimDuration::from_secs(METER_WINDOW_SECS);
         let netflow_meter = Arc::new(Mutex::new(RateMeter::new(window)));
         let dns_meter = Arc::new(Mutex::new(RateMeter::new(window)));
         let conn_handles = Arc::new(Mutex::new(Vec::new()));
 
-        let listeners = vec![
-            netflow_listener::spawn(
-                udp,
-                Arc::clone(&correlator),
-                Arc::clone(&shutdown),
-                Arc::clone(&exporters),
-                Arc::clone(&netflow_meter),
-            )
-            .map_err(io_err)?,
-            dns_listener::spawn(
-                tcp,
+        let mut listeners = netflow_listener::spawn_group(
+            udp_sockets,
+            config.ingest.recv_batch,
+            Arc::clone(&pool),
+            Arc::clone(&correlator),
+            Arc::clone(&shutdown),
+            Arc::clone(&exporters),
+            Arc::clone(&netflow_meter),
+        )
+        .map_err(io_err)?;
+        listeners.extend(
+            dns_listener::spawn_group(
+                tcp_listeners,
+                config.ingest.recv_batch,
+                Arc::clone(&pool),
                 Arc::clone(&correlator),
                 Arc::clone(&shutdown),
                 Arc::clone(&dns_stats),
@@ -189,7 +221,7 @@ impl IngestRuntime {
                 Arc::clone(&conn_handles),
             )
             .map_err(io_err)?,
-        ];
+        );
 
         Ok(IngestRuntime {
             correlator,
@@ -202,6 +234,8 @@ impl IngestRuntime {
             dns_stats,
             netflow_meter,
             dns_meter,
+            pool,
+            dns_listener_count,
         })
     }
 
@@ -235,6 +269,9 @@ impl IngestRuntime {
             netflow_meter: self.netflow_meter.lock().snapshot(),
             dns_meter: self.dns_meter.lock().snapshot(),
             queue_depths: self.correlator.queue_depths(),
+            netflow_listeners: self.exporters.per_listener(),
+            dns_listeners: self.dns_listener_count,
+            buffer_pool: self.pool.stats(),
             pipeline,
         }
     }
@@ -309,6 +346,25 @@ mod tests {
         let report = rt.shutdown().unwrap();
         assert_eq!(report.metrics.write.records_written, 0);
         assert!(!report.metrics.ingest.is_live());
+    }
+
+    #[test]
+    fn listener_groups_start_and_report_their_size() {
+        let mut cfg = loopback_config();
+        cfg.ingest.netflow_listeners = 4;
+        cfg.ingest.dns_listeners = 2;
+        let rt = IngestRuntime::start_in_memory(&cfg).unwrap();
+        let snap = rt.snapshot();
+        // Real 4-socket group on Linux; clamped to 1 where SO_REUSEPORT
+        // is unavailable — either way the snapshot reports the truth.
+        assert!(snap.netflow_listeners.len() == 4 || snap.netflow_listeners.len() == 1);
+        assert!(snap.dns_listeners == 2 || snap.dns_listeners == 1);
+        assert_eq!(
+            snap.netflow_listeners.len(),
+            rt.exporters.listeners(),
+            "shards must match the listener group"
+        );
+        rt.shutdown().unwrap();
     }
 
     #[test]

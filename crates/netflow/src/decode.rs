@@ -149,6 +149,24 @@ impl ExporterDecoder {
             }
         }
     }
+
+    /// Like [`decode_datagram`](Self::decode_datagram), but appends the
+    /// decoded records to `out` instead of allocating a fresh vector —
+    /// the batched listeners decode a whole socket drain into one
+    /// reusable buffer and push it to the pipeline in a single batch.
+    /// Returns how many records this datagram contributed; a malformed
+    /// datagram is counted (and reported as `Err`) without touching
+    /// records already in `out`.
+    pub fn decode_datagram_into(
+        &mut self,
+        bytes: &[u8],
+        out: &mut Vec<FlowRecord>,
+    ) -> Result<usize, FlowDnsError> {
+        let flows = self.decode_datagram(bytes)?;
+        let n = flows.len();
+        out.extend(flows);
+        Ok(n)
+    }
 }
 
 #[cfg(test)]

@@ -34,5 +34,5 @@ pub use decode::{DecodeStats, ExporterDecoder, FlowProtocol};
 pub use extract::{ExtractorConfig, FlowExtractor};
 pub use ipfix::{IpfixMessage, IpfixMessageBuilder, IpfixParser};
 pub use template::{FieldSpec, FieldType, Template, TemplateCache, TemplateRegistry};
-pub use v5::{V5Header, V5Packet, V5Record};
+pub use v5::{V5Header, V5Packet, V5Record, V5_MAX_RECORDS};
 pub use v9::{DataRecord, FlowSet, V9Packet, V9PacketBuilder, V9Parser};

@@ -1,0 +1,265 @@
+//! Lock-free latency histograms for queue-residency measurement.
+//!
+//! The saturation harness (`exp_saturation`) needs the tail latency of
+//! the ingress queues — how long a record sits between the listener's
+//! `push` and a worker's `pop` — without slowing either side down.
+//! [`LatencyHistogram`] is a fixed-size, log-bucketed array of atomic
+//! counters: recording is two relaxed `fetch_add`s, reading is a
+//! consistent-enough [`LatencySnapshot`] with quantile estimation, and
+//! two snapshots taken around a measurement window subtract into the
+//! window's own distribution ([`LatencySnapshot::delta`]).
+//!
+//! Buckets are logarithmic with four sub-buckets per octave of
+//! microseconds, so any reported quantile is within 12.5% of the true
+//! value — plenty for a p99 whose interesting dynamic range spans
+//! microseconds (empty queue) to seconds (saturated queue).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sub-buckets per power-of-two of microseconds (quantile error ≤ 1/8).
+const SUB_BUCKETS: usize = 4;
+/// Octaves covered: 2^40 µs ≈ 13 days, far beyond any queue residency.
+const OCTAVES: usize = 40;
+/// Total bucket count.
+pub const LATENCY_BUCKETS: usize = OCTAVES * SUB_BUCKETS;
+
+/// Map a duration to its bucket index.
+fn bucket_of(latency: Duration) -> usize {
+    let us = latency.as_micros().min(u64::MAX as u128) as u64;
+    if us < SUB_BUCKETS as u64 {
+        // The first octave holds 0..SUB_BUCKETS µs directly.
+        return us as usize;
+    }
+    let octave = 63 - us.leading_zeros() as usize;
+    // Top two mantissa bits after the leading one select the sub-bucket.
+    let sub = ((us >> (octave - 2)) & 0b11) as usize;
+    // Indices 0..SUB_BUCKETS are the direct 0..4µs buckets; octave 2
+    // (4..8µs) starts right after them.
+    (SUB_BUCKETS + (octave - 2) * SUB_BUCKETS + sub).min(LATENCY_BUCKETS - 1)
+}
+
+/// Upper bound (µs) of a bucket — what quantile estimation reports, so
+/// estimates are conservative (never below the true quantile's bucket).
+fn bucket_upper_us(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let log_index = index - SUB_BUCKETS;
+    let octave = log_index / SUB_BUCKETS + 2;
+    let sub = (log_index % SUB_BUCKETS) as u64;
+    // Buckets in this octave span [2^octave, 2^(octave+1)) in 4 steps.
+    (1u64 << octave) + (sub + 1) * (1u64 << (octave - 2)) - 1
+}
+
+/// A fixed-size, log-bucketed histogram of durations, safe to record
+/// into from any number of threads.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: (0..LATENCY_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observed latency.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.buckets[bucket_of(latency)].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters. Relaxed reads: the snapshot
+    /// may be off by in-flight records but is internally proportionate,
+    /// which is all quantile estimation needs.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// An owned copy of a [`LatencyHistogram`]'s counters, with quantile
+/// estimation. `Default` is the empty distribution (offline runs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Latencies recorded.
+    pub count: u64,
+    /// Sum of all recorded latencies, microseconds.
+    pub sum_us: u64,
+    /// Bucket counters (empty for the `Default` snapshot).
+    pub buckets: Vec<u64>,
+}
+
+impl LatencySnapshot {
+    /// Is this the empty distribution?
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile (0.0–1.0) in microseconds: the upper
+    /// bound of the bucket holding the q·count-th record, so the
+    /// estimate errs high by at most one sub-bucket (≤ 12.5%). Returns 0
+    /// for an empty distribution.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 || self.buckets.is_empty() {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // The rank is 1-based; q = 1.0 selects the last record.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (index, &bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket;
+            if cumulative >= rank {
+                return bucket_upper_us(index);
+            }
+        }
+        bucket_upper_us(LATENCY_BUCKETS - 1)
+    }
+
+    /// Median estimate, microseconds.
+    pub fn p50_us(&self) -> u64 {
+        self.quantile_us(0.50)
+    }
+
+    /// 99th-percentile estimate, microseconds.
+    pub fn p99_us(&self) -> u64 {
+        self.quantile_us(0.99)
+    }
+
+    /// The distribution observed *between* `earlier` and `self`, both
+    /// snapshots of the same histogram: per-bucket saturating
+    /// subtraction, so a measurement window's quantiles are not polluted
+    /// by whatever happened before it.
+    pub fn delta(&self, earlier: &LatencySnapshot) -> LatencySnapshot {
+        let buckets: Vec<u64> = if earlier.buckets.is_empty() {
+            self.buckets.clone()
+        } else {
+            self.buckets
+                .iter()
+                .zip(&earlier.buckets)
+                .map(|(now, before)| now.saturating_sub(*before))
+                .collect()
+        };
+        LatencySnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum_us: self.sum_us.saturating_sub(earlier.sum_us),
+            buckets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_cover_the_range() {
+        let mut last = 0;
+        for us in [0u64, 1, 3, 4, 7, 8, 100, 1_000, 65_536, 10_000_000] {
+            let idx = bucket_of(Duration::from_micros(us));
+            assert!(idx >= last, "bucket index regressed at {us}µs");
+            assert!(bucket_upper_us(idx) >= us, "upper bound below value");
+            last = idx;
+        }
+        // Values beyond the covered range land in the last bucket.
+        assert_eq!(bucket_of(Duration::from_secs(1 << 40)), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_estimate_within_a_sub_bucket() {
+        let hist = LatencyHistogram::new();
+        for us in 1..=1000u64 {
+            hist.record(Duration::from_micros(us));
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 1000);
+        let p50 = snap.p50_us();
+        let p99 = snap.p99_us();
+        assert!((450..=650).contains(&p50), "p50 estimate {p50}");
+        assert!((900..=1150).contains(&p99), "p99 estimate {p99}");
+        assert!(snap.quantile_us(1.0) >= 1000);
+        assert!((snap.mean_us() - 500.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let snap = LatencySnapshot::default();
+        assert!(snap.is_empty());
+        assert_eq!(snap.p99_us(), 0);
+        assert_eq!(snap.mean_us(), 0.0);
+        assert_eq!(LatencyHistogram::new().snapshot().p50_us(), 0);
+    }
+
+    #[test]
+    fn delta_isolates_a_window() {
+        let hist = LatencyHistogram::new();
+        for _ in 0..100 {
+            hist.record(Duration::from_micros(10));
+        }
+        let before = hist.snapshot();
+        for _ in 0..50 {
+            hist.record(Duration::from_millis(100));
+        }
+        let window = hist.snapshot().delta(&before);
+        assert_eq!(window.count, 50);
+        // The old fast records must not drag the window's median down.
+        assert!(window.p50_us() >= 50_000, "p50 {}", window.p50_us());
+        // Delta against an empty (Default) earlier snapshot is identity.
+        let all = hist.snapshot();
+        assert_eq!(all.delta(&LatencySnapshot::default()), all);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let hist = std::sync::Arc::new(LatencyHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let hist = std::sync::Arc::clone(&hist);
+                std::thread::spawn(move || {
+                    for us in 0..10_000u64 {
+                        hist.record(Duration::from_micros(us));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 40_000);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 40_000);
+    }
+}

@@ -9,6 +9,9 @@
 //!
 //! * [`buffer`] — [`StreamBuffer`], a bounded producer/consumer queue that
 //!   counts drops instead of blocking the producer (live feeds never wait),
+//! * [`latency`] — [`LatencyHistogram`], the lock-free log-bucketed
+//!   histogram behind [`StreamBuffer::with_latency`]'s sampled
+//!   enqueue→dequeue residency measurement,
 //! * [`meter`] — [`RateMeter`], per-second rate and backlog accounting in
 //!   simulated time,
 //! * [`replay`] — utilities to merge and replay timestamped record sets as
@@ -19,9 +22,11 @@
 #![warn(missing_docs)]
 
 pub mod buffer;
+pub mod latency;
 pub mod meter;
 pub mod replay;
 
 pub use buffer::{BufferStats, StreamBuffer};
+pub use latency::{LatencyHistogram, LatencySnapshot};
 pub use meter::{MeterSnapshot, RateMeter};
 pub use replay::{merge_by_time, split_round_robin, StreamSplitter};

@@ -1,0 +1,152 @@
+//! Loopback tests of the batched NetFlow drain path.
+//!
+//! The listener's contract (see `flowdns_ingest::netflow_listener`) is
+//! that a burst of queued datagrams is taken in *drains* — many
+//! datagrams per blocking wake-up, pushed to the pipeline as one batch —
+//! and that a malformed datagram inside a drain is counted against its
+//! exporter without poisoning the valid datagrams around it. Both
+//! properties are observable from [`IngestRuntime::snapshot`]: the
+//! per-listener [`ListenerCounters`] expose drains/batch-pushes/max
+//! drain depth, and the summary exposes decode totals.
+
+use std::net::{Ipv4Addr, UdpSocket};
+use std::time::{Duration, Instant};
+
+use flowdns::ingest::mmsg::send_burst;
+use flowdns::ingest::{DaemonConfig, IngestRuntime};
+use flowdns::netflow::{V5Header, V5Packet, V5Record};
+
+const BURST: usize = 200;
+const RECORDS_PER_DATAGRAM: usize = 2;
+
+fn loopback_config() -> DaemonConfig {
+    let mut cfg = DaemonConfig::default();
+    cfg.ingest.netflow_bind = "127.0.0.1:0".parse().unwrap();
+    cfg.ingest.dns_bind = "127.0.0.1:0".parse().unwrap();
+    // One listener so every datagram lands on the same drain counters;
+    // recv_batch stays at its (batched) default.
+    cfg.ingest.netflow_listeners = 1;
+    cfg
+}
+
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    cond()
+}
+
+fn v5_datagram(seq: u8) -> Vec<u8> {
+    V5Packet {
+        header: V5Header {
+            unix_secs: 1000,
+            ..Default::default()
+        },
+        records: (0..RECORDS_PER_DATAGRAM as u8)
+            .map(|r| V5Record {
+                src_addr: Ipv4Addr::new(203, 0, 113, seq.wrapping_add(r)),
+                dst_addr: Ipv4Addr::new(10, 0, 0, 1),
+                packets: 10,
+                octets: 1_400,
+                ..Default::default()
+            })
+            .collect(),
+    }
+    .encode()
+    .unwrap()
+}
+
+#[test]
+fn queued_burst_is_drained_in_batches() {
+    let rt = IngestRuntime::start(&loopback_config()).unwrap();
+    let sender = UdpSocket::bind("127.0.0.1:0").unwrap();
+    sender.connect(rt.netflow_addr()).unwrap();
+
+    // Enqueue the whole burst in a handful of sendmmsg(2) calls so the
+    // kernel socket queue is deep before the listener can keep up.
+    let datagrams: Vec<Vec<u8>> = (0..BURST as u8).map(v5_datagram).collect();
+    let views: Vec<&[u8]> = datagrams.iter().map(|d| d.as_slice()).collect();
+    let mut sent = 0;
+    while sent < views.len() {
+        sent += send_burst(&sender, &views[sent..]).unwrap().max(1);
+    }
+
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            rt.snapshot().summary.netflow_datagrams >= BURST as u64
+        }),
+        "burst never fully received: {:?}",
+        rt.snapshot().summary
+    );
+
+    let listeners = rt.snapshot().netflow_listeners;
+    assert_eq!(listeners.len(), 1);
+    let counters = listeners[0];
+    assert_eq!(counters.datagrams, BURST as u64);
+    // The whole point of the drain loop: strictly fewer wake-ups and
+    // queue offers than datagrams, with at least one multi-datagram
+    // drain. (Equality would mean the burst was taken one datagram per
+    // blocking receive — the recv_batch=1 baseline behaviour.)
+    assert!(
+        counters.drains < counters.datagrams,
+        "no batching happened: {counters:?}"
+    );
+    assert!(
+        counters.batch_pushes < counters.datagrams,
+        "one queue offer per datagram: {counters:?}"
+    );
+    assert!(
+        counters.max_drain > 1,
+        "no drain took more than one datagram"
+    );
+    assert!(counters.avg_drain() > 1.0);
+
+    // Every record of every datagram survived to the decode totals and
+    // none were shed at the LookUp queue.
+    let snap = rt.snapshot();
+    assert_eq!(
+        snap.summary.netflow_flows,
+        (BURST * RECORDS_PER_DATAGRAM) as u64
+    );
+    assert_eq!(snap.summary.netflow_queue_drops, 0);
+    rt.shutdown().unwrap();
+}
+
+#[test]
+fn malformed_datagram_in_burst_is_counted_not_poisonous() {
+    let rt = IngestRuntime::start(&loopback_config()).unwrap();
+    let sender = UdpSocket::bind("127.0.0.1:0").unwrap();
+    sender.connect(rt.netflow_addr()).unwrap();
+
+    // A burst whose middle datagram is garbage: an unknown NetFlow
+    // version from the same exporter socket as its valid neighbours.
+    let good_before = v5_datagram(1);
+    let malformed = vec![0xFFu8; 24];
+    let good_after = v5_datagram(7);
+    let views: Vec<&[u8]> = vec![&good_before, &malformed, &good_after];
+    assert_eq!(send_burst(&sender, &views).unwrap(), 3);
+
+    // `netflow_datagrams` counts *decoded* datagrams, so wait on the
+    // listener's own receive counter, which includes the malformed one.
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            rt.snapshot().netflow_listeners[0].datagrams >= 3
+        }),
+        "burst never fully received: {:?}",
+        rt.snapshot().summary
+    );
+
+    let snap = rt.snapshot();
+    assert_eq!(snap.netflow_listeners[0].datagrams, 3);
+    // The malformed datagram is counted...
+    assert_eq!(snap.summary.netflow_malformed, 1);
+    // ...and the valid records around it still decode and reach the
+    // pipeline: nothing else in the drain is lost.
+    assert_eq!(snap.summary.netflow_flows, 2 * RECORDS_PER_DATAGRAM as u64);
+    assert_eq!(snap.summary.netflow_queue_drops, 0);
+    rt.shutdown().unwrap();
+}
