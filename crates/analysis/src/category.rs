@@ -261,6 +261,7 @@ mod tests {
                 bytes,
                 stream: StreamId::new(0),
                 direction: FlowDirection::Outbound,
+                trace: None,
             },
             CorrelationOutcome::NotFound,
         )

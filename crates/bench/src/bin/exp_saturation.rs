@@ -41,7 +41,7 @@ fn main() -> ExitCode {
         return match std::fs::read_to_string(&path) {
             Ok(text) => match saturation::validate_json(&text) {
                 Ok(()) => {
-                    println!("{path}: valid flowdns-bench/saturation/v1 document");
+                    println!("{path}: valid flowdns-bench/saturation/v2 document");
                     ExitCode::SUCCESS
                 }
                 Err(reason) => {
@@ -81,13 +81,14 @@ fn main() -> ExitCode {
         );
         for step in &run.steps {
             println!(
-                "  offered {:>9.0}/s  sent {:>9.0}/s  accepted {:>9.0}/s  drop {:>5.2}% (queue {:>5.2}%)  p99 queue {} us",
+                "  offered {:>9.0}/s  sent {:>9.0}/s  accepted {:>9.0}/s  drop {:>5.2}% (queue {:>5.2}%)  queue p99 {} us  p999 {} us",
                 step.offered_per_sec,
                 step.sent_per_sec,
                 step.accepted_per_sec,
                 step.drop_pct,
                 step.queue_drop_pct,
                 step.p99_queue_latency_us,
+                step.p999_queue_latency_us,
             );
         }
         println!(
@@ -103,6 +104,12 @@ fn main() -> ExitCode {
     println!(
         "speedup vs per-datagram baseline: {:.2}x",
         report.speedup_vs_baseline()
+    );
+    let obs = &report.obs_overhead;
+    println!(
+        "observability overhead: peak {:.0}/s off vs {:.0}/s with telemetry live \
+         ({:+.2}% regression, {} scrapes, {} trace spans)",
+        obs.off_peak_per_sec, obs.on_peak_per_sec, obs.regression_pct, obs.scrapes, obs.trace_spans
     );
 
     let json = report.to_json();

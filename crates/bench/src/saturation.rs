@@ -11,8 +11,18 @@
 //! single listener, the seed's design) — and the ratio of the two peak
 //! accepted rates is the tracked `speedup_vs_baseline`.
 //!
+//! The `obs_overhead` section — the throughput tax of observing the
+//! pipeline — is a **paired fixed-rate A/B probe** rather than a second
+//! knee search: alternating fresh runtimes with telemetry off and on
+//! (the `/metrics` endpoint polled by a scraper thread plus 1-in-N flow
+//! tracing to a flight-recorder file) are driven at the batched run's
+//! measured knee rate, and each arm's reading is its best accepted rate
+//! across the probe steps. Knee *location* is noisy (ladder + bisection
+//! under scheduler jitter); accepted throughput at a fixed rate is not,
+//! which is what makes a sub-1 % overhead claim measurable at all.
+//!
 //! The result serializes to `BENCH_saturation.json` (schema
-//! `flowdns-bench/saturation/v1`, documented field-by-field in
+//! `flowdns-bench/saturation/v2`, documented field-by-field in
 //! `docs/PERFORMANCE.md`); [`validate_json`] is the structural checker
 //! CI runs against the committed file, rejecting missing keys, empty
 //! step lists, and non-finite numbers.
@@ -23,6 +33,7 @@
 
 use std::io::Write as IoWrite;
 use std::net::{SocketAddr, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -51,6 +62,24 @@ const PACING_TICK: Duration = Duration::from_millis(1);
 /// source address is a store hit.
 const DNS_TS_SECS: u64 = 900;
 const FLOW_TS_SECS: u32 = 1000;
+/// Flow-trace sampling period of the telemetry arm: sparse enough that
+/// tracing is the production configuration, not a stress test of the
+/// recorder, while still emitting spans at every step.
+const TRACE_SAMPLE_EVERY: u64 = 1024;
+/// How often the telemetry arm's scraper thread polls `/metrics` —
+/// deliberately aggressive versus a real Prometheus interval (15–60 s)
+/// so the measured overhead upper-bounds production cost.
+const SCRAPE_INTERVAL: Duration = Duration::from_millis(250);
+/// Off/on probe pairs of the overhead measurement (full mode).
+/// Alternating the arms cancels slow host drift (thermal, co-tenants);
+/// host noise only ever *lowers* throughput, so enough rounds that a
+/// quiet patch covers at least one adjacent off/on pair makes the
+/// per-arm best an honest capacity estimate.
+const OBS_PROBE_ROUNDS: usize = 4;
+/// Fixed-rate steps per probe arm (full mode). Each arm's reading is
+/// the best accepted rate across its steps — loss noise only lowers a
+/// step, so the max is the honest capacity estimate.
+const OBS_PROBE_STEPS: usize = 3;
 
 /// Parameters of one harness invocation.
 #[derive(Debug, Clone)]
@@ -166,6 +195,9 @@ pub struct StepMetrics {
     pub p50_queue_latency_us: u64,
     /// 99th-percentile sampled LookUp-queue residency, µs.
     pub p99_queue_latency_us: u64,
+    /// 99.9th-percentile sampled LookUp-queue residency, µs — the tail
+    /// an operator's SLO actually trips on.
+    pub p999_queue_latency_us: u64,
     /// Residency samples resolved during the step.
     pub queue_latency_samples: u64,
 }
@@ -192,6 +224,33 @@ pub struct RunResult {
     pub avg_drain: f64,
 }
 
+/// The observability tax, measured as a paired fixed-rate A/B probe at
+/// the batched run's knee rate: alternating fresh runtimes with
+/// telemetry off and fully on, each read as its best accepted rate
+/// across the probe steps.
+#[derive(Debug, Clone, Copy)]
+pub struct ObsOverhead {
+    /// Best probe reading with telemetry off (no endpoint, no tracing).
+    pub off_peak_per_sec: f64,
+    /// Best probe reading with `/metrics` polled every 250 ms
+    /// (`SCRAPE_INTERVAL`) and 1-in-1024 (`TRACE_SAMPLE_EVERY`)
+    /// tracing on.
+    pub on_peak_per_sec: f64,
+    /// `(off − on) / off × 100`. Positive means telemetry cost
+    /// throughput; small negative values are run-to-run noise.
+    pub regression_pct: f64,
+    /// `/metrics` scrapes completed across the telemetry arms.
+    pub scrapes: u64,
+    /// Flight-recorder spans written across the telemetry arms.
+    pub trace_spans: u64,
+}
+
+/// What a telemetry-enabled arm observed about its own telemetry.
+struct ObsRunStats {
+    scrapes: u64,
+    trace_spans: u64,
+}
+
 /// The harness's complete result, ready to serialize.
 #[derive(Debug, Clone)]
 pub struct SaturationReport {
@@ -201,6 +260,8 @@ pub struct SaturationReport {
     pub batched: RunResult,
     /// The per-datagram, single-listener baseline run.
     pub baseline: RunResult,
+    /// The batched run re-measured with telemetry live, versus `batched`.
+    pub obs_overhead: ObsOverhead,
 }
 
 impl SaturationReport {
@@ -214,7 +275,9 @@ impl SaturationReport {
     }
 }
 
-/// Run the full procedure: batched run, then baseline run.
+/// Run the full procedure: batched knee search, per-datagram baseline
+/// knee search, then the paired telemetry-overhead probe at the
+/// batched knee rate.
 pub fn run(config: &SaturationConfig) -> Result<SaturationReport, FlowDnsError> {
     let pool = saturation_pool(config.dns_entries);
     let datagrams = Arc::new(encode_datagrams(&pool, config.records_per_datagram)?);
@@ -226,11 +289,88 @@ pub fn run(config: &SaturationConfig) -> Result<SaturationReport, FlowDnsError> 
         &datagrams,
     )?;
     let baseline = run_one(config, 1, 1, &pool, &datagrams)?;
+    let obs_overhead =
+        measure_obs_overhead(config, &pool, &datagrams, batched.peak.offered_per_sec)?;
     Ok(SaturationReport {
         config: config.clone(),
         batched,
         baseline,
+        obs_overhead,
     })
+}
+
+/// The paired A/B overhead probe: alternating off/on arms at the fixed
+/// `knee_rate`, best reading per arm across all rounds. Comparing two
+/// independently bisected knees cannot resolve a sub-1 % overhead
+/// (knee location jitters several percent run to run); accepted
+/// throughput at a fixed offered rate can.
+fn measure_obs_overhead(
+    config: &SaturationConfig,
+    pool: &[(flowdns_types::DomainName, std::net::Ipv4Addr)],
+    datagrams: &Arc<Vec<Vec<u8>>>,
+    knee_rate: f64,
+) -> Result<ObsOverhead, FlowDnsError> {
+    let (rounds, steps) = if config.smoke {
+        (1, 2)
+    } else {
+        (OBS_PROBE_ROUNDS, OBS_PROBE_STEPS)
+    };
+    let mut best_off = 0.0f64;
+    let mut best_on = 0.0f64;
+    let mut scrapes = 0u64;
+    let mut trace_spans = 0u64;
+    for _ in 0..rounds {
+        let (off, _) = probe_arm(config, pool, datagrams, knee_rate, false, steps)?;
+        let (on, stats) = probe_arm(config, pool, datagrams, knee_rate, true, steps)?;
+        best_off = best_off.max(off);
+        best_on = best_on.max(on);
+        if let Some(stats) = stats {
+            scrapes += stats.scrapes;
+            trace_spans += stats.trace_spans;
+        }
+    }
+    let regression_pct = if best_off > 0.0 {
+        (best_off - best_on) / best_off * 100.0
+    } else {
+        0.0
+    };
+    Ok(ObsOverhead {
+        off_peak_per_sec: best_off,
+        on_peak_per_sec: best_on,
+        regression_pct,
+        scrapes,
+        trace_spans,
+    })
+}
+
+/// One probe arm: a fresh batched-topology runtime (telemetry per
+/// `telemetry`), one warm-up step, then `steps` paced steps at `rate`;
+/// the arm's reading is the best accepted rate across the steps.
+fn probe_arm(
+    config: &SaturationConfig,
+    pool: &[(flowdns_types::DomainName, std::net::Ipv4Addr)],
+    datagrams: &Arc<Vec<Vec<u8>>>,
+    rate: f64,
+    telemetry: bool,
+    steps: usize,
+) -> Result<(f64, Option<ObsRunStats>), FlowDnsError> {
+    let arm = ArmRuntime::start(
+        config,
+        config.netflow_listeners,
+        config.recv_batch,
+        pool,
+        telemetry,
+    )?;
+    let mut warm = config.clone();
+    warm.step = Duration::from_millis(300);
+    let _ = run_step(&arm.rt, datagrams, rate, &warm);
+    let mut best = 0.0f64;
+    for _ in 0..steps.max(1) {
+        let step = run_step(&arm.rt, datagrams, rate, config);
+        best = best.max(step.accepted_per_sec);
+    }
+    let stats = arm.finish()?;
+    Ok((best, stats))
 }
 
 /// Pre-encode the whole pool as max-size v5 datagrams; every pool
@@ -310,6 +450,115 @@ fn preload_dns(
     Ok(())
 }
 
+/// A started `IngestRuntime` plus the telemetry-arm trimmings (scraper
+/// thread, trace file) when `telemetry` is on — shared by the knee
+/// ladders (always off) and the overhead probe arms.
+struct ArmRuntime {
+    rt: IngestRuntime,
+    stop_scraper: Arc<AtomicBool>,
+    scraper: Option<std::thread::JoinHandle<u64>>,
+    trace_path: Option<std::path::PathBuf>,
+    telemetry: bool,
+}
+
+impl ArmRuntime {
+    fn start(
+        config: &SaturationConfig,
+        listeners: usize,
+        recv_batch: usize,
+        pool: &[(flowdns_types::DomainName, std::net::Ipv4Addr)],
+        telemetry: bool,
+    ) -> Result<Self, FlowDnsError> {
+        let mut daemon = DaemonConfig::default();
+        daemon.ingest.netflow_bind = "127.0.0.1:0".parse().expect("loopback addr");
+        daemon.ingest.dns_bind = "127.0.0.1:0".parse().expect("loopback addr");
+        daemon.ingest.netflow_listeners = listeners;
+        daemon.ingest.recv_batch = recv_batch;
+        daemon.correlator.lookup_workers = config.lookup_workers;
+        // The telemetry arm turns on everything an operator would: the
+        // scrape endpoint (polled below) and sampled flow tracing.
+        let trace_path = telemetry.then(|| {
+            std::env::temp_dir().join(format!("flowdns-bench-trace-{}.jsonl", std::process::id()))
+        });
+        if let Some(path) = &trace_path {
+            daemon.ingest.metrics_addr = Some("127.0.0.1:0".parse().expect("loopback addr"));
+            daemon.correlator.trace_sample_every = TRACE_SAMPLE_EVERY;
+            daemon.correlator.trace_path = Some(path.display().to_string());
+        }
+        // Correlated records are discarded after accounting (no
+        // `output`), so the harness measures ingest + correlation, not
+        // disk.
+        let rt = IngestRuntime::start(&daemon)?;
+        preload_dns(&rt, pool)?;
+
+        // A concurrent scraper keeps the endpoint genuinely hot while
+        // the load runs — overhead measured with an idle endpoint would
+        // be zero by construction.
+        let stop_scraper = Arc::new(AtomicBool::new(false));
+        let scraper = rt.metrics_addr().map(|addr| {
+            let stop = Arc::clone(&stop_scraper);
+            std::thread::spawn(move || {
+                let mut completed = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    if scrape_metrics(addr) {
+                        completed += 1;
+                    }
+                    std::thread::sleep(SCRAPE_INTERVAL);
+                }
+                completed
+            })
+        });
+        Ok(ArmRuntime {
+            rt,
+            stop_scraper,
+            scraper,
+            trace_path,
+            telemetry,
+        })
+    }
+
+    /// Stop the scraper, collect the telemetry stats, shut the runtime
+    /// down and remove the trace files.
+    fn finish(mut self) -> Result<Option<ObsRunStats>, FlowDnsError> {
+        self.stop_scraper.store(true, Ordering::Release);
+        let stats = self.telemetry.then(|| ObsRunStats {
+            scrapes: self
+                .scraper
+                .take()
+                .map(|h| h.join().unwrap_or(0))
+                .unwrap_or(0),
+            trace_spans: self
+                .rt
+                .registry()
+                .snapshot()
+                .counter("flowdns_trace_spans_total"),
+        });
+        self.rt.shutdown()?;
+        if let Some(path) = &self.trace_path {
+            let _ = std::fs::remove_file(path);
+            let _ = std::fs::remove_file(format!("{}.1", path.display()));
+        }
+        Ok(stats)
+    }
+}
+
+/// One blocking `/metrics` poll; `true` when a 200 came back complete.
+fn scrape_metrics(addr: SocketAddr) -> bool {
+    use std::io::Read;
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return false;
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    if stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n")
+        .is_err()
+    {
+        return false;
+    }
+    let mut response = String::new();
+    stream.read_to_string(&mut response).is_ok() && response.starts_with("HTTP/1.1 200")
+}
+
 fn run_one(
     config: &SaturationConfig,
     listeners: usize,
@@ -317,32 +566,24 @@ fn run_one(
     pool: &[(flowdns_types::DomainName, std::net::Ipv4Addr)],
     datagrams: &Arc<Vec<Vec<u8>>>,
 ) -> Result<RunResult, FlowDnsError> {
-    let mut daemon = DaemonConfig::default();
-    daemon.ingest.netflow_bind = "127.0.0.1:0".parse().expect("loopback addr");
-    daemon.ingest.dns_bind = "127.0.0.1:0".parse().expect("loopback addr");
-    daemon.ingest.netflow_listeners = listeners;
-    daemon.ingest.recv_batch = recv_batch;
-    daemon.correlator.lookup_workers = config.lookup_workers;
-    // Correlated records are discarded after accounting (no `output`),
-    // so the harness measures ingest + correlation, not disk.
-    let rt = IngestRuntime::start(&daemon)?;
+    let arm = ArmRuntime::start(config, listeners, recv_batch, pool, false)?;
+    let rt = &arm.rt;
     let effective_listeners = rt.snapshot().netflow_listeners.len();
-    preload_dns(&rt, pool)?;
 
     // Warm caches, threads, and queues before the first measured step.
     let mut warm = config.clone();
     warm.step = Duration::from_millis(300);
-    let _ = run_step(&rt, datagrams, config.initial_rate, &warm);
+    let _ = run_step(rt, datagrams, config.initial_rate, &warm);
 
     // Best-of-N: loss can only be inflated by transient host noise,
     // so a step counts as sustained if any trial stays clean.
     let measured = |offered: f64| -> StepMetrics {
-        let mut step = run_step(&rt, datagrams, offered, config);
+        let mut step = run_step(rt, datagrams, offered, config);
         for _ in 1..config.trials.max(1) {
             if step.drop_pct <= config.drop_limit_pct {
                 break;
             }
-            let again = run_step(&rt, datagrams, offered, config);
+            let again = run_step(rt, datagrams, offered, config);
             if again.drop_pct < step.drop_pct {
                 step = again;
             }
@@ -396,7 +637,7 @@ fn run_one(
     } else {
         datagram_total as f64 / drain_total as f64
     };
-    rt.shutdown()?;
+    arm.finish()?;
 
     let best = |candidates: &[&StepMetrics]| {
         candidates
@@ -468,6 +709,7 @@ fn run_step(
         queue_drop_pct: pct(queue_dropped.min(sent)),
         p50_queue_latency_us: latency.p50_us(),
         p99_queue_latency_us: latency.p99_us(),
+        p999_queue_latency_us: latency.p999_us(),
         queue_latency_samples: latency.count,
     }
 }
@@ -553,7 +795,8 @@ fn step_json(step: &StepMetrics, indent: &str) -> String {
     format!(
         "{indent}{{\"offered_per_sec\": {}, \"sent_per_sec\": {}, \"accepted_per_sec\": {}, \
          \"drop_pct\": {}, \"queue_drop_pct\": {}, \"p50_queue_latency_us\": {}, \
-         \"p99_queue_latency_us\": {}, \"queue_latency_samples\": {}}}",
+         \"p99_queue_latency_us\": {}, \"p999_queue_latency_us\": {}, \
+         \"queue_latency_samples\": {}}}",
         jnum(step.offered_per_sec),
         jnum(step.sent_per_sec),
         jnum(step.accepted_per_sec),
@@ -561,6 +804,7 @@ fn step_json(step: &StepMetrics, indent: &str) -> String {
         jnum(step.queue_drop_pct),
         step.p50_queue_latency_us,
         step.p99_queue_latency_us,
+        step.p999_queue_latency_us,
         step.queue_latency_samples,
     )
 }
@@ -580,14 +824,16 @@ fn run_json(run: &RunResult) -> String {
 }
 
 impl SaturationReport {
-    /// Serialize to the `flowdns-bench/saturation/v1` JSON document.
+    /// Serialize to the `flowdns-bench/saturation/v2` JSON document.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"schema\": \"flowdns-bench/saturation/v1\",\n  \"bench\": \"saturation\",\n  \
+            "{{\n  \"schema\": \"flowdns-bench/saturation/v2\",\n  \"bench\": \"saturation\",\n  \
              \"mode\": \"{}\",\n  \"config\": {{\"netflow_listeners\": {}, \"recv_batch\": {}, \
              \"lookup_workers\": {}, \"senders\": {}, \"step_secs\": {}, \"trials\": {}, \
              \"dns_entries\": {}, \"records_per_datagram\": {}}},\n  \"batched\": {},\n  \
-             \"baseline\": {},\n  \"speedup_vs_baseline\": {}\n}}\n",
+             \"baseline\": {},\n  \"speedup_vs_baseline\": {},\n  \"obs_overhead\": \
+             {{\"off_peak_per_sec\": {}, \"on_peak_per_sec\": {}, \"regression_pct\": {}, \
+             \"scrapes\": {}, \"trace_spans\": {}}}\n}}\n",
             if self.config.smoke { "smoke" } else { "full" },
             self.config.netflow_listeners,
             self.config.recv_batch,
@@ -600,6 +846,11 @@ impl SaturationReport {
             run_json(&self.batched),
             run_json(&self.baseline),
             jnum(self.speedup_vs_baseline()),
+            jnum(self.obs_overhead.off_peak_per_sec),
+            jnum(self.obs_overhead.on_peak_per_sec),
+            jnum(self.obs_overhead.regression_pct),
+            self.obs_overhead.scrapes,
+            self.obs_overhead.trace_spans,
         )
     }
 }
@@ -819,6 +1070,7 @@ fn check_step(step: &Json, context: &str) -> Result<(), String> {
         "queue_drop_pct",
         "p50_queue_latency_us",
         "p99_queue_latency_us",
+        "p999_queue_latency_us",
         "queue_latency_samples",
     ] {
         let x = require_num(step, key, context)?;
@@ -863,10 +1115,12 @@ fn check_run(doc: &Json, name: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Validate a `BENCH_saturation.json` document against the v1 schema:
+/// Validate a `BENCH_saturation.json` document against the v2 schema:
 /// every documented key present, steps non-empty, every numeric field
-/// finite and non-negative, both runs' peaks positive, and the speedup
-/// recorded. Returns a human-readable reason on failure.
+/// finite (non-negative except `regression_pct`, which noise can push
+/// below zero), both runs' peaks positive, the speedup recorded, and
+/// the `obs_overhead` section complete with at least one completed
+/// scrape. Returns a human-readable reason on failure.
 pub fn validate_json(text: &str) -> Result<(), String> {
     if text.trim().is_empty() {
         return Err("file is empty".into());
@@ -878,7 +1132,7 @@ pub fn validate_json(text: &str) -> Result<(), String> {
         return Err("trailing garbage after the JSON document".into());
     }
     match doc.get("schema").and_then(Json::as_str) {
-        Some("flowdns-bench/saturation/v1") => {}
+        Some("flowdns-bench/saturation/v2") => {}
         Some(other) => return Err(format!("unknown schema '{other}'")),
         None => return Err("missing 'schema'".into()),
     }
@@ -907,6 +1161,23 @@ pub fn validate_json(text: &str) -> Result<(), String> {
     if speedup <= 0.0 {
         return Err("speedup_vs_baseline must be positive".into());
     }
+    let obs = doc
+        .get("obs_overhead")
+        .ok_or("missing top-level object 'obs_overhead'")?;
+    for key in ["off_peak_per_sec", "on_peak_per_sec"] {
+        if require_num(obs, key, "obs_overhead")? <= 0.0 {
+            return Err(format!("obs_overhead: '{key}' must be positive"));
+        }
+    }
+    // Sign-free on purpose: a telemetry run faster than its control is
+    // ordinary measurement noise, not a schema violation.
+    require_num(obs, "regression_pct", "obs_overhead")?;
+    if require_num(obs, "scrapes", "obs_overhead")? < 1.0 {
+        return Err("obs_overhead: the telemetry run never completed a scrape".into());
+    }
+    if require_num(obs, "trace_spans", "obs_overhead")? < 0.0 {
+        return Err("obs_overhead: 'trace_spans' is negative".into());
+    }
     Ok(())
 }
 
@@ -923,6 +1194,7 @@ mod tests {
             queue_drop_pct: 0.4,
             p50_queue_latency_us: 120,
             p99_queue_latency_us: 900,
+            p999_queue_latency_us: 2_400,
             queue_latency_samples: 1_000,
         }
     }
@@ -940,6 +1212,13 @@ mod tests {
             config: SaturationConfig::smoke(),
             batched: run(2, 32, 100_000.0),
             baseline: run(1, 1, 60_000.0),
+            obs_overhead: ObsOverhead {
+                off_peak_per_sec: 100_000.0 * 1.5 * 0.97,
+                on_peak_per_sec: 99_000.0 * 1.5 * 0.97,
+                regression_pct: 1.0,
+                scrapes: 9,
+                trace_spans: 140,
+            },
         }
     }
 
@@ -964,9 +1243,18 @@ mod tests {
         // Remove a required key.
         let missing = good.replace("\"speedup_vs_baseline\"", "\"renamed\"");
         assert!(validate_json(&missing).is_err());
-        // Wrong schema string.
-        let wrong = good.replace("saturation/v1", "saturation/v0");
+        // Wrong schema string (the pre-obs_overhead revision).
+        let wrong = good.replace("saturation/v2", "saturation/v1");
         assert!(validate_json(&wrong).is_err());
+        // A telemetry run that never scraped is a broken measurement.
+        let mut no_scrapes = fake_report();
+        no_scrapes.obs_overhead.scrapes = 0;
+        let err = validate_json(&no_scrapes.to_json()).unwrap_err();
+        assert!(err.contains("scrape"), "{err}");
+        // A negative regression (telemetry run faster) is noise, not an error.
+        let mut noisy = fake_report();
+        noisy.obs_overhead.regression_pct = -0.3;
+        validate_json(&noisy.to_json()).unwrap();
     }
 
     #[test]

@@ -122,6 +122,14 @@ pub struct CorrelatorConfig {
     /// `Duration::ZERO` keeps only the shutdown snapshot. Ignored unless
     /// [`CorrelatorConfig::snapshot_path`] is set.
     pub snapshot_interval: Duration,
+    /// Flight-recorder sampling interval: every n-th decoded flow gets a
+    /// trace token and emits one JSONL span at egress. `0` (the default)
+    /// disables tracing entirely — no recorder is constructed and the
+    /// hot path pays nothing.
+    pub trace_sample_every: u64,
+    /// Path of the flight-recorder JSONL ring file. Required when
+    /// [`CorrelatorConfig::trace_sample_every`] is nonzero.
+    pub trace_path: Option<String>,
 }
 
 impl Default for CorrelatorConfig {
@@ -143,6 +151,8 @@ impl Default for CorrelatorConfig {
             routing_table: None,
             snapshot_path: None,
             snapshot_interval: Duration::from_secs(300),
+            trace_sample_every: 0,
+            trace_path: None,
         }
     }
 }
@@ -216,6 +226,11 @@ impl CorrelatorConfig {
                 return Err(FlowDnsError::Config(format!("{name} must be at least 1")));
             }
         }
+        if self.trace_sample_every > 0 && self.trace_path.is_none() {
+            return Err(FlowDnsError::Config(
+                "trace_sample_every requires trace_path".into(),
+            ));
+        }
         Ok(())
     }
 
@@ -285,6 +300,8 @@ impl CorrelatorConfig {
                 "snapshot_interval" => {
                     cfg.snapshot_interval = Duration::from_secs(parse_u64(value)?)
                 }
+                "trace_sample_every" => cfg.trace_sample_every = parse_u64(value)?,
+                "trace_path" => cfg.trace_path = Some(value.to_string()),
                 other => {
                     return Err(FlowDnsError::Config(format!(
                         "line {}: unknown key '{other}'",
@@ -374,6 +391,26 @@ lookup_workers = 8
         let cfg = CorrelatorConfig::from_config_text("snapshot_interval = 0").unwrap();
         assert_eq!(cfg.snapshot_interval, Duration::ZERO);
         assert!(CorrelatorConfig::from_config_text("snapshot_interval = soon").is_err());
+    }
+
+    #[test]
+    fn trace_keys_are_parsed_and_validated() {
+        let cfg = CorrelatorConfig::default();
+        assert_eq!(cfg.trace_sample_every, 0);
+        assert_eq!(cfg.trace_path, None);
+        let cfg = CorrelatorConfig::from_config_text(
+            "trace_sample_every = 1024\ntrace_path = /var/lib/flowdns/trace.jsonl",
+        )
+        .unwrap();
+        assert_eq!(cfg.trace_sample_every, 1024);
+        assert_eq!(
+            cfg.trace_path.as_deref(),
+            Some("/var/lib/flowdns/trace.jsonl")
+        );
+        // Sampling without a file to write to is a config error.
+        assert!(CorrelatorConfig::from_config_text("trace_sample_every = 64").is_err());
+        // A path alone (sampling off) is fine.
+        assert!(CorrelatorConfig::from_config_text("trace_path = /tmp/t.jsonl").is_ok());
     }
 
     #[test]

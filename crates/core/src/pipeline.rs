@@ -32,7 +32,8 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use flowdns_bgp::{AsnView, FrozenTable, RoutingTable};
-use flowdns_stream::StreamBuffer;
+use flowdns_obs::{FlightRecorder, Histogram, HistogramSnapshot, MetricsRegistry};
+use flowdns_stream::{LatencySnapshot, StreamBuffer};
 use flowdns_types::{CorrelatedRecord, DnsRecord, FlowDnsError, FlowKey, FlowRecord, SimDuration};
 
 use crate::config::CorrelatorConfig;
@@ -56,6 +57,33 @@ const STATS_FLUSH_EVERY: u64 = 512;
 /// one-second measurement window at interesting load still collects
 /// thousands of samples.
 const QUEUE_LATENCY_SAMPLE_EVERY: u64 = 64;
+
+/// Every n-th record a worker processes is timed into its stage's
+/// service-time histogram. Sampling keeps the per-record telemetry cost
+/// at one local counter increment; only sampled records pay the two
+/// `Instant::now()` calls and the histogram's relaxed `fetch_add`.
+const SERVICE_SAMPLE_EVERY: u64 = 16;
+
+/// The per-stage service-time histograms (microseconds), sharded one
+/// recorder per worker so the recording path is an uncontended atomic
+/// add.
+#[derive(Debug, Clone)]
+struct StageService {
+    fillup: Histogram,
+    lookup: Histogram,
+    write: Histogram,
+}
+
+/// Bridge a stream-side [`LatencySnapshot`] into the telemetry plane's
+/// [`HistogramSnapshot`]. The two sides use the identical log-bucket
+/// scheme (4 sub-buckets per octave, 160 buckets — asserted by a test
+/// below), so the bucket counters carry over one-to-one.
+fn latency_to_histogram(snap: &LatencySnapshot) -> HistogramSnapshot {
+    HistogramSnapshot {
+        buckets: snap.buckets.clone(),
+        sum: snap.sum_us,
+    }
+}
 
 /// Shared bookkeeping of the snapshot subsystem: counters plus the
 /// wall-clock instant of the last successful write, read by `snapshot()`
@@ -150,6 +178,10 @@ pub struct Correlator {
     egress_error: Arc<Mutex<Option<FlowDnsError>>>,
     /// The swappable routing-table view, when AS attribution is on.
     asn_view: Option<AsnView>,
+    /// Per-stage service-time histograms (µs), fed by sampled timings.
+    stage_service: StageService,
+    /// The sampled flow tracer, when `trace_sample_every` is nonzero.
+    flight: Option<Arc<FlightRecorder>>,
     /// Snapshot counters shared with the background snapshot thread.
     snapshot_shared: Arc<SnapshotShared>,
     /// Stops the background snapshot thread.
@@ -261,9 +293,23 @@ impl Correlator {
                 }
             }
         }
+        // Flight recorder: only constructed when sampling is on, so the
+        // "off" configuration costs nothing beyond `Option` branches.
+        let flight = match (&config.trace_path, config.trace_sample_every) {
+            (Some(path), n) if n > 0 => Some(Arc::new(
+                FlightRecorder::create(path, n, flowdns_obs::trace::DEFAULT_TRACE_MAX_BYTES)
+                    .map_err(|e| FlowDnsError::Io(format!("trace file {path}: {e}")))?,
+            )),
+            _ => None,
+        };
+        let stage_service = StageService {
+            fillup: Histogram::new(config.fillup_workers),
+            lookup: Histogram::new(config.lookup_workers),
+            write: Histogram::new(config.write_workers),
+        };
         let fillup_queue =
             StreamBuffer::with_latency(config.fillup_queue_capacity, QUEUE_LATENCY_SAMPLE_EVERY);
-        let lookup_queue =
+        let lookup_queue: StreamBuffer<FlowRecord> =
             StreamBuffer::with_latency(config.lookup_queue_capacity, QUEUE_LATENCY_SAMPLE_EVERY);
         // The configured write capacity is the total across shards.
         let per_shard_capacity = (config.write_queue_capacity / config.write_workers).max(1);
@@ -287,15 +333,26 @@ impl Correlator {
             let store = Arc::clone(&store);
             let stats = Arc::clone(&fillup_stats);
             let shutdown = Arc::clone(&input_shutdown);
+            // Pre-allocated per-worker recorder: the sampled timing path
+            // is one uncontended atomic add into this worker's shard.
+            let service = stage_service.fillup.recorder(i);
             input_workers.push(
                 std::thread::Builder::new()
                     .name(format!("fillup-{i}"))
                     .spawn(move || {
                         let mut local = FillUpStats::default();
+                        let mut seen = 0u64;
                         loop {
                             match queue.pop_wait(POP_WAIT) {
                                 Some(record) => {
-                                    process_dns_record(&store, &record, &mut local);
+                                    if seen % SERVICE_SAMPLE_EVERY == 0 {
+                                        let started = Instant::now();
+                                        process_dns_record(&store, &record, &mut local);
+                                        service.record(started.elapsed().as_micros() as u64);
+                                    } else {
+                                        process_dns_record(&store, &record, &mut local);
+                                    }
+                                    seen += 1;
                                     if local.total() >= STATS_FLUSH_EVERY {
                                         stats.lock().merge(&local);
                                         local = FillUpStats::default();
@@ -329,6 +386,8 @@ impl Correlator {
             let shutdown = Arc::clone(&input_shutdown);
             let config_copy = config.clone();
             let asn_reader = asn_view.as_ref().map(|view| view.reader());
+            let service = stage_service.lookup.recorder(i);
+            let flight_handle = flight.clone();
             input_workers.push(
                 std::thread::Builder::new()
                     .name(format!("lookup-{i}"))
@@ -339,10 +398,26 @@ impl Correlator {
                         }
                         let shards = out_queues.len();
                         let mut local = LookUpStats::default();
+                        let mut seen = 0u64;
                         loop {
                             match queue.pop_wait(POP_WAIT) {
                                 Some(flow) => {
-                                    let record = resolver.process_flow(flow, &mut local);
+                                    let trace = flow.trace;
+                                    if let (Some(flight), Some(id)) = (&flight_handle, trace) {
+                                        flight.stamp_dequeue(id);
+                                    }
+                                    let record = if seen % SERVICE_SAMPLE_EVERY == 0 {
+                                        let started = Instant::now();
+                                        let record = resolver.process_flow(flow, &mut local);
+                                        service.record(started.elapsed().as_micros() as u64);
+                                        record
+                                    } else {
+                                        resolver.process_flow(flow, &mut local)
+                                    };
+                                    seen += 1;
+                                    if let (Some(flight), Some(id)) = (&flight_handle, trace) {
+                                        flight.stamp_lookup_done(id, record.src_asn.is_some());
+                                    }
                                     let shard = shard_of(&record.flow.key, shards);
                                     // The write queue drop counter lives in the
                                     // buffer stats; nothing more to do on failure.
@@ -380,21 +455,38 @@ impl Correlator {
             let shutdown = Arc::clone(&write_shutdown);
             let dropped = Arc::clone(&writes_dropped);
             let sink_error = Arc::clone(&egress_error);
+            let service = stage_service.write.recorder(i);
+            let flight_handle = flight.clone();
             write_workers.push(
                 std::thread::Builder::new()
                     .name(format!("write-{i}"))
                     .spawn(move || {
                         let mut local = WriteStats::default();
+                        let mut seen = 0u64;
                         loop {
                             match queue.pop_wait(POP_WAIT) {
                                 Some(record) => {
-                                    if sink.write_record(&record).is_ok() {
+                                    let written = if seen % SERVICE_SAMPLE_EVERY == 0 {
+                                        let started = Instant::now();
+                                        let ok = sink.write_record(&record).is_ok();
+                                        service.record(started.elapsed().as_micros() as u64);
+                                        ok
+                                    } else {
+                                        sink.write_record(&record).is_ok()
+                                    };
+                                    seen += 1;
+                                    if written {
                                         local.records_written += 1;
                                         local
                                             .volumes
                                             .record(record.flow.bytes, record.is_correlated());
                                     } else {
                                         dropped.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    if let (Some(flight), Some(id)) =
+                                        (&flight_handle, record.flow.trace)
+                                    {
+                                        flight.finish(id, i);
                                     }
                                     if local.records_written >= STATS_FLUSH_EVERY {
                                         stats.lock().merge(&local);
@@ -479,6 +571,8 @@ impl Correlator {
             writes_dropped,
             egress_error,
             asn_view,
+            stage_service,
+            flight,
             snapshot_shared,
             snapshot_shutdown,
             snapshot_worker,
@@ -501,6 +595,273 @@ impl Correlator {
     /// is enabled.
     pub fn asn_view(&self) -> Option<&AsnView> {
         self.asn_view.as_ref()
+    }
+
+    /// The flight recorder, when `trace_sample_every` is nonzero.
+    ///
+    /// The live ingest layer calls [`FlightRecorder::maybe_start`] after
+    /// decode to hand out trace tokens; the pipeline stages stamp and
+    /// finish them.
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.flight.as_ref()
+    }
+
+    /// The first egress (sink finalize/write) failure observed so far,
+    /// rendered for health reporting. `finish()` still surfaces the
+    /// error itself; this accessor lets `/healthz` see it live.
+    pub fn egress_error_message(&self) -> Option<String> {
+        self.egress_error.lock().as_ref().map(|e| e.to_string())
+    }
+
+    /// Current fill level (0.0–1.0) of the fillup queue, the lookup
+    /// queue, and the fullest write shard — the saturation signal
+    /// `/healthz` checks.
+    pub fn queue_fill_levels(&self) -> (f64, f64, f64) {
+        let write = self
+            .write_queues
+            .iter()
+            .map(|q| q.fill_level())
+            .fold(0.0f64, f64::max);
+        (
+            self.fillup_queue.fill_level(),
+            self.lookup_queue.fill_level(),
+            write,
+        )
+    }
+
+    /// Register every pipeline metric into `registry`, making it the
+    /// single source of truth telemetry consumers (the `/metrics`
+    /// endpoint, `flowdnsd`'s periodic stderr lines) read. All series
+    /// are closures over the counters the pipeline already maintains —
+    /// registration adds no hot-path work.
+    pub fn register_metrics(&self, registry: &MetricsRegistry) {
+        // FillUp stage.
+        for (kind, read) in [
+            (
+                "addresses",
+                Box::new(|s: &FillUpStats| s.addresses_stored)
+                    as Box<dyn Fn(&FillUpStats) -> u64 + Send + Sync>,
+            ),
+            ("cnames", Box::new(|s: &FillUpStats| s.cnames_stored)),
+            ("filtered", Box::new(|s: &FillUpStats| s.filtered)),
+        ] {
+            let stats = Arc::clone(&self.fillup_stats);
+            registry.counter_fn(
+                "flowdns_fillup_records_total",
+                "DNS records processed by the FillUp stage, by outcome",
+                &[("kind", kind)],
+                move || read(&stats.lock()),
+            );
+        }
+        // LookUp stage.
+        for (result, read) in [
+            (
+                "ip_hit",
+                Box::new(|s: &LookUpStats| s.ip_hits)
+                    as Box<dyn Fn(&LookUpStats) -> u64 + Send + Sync>,
+            ),
+            ("ip_miss", Box::new(|s: &LookUpStats| s.ip_misses)),
+            ("memoized", Box::new(|s: &LookUpStats| s.memoized)),
+            ("filtered", Box::new(|s: &LookUpStats| s.filtered)),
+        ] {
+            let stats = Arc::clone(&self.lookup_stats);
+            registry.counter_fn(
+                "flowdns_lookup_flows_total",
+                "Flow records resolved by the LookUp stage, by outcome",
+                &[("result", result)],
+                move || read(&stats.lock()),
+            );
+        }
+        let stats = Arc::clone(&self.lookup_stats);
+        registry.counter_fn(
+            "flowdns_lookup_cname_hops_total",
+            "CNAME chain hops walked during lookups",
+            &[],
+            move || stats.lock().cname_hops,
+        );
+        let stats = Arc::clone(&self.lookup_stats);
+        registry.counter_fn(
+            "flowdns_lookup_loop_limit_hits_total",
+            "CNAME chains cut off at the loop limit",
+            &[],
+            move || stats.lock().loop_limit_hits,
+        );
+        let stats = Arc::clone(&self.lookup_stats);
+        registry.counter_fn(
+            "flowdns_lookup_asn_stamped_total",
+            "Records stamped with a BGP origin AS",
+            &[],
+            move || stats.lock().asn_stamped,
+        );
+        // Write (egress) stage: merged counters plus per-shard queues.
+        let stats = Arc::clone(&self.write_stats);
+        registry.counter_fn(
+            "flowdns_egress_records_total",
+            "Correlated records written to the output sinks",
+            &[],
+            move || stats.lock().records_written,
+        );
+        let stats = Arc::clone(&self.write_stats);
+        registry.counter_fn(
+            "flowdns_egress_bytes_total",
+            "Flow bytes accounted by the egress stage",
+            &[],
+            move || stats.lock().volumes.total.bytes(),
+        );
+        let stats = Arc::clone(&self.write_stats);
+        registry.counter_fn(
+            "flowdns_egress_correlated_bytes_total",
+            "Flow bytes attributed to a service name",
+            &[],
+            move || stats.lock().volumes.correlated.bytes(),
+        );
+        for (shard, queue) in self.write_queues.iter().enumerate() {
+            let shard_label = shard.to_string();
+            let depth_queue = queue.clone();
+            registry.gauge_fn(
+                "flowdns_egress_queue_depth",
+                "Records currently queued for one Write shard",
+                &[("shard", &shard_label)],
+                move || depth_queue.len() as f64,
+            );
+            let drop_queue = queue.clone();
+            registry.counter_fn(
+                "flowdns_egress_queue_dropped_total",
+                "Records dropped at a full Write shard queue",
+                &[("shard", &shard_label)],
+                move || drop_queue.stats().dropped,
+            );
+        }
+        let dropped = Arc::clone(&self.writes_dropped);
+        registry.counter_fn(
+            "flowdns_egress_sink_errors_total",
+            "Records lost to sink write errors",
+            &[],
+            move || dropped.load(Ordering::Relaxed),
+        );
+        // Stage queues: depth, drops, and sampled queue-wait histograms.
+        // The two queues hold different record types, so each gets its
+        // own monomorphized registration.
+        fn register_stage_queue<T: Send + 'static>(
+            registry: &MetricsRegistry,
+            name: &str,
+            queue: &StreamBuffer<T>,
+        ) {
+            let depth_queue = queue.clone();
+            registry.gauge_fn(
+                "flowdns_queue_depth",
+                "Records currently queued for a pipeline stage",
+                &[("queue", name)],
+                move || depth_queue.len() as f64,
+            );
+            let drop_queue = queue.clone();
+            registry.counter_fn(
+                "flowdns_queue_dropped_total",
+                "Records dropped at a full stage queue (stream loss)",
+                &[("queue", name)],
+                move || drop_queue.stats().dropped,
+            );
+            let wait_queue = queue.clone();
+            registry.histogram_fn(
+                "flowdns_queue_wait_us",
+                "Sampled enqueue-to-dequeue residency of a stage queue (µs)",
+                &[("queue", name)],
+                move || latency_to_histogram(&wait_queue.latency_snapshot().unwrap_or_default()),
+            );
+        }
+        register_stage_queue(registry, "fillup", &self.fillup_queue);
+        register_stage_queue(registry, "lookup", &self.lookup_queue);
+        // Per-stage service time (sampled 1-in-16 per worker).
+        for (stage, histogram) in [
+            ("fillup", self.stage_service.fillup.clone()),
+            ("lookup", self.stage_service.lookup.clone()),
+            ("write", self.stage_service.write.clone()),
+        ] {
+            registry.histogram_fn(
+                "flowdns_stage_service_us",
+                "Sampled per-record service time of a pipeline stage (µs)",
+                &[("stage", stage)],
+                move || histogram.snapshot(),
+            );
+        }
+        // Store occupancy.
+        let store = Arc::clone(&self.store);
+        registry.gauge_fn(
+            "flowdns_store_entries",
+            "Entries currently held by the DNS store",
+            &[],
+            move || store.total_entries() as f64,
+        );
+        let store = Arc::clone(&self.store);
+        registry.gauge_fn(
+            "flowdns_store_payload_bytes",
+            "Estimated payload bytes held by the DNS store",
+            &[],
+            move || store.memory_estimate().payload_bytes as f64,
+        );
+        // Snapshot persistence.
+        let shared = Arc::clone(&self.snapshot_shared);
+        registry.counter_fn(
+            "flowdns_snapshots_written_total",
+            "Store snapshots written (periodic + shutdown)",
+            &[],
+            move || shared.stats().snapshots_written,
+        );
+        let shared = Arc::clone(&self.snapshot_shared);
+        registry.gauge_fn(
+            "flowdns_snapshot_last_bytes",
+            "File size of the most recent store snapshot",
+            &[],
+            move || shared.stats().last_bytes as f64,
+        );
+        let shared = Arc::clone(&self.snapshot_shared);
+        registry.gauge_fn(
+            "flowdns_snapshot_last_write_age_seconds",
+            "Seconds since the last successful snapshot write (-1 = never)",
+            &[],
+            move || shared.stats().last_write_age_secs.unwrap_or(-1.0),
+        );
+        let shared = Arc::clone(&self.snapshot_shared);
+        registry.gauge_fn(
+            "flowdns_snapshot_warm_start_entries",
+            "Entries restored from a snapshot at boot (0 = cold start)",
+            &[],
+            move || shared.stats().warm_start_entries as f64,
+        );
+        // BGP attribution.
+        if let Some(view) = &self.asn_view {
+            let epoch_view = view.clone();
+            registry.gauge_fn(
+                "flowdns_bgp_routing_epoch",
+                "Routing-table reloads since start",
+                &[],
+                move || epoch_view.epoch() as f64,
+            );
+            let prefix_view = view.clone();
+            registry.gauge_fn(
+                "flowdns_bgp_prefixes",
+                "Prefixes in the active routing table",
+                &[],
+                move || prefix_view.snapshot().len() as f64,
+            );
+        }
+        // Flight recorder.
+        if let Some(flight) = &self.flight {
+            let emitted = Arc::clone(flight);
+            registry.counter_fn(
+                "flowdns_trace_spans_total",
+                "Flight-recorder spans written to the trace file",
+                &[],
+                move || emitted.spans_emitted(),
+            );
+            let dropped = Arc::clone(flight);
+            registry.counter_fn(
+                "flowdns_trace_spans_dropped_total",
+                "Trace samples dropped at the active-span cap",
+                &[],
+                move || dropped.spans_dropped(),
+            );
+        }
     }
 
     /// Install a freshly compiled routing table without stopping the
@@ -647,6 +1008,11 @@ impl Correlator {
             handle
                 .join()
                 .map_err(|_| FlowDnsError::PipelineState("write worker panicked".into()))?;
+        }
+        // Every record has reached egress, so the flight recorder's
+        // buffered spans can be flushed to disk.
+        if let Some(flight) = &self.flight {
+            flight.flush();
         }
         // Final snapshot BEFORE the egress-error check: the store is
         // quiescent now (every accepted DNS record has been applied), so
@@ -1193,6 +1559,143 @@ mod tests {
         assert_eq!(report.metrics.snapshot.snapshots_written, 1);
         assert!(flowdns_snapshot::read_snapshot(&path).is_ok());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stream_and_obs_bucket_schemes_are_identical() {
+        // `latency_to_histogram` moves bucket counters verbatim between
+        // the two crates' histograms; that is only sound if every value
+        // lands in the same index with the same upper bound on both
+        // sides.
+        assert_eq!(
+            flowdns_stream::LATENCY_BUCKETS,
+            flowdns_obs::HISTOGRAM_BUCKETS
+        );
+        for us in [0u64, 1, 3, 4, 5, 7, 8, 100, 1_000, 65_536, u64::MAX >> 20] {
+            assert_eq!(
+                flowdns_stream::bucket_index_us(us),
+                flowdns_obs::bucket_index(us),
+                "bucket index diverges at {us}µs"
+            );
+        }
+        for index in 0..flowdns_obs::HISTOGRAM_BUCKETS {
+            assert_eq!(
+                flowdns_stream::bucket_upper_bound_us(index),
+                flowdns_obs::bucket_upper_bound(index),
+                "upper bound diverges at bucket {index}"
+            );
+        }
+    }
+
+    #[test]
+    fn registry_reflects_pipeline_counters() {
+        let correlator = Correlator::start(CorrelatorConfig::default()).unwrap();
+        let registry = MetricsRegistry::new();
+        correlator.register_metrics(&registry);
+        for i in 0..30u8 {
+            correlator.push_dns(dns(1, "reg.example", [203, 0, 113, i], 300));
+        }
+        while correlator.queue_depths().0 > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        for i in 0..30u8 {
+            correlator.push_flow(flow(2, [203, 0, 113, i], 1_000));
+        }
+        // The registry reads the same live counters as `snapshot()`, so
+        // it must converge to the full totals without a shutdown.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let snap = registry.snapshot();
+            // Worker-local stats flush on idle; wait for every stage's
+            // counters to converge, then check the derived series.
+            if snap.counter("flowdns_egress_records_total") == 30
+                && snap.counter_with("flowdns_lookup_flows_total", "result", "ip_hit") == 30
+                && snap.counter_with("flowdns_fillup_records_total", "kind", "addresses") == 30
+            {
+                assert_eq!(snap.counter("flowdns_egress_bytes_total"), 30_000);
+                assert!(snap.gauge("flowdns_store_entries").unwrap() >= 1.0);
+                // Sampled 1-in-16: 30 records time at least one sample.
+                let service = snap
+                    .histogram_with("flowdns_stage_service_us", "stage", "lookup")
+                    .expect("service histogram registered");
+                assert!(service.count() >= 1);
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "registry never converged: {}",
+                registry.render_prometheus()
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // The exposition renders and mentions the key families.
+        let text = registry.render_prometheus();
+        for family in [
+            "flowdns_queue_depth",
+            "flowdns_queue_wait_us_bucket",
+            "flowdns_egress_queue_depth",
+            "flowdns_snapshots_written_total",
+        ] {
+            assert!(text.contains(family), "missing {family} in exposition");
+        }
+        correlator.finish().unwrap();
+    }
+
+    #[test]
+    fn flight_recorder_traces_flows_end_to_end() {
+        let dir = std::env::temp_dir().join("flowdns-pipeline-trace-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.jsonl");
+        let config = CorrelatorConfig {
+            trace_sample_every: 1,
+            trace_path: Some(trace_path.to_string_lossy().into_owned()),
+            ..CorrelatorConfig::default()
+        };
+        let correlator = Correlator::start(config).unwrap();
+        let flight = Arc::clone(correlator.flight_recorder().expect("tracing on"));
+        correlator.push_dns(dns(1, "traced.example", [203, 0, 113, 1], 300));
+        while correlator.queue_depths().0 > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        // The ingest layer hands out tokens post-decode; emulate it.
+        for i in 0..8u8 {
+            let mut f = flow(2, [203, 0, 113, 1], 1_000 + i as u64);
+            f.trace = flight.maybe_start();
+            if let Some(id) = f.trace {
+                flight.stamp_enqueue(id);
+            }
+            correlator.push_flow(f);
+        }
+        let report = correlator.finish().unwrap();
+        assert_eq!(report.metrics.write.records_written, 8);
+        assert_eq!(flight.spans_emitted(), 8);
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        assert_eq!(text.lines().count(), 8);
+        for line in text.lines() {
+            for key in [
+                "\"trace_id\":",
+                "\"queue_wait_us\":",
+                "\"lookup_us\":",
+                "\"egress_us\":",
+                "\"total_us\":",
+                "\"shard\":0",
+            ] {
+                assert!(line.contains(key), "missing {key} in {line}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tracing_requires_a_path() {
+        let config = CorrelatorConfig {
+            trace_sample_every: 64,
+            ..CorrelatorConfig::default()
+        };
+        assert!(Correlator::start(config).is_err());
     }
 
     #[test]

@@ -353,6 +353,7 @@ impl<'a> WorkloadIter<'a> {
             bytes,
             stream,
             direction,
+            trace: None,
         }));
     }
 

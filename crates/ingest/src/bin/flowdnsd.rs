@@ -21,6 +21,23 @@ use std::time::{Duration, Instant};
 
 use flowdns_ingest::{DaemonConfig, IngestRuntime};
 
+/// Drops as a percentage of records seen (0 when nothing was seen).
+fn loss_pct(drops: u64, seen: u64) -> f64 {
+    if seen == 0 {
+        0.0
+    } else {
+        drops as f64 / seen as f64 * 100.0
+    }
+}
+
+/// Render a `last_activity_seconds` gauge for the stats line.
+fn idle_text(secs: Option<f64>) -> String {
+    match secs {
+        Some(s) if s >= 0.0 => format!("{s:.0}s"),
+        _ => "-".to_string(),
+    }
+}
+
 fn usage() -> ! {
     eprintln!("usage: flowdnsd [--config <path>] [--duration <secs>]");
     std::process::exit(2);
@@ -90,6 +107,19 @@ fn main() {
     {
         eprintln!(
             "flowdnsd: SO_REUSEPORT unavailable — listener groups clamped to a single socket"
+        );
+    }
+    if let Some(addr) = runtime.metrics_addr() {
+        eprintln!(
+            "flowdnsd: metrics endpoint on http://{addr}/ — /metrics (Prometheus), \
+             /healthz, /stats.json"
+        );
+    }
+    if let Some(flight) = runtime.correlator().flight_recorder() {
+        eprintln!(
+            "flowdnsd: flight recorder tracing 1-in-{} flows to {}",
+            flight.sample_every(),
+            flight.path().display()
         );
     }
     if let Some(view) = runtime.correlator().asn_view() {
@@ -177,6 +207,12 @@ fn main() {
 
     let started = Instant::now();
     let mut last_stats = Instant::now();
+    // Previous-tick meter totals: live rates are per-tick counter deltas
+    // over the wall clock, so an idle feed honestly reads 0 flows/s (a
+    // meter's lifetime average never decays, however long the silence).
+    let mut prev_netflow = 0u64;
+    let mut prev_dns = 0u64;
+    let netflow_listener_count = startup.netflow_listeners.len();
     loop {
         std::thread::sleep(Duration::from_millis(100));
         if stop.load(Ordering::Acquire) {
@@ -190,61 +226,130 @@ fn main() {
             }
         }
         if last_stats.elapsed() >= config.ingest.stats_interval {
+            let tick_secs = last_stats.elapsed().as_secs_f64();
             last_stats = Instant::now();
-            // One snapshot carries ingest totals AND live pipeline metrics
-            // (worker stats, drop counters, queue depths, store memory).
-            let snap = runtime.snapshot();
-            let (fq, lq, wq) = snap.queue_depths;
-            let pipeline = &snap.pipeline;
+            // Every number below reads the metrics registry — the same
+            // series `/metrics` exports — so this log and a scraper can
+            // never disagree about what the daemon did.
+            let reg = runtime.registry().snapshot();
+            let netflow_records =
+                reg.counter_with("flowdns_ingest_records_total", "feed", "netflow");
+            let dns_records = reg.counter_with("flowdns_ingest_records_total", "feed", "dns");
+            let flow_rate = netflow_records.saturating_sub(prev_netflow) as f64 / tick_secs;
+            let dns_rate = dns_records.saturating_sub(prev_dns) as f64 / tick_secs;
+            prev_netflow = netflow_records;
+            prev_dns = dns_records;
             eprintln!(
-                "flowdnsd: {} | rates: {:.0} flows/s, {:.0} dns/s (sim) | queues fillup={fq} lookup={lq} write={wq}",
-                snap.summary.summary_line(),
-                snap.netflow_meter.rate_per_sec(),
-                snap.dns_meter.rate_per_sec(),
+                "flowdnsd: ingest: netflow {} datagrams -> {} flows ({} malformed, \
+                 {} no-template, {} queue-dropped); dns {} records over {} connections \
+                 ({} malformed streams, {} queue-dropped)",
+                reg.counter("flowdns_ingest_netflow_datagrams_total"),
+                reg.counter("flowdns_ingest_netflow_flows_total"),
+                reg.counter("flowdns_ingest_netflow_malformed_total"),
+                reg.counter("flowdns_ingest_netflow_unknown_template_drops_total"),
+                reg.counter("flowdns_ingest_netflow_queue_dropped_total"),
+                reg.counter("flowdns_ingest_dns_records_total"),
+                reg.counter("flowdns_ingest_dns_connections_total"),
+                reg.counter("flowdns_ingest_dns_malformed_streams_total"),
+                reg.counter("flowdns_ingest_dns_queue_dropped_total"),
             );
             eprintln!(
-                "flowdnsd: pipeline: {} written ({:.1}% correlated), \
-                 {} dns stored, loss dns={:.2}% flows={:.2}%, store {} entries / {:.3} GB",
-                pipeline.write.records_written,
-                pipeline.write.volumes.correlation_rate_pct(),
-                pipeline.fillup.addresses_stored + pipeline.fillup.cnames_stored,
-                pipeline.dns_loss_pct(),
-                pipeline.flow_loss_pct(),
-                pipeline.peak_memory.entries,
-                pipeline.peak_memory.total_gb(),
+                "flowdnsd: rates: {flow_rate:.0} flows/s, {dns_rate:.0} dns/s (last {tick_secs:.0}s) \
+                 | queues fillup={:.0} lookup={:.0} write={:.0} | idle netflow={} dns={}",
+                reg.gauge_with("flowdns_queue_depth", "queue", "fillup").unwrap_or(0.0),
+                reg.gauge_with("flowdns_queue_depth", "queue", "lookup").unwrap_or(0.0),
+                reg.gauge_sum("flowdns_egress_queue_depth"),
+                idle_text(reg.gauge_with("flowdns_ingest_last_activity_seconds", "feed", "netflow")),
+                idle_text(reg.gauge_with("flowdns_ingest_last_activity_seconds", "feed", "dns")),
+            );
+            let egress_bytes = reg.counter("flowdns_egress_bytes_total");
+            let correlated_bytes = reg.counter("flowdns_egress_correlated_bytes_total");
+            let corr_pct = if egress_bytes == 0 {
+                0.0
+            } else {
+                correlated_bytes as f64 / egress_bytes as f64 * 100.0
+            };
+            let dns_stored = reg.counter_with("flowdns_fillup_records_total", "kind", "addresses")
+                + reg.counter_with("flowdns_fillup_records_total", "kind", "cnames");
+            let dns_drops = reg.counter_with("flowdns_queue_dropped_total", "queue", "fillup")
+                + reg.counter("flowdns_ingest_dns_queue_dropped_total");
+            let flow_drops = reg.counter_with("flowdns_queue_dropped_total", "queue", "lookup")
+                + reg.counter("flowdns_ingest_netflow_queue_dropped_total")
+                + reg.counter("flowdns_egress_queue_dropped_total");
+            eprintln!(
+                "flowdnsd: pipeline: {} written ({corr_pct:.1}% correlated), {dns_stored} dns \
+                 stored, loss dns={:.2}% flows={:.2}%, store {} entries / {:.3} GB",
+                reg.counter("flowdns_egress_records_total"),
+                loss_pct(dns_drops, reg.counter("flowdns_ingest_dns_records_total")),
+                loss_pct(
+                    flow_drops,
+                    reg.counter("flowdns_ingest_netflow_flows_total")
+                ),
+                reg.gauge("flowdns_store_entries").unwrap_or(0.0) as u64,
+                reg.gauge("flowdns_store_payload_bytes").unwrap_or(0.0) / 1e9,
             );
             // Per-listener drain efficiency: how many datagrams each
             // NetFlow listener takes per socket wake-up, plus buffer-pool
             // reuse. avg≈1 means the batched path is idling (or
             // recv_batch = 1).
-            let drains: Vec<String> = snap
-                .netflow_listeners
-                .iter()
-                .enumerate()
-                .map(|(i, l)| {
-                    format!(
-                        "#{i} {} dgrams ({:.1}/drain, max {})",
-                        l.datagrams,
-                        l.avg_drain(),
-                        l.max_drain
-                    )
+            let drains: Vec<String> = (0..netflow_listener_count)
+                .map(|i| {
+                    let listener = i.to_string();
+                    let dgrams = reg.counter_with(
+                        "flowdns_ingest_netflow_datagrams_total",
+                        "listener",
+                        &listener,
+                    );
+                    let drains = reg.counter_with(
+                        "flowdns_ingest_netflow_drains_total",
+                        "listener",
+                        &listener,
+                    );
+                    let avg = if drains == 0 {
+                        0.0
+                    } else {
+                        dgrams as f64 / drains as f64
+                    };
+                    let max = reg
+                        .gauge_with("flowdns_ingest_netflow_max_drain", "listener", &listener)
+                        .unwrap_or(0.0);
+                    format!("#{i} {dgrams} dgrams ({avg:.1}/drain, max {max:.0})")
                 })
                 .collect();
             eprintln!(
                 "flowdnsd: listeners: netflow [{}] | dns {} accept loop{} | pool {} hits / {} misses",
                 drains.join(", "),
-                snap.dns_listeners,
-                if snap.dns_listeners == 1 { "" } else { "s" },
-                snap.buffer_pool.hits,
-                snap.buffer_pool.misses,
+                startup.dns_listeners,
+                if startup.dns_listeners == 1 { "" } else { "s" },
+                reg.counter("flowdns_ingest_buffer_pool_hits_total"),
+                reg.counter("flowdns_ingest_buffer_pool_misses_total"),
             );
             if config.correlator.snapshot_path.is_some()
                 && !runtime.correlator().store().is_exact_ttl()
             {
-                eprintln!("flowdnsd: snapshots: {}", pipeline.snapshot.summary_line());
-                if let Some(error) = &pipeline.snapshot.last_error {
+                let age = reg
+                    .gauge("flowdns_snapshot_last_write_age_seconds")
+                    .unwrap_or(-1.0);
+                let age = if age < 0.0 {
+                    "never".to_string()
+                } else {
+                    format!("{age:.0}s")
+                };
+                eprintln!(
+                    "flowdnsd: snapshots: {} written, last {} B, age {age}",
+                    reg.counter("flowdns_snapshots_written_total"),
+                    reg.gauge("flowdns_snapshot_last_bytes").unwrap_or(0.0) as u64,
+                );
+                if let Some(error) = &runtime.correlator().snapshot_stats().last_error {
                     eprintln!("flowdnsd: snapshot error: {error}");
                 }
+            }
+            if runtime.correlator().flight_recorder().is_some() {
+                eprintln!(
+                    "flowdnsd: traces: {} spans emitted, {} dropped",
+                    reg.counter("flowdns_trace_spans_total"),
+                    reg.counter("flowdns_trace_spans_dropped_total"),
+                );
             }
         }
     }

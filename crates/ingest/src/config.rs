@@ -53,6 +53,11 @@ pub struct IngestConfig {
     pub recv_buffer_bytes: usize,
     /// Interval between periodic stats lines (`stats_interval`, seconds).
     pub stats_interval: Duration,
+    /// TCP address of the embedded metrics endpoint (`metrics_addr`,
+    /// port 0 picks an ephemeral port). Serves `/metrics` (Prometheus
+    /// text exposition), `/healthz` and `/stats.json`; unset disables
+    /// the server entirely.
+    pub metrics_addr: Option<SocketAddr>,
     /// Output TSV path (`output`); correlated records are discarded after
     /// accounting when unset. With more than one write worker each shard
     /// writes its own file (`.w{shard}` suffix, or a `-w{shard}` filename
@@ -78,6 +83,7 @@ impl Default for IngestConfig {
             buffer_pool: 16,
             recv_buffer_bytes: 4 << 20,
             stats_interval: Duration::from_secs(10),
+            metrics_addr: None,
             output: None,
             output_rotate_interval: None,
         }
@@ -98,7 +104,7 @@ impl DaemonConfig {
     ///
     /// Ingest keys (`netflow_bind`, `dns_bind`, `netflow_listeners`,
     /// `dns_listeners`, `recv_batch`, `buffer_pool`,
-    /// `recv_buffer_bytes`, `stats_interval`,
+    /// `recv_buffer_bytes`, `stats_interval`, `metrics_addr`,
     /// `output`, `output_rotate_interval`) are consumed here; all other
     /// lines — including comments
     /// and blanks — are forwarded verbatim to
@@ -142,6 +148,7 @@ impl DaemonConfig {
                         }
                         ingest.stats_interval = Duration::from_secs(secs);
                     }
+                    "metrics_addr" => ingest.metrics_addr = Some(parse_addr(lineno, value)?),
                     "output" => ingest.output = Some(value.to_string()),
                     "output_rotate_interval" => {
                         let secs = value.parse::<u64>().map_err(|_| {
@@ -273,6 +280,20 @@ variant = NoRotation
         assert!(DaemonConfig::from_config_text("buffer_pool = 0").is_ok());
         assert!(DaemonConfig::from_config_text("recv_buffer_bytes = 0").is_ok());
         assert!(DaemonConfig::from_config_text("recv_batch = lots").is_err());
+    }
+
+    #[test]
+    fn metrics_addr_parses_and_defaults_off() {
+        assert!(IngestConfig::default().metrics_addr.is_none());
+        let cfg = DaemonConfig::from_config_text("metrics_addr = 127.0.0.1:9100").unwrap();
+        assert_eq!(
+            cfg.ingest.metrics_addr,
+            Some("127.0.0.1:9100".parse().unwrap())
+        );
+        let e = DaemonConfig::from_config_text("metrics_addr = nowhere")
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("line 1"), "{e}");
     }
 
     #[test]

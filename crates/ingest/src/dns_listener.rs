@@ -203,6 +203,9 @@ fn spawn_connection(
                         for record in &batch {
                             meter.record(record.ts, 0);
                         }
+                        // One wall-clock activity mark per drain round,
+                        // for the `last_activity_seconds` gauge.
+                        meter.mark_activity();
                     }
                     stats
                         .records

@@ -265,6 +265,8 @@ fn listener_loop(
 ) {
     let mut buf = pool.take(MAX_DATAGRAM);
     let mut batch: Vec<FlowRecord> = Vec::new();
+    // Tracing off = no recorder = no per-flow work beyond this Option.
+    let flight = correlator.flight_recorder().cloned();
     // The recvmmsg ring holds the rest of a drain after the opening
     // blocking receive; `None` once the platform reports Unsupported.
     let mut ring = (recv_batch > 1).then(|| MmsgRing::new(recv_batch - 1, MAX_DATAGRAM));
@@ -323,17 +325,34 @@ fn listener_loop(
         if batch.is_empty() {
             continue; // purely malformed / unknown-template drain
         }
+        if let Some(flight) = &flight {
+            // Sampled flows pick up their trace token here, right after
+            // decode; the non-sampled majority costs one fetch_add each.
+            for flow in &mut batch {
+                flow.trace = flight.maybe_start();
+            }
+        }
         {
             let mut meter = meter.lock();
             for flow in &batch {
                 meter.record(flow.ts, flow.bytes);
             }
+            // Wall-clock activity is per drain round, not per record —
+            // it feeds the `last_activity_seconds` gauge.
+            meter.mark_activity();
         }
         // Step 4: the whole drain in one queue offer; the overflow
         // remainder is counted as dropped. `drain(..)` keeps the batch
         // vector's capacity for the next round.
         let offered = batch.len();
         shard.stats.batch_pushes.fetch_add(1, Ordering::Relaxed);
+        if let Some(flight) = &flight {
+            for flow in &batch {
+                if let Some(id) = flow.trace {
+                    flight.stamp_enqueue(id);
+                }
+            }
+        }
         let accepted = correlator.push_flow_batch(batch.drain(..));
         if accepted < offered {
             table

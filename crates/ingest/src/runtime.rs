@@ -21,6 +21,7 @@ use parking_lot::Mutex;
 use flowdns_core::metrics::IngestSummary;
 use flowdns_core::write::{DiscardSink, MemorySink, OutputSink, RotatingFileSink, TsvFileSink};
 use flowdns_core::{Correlator, PipelineMetrics, Report};
+use flowdns_obs::{HealthCheck, HealthStatus, MetricsRegistry, MetricsServer};
 use flowdns_stream::{MeterSnapshot, RateMeter};
 use flowdns_types::{FlowDnsError, SimDuration};
 
@@ -32,6 +33,9 @@ use crate::reuseport;
 
 /// Width of the per-listener meter windows.
 const METER_WINDOW_SECS: u64 = 60;
+
+/// Queue fill level at which `/healthz` flips to 503.
+const QUEUE_SATURATION_THRESHOLD: f64 = 0.95;
 
 /// Split the `output` config value into the directory and filename
 /// prefix the rotating sinks actually use (the extension is stripped:
@@ -91,6 +95,8 @@ pub struct IngestRuntime {
     dns_meter: Arc<Mutex<RateMeter>>,
     pool: Arc<BufferPool>,
     dns_listener_count: usize,
+    registry: Arc<MetricsRegistry>,
+    metrics_server: Option<MetricsServer>,
 }
 
 impl std::fmt::Debug for IngestRuntime {
@@ -223,6 +229,39 @@ impl IngestRuntime {
             .map_err(io_err)?,
         );
 
+        // Every subsystem registers into one registry: pipeline workers,
+        // queues, store, snapshots and BGP from the correlator; listener,
+        // feed, meter and buffer-pool series from the ingest side. The
+        // periodic stderr stats and the scrape endpoint both read it.
+        let registry = Arc::new(MetricsRegistry::new());
+        correlator.register_metrics(&registry);
+        register_ingest_metrics(
+            &registry,
+            &exporters,
+            &dns_stats,
+            &netflow_meter,
+            &dns_meter,
+            &pool,
+        );
+        let metrics_server = match config.ingest.metrics_addr {
+            Some(addr) => {
+                let health = health_check(&correlator);
+                match MetricsServer::start(addr, Arc::clone(&registry), health) {
+                    Ok(server) => Some(server),
+                    Err(e) => {
+                        // The listener threads are already running; stop
+                        // them before reporting the bind failure.
+                        shutdown.store(true, Ordering::Release);
+                        for handle in listeners {
+                            let _ = handle.join();
+                        }
+                        return Err(io_err(e));
+                    }
+                }
+            }
+            None => None,
+        };
+
         Ok(IngestRuntime {
             correlator,
             netflow_addr,
@@ -236,6 +275,8 @@ impl IngestRuntime {
             dns_meter,
             pool,
             dns_listener_count,
+            registry,
+            metrics_server,
         })
     }
 
@@ -253,6 +294,18 @@ impl IngestRuntime {
     /// The correlation pipeline, for store/queue inspection.
     pub fn correlator(&self) -> &Correlator {
         &self.correlator
+    }
+
+    /// The metrics registry every subsystem registered into. Periodic
+    /// reporters snapshot this instead of probing counters piecemeal.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The bound address of the metrics endpoint, when `metrics_addr`
+    /// is configured (resolves an ephemeral port 0 request).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_server.as_ref().map(|s| s.local_addr())
     }
 
     /// Current ingest totals, meters, queue depths and live pipeline
@@ -310,6 +363,11 @@ impl IngestRuntime {
                 .join()
                 .map_err(|_| FlowDnsError::PipelineState("dns feed handler panicked".into()))?;
         }
+        // The health probe holds its own correlator handle; stop the
+        // endpoint before unwrapping the pipeline.
+        if let Some(server) = self.metrics_server.take() {
+            server.shutdown();
+        }
         let summary = self.build_summary();
         let correlator = Arc::try_unwrap(self.correlator).map_err(|_| {
             FlowDnsError::PipelineState("correlator still referenced at shutdown".into())
@@ -318,6 +376,195 @@ impl IngestRuntime {
         report.metrics.ingest = summary;
         Ok(report)
     }
+}
+
+/// The `/healthz` probe: an egress sink error or a near-full pipeline
+/// queue turns the endpoint 503 so an orchestrator can restart or shed
+/// load before data is silently dropped.
+fn health_check(correlator: &Arc<Correlator>) -> HealthCheck {
+    let correlator = Arc::clone(correlator);
+    Arc::new(move || {
+        if let Some(err) = correlator.egress_error_message() {
+            return HealthStatus::unhealthy(format!("egress error: {err}"));
+        }
+        let (fillup, lookup, write) = correlator.queue_fill_levels();
+        let detail = format!(
+            "queues: fillup {:.0}% lookup {:.0}% write {:.0}%",
+            fillup * 100.0,
+            lookup * 100.0,
+            write * 100.0
+        );
+        if fillup.max(lookup).max(write) >= QUEUE_SATURATION_THRESHOLD {
+            HealthStatus::unhealthy(format!("saturated {detail}"))
+        } else {
+            HealthStatus::ok(detail)
+        }
+    })
+}
+
+/// Register the ingest-side series: per-listener drain counters, decode
+/// totals, DNS-feed counters, meter totals with the wall-clock
+/// `last_activity_seconds` gauges, and buffer-pool reuse. All closures
+/// over counters the listeners already maintain — registration adds no
+/// hot-path cost.
+fn register_ingest_metrics(
+    registry: &MetricsRegistry,
+    exporters: &Arc<ExporterTable>,
+    dns_stats: &Arc<DnsFeedStats>,
+    netflow_meter: &Arc<Mutex<RateMeter>>,
+    dns_meter: &Arc<Mutex<RateMeter>>,
+    pool: &Arc<BufferPool>,
+) {
+    for i in 0..exporters.listeners() {
+        let listener = i.to_string();
+        let labels: &[(&str, &str)] = &[("listener", listener.as_str())];
+        let t = Arc::clone(exporters);
+        registry.counter_fn(
+            "flowdns_ingest_netflow_datagrams_total",
+            "UDP datagrams received, per NetFlow listener.",
+            labels,
+            move || t.per_listener()[i].datagrams,
+        );
+        let t = Arc::clone(exporters);
+        registry.counter_fn(
+            "flowdns_ingest_netflow_drains_total",
+            "Receive drain rounds, per NetFlow listener.",
+            labels,
+            move || t.per_listener()[i].drains,
+        );
+        let t = Arc::clone(exporters);
+        registry.counter_fn(
+            "flowdns_ingest_netflow_batch_pushes_total",
+            "Batches offered to the LookUp queue, per NetFlow listener.",
+            labels,
+            move || t.per_listener()[i].batch_pushes,
+        );
+        let t = Arc::clone(exporters);
+        registry.gauge_fn(
+            "flowdns_ingest_netflow_max_drain",
+            "Largest single receive drain so far, in datagrams.",
+            labels,
+            move || t.per_listener()[i].max_drain as f64,
+        );
+    }
+    let t = Arc::clone(exporters);
+    registry.counter_fn(
+        "flowdns_ingest_netflow_flows_total",
+        "Flow records decoded from NetFlow/IPFIX datagrams.",
+        &[],
+        move || t.totals().flows,
+    );
+    let t = Arc::clone(exporters);
+    registry.counter_fn(
+        "flowdns_ingest_netflow_malformed_total",
+        "Datagrams dropped as malformed.",
+        &[],
+        move || t.totals().malformed,
+    );
+    let t = Arc::clone(exporters);
+    registry.counter_fn(
+        "flowdns_ingest_netflow_unknown_template_drops_total",
+        "IPFIX data records dropped for lack of their template.",
+        &[],
+        move || t.totals().unknown_template_drops,
+    );
+    let t = Arc::clone(exporters);
+    registry.counter_fn(
+        "flowdns_ingest_netflow_queue_dropped_total",
+        "Decoded flows dropped because the LookUp queue was full.",
+        &[],
+        move || t.queue_drops.load(Ordering::Relaxed),
+    );
+
+    let s = Arc::clone(dns_stats);
+    registry.counter_fn(
+        "flowdns_ingest_dns_connections_total",
+        "DNS-feed connections accepted.",
+        &[],
+        move || s.connections.load(Ordering::Relaxed),
+    );
+    let s = Arc::clone(dns_stats);
+    registry.counter_fn(
+        "flowdns_ingest_dns_records_total",
+        "DNS records decoded from the feed.",
+        &[],
+        move || s.records.load(Ordering::Relaxed),
+    );
+    let s = Arc::clone(dns_stats);
+    registry.counter_fn(
+        "flowdns_ingest_dns_reads_total",
+        "DNS-feed socket reads that returned data.",
+        &[],
+        move || s.reads.load(Ordering::Relaxed),
+    );
+    let s = Arc::clone(dns_stats);
+    registry.counter_fn(
+        "flowdns_ingest_dns_batch_pushes_total",
+        "Batches offered to the FillUp queue by the DNS feed.",
+        &[],
+        move || s.batch_pushes.load(Ordering::Relaxed),
+    );
+    let s = Arc::clone(dns_stats);
+    registry.counter_fn(
+        "flowdns_ingest_dns_malformed_streams_total",
+        "DNS-feed connections dropped for framing errors.",
+        &[],
+        move || s.malformed_streams.load(Ordering::Relaxed),
+    );
+    let s = Arc::clone(dns_stats);
+    registry.counter_fn(
+        "flowdns_ingest_dns_queue_dropped_total",
+        "DNS records dropped because the FillUp queue was full.",
+        &[],
+        move || s.queue_drops.load(Ordering::Relaxed),
+    );
+
+    for (feed, meter) in [("netflow", netflow_meter), ("dns", dns_meter)] {
+        let labels: &[(&str, &str)] = &[("feed", feed)];
+        let m = Arc::clone(meter);
+        registry.counter_fn(
+            "flowdns_ingest_records_total",
+            "Records metered per feed (simulated-time rate meter totals).",
+            labels,
+            move || m.lock().snapshot().count,
+        );
+        let m = Arc::clone(meter);
+        registry.counter_fn(
+            "flowdns_ingest_bytes_total",
+            "Bytes metered per feed.",
+            labels,
+            move || m.lock().snapshot().bytes,
+        );
+        let m = Arc::clone(meter);
+        registry.gauge_fn(
+            "flowdns_ingest_last_activity_seconds",
+            "Wall-clock seconds since the feed last received a batch (-1 = never).",
+            labels,
+            move || m.lock().snapshot().last_activity_secs.unwrap_or(-1.0),
+        );
+    }
+
+    let p = Arc::clone(pool);
+    registry.counter_fn(
+        "flowdns_ingest_buffer_pool_hits_total",
+        "Receive buffers served from the shared pool.",
+        &[],
+        move || p.stats().hits,
+    );
+    let p = Arc::clone(pool);
+    registry.counter_fn(
+        "flowdns_ingest_buffer_pool_misses_total",
+        "Receive buffers freshly allocated (pool empty).",
+        &[],
+        move || p.stats().misses,
+    );
+    let p = Arc::clone(pool);
+    registry.gauge_fn(
+        "flowdns_ingest_buffer_pool_pooled",
+        "Idle receive buffers currently retained by the pool.",
+        &[],
+        move || p.stats().pooled as f64,
+    );
 }
 
 #[cfg(test)]
@@ -364,6 +611,47 @@ mod tests {
             rt.exporters.listeners(),
             "shards must match the listener group"
         );
+        rt.shutdown().unwrap();
+    }
+
+    #[test]
+    fn metrics_endpoint_is_off_by_default_but_registry_is_live() {
+        let rt = IngestRuntime::start_in_memory(&loopback_config()).unwrap();
+        assert!(rt.metrics_addr().is_none());
+        // The registry exists (stderr stats derive from it) even with no
+        // scrape endpoint; pipeline and ingest series are registered.
+        let snap = rt.registry().snapshot();
+        assert_eq!(snap.counter("flowdns_egress_records_total"), 0);
+        assert_eq!(snap.counter("flowdns_ingest_netflow_datagrams_total"), 0);
+        assert_eq!(
+            snap.gauge_with("flowdns_ingest_last_activity_seconds", "feed", "netflow"),
+            Some(-1.0),
+            "no batch received yet"
+        );
+        rt.shutdown().unwrap();
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_when_configured() {
+        use std::io::{Read as _, Write as _};
+        let mut cfg = loopback_config();
+        cfg.ingest.metrics_addr = Some("127.0.0.1:0".parse().unwrap());
+        let rt = IngestRuntime::start_in_memory(&cfg).unwrap();
+        let addr = rt.metrics_addr().expect("metrics server bound");
+        assert_ne!(addr.port(), 0);
+        let mut conn = std::net::TcpStream::connect(addr).unwrap();
+        write!(conn, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(response.contains("flowdns_ingest_netflow_datagrams_total"));
+        assert!(response.contains("flowdns_egress_records_total"));
+        let mut conn = std::net::TcpStream::connect(addr).unwrap();
+        write!(conn, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(response.contains("queues"), "{response}");
         rt.shutdown().unwrap();
     }
 

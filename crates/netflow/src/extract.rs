@@ -105,6 +105,7 @@ impl FlowExtractor {
                 bytes: r.octets as u64,
                 stream: self.config.stream,
                 direction: self.config.direction,
+                trace: None,
             };
             if flow.is_valid() {
                 self.extracted += 1;
@@ -164,6 +165,7 @@ impl FlowExtractor {
             bytes,
             stream: self.config.stream,
             direction: self.config.direction,
+            trace: None,
         })
     }
 }

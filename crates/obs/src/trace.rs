@@ -1,0 +1,344 @@
+//! The flight recorder: sampled end-to-end flow traces.
+//!
+//! 1-in-N decoded flows are assigned a trace token
+//! ([`FlightRecorder::maybe_start`]); the pipeline stamps the token at
+//! each stage boundary and [`FlightRecorder::finish`] emits one JSONL
+//! span record describing where that flow spent its time:
+//!
+//! ```json
+//! {"trace_id":7,"decode_us":1201,"enqueue_us":3,"queue_wait_us":142,
+//!  "lookup_us":11,"egress_us":89,"total_us":245,"asn_stamped":true,"shard":2}
+//! ```
+//!
+//! `decode_us` is the absolute time since the recorder was created (a
+//! timestamp); the remaining `*_us` fields are stage durations. The
+//! output file is a bounded ring: when it exceeds the byte cap it is
+//! renamed to `<path>.1` (replacing any previous one) and restarted, so
+//! a week-long soak keeps the most recent spans without growing
+//! unboundedly.
+//!
+//! Cost: sampling *off* is represented by not constructing a recorder
+//! at all — flows carry `trace: None` and no code beyond a branch on an
+//! `Option` runs. With sampling on, non-sampled flows cost one relaxed
+//! `fetch_add`; sampled flows (1-in-N) take a short mutex to track the
+//! span.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Most spans tracked at once; beyond this new samples are dropped (and
+/// counted) rather than growing the map — a span leak (a flow dropped
+/// at a bounded queue never reaches egress) must not become a memory
+/// leak.
+const MAX_ACTIVE_SPANS: usize = 4096;
+
+/// Default byte cap of the ring file before rotation.
+pub const DEFAULT_TRACE_MAX_BYTES: u64 = 8 * 1024 * 1024;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Span {
+    decode_us: u64,
+    enqueue_us: Option<u64>,
+    dequeue_us: Option<u64>,
+    lookup_us: Option<u64>,
+    asn_stamped: bool,
+}
+
+#[derive(Debug)]
+struct Inner {
+    active: HashMap<u64, Span>,
+    writer: BufWriter<File>,
+    written_bytes: u64,
+}
+
+/// The sampled flow tracer. See the module docs for the span schema.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    sample_every: u64,
+    seen: AtomicU64,
+    next_id: AtomicU64,
+    emitted: AtomicU64,
+    dropped: AtomicU64,
+    origin: Instant,
+    path: PathBuf,
+    max_bytes: u64,
+    inner: Mutex<Inner>,
+}
+
+impl FlightRecorder {
+    /// Create (truncate) the trace file and a recorder sampling 1-in-
+    /// `sample_every` flows. `sample_every` must be ≥ 1; "off" is
+    /// represented by not creating a recorder.
+    pub fn create(
+        path: impl Into<PathBuf>,
+        sample_every: u64,
+        max_bytes: u64,
+    ) -> std::io::Result<Self> {
+        let path = path.into();
+        let writer = BufWriter::new(File::create(&path)?);
+        Ok(FlightRecorder {
+            sample_every: sample_every.max(1),
+            seen: AtomicU64::new(0),
+            next_id: AtomicU64::new(1),
+            emitted: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            origin: Instant::now(),
+            path,
+            max_bytes: max_bytes.max(4096),
+            inner: Mutex::new(Inner {
+                active: HashMap::new(),
+                writer,
+                written_bytes: 0,
+            }),
+        })
+    }
+
+    /// The configured sampling interval.
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every
+    }
+
+    /// The trace file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Count one decoded flow; every `sample_every`-th call starts a
+    /// span (stamped "decode" at the current time) and returns its
+    /// trace token. Non-sampled flows cost one relaxed `fetch_add`.
+    pub fn maybe_start(&self) -> Option<u64> {
+        let n = self.seen.fetch_add(1, Ordering::Relaxed);
+        if n % self.sample_every != 0 {
+            return None;
+        }
+        let now = self.now_us();
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock().expect("flight recorder poisoned");
+        if inner.active.len() >= MAX_ACTIVE_SPANS {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        inner.active.insert(
+            id,
+            Span {
+                decode_us: now,
+                ..Span::default()
+            },
+        );
+        Some(id)
+    }
+
+    /// Stamp the listener→pipeline queue hand-off.
+    pub fn stamp_enqueue(&self, id: u64) {
+        let now = self.now_us();
+        if let Some(span) = self
+            .inner
+            .lock()
+            .expect("flight recorder poisoned")
+            .active
+            .get_mut(&id)
+        {
+            span.enqueue_us = Some(now);
+        }
+    }
+
+    /// Stamp the LookUp worker picking the flow off the queue.
+    pub fn stamp_dequeue(&self, id: u64) {
+        let now = self.now_us();
+        if let Some(span) = self
+            .inner
+            .lock()
+            .expect("flight recorder poisoned")
+            .active
+            .get_mut(&id)
+        {
+            span.dequeue_us = Some(now);
+        }
+    }
+
+    /// Stamp the end of correlation + BGP origin-AS stamping.
+    pub fn stamp_lookup_done(&self, id: u64, asn_stamped: bool) {
+        let now = self.now_us();
+        if let Some(span) = self
+            .inner
+            .lock()
+            .expect("flight recorder poisoned")
+            .active
+            .get_mut(&id)
+        {
+            span.lookup_us = Some(now);
+            span.asn_stamped = asn_stamped;
+        }
+    }
+
+    /// Finish the span at egress: emit one JSONL record and forget the
+    /// token. `shard` is the Write worker that persisted the record.
+    pub fn finish(&self, id: u64, shard: usize) {
+        let now = self.now_us();
+        let mut inner = self.inner.lock().expect("flight recorder poisoned");
+        let Some(span) = inner.active.remove(&id) else {
+            return;
+        };
+        let enqueue = span.enqueue_us.unwrap_or(span.decode_us);
+        let dequeue = span.dequeue_us.unwrap_or(enqueue);
+        let lookup = span.lookup_us.unwrap_or(dequeue);
+        let line = format!(
+            "{{\"trace_id\":{id},\"decode_us\":{},\"enqueue_us\":{},\"queue_wait_us\":{},\
+             \"lookup_us\":{},\"egress_us\":{},\"total_us\":{},\"asn_stamped\":{},\"shard\":{shard}}}\n",
+            span.decode_us,
+            enqueue - span.decode_us,
+            dequeue - enqueue,
+            lookup - dequeue,
+            now - lookup,
+            now - span.decode_us,
+            span.asn_stamped,
+        );
+        if inner.writer.write_all(line.as_bytes()).is_ok() {
+            inner.written_bytes += line.len() as u64;
+            // Spans are rare; flushing each one keeps the file readable
+            // while an operator tails it.
+            let _ = inner.writer.flush();
+            self.emitted.fetch_add(1, Ordering::Relaxed);
+            if inner.written_bytes >= self.max_bytes {
+                self.rotate(&mut inner);
+            }
+        }
+    }
+
+    /// Flush buffered spans (shutdown path).
+    pub fn flush(&self) {
+        let _ = self
+            .inner
+            .lock()
+            .expect("flight recorder poisoned")
+            .writer
+            .flush();
+    }
+
+    /// Spans written to the trace file so far.
+    pub fn spans_emitted(&self) -> u64 {
+        self.emitted.load(Ordering::Relaxed)
+    }
+
+    /// Samples dropped because too many spans were in flight.
+    pub fn spans_dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Flows counted by [`maybe_start`](FlightRecorder::maybe_start).
+    pub fn flows_seen(&self) -> u64 {
+        self.seen.load(Ordering::Relaxed)
+    }
+
+    fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+
+    /// Ring rotation: current file becomes `<path>.1` (replacing any
+    /// previous generation), a fresh file takes its place. On rotation
+    /// failure, keep writing to the (recreated) file rather than dying.
+    fn rotate(&self, inner: &mut Inner) {
+        let _ = inner.writer.flush();
+        let mut rotated = self.path.clone().into_os_string();
+        rotated.push(".1");
+        let _ = std::fs::rename(&self.path, PathBuf::from(rotated));
+        if let Ok(file) = File::create(&self.path) {
+            inner.writer = BufWriter::new(file);
+            inner.written_bytes = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("flowdns-obs-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn samples_one_in_n_and_emits_complete_spans() {
+        let path = temp_path("spans.jsonl");
+        let recorder = FlightRecorder::create(&path, 4, DEFAULT_TRACE_MAX_BYTES).unwrap();
+        let mut ids = Vec::new();
+        for _ in 0..16 {
+            if let Some(id) = recorder.maybe_start() {
+                ids.push(id);
+            }
+        }
+        assert_eq!(ids.len(), 4, "1-in-4 sampling of 16 flows");
+        assert_eq!(recorder.flows_seen(), 16);
+        for &id in &ids {
+            recorder.stamp_enqueue(id);
+            recorder.stamp_dequeue(id);
+            recorder.stamp_lookup_done(id, true);
+            recorder.finish(id, 2);
+        }
+        assert_eq!(recorder.spans_emitted(), 4);
+        assert_eq!(recorder.spans_dropped(), 0);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            for key in [
+                "\"trace_id\":",
+                "\"decode_us\":",
+                "\"queue_wait_us\":",
+                "\"lookup_us\":",
+                "\"egress_us\":",
+                "\"total_us\":",
+                "\"asn_stamped\":true",
+                "\"shard\":2",
+            ] {
+                assert!(line.contains(key), "missing {key} in {line}");
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn finish_without_span_is_ignored_and_ring_rotates() {
+        let path = temp_path("ring.jsonl");
+        // A tiny cap (clamped to 4096) forces rotation quickly.
+        let recorder = FlightRecorder::create(&path, 1, 0).unwrap();
+        recorder.finish(999, 0); // unknown id: no-op
+        assert_eq!(recorder.spans_emitted(), 0);
+        for _ in 0..100 {
+            let id = recorder.maybe_start().unwrap();
+            recorder.finish(id, 0);
+        }
+        assert_eq!(recorder.spans_emitted(), 100);
+        let mut rotated = path.clone().into_os_string();
+        rotated.push(".1");
+        let rotated = PathBuf::from(rotated);
+        assert!(rotated.exists(), "ring never rotated");
+        // Both generations together stay near the cap, not unbounded.
+        let live = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let old = std::fs::metadata(&rotated).map(|m| m.len()).unwrap_or(0);
+        assert!(live + old < 3 * 4096 + 1024, "ring grew unboundedly");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&rotated);
+    }
+
+    #[test]
+    fn active_span_cap_drops_not_grows() {
+        let path = temp_path("cap.jsonl");
+        let recorder = FlightRecorder::create(&path, 1, DEFAULT_TRACE_MAX_BYTES).unwrap();
+        let mut started = 0u64;
+        for _ in 0..(MAX_ACTIVE_SPANS as u64 + 100) {
+            if recorder.maybe_start().is_some() {
+                started += 1;
+            }
+        }
+        assert_eq!(started, MAX_ACTIVE_SPANS as u64);
+        assert_eq!(recorder.spans_dropped(), 100);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -39,6 +39,19 @@ fn bucket_of(latency: Duration) -> usize {
     (SUB_BUCKETS + (octave - 2) * SUB_BUCKETS + sub).min(LATENCY_BUCKETS - 1)
 }
 
+/// Map a microsecond value to its bucket index (the scheme behind
+/// [`LatencyHistogram`], public so external renderers — the telemetry
+/// registry's Prometheus exposition — can place values themselves).
+pub fn bucket_index_us(us: u64) -> usize {
+    bucket_of(Duration::from_micros(us))
+}
+
+/// Public upper bound (µs) of a bucket — what external renderers use as
+/// the Prometheus `le` bound for [`LatencySnapshot::buckets`].
+pub fn bucket_upper_bound_us(index: usize) -> u64 {
+    bucket_upper_us(index)
+}
+
 /// Upper bound (µs) of a bucket — what quantile estimation reports, so
 /// estimates are conservative (never below the true quantile's bucket).
 fn bucket_upper_us(index: usize) -> u64 {
@@ -157,6 +170,11 @@ impl LatencySnapshot {
     /// 99th-percentile estimate, microseconds.
     pub fn p99_us(&self) -> u64 {
         self.quantile_us(0.99)
+    }
+
+    /// 99.9th-percentile estimate, microseconds.
+    pub fn p999_us(&self) -> u64 {
+        self.quantile_us(0.999)
     }
 
     /// The distribution observed *between* `earlier` and `self`, both

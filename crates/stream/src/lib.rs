@@ -27,6 +27,8 @@ pub mod meter;
 pub mod replay;
 
 pub use buffer::{BufferStats, StreamBuffer};
-pub use latency::{LatencyHistogram, LatencySnapshot};
+pub use latency::{
+    bucket_index_us, bucket_upper_bound_us, LatencyHistogram, LatencySnapshot, LATENCY_BUCKETS,
+};
 pub use meter::{MeterSnapshot, RateMeter};
 pub use replay::{merge_by_time, split_round_robin, StreamSplitter};

@@ -5,6 +5,8 @@
 //! of *simulated* time so the harness can produce those time series
 //! deterministically, independent of how fast the host replays the trace.
 
+use std::time::Instant;
+
 use flowdns_types::{SimDuration, SimTime};
 
 /// One completed window of the meter.
@@ -45,6 +47,11 @@ pub struct MeterSnapshot {
     pub first: Option<SimTime>,
     /// Timestamp of the most recent record seen, if any.
     pub last: Option<SimTime>,
+    /// Wall-clock seconds since the meter last saw activity (via
+    /// [`RateMeter::mark_activity`]) when this snapshot was taken.
+    /// `None` until activity is marked — offline/simulated replays that
+    /// never mark it are unaffected.
+    pub last_activity_secs: Option<f64>,
 }
 
 impl MeterSnapshot {
@@ -53,6 +60,36 @@ impl MeterSnapshot {
         match (self.first, self.last) {
             (Some(first), Some(last)) => last.saturating_since(first),
             _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Records per second over the window between `earlier` and this
+    /// snapshot, given the *actual wall-clock* width of that window.
+    ///
+    /// This is the honest live-reporting rate: [`rate_per_sec`] is the
+    /// lifetime average over the *simulated* span, which goes stale the
+    /// moment a listener idles — it keeps reporting the historical
+    /// average no matter how long ago the last record arrived. Periodic
+    /// reporters (`flowdnsd`'s stats loop) should difference two
+    /// snapshots over their own tick instead; an idle window then
+    /// correctly reads 0.
+    ///
+    /// [`rate_per_sec`]: MeterSnapshot::rate_per_sec
+    pub fn rate_over(&self, earlier: &MeterSnapshot, elapsed_secs: f64) -> f64 {
+        if elapsed_secs <= 0.0 {
+            0.0
+        } else {
+            self.count.saturating_sub(earlier.count) as f64 / elapsed_secs
+        }
+    }
+
+    /// Bytes per second over the window between `earlier` and this
+    /// snapshot (see [`rate_over`](MeterSnapshot::rate_over)).
+    pub fn bytes_rate_over(&self, earlier: &MeterSnapshot, elapsed_secs: f64) -> f64 {
+        if elapsed_secs <= 0.0 {
+            0.0
+        } else {
+            self.bytes.saturating_sub(earlier.bytes) as f64 / elapsed_secs
         }
     }
 
@@ -91,6 +128,7 @@ pub struct RateMeter {
     total_bytes: u64,
     first_seen: Option<SimTime>,
     last_seen: Option<SimTime>,
+    last_activity_wall: Option<Instant>,
 }
 
 impl RateMeter {
@@ -107,6 +145,7 @@ impl RateMeter {
             total_bytes: 0,
             first_seen: None,
             last_seen: None,
+            last_activity_wall: None,
         }
     }
 
@@ -159,6 +198,14 @@ impl RateMeter {
         });
     }
 
+    /// Note wall-clock activity on the meter. Live listeners call this
+    /// once per received batch (one `Instant::now()` per batch, not per
+    /// record) so snapshots can report how long the feed has been
+    /// silent; simulated replays simply never call it.
+    pub fn mark_activity(&mut self) {
+        self.last_activity_wall = Some(Instant::now());
+    }
+
     /// A cheap O(1) summary of the totals and span seen so far.
     pub fn snapshot(&self) -> MeterSnapshot {
         MeterSnapshot {
@@ -166,6 +213,7 @@ impl RateMeter {
             bytes: self.total_bytes,
             first: self.first_seen,
             last: self.last_seen,
+            last_activity_secs: self.last_activity_wall.map(|t| t.elapsed().as_secs_f64()),
         }
     }
 
@@ -312,6 +360,45 @@ mod tests {
         assert_eq!(snap.first, Some(SimTime::from_secs(10)));
         assert_eq!(snap.last, Some(SimTime::from_secs(100)));
         assert_eq!(snap.elapsed(), SimDuration::from_secs(90));
+    }
+
+    #[test]
+    fn idle_meter_reads_zero_over_a_live_window() {
+        // The stale-rate fix: a meter that saw traffic once keeps a
+        // non-zero lifetime average forever, but differencing two
+        // snapshots over a reporting tick reads 0 while idle.
+        let mut m = RateMeter::new(SimDuration::from_secs(60));
+        for s in 0..100u64 {
+            m.record(SimTime::from_secs(s), 10);
+        }
+        m.mark_activity();
+        let tick_start = m.snapshot();
+        // ... a stats tick elapses with no traffic ...
+        let tick_end = m.snapshot();
+        assert!(tick_start.rate_per_sec() > 0.0, "lifetime average is stale");
+        assert_eq!(tick_end.rate_over(&tick_start, 5.0), 0.0);
+        assert_eq!(tick_end.bytes_rate_over(&tick_start, 5.0), 0.0);
+        // Activity in the window shows up as the window's own rate.
+        m.record(SimTime::from_secs(200), 10);
+        m.record(SimTime::from_secs(201), 10);
+        let after = m.snapshot();
+        assert!((after.rate_over(&tick_start, 2.0) - 1.0).abs() < 1e-9);
+        assert!((after.bytes_rate_over(&tick_start, 2.0) - 10.0).abs() < 1e-9);
+        // Degenerate window widths cannot divide by zero.
+        assert_eq!(after.rate_over(&tick_start, 0.0), 0.0);
+    }
+
+    #[test]
+    fn last_activity_is_tracked_in_wall_time() {
+        let mut m = RateMeter::new(SimDuration::from_secs(60));
+        assert_eq!(m.snapshot().last_activity_secs, None);
+        m.record(SimTime::from_secs(1), 1);
+        // record() alone never touches the wall clock (simulated replays
+        // stay deterministic); listeners mark activity per batch.
+        assert_eq!(m.snapshot().last_activity_secs, None);
+        m.mark_activity();
+        let secs = m.snapshot().last_activity_secs.expect("marked");
+        assert!((0.0..1.0).contains(&secs), "just marked: {secs}");
     }
 
     #[test]

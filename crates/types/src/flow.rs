@@ -116,6 +116,10 @@ pub struct FlowRecord {
     pub stream: StreamId,
     /// Direction relative to the ISP customer base.
     pub direction: FlowDirection,
+    /// Flight-recorder trace token for the sampled 1-in-N flows (`None`
+    /// for the untraced majority — and always `None` when tracing is
+    /// off, so the field costs one branch, never an allocation).
+    pub trace: Option<u64>,
 }
 
 impl FlowRecord {
@@ -135,6 +139,7 @@ impl FlowRecord {
             bytes,
             stream: StreamId::new(0),
             direction: FlowDirection::Inbound,
+            trace: None,
         }
     }
 

@@ -18,6 +18,8 @@
 //! * [`core`] — the FillUp/LookUp/Write correlation pipeline,
 //! * [`ingest`] — live socket ingestion (UDP NetFlow, TCP DNS feed) and
 //!   the `flowdnsd` daemon,
+//! * [`obs`] — the telemetry plane: metrics registry, `/metrics` scrape
+//!   endpoint, and the sampled flow-trace flight recorder,
 //! * [`gen`] — synthetic ISP workload generation,
 //! * [`bgp`] — longest-prefix-match AS attribution,
 //! * [`dbl`] — domain blocklist and RFC 1035 validity analysis,
@@ -81,6 +83,7 @@ pub use flowdns_dns as dns;
 pub use flowdns_gen as gen;
 pub use flowdns_ingest as ingest;
 pub use flowdns_netflow as netflow;
+pub use flowdns_obs as obs;
 pub use flowdns_snapshot as snapshot;
 pub use flowdns_storage as storage;
 pub use flowdns_stream as stream;
