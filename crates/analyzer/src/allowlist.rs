@@ -1,0 +1,204 @@
+//! Per-rule allowlists. Each rule has a `<rule-id>.toml` file holding
+//! `[[allow]]` entries; a finding is suppressed when an entry for its
+//! rule matches the finding's file and its source-line excerpt contains
+//! the entry's pattern. Entries must carry a written reason, and any
+//! entry that suppresses nothing is itself reported as stale — the
+//! allowlist can only shrink silently, never rot.
+
+use crate::report::Finding;
+use crate::toml;
+use std::path::Path;
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule this entry belongs to (taken from its file name).
+    pub rule: String,
+    /// Allowlist file (workspace-relative) the entry came from.
+    pub origin: String,
+    /// 1-based line of the `[[allow]]` header.
+    pub line: u32,
+    /// Workspace-relative path the suppressed finding must be in.
+    pub path: String,
+    /// Substring that must appear in the finding's excerpt.
+    pub pattern: String,
+    /// Human reason — required and non-empty by construction.
+    pub reason: String,
+}
+
+/// All loaded entries plus per-entry usage tracking.
+#[derive(Debug, Default)]
+pub struct Allowlists {
+    entries: Vec<AllowEntry>,
+}
+
+impl Allowlists {
+    /// Load `<dir>/<rule>.toml` for each rule ID in `rules`. Missing
+    /// files mean "no exceptions for that rule". Format problems and
+    /// missing/empty reasons are returned as findings under the
+    /// `invalid-allowlist` pseudo-rule (which cannot be allowlisted).
+    pub fn load(root: &Path, dir_rel: &str, rules: &[&'static str]) -> (Allowlists, Vec<Finding>) {
+        let mut entries = Vec::new();
+        let mut findings = Vec::new();
+        for &rule in rules {
+            let rel = format!("{dir_rel}/{rule}.toml");
+            let path = root.join(&rel);
+            let Ok(src) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            let tables = match toml::parse(&src, &rel) {
+                Ok(t) => t,
+                Err(msg) => {
+                    findings.push(Finding {
+                        rule: crate::RULE_INVALID_ALLOWLIST,
+                        file: rel.clone(),
+                        line: 1,
+                        message: format!("allowlist failed to parse: {msg}"),
+                        excerpt: String::new(),
+                    });
+                    continue;
+                }
+            };
+            for table in tables {
+                if table.name != "allow" {
+                    findings.push(Finding {
+                        rule: crate::RULE_INVALID_ALLOWLIST,
+                        file: rel.clone(),
+                        line: table.line,
+                        message: format!(
+                            "unexpected table `[[{}]]`; only `[[allow]]` is recognized",
+                            table.name
+                        ),
+                        excerpt: String::new(),
+                    });
+                    continue;
+                }
+                let get = |k: &str| {
+                    table
+                        .entries
+                        .get(k)
+                        .and_then(|v| v.as_str())
+                        .map(str::to_string)
+                };
+                let (path_f, pattern, reason) = (get("path"), get("pattern"), get("reason"));
+                match (path_f, pattern, reason) {
+                    (Some(p), Some(pat), Some(r)) if !r.trim().is_empty() && !pat.is_empty() => {
+                        entries.push(AllowEntry {
+                            rule: rule.to_string(),
+                            origin: rel.clone(),
+                            line: table.line,
+                            path: p,
+                            pattern: pat,
+                            reason: r,
+                        });
+                    }
+                    _ => {
+                        findings.push(Finding {
+                            rule: crate::RULE_INVALID_ALLOWLIST,
+                            file: rel.clone(),
+                            line: table.line,
+                            message: "entry needs non-empty `path`, `pattern`, and a written \
+                                      `reason`"
+                                .to_string(),
+                            excerpt: String::new(),
+                        });
+                    }
+                }
+            }
+        }
+        (Allowlists { entries }, findings)
+    }
+
+    /// Build an allowlist directly from entries (tests).
+    pub fn from_entries(entries: Vec<AllowEntry>) -> Allowlists {
+        Allowlists { entries }
+    }
+
+    /// Partition `findings` into kept findings, marking entries used.
+    /// Returns the surviving findings plus stale-entry findings.
+    pub fn apply(&self, findings: Vec<Finding>) -> Vec<Finding> {
+        let mut used = vec![false; self.entries.len()];
+        let mut kept: Vec<Finding> = findings
+            .into_iter()
+            .filter(|f| {
+                let mut suppressed = false;
+                for (i, e) in self.entries.iter().enumerate() {
+                    if e.rule == f.rule && e.path == f.file && f.excerpt.contains(&e.pattern) {
+                        used[i] = true;
+                        suppressed = true;
+                    }
+                }
+                !suppressed
+            })
+            .collect();
+        for (i, e) in self.entries.iter().enumerate() {
+            if !used[i] {
+                kept.push(Finding {
+                    rule: crate::RULE_STALE_ALLOWLIST,
+                    file: e.origin.clone(),
+                    line: e.line,
+                    message: format!(
+                        "stale allowlist entry: no `{}` finding in `{}` matches pattern `{}` — \
+                         the exception is no longer needed, delete it",
+                        e.rule, e.path, e.pattern
+                    ),
+                    excerpt: format!("pattern = \"{}\"", e.pattern),
+                });
+            }
+        }
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(rule: &str, path: &str, pattern: &str) -> AllowEntry {
+        AllowEntry {
+            rule: rule.to_string(),
+            origin: "allowlists/x.toml".to_string(),
+            line: 1,
+            path: path.to_string(),
+            pattern: pattern.to_string(),
+            reason: "because".to_string(),
+        }
+    }
+
+    fn finding(rule: &'static str, file: &str, excerpt: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line: 10,
+            message: "m".to_string(),
+            excerpt: excerpt.to_string(),
+        }
+    }
+
+    #[test]
+    fn matching_entry_suppresses_and_nonmatching_survives() {
+        let lists =
+            Allowlists::from_entries(vec![entry("hot-path-lock", "a.rs", "pending.lock()")]);
+        let out = lists.apply(vec![
+            finding("hot-path-lock", "a.rs", "self.pending.lock()"),
+            finding("hot-path-lock", "b.rs", "self.pending.lock()"),
+        ]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].file, "b.rs");
+    }
+
+    #[test]
+    fn unused_entry_becomes_stale_finding() {
+        let lists = Allowlists::from_entries(vec![entry("hot-path-lock", "a.rs", "nothing")]);
+        let out = lists.apply(vec![]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, crate::RULE_STALE_ALLOWLIST);
+    }
+
+    #[test]
+    fn rule_mismatch_does_not_suppress() {
+        let lists = Allowlists::from_entries(vec![entry("panic-free-daemon", "a.rs", "lock()")]);
+        let out = lists.apply(vec![finding("hot-path-lock", "a.rs", "x.lock()")]);
+        assert_eq!(out.len(), 2); // finding survives + entry is stale
+    }
+}

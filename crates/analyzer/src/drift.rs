@@ -1,0 +1,415 @@
+//! Rule 5: doc drift. Two bidirectional contracts:
+//!
+//! * every `flowdns_*` metric name appearing as a string literal in
+//!   non-test code must be listed in `docs/OBSERVABILITY.md`, and every
+//!   `flowdns_*` name in that doc must exist in code;
+//! * every config key parsed in a `match key { ... }` block of the
+//!   declared config-source files must appear in `docs/CONFIG.md` *and*
+//!   `examples/flowdnsd.conf` (an entry commented out with `#` counts —
+//!   the example documents the key either way), and vice versa.
+
+use crate::lexer::TokenKind;
+use crate::report::Finding;
+use crate::source::SourceFile;
+use crate::RULE_DRIFT;
+use std::collections::BTreeMap;
+
+/// Everything the drift rule needs. Doc inputs are `(rel_path, text)`.
+pub struct DriftInputs<'a> {
+    /// All scanned source files.
+    pub files: &'a [SourceFile],
+    /// Files whose `match key { ... }` arms define config keys.
+    pub config_sources: &'a [String],
+    /// `docs/OBSERVABILITY.md`.
+    pub observability_doc: Option<(String, String)>,
+    /// `docs/CONFIG.md`.
+    pub config_doc: Option<(String, String)>,
+    /// `examples/flowdnsd.conf`.
+    pub example_conf: Option<(String, String)>,
+}
+
+/// Run both drift checks.
+pub fn doc_drift(inputs: &DriftInputs<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    metric_drift(inputs, &mut out);
+    config_drift(inputs, &mut out);
+    out
+}
+
+fn metric_drift(inputs: &DriftInputs<'_>, out: &mut Vec<Finding>) {
+    let Some((doc_path, doc_text)) = &inputs.observability_doc else {
+        return;
+    };
+    // Code side: first occurrence of each metric-name string literal.
+    let mut code: BTreeMap<String, (String, u32)> = BTreeMap::new();
+    for file in inputs.files {
+        for (_, t) in file.sig_tokens() {
+            if !matches!(t.kind, TokenKind::StringLit | TokenKind::RawStringLit) {
+                continue;
+            }
+            let content = t.str_content();
+            if is_metric_name(content) {
+                code.entry(content.to_string())
+                    .or_insert_with(|| (file.rel_path.clone(), t.line));
+            }
+        }
+    }
+    let doc_names = scan_metric_names(doc_text);
+    for (name, (file, line)) in &code {
+        if !doc_names.contains_key(name) {
+            out.push(Finding {
+                rule: RULE_DRIFT,
+                file: file.clone(),
+                line: *line,
+                message: format!("metric `{name}` is used in code but missing from {doc_path}"),
+                excerpt: format!("\"{name}\""),
+            });
+        }
+    }
+    for (name, line) in &doc_names {
+        // Histogram families are registered by base name; the doc may
+        // legitimately mention the exported `_bucket`/`_sum`/`_count`
+        // series, so strip that suffix before deciding it is stale.
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .unwrap_or(name);
+        if !code.contains_key(name) && !code.contains_key(base) {
+            out.push(Finding {
+                rule: RULE_DRIFT,
+                file: doc_path.clone(),
+                line: *line,
+                message: format!(
+                    "metric `{name}` is documented here but no code registers or reads it"
+                ),
+                excerpt: format!("`{name}`"),
+            });
+        }
+    }
+}
+
+fn is_metric_name(s: &str) -> bool {
+    s.strip_prefix("flowdns_").is_some_and(|rest| {
+        !rest.is_empty()
+            && rest
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+    })
+}
+
+/// All `flowdns_[a-z0-9_]+` occurrences in free text, with the first
+/// line each name appears on.
+fn scan_metric_names(text: &str) -> BTreeMap<String, u32> {
+    let mut names = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while let Some(off) = line[i..].find("flowdns_") {
+            let start = i + off;
+            // Must not be preceded by an identifier character (avoids
+            // matching inside a longer word).
+            if start > 0 && (bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_') {
+                i = start + 1;
+                continue;
+            }
+            let mut end = start + "flowdns_".len();
+            while end < bytes.len()
+                && (bytes[end].is_ascii_lowercase()
+                    || bytes[end].is_ascii_digit()
+                    || bytes[end] == b'_')
+            {
+                end += 1;
+            }
+            let name = &line[start..end];
+            if is_metric_name(name) {
+                names
+                    .entry(name.trim_end_matches('_').to_string())
+                    .or_insert(idx as u32 + 1);
+            }
+            i = end;
+        }
+    }
+    names
+}
+
+fn config_drift(inputs: &DriftInputs<'_>, out: &mut Vec<Finding>) {
+    let mut code: BTreeMap<String, (String, u32)> = BTreeMap::new();
+    for file in inputs.files {
+        if !inputs.config_sources.contains(&file.rel_path) {
+            continue;
+        }
+        for (key, line) in match_key_arms(file) {
+            code.entry(key)
+                .or_insert_with(|| (file.rel_path.clone(), line));
+        }
+    }
+    if code.is_empty() {
+        return;
+    }
+    let doc_keys = inputs
+        .config_doc
+        .as_ref()
+        .map(|(_, text)| table_keys(text))
+        .unwrap_or_default();
+    let conf_keys = inputs
+        .example_conf
+        .as_ref()
+        .map(|(_, text)| conf_file_keys(text))
+        .unwrap_or_default();
+
+    for (key, (file, line)) in &code {
+        if let Some((doc_path, _)) = &inputs.config_doc {
+            if !doc_keys.contains_key(key) {
+                out.push(Finding {
+                    rule: RULE_DRIFT,
+                    file: file.clone(),
+                    line: *line,
+                    message: format!(
+                        "config key `{key}` is parsed here but missing from {doc_path}"
+                    ),
+                    excerpt: format!("\"{key}\""),
+                });
+            }
+        }
+        if let Some((conf_path, _)) = &inputs.example_conf {
+            if !conf_keys.contains_key(key) {
+                out.push(Finding {
+                    rule: RULE_DRIFT,
+                    file: file.clone(),
+                    line: *line,
+                    message: format!(
+                        "config key `{key}` is parsed here but absent from {conf_path} — add \
+                         it (a commented-out `# {key} = ...` line counts)"
+                    ),
+                    excerpt: format!("\"{key}\""),
+                });
+            }
+        }
+    }
+    if let Some((doc_path, _)) = &inputs.config_doc {
+        for (key, line) in &doc_keys {
+            if !code.contains_key(key) {
+                out.push(Finding {
+                    rule: RULE_DRIFT,
+                    file: doc_path.clone(),
+                    line: *line,
+                    message: format!(
+                        "config key `{key}` is documented here but no parser accepts it"
+                    ),
+                    excerpt: format!("`{key}`"),
+                });
+            }
+        }
+    }
+    if let Some((conf_path, _)) = &inputs.example_conf {
+        for (key, line) in &conf_keys {
+            if !code.contains_key(key) {
+                out.push(Finding {
+                    rule: RULE_DRIFT,
+                    file: conf_path.clone(),
+                    line: *line,
+                    message: format!(
+                        "config key `{key}` appears in the example config but no parser \
+                         accepts it"
+                    ),
+                    excerpt: format!("{key} = ..."),
+                });
+            }
+        }
+    }
+}
+
+/// String-literal arms of `match key { ... }` blocks: the token after
+/// the literal must be `|` (alternative) or `=>` (arm arrow), which
+/// excludes literals inside arm bodies such as error messages.
+fn match_key_arms(file: &SourceFile) -> Vec<(String, u32)> {
+    let toks = file.sig_tokens();
+    let text = |p: usize| toks.get(p).map(|(_, t)| t.text.as_str());
+    let mut keys = Vec::new();
+    let mut p = 0;
+    while p < toks.len() {
+        if text(p) == Some("match") && text(p + 1) == Some("key") && text(p + 2) == Some("{") {
+            let mut depth = 0i32;
+            let mut q = p + 2;
+            while let Some(t) = text(q) {
+                match t {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {
+                        let tok = toks[q].1;
+                        if tok.kind == TokenKind::StringLit {
+                            let next_is_arm = text(q + 1) == Some("|")
+                                || (text(q + 1) == Some("=") && text(q + 2) == Some(">"));
+                            if next_is_arm {
+                                keys.push((tok.str_content().to_string(), tok.line));
+                            }
+                        }
+                    }
+                }
+                q += 1;
+            }
+            p = q;
+        }
+        p += 1;
+    }
+    keys
+}
+
+/// Keys from markdown tables: first cell of a `|`-delimited row when it
+/// is a backtick-quoted identifier.
+fn table_keys(text: &str) -> BTreeMap<String, u32> {
+    let mut keys = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let trimmed = line.trim_start();
+        let Some(rest) = trimmed.strip_prefix('|') else {
+            continue;
+        };
+        let Some(cell) = rest.split('|').next() else {
+            continue;
+        };
+        let cell = cell.trim();
+        if let Some(inner) = cell.strip_prefix('`').and_then(|c| c.strip_suffix('`')) {
+            if is_ident(inner) {
+                keys.entry(inner.to_string()).or_insert(idx as u32 + 1);
+            }
+        }
+    }
+    keys
+}
+
+/// Keys from a `key = value` config file; leading `#` markers are
+/// stripped first so commented-out example lines document their key.
+fn conf_file_keys(text: &str) -> BTreeMap<String, u32> {
+    let mut keys = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let mut rest = line.trim_start();
+        while let Some(r) = rest.strip_prefix('#') {
+            rest = r.trim_start();
+        }
+        let Some((key, _)) = rest.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        if is_ident(key) {
+            keys.entry(key.to_string()).or_insert(idx as u32 + 1);
+        }
+    }
+    keys
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes()
+            .next()
+            .is_some_and(|b| b.is_ascii_lowercase() || b == b'_')
+        && s.bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_drift_both_directions() {
+        let files = vec![SourceFile::new(
+            "a.rs".into(),
+            "fn f() { reg.counter(\"flowdns_used_total\"); reg.counter(\"flowdns_undocumented_total\"); }",
+        )];
+        let inputs = DriftInputs {
+            files: &files,
+            config_sources: &[],
+            observability_doc: Some((
+                "docs/OBS.md".into(),
+                "| `flowdns_used_total` | count |\n| `flowdns_ghost_total` | gone |\n".into(),
+            )),
+            config_doc: None,
+            example_conf: None,
+        };
+        let out = doc_drift(&inputs);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out
+            .iter()
+            .any(|f| f.message.contains("flowdns_undocumented_total") && f.file == "a.rs"));
+        assert!(out
+            .iter()
+            .any(|f| f.message.contains("flowdns_ghost_total") && f.file == "docs/OBS.md"));
+    }
+
+    #[test]
+    fn histogram_suffixes_resolve_to_base_name() {
+        let files = vec![SourceFile::new(
+            "a.rs".into(),
+            "fn f() { reg.histogram(\"flowdns_wait_us\"); }",
+        )];
+        let inputs = DriftInputs {
+            files: &files,
+            config_sources: &[],
+            observability_doc: Some((
+                "docs/OBS.md".into(),
+                "`flowdns_wait_us` exports `flowdns_wait_us_bucket` and `flowdns_wait_us_count`."
+                    .into(),
+            )),
+            config_doc: None,
+            example_conf: None,
+        };
+        assert!(doc_drift(&inputs).is_empty());
+    }
+
+    #[test]
+    fn metric_names_in_test_code_are_ignored() {
+        let files = vec![SourceFile::new(
+            "a.rs".into(),
+            "#[cfg(test)]\nmod tests {\n fn t() { reg.counter(\"flowdns_test_only\"); }\n}",
+        )];
+        let inputs = DriftInputs {
+            files: &files,
+            config_sources: &[],
+            observability_doc: Some(("docs/OBS.md".into(), String::new())),
+            config_doc: None,
+            example_conf: None,
+        };
+        assert!(doc_drift(&inputs).is_empty());
+    }
+
+    #[test]
+    fn config_drift_three_way() {
+        let files = vec![SourceFile::new(
+            "cfg.rs".into(),
+            "fn apply(key: &str) { match key {\n \"known\" => {}\n \"undocumented\" => {}\n _ => { err(\"not a key literal\") }\n} }",
+        )];
+        let sources = vec!["cfg.rs".to_string()];
+        let inputs = DriftInputs {
+            files: &files,
+            config_sources: &sources,
+            config_doc: Some((
+                "docs/CONFIG.md".into(),
+                "| `known` | 1 |\n| `ghost` | 2 |\n".into(),
+            )),
+            example_conf: Some((
+                "ex.conf".into(),
+                "known = 1\n# undocumented = 2\nstray = 3\n".into(),
+            )),
+            observability_doc: None,
+        };
+        let out = doc_drift(&inputs);
+        // undocumented: missing from CONFIG.md (present in conf via comment);
+        // ghost: doc-only; stray: conf-only.
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert!(out
+            .iter()
+            .any(|f| f.file == "cfg.rs" && f.message.contains("`undocumented`")));
+        assert!(out
+            .iter()
+            .any(|f| f.file == "docs/CONFIG.md" && f.message.contains("`ghost`")));
+        assert!(out
+            .iter()
+            .any(|f| f.file == "ex.conf" && f.message.contains("`stray`")));
+    }
+}

@@ -1,0 +1,395 @@
+//! A minimal Rust lexer: just enough to walk real source as a token
+//! stream without being fooled by strings, raw strings, char literals,
+//! lifetimes, or (nested) comments.
+//!
+//! This is deliberately not a full grammar. The rule engine only needs
+//! identifiers, punctuation, literals, and comments with accurate line
+//! numbers; everything subtler (macro expansion, type resolution) is out
+//! of scope for a repo-native linter and handled by declared scopes and
+//! allowlists instead.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `Ordering`, ...).
+    Ident,
+    /// A lifetime such as `'a` (including the leading quote).
+    Lifetime,
+    /// `"..."` or `b"..."` with escapes.
+    StringLit,
+    /// `r"..."`, `r#"..."#`, `br#"..."#` with any number of `#`s.
+    RawStringLit,
+    /// `'x'`, `'\n'`, `b'x'`.
+    CharLit,
+    /// Integer or float literal, including suffix (`0u8`, `1_000`, `2.5`).
+    Number,
+    /// A single punctuation character (`.`, `(`, `::` is two tokens).
+    Punct,
+    /// `// ...` up to end of line (includes `///` and `//!`).
+    LineComment,
+    /// `/* ... */`, nested pairs respected.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based line where the token starts.
+    pub line: u32,
+}
+
+impl Token {
+    /// For string literals: the content between the quotes, with no
+    /// unescaping (good enough for metric-name matching, which never
+    /// uses escapes).
+    pub fn str_content(&self) -> &str {
+        let t = self.text.as_str();
+        match self.kind {
+            TokenKind::StringLit => {
+                let t = t.strip_prefix('b').unwrap_or(t);
+                t.strip_prefix('"')
+                    .and_then(|t| t.strip_suffix('"'))
+                    .unwrap_or(t)
+            }
+            TokenKind::RawStringLit => {
+                let t = t.strip_prefix('b').unwrap_or(t);
+                let t = t.strip_prefix('r').unwrap_or(t);
+                let hashes = t.bytes().take_while(|&b| b == b'#').count();
+                &t[hashes + 1..t.len() - hashes - 1]
+            }
+            _ => t,
+        }
+    }
+
+    /// Is this token a comment?
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lex `src` into a token vector. Unterminated constructs are closed at
+/// end of input rather than reported: the linter runs on code that
+/// rustc already accepted, so error recovery would be dead weight.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let start = self.pos;
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(start, line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(start, line),
+                '"' => self.string_lit(start, line, false),
+                '\'' => self.char_or_lifetime(start, line),
+                c if c.is_ascii_digit() => self.number(start, line),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed(start, line),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, start, line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.tokens.push(Token { kind, text, line });
+    }
+
+    fn line_comment(&mut self, start: usize, line: u32) {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        self.push(TokenKind::LineComment, start, line);
+    }
+
+    fn block_comment(&mut self, start: usize, line: u32) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.push(TokenKind::BlockComment, start, line);
+    }
+
+    fn string_lit(&mut self, start: usize, line: u32, _byte: bool) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // whatever is escaped, including '"' and '\\'
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::StringLit, start, line);
+    }
+
+    /// At `r` / `br` / `b` prefix already consumed by caller; `pos` is on
+    /// the first `#` or `"`. Consumes `#*"..."#*`.
+    fn raw_string_tail(&mut self, start: usize, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            self.bump();
+            hashes += 1;
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokenKind::RawStringLit, start, line);
+    }
+
+    fn char_or_lifetime(&mut self, start: usize, line: u32) {
+        // Distinguish 'a' (char) from 'a (lifetime): after the quote,
+        // an escape is always a char literal; otherwise it is a char
+        // literal only if a closing quote follows one code point later.
+        if self.peek(1) == Some('\\') || (self.peek(1).is_some() && self.peek(2) == Some('\'')) {
+            self.bump(); // quote
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' => {
+                        self.bump();
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            self.push(TokenKind::CharLit, start, line);
+        } else {
+            self.bump(); // quote
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Lifetime, start, line);
+        }
+    }
+
+    fn number(&mut self, start: usize, line: u32) {
+        // Digits, separators, radix prefixes, hex digits, type suffixes;
+        // a `.` continues the number only when followed by a digit, so
+        // tuple indexing (`pair.0`) and ranges (`0..n`) stay separate.
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_ascii_alphanumeric() {
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, start, line);
+    }
+
+    fn ident_or_prefixed(&mut self, start: usize, line: u32) {
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        // String-literal prefixes glued to a quote: r"", r#"", b"", br#"".
+        match (text.as_str(), self.peek(0)) {
+            ("r" | "br" | "rb", Some('"' | '#')) => self.raw_string_tail(start, line),
+            ("b", Some('"')) => self.string_lit(start, line, true),
+            ("b", Some('\'')) => {
+                // b'x' byte literal: consume like a char literal.
+                self.bump(); // quote
+                while let Some(c) = self.bump() {
+                    match c {
+                        '\\' => {
+                            self.bump();
+                        }
+                        '\'' => break,
+                        _ => {}
+                    }
+                }
+                self.push(TokenKind::CharLit, start, line);
+            }
+            _ => self.push(TokenKind::Ident, start, line),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_quotes() {
+        let toks = kinds(r##"let s = r#"quote " and // not a comment"#;"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::RawStringLit && t.contains("not a comment")));
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::LineComment));
+    }
+
+    #[test]
+    fn raw_string_without_hashes() {
+        let toks = kinds(r#"r"plain raw" + "normal""#);
+        assert_eq!(toks[0].0, TokenKind::RawStringLit);
+        assert_eq!(toks[2].0, TokenKind::StringLit);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds(r###"b"bytes" br#"raw bytes"#"###);
+        assert_eq!(toks[0].0, TokenKind::StringLit);
+        assert_eq!(toks[1].0, TokenKind::RawStringLit);
+        assert_eq!(toks[1].1, r###"br#"raw bytes"#"###);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still outer */ ident");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert!(toks[0].1.ends_with("still outer */"));
+        assert_eq!(toks[1], (TokenKind::Ident, "ident".to_string()));
+    }
+
+    #[test]
+    fn unterminated_block_comment_closes_at_eof() {
+        let toks = kinds("/* never closed");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let toks = kinds("let c: char = 'x'; fn f<'a>(v: &'a str) { let n = '\\n'; }");
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::CharLit)
+            .collect();
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(chars.len(), 2, "{chars:?}");
+        assert_eq!(lifetimes.len(), 2, "{lifetimes:?}");
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_early() {
+        let toks = kinds(r#""with \" escaped quote" next"#);
+        assert_eq!(toks[0].0, TokenKind::StringLit);
+        assert!(toks[0].1.contains("escaped"));
+        assert_eq!(toks[1].1, "next");
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_are_ignored() {
+        let toks = kinds(r#"let url = "https://example.com/*not-a-comment*/";"#);
+        assert!(!toks
+            .iter()
+            .any(|(k, _)| matches!(k, TokenKind::LineComment | TokenKind::BlockComment)));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"multi\nline\"\n/* two\nlines */\nb";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.text == "b").expect("b token");
+        assert_eq!(b.line, 6);
+    }
+
+    #[test]
+    fn str_content_strips_delimiters() {
+        let toks = lex(r###"["flowdns_x", r#"raw"#, b"by"]"###);
+        let contents: Vec<_> = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::StringLit | TokenKind::RawStringLit))
+            .map(|t| t.str_content().to_string())
+            .collect();
+        assert_eq!(contents, ["flowdns_x", "raw", "by"]);
+    }
+
+    #[test]
+    fn number_with_suffix_and_tuple_index() {
+        let toks = kinds("x.0 + 1_000u64 + 0xFFu8 + 2.5f32");
+        let numbers: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(numbers, ["0", "1_000u64", "0xFFu8", "2.5f32"]);
+    }
+}

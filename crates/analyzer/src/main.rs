@@ -1,0 +1,95 @@
+//! CLI for the FlowDNS invariant linter.
+//!
+//! ```text
+//! flowdns-analyzer [--ci] [--format human|json] [--root PATH]
+//! ```
+//!
+//! Exit codes: 0 = clean (or report-only mode), 1 = findings under
+//! `--ci`, 2 = usage or configuration error.
+
+// The report *is* this binary's stdout contract.
+#![allow(clippy::print_stdout)]
+
+use flowdns_analyzer::{analyze, report, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+enum Format {
+    Human,
+    Json,
+}
+
+fn main() -> ExitCode {
+    let mut ci = false;
+    let mut format = Format::Human;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ci" => ci = true,
+            "--format" => match args.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                other => return usage(&format!("--format needs human|json, got {other:?}")),
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "flowdns-analyzer [--ci] [--format human|json] [--root PATH]\n\
+                     \n\
+                     Lints the FlowDNS workspace for hot-path invariants (see\n\
+                     docs/INVARIANTS.md). Without --ci the report is informational\n\
+                     and the exit code is 0; with --ci any finding exits 1."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    // Default root: the workspace this binary was built from, so
+    // `cargo run -p flowdns-analyzer` works from any directory.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+
+    let config = match Config::from_toml(root, "crates/analyzer/analyzer.toml") {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("flowdns-analyzer: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match analyze(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("flowdns-analyzer: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let rendered = match format {
+        Format::Human => report::render_human(&result.findings, result.files_scanned),
+        Format::Json => report::render_json(&result.findings, result.files_scanned),
+    };
+    print!("{rendered}");
+
+    if ci && !result.findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("flowdns-analyzer: {msg}");
+    eprintln!("usage: flowdns-analyzer [--ci] [--format human|json] [--root PATH]");
+    ExitCode::from(2)
+}

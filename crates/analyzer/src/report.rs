@@ -1,0 +1,181 @@
+//! Finding type and the two report renderers (human diff-style text and
+//! machine JSON). Ordering is deterministic: findings sort by
+//! `(file, line, rule, message)` so CI diffs are stable run-to-run.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule ID (e.g. `hot-path-lock`).
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What is wrong and what the rule expects instead.
+    pub message: String,
+    /// Trimmed source line, used for display and allowlist matching.
+    pub excerpt: String,
+}
+
+/// Sort findings into the canonical deterministic order.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+}
+
+/// Render the human report: one hunk per finding, grep-style location
+/// first so terminals hyperlink it.
+pub fn render_human(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        if !f.excerpt.is_empty() {
+            let _ = writeln!(out, "   | {}", f.excerpt);
+        }
+    }
+    if findings.is_empty() {
+        let _ = writeln!(
+            out,
+            "flowdns-analyzer: clean ({files_scanned} files scanned, 0 findings)"
+        );
+    } else {
+        let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
+        for f in findings {
+            *by_rule.entry(f.rule).or_default() += 1;
+        }
+        let _ = writeln!(
+            out,
+            "\nflowdns-analyzer: {} finding(s) in {} file(s) scanned",
+            findings.len(),
+            files_scanned
+        );
+        for (rule, n) in by_rule {
+            let _ = writeln!(out, "  {rule}: {n}");
+        }
+    }
+    out
+}
+
+/// Render the JSON report. Hand-rolled (no serde in this environment)
+/// with full string escaping; key order and finding order are fixed.
+pub fn render_json(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n");
+    let _ = writeln!(out, "  \"files_scanned\": {files_scanned},");
+    let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in findings {
+        *by_rule.entry(f.rule).or_default() += 1;
+    }
+    out.push_str("  \"by_rule\": {");
+    for (i, (rule, n)) in by_rule.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    {}: {}", json_string(rule), n);
+    }
+    if !by_rule.is_empty() {
+        out.push('\n');
+        out.push_str("  ");
+    }
+    out.push_str("},\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"excerpt\": {}}}",
+            json_string(f.rule),
+            json_string(&f.file),
+            f.line,
+            json_string(&f.message),
+            json_string(&f.excerpt)
+        );
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+        out.push_str("  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: u32, rule: &'static str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            message: "m".to_string(),
+            excerpt: "e".to_string(),
+        }
+    }
+
+    #[test]
+    fn sort_is_by_file_line_rule() {
+        let mut v = vec![
+            finding("b.rs", 1, "hot-path-lock"),
+            finding("a.rs", 9, "hot-path-lock"),
+            finding("a.rs", 2, "panic-free-daemon"),
+            finding("a.rs", 2, "doc-drift"),
+        ];
+        sort_findings(&mut v);
+        let order: Vec<(&str, u32, &str)> = v
+            .iter()
+            .map(|f| (f.file.as_str(), f.line, f.rule))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a.rs", 2, "doc-drift"),
+                ("a.rs", 2, "panic-free-daemon"),
+                ("a.rs", 9, "hot-path-lock"),
+                ("b.rs", 1, "hot-path-lock"),
+            ]
+        );
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        let f = Finding {
+            rule: "doc-drift",
+            file: "a.rs".to_string(),
+            line: 1,
+            message: "quote \" backslash \\ tab \t".to_string(),
+            excerpt: String::new(),
+        };
+        let json = render_json(&[f], 1);
+        assert!(json.contains("quote \\\" backslash \\\\ tab \\t"));
+    }
+}

@@ -1,0 +1,310 @@
+//! Per-file token model shared by all rules: lexes a file, masks out
+//! `#[cfg(test)]` / `#[test]` items, and answers structural questions
+//! (function spans, justification comments, line excerpts).
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// One lexed source file with test code masked out.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    /// Raw source lines (1-based access via [`SourceFile::line_text`]).
+    pub lines: Vec<String>,
+    /// The full token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of significant (non-comment) tokens that
+    /// are *outside* test-only items. Rules iterate this.
+    pub sig: Vec<usize>,
+}
+
+impl SourceFile {
+    /// Lex and mask a file.
+    pub fn new(rel_path: String, src: &str) -> SourceFile {
+        let lines = src.lines().map(str::to_string).collect();
+        let tokens = lex(src);
+        let sig = significant_indices(&tokens);
+        SourceFile {
+            rel_path,
+            lines,
+            tokens,
+            sig,
+        }
+    }
+
+    /// Trimmed text of a 1-based line (empty if out of range).
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines
+            .get(line as usize - 1)
+            .map(|l| l.trim())
+            .unwrap_or("")
+    }
+
+    /// The significant tokens as a vector of `(index_into_tokens, &Token)`.
+    pub fn sig_tokens(&self) -> Vec<(usize, &Token)> {
+        self.sig.iter().map(|&i| (i, &self.tokens[i])).collect()
+    }
+
+    /// True if a comment containing `marker` appears on `line` itself or
+    /// within `window` lines above it. One comment may justify a small
+    /// cluster of adjacent sites.
+    pub fn has_comment_marker(&self, line: u32, marker: &str, window: u32) -> bool {
+        let low = line.saturating_sub(window);
+        self.tokens
+            .iter()
+            .any(|t| t.is_comment() && t.line >= low && t.line <= line && t.text.contains(marker))
+    }
+
+    /// Spans (as ranges over `sig` positions) of the bodies of the named
+    /// functions, including their signatures. `names` empty means "the
+    /// whole file is one span".
+    pub fn fn_spans(&self, names: &[String]) -> Vec<(usize, usize)> {
+        if names.is_empty() {
+            return vec![(0, self.sig.len())];
+        }
+        let toks = self.sig_tokens();
+        let mut spans = Vec::new();
+        let mut i = 0;
+        while i < toks.len() {
+            let (_, t) = toks[i];
+            if t.kind == TokenKind::Ident && t.text == "fn" {
+                if let Some((_, name)) = toks.get(i + 1) {
+                    if names.iter().any(|n| n == &name.text) {
+                        if let Some(end) = body_end(&toks, i + 2) {
+                            spans.push((i, end));
+                            i = end;
+                            continue;
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+        spans
+    }
+}
+
+/// Find the end (exclusive, as a position in `toks`) of the block that
+/// starts at the first `{` at bracket/paren depth 0 from `start`.
+fn body_end(toks: &[(usize, &Token)], start: usize) -> Option<usize> {
+    let mut parens = 0i32;
+    let mut brackets = 0i32;
+    let mut i = start;
+    while i < toks.len() {
+        let t = toks[i].1;
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" => parens += 1,
+                ")" => parens -= 1,
+                "[" => brackets += 1,
+                "]" => brackets -= 1,
+                "{" if parens == 0 && brackets == 0 => {
+                    return match_braces(toks, i);
+                }
+                // A `;` before any body means this was a trait method
+                // signature or an extern declaration: no body to span.
+                ";" if parens == 0 && brackets == 0 => return None,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Given `toks[open]` == `{`, return the position just past its match.
+fn match_braces(toks: &[(usize, &Token)], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, (_, t)) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i + 1);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Indices of non-comment tokens outside `#[cfg(test)]` / `#[test]`
+/// items. Test code is exempt from every invariant the analyzer checks
+/// (panics and allocations are fine in tests), so it is masked here
+/// once instead of in each rule.
+fn significant_indices(tokens: &[Token]) -> Vec<usize> {
+    let sig_all: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let mut excluded = vec![false; tokens.len()];
+    let mut p = 0;
+    while p < sig_all.len() {
+        if let Some(item_end) = test_attr_item_end(tokens, &sig_all, p) {
+            for &idx in &sig_all[p..item_end] {
+                excluded[idx] = true;
+            }
+            p = item_end;
+        } else {
+            p += 1;
+        }
+    }
+    sig_all.into_iter().filter(|&i| !excluded[i]).collect()
+}
+
+/// If `sig[p]` starts a `#[cfg(test)]` or `#[test]` attribute, return
+/// the position (in `sig`) just past the attributed item.
+fn test_attr_item_end(tokens: &[Token], sig: &[usize], p: usize) -> Option<usize> {
+    if !is_test_attr(tokens, sig, p) {
+        return None;
+    }
+    // Skip this attribute and any further attributes on the same item.
+    let mut q = skip_attr(tokens, sig, p)?;
+    while text(tokens, sig, q) == Some("#") {
+        q = skip_attr(tokens, sig, q)?;
+    }
+    // Skip the item itself: ends at `;` at depth 0 (use decl) or at the
+    // matching `}` of the first `{` at depth 0 (fn/mod body).
+    let mut parens = 0i32;
+    let mut brackets = 0i32;
+    let mut braces = 0i32;
+    while q < sig.len() {
+        match text(tokens, sig, q) {
+            Some("(") => parens += 1,
+            Some(")") => parens -= 1,
+            Some("[") => brackets += 1,
+            Some("]") => brackets -= 1,
+            Some("{") => braces += 1,
+            Some("}") => {
+                braces -= 1;
+                if braces == 0 && parens == 0 && brackets == 0 {
+                    return Some(q + 1);
+                }
+            }
+            Some(";") if braces == 0 && parens == 0 && brackets == 0 => {
+                return Some(q + 1);
+            }
+            None => break,
+            _ => {}
+        }
+        q += 1;
+    }
+    Some(sig.len())
+}
+
+fn text<'a>(tokens: &'a [Token], sig: &[usize], p: usize) -> Option<&'a str> {
+    sig.get(p).map(|&i| tokens[i].text.as_str())
+}
+
+/// `#[cfg(test)]` or `#[test]` at sig position `p`?
+fn is_test_attr(tokens: &[Token], sig: &[usize], p: usize) -> bool {
+    let at = |o: usize| text(tokens, sig, p + o);
+    if at(0) != Some("#") || at(1) != Some("[") {
+        return false;
+    }
+    (at(2) == Some("cfg") && at(3) == Some("(") && at(4) == Some("test") && at(5) == Some(")"))
+        || (at(2) == Some("test") && at(3) == Some("]"))
+}
+
+/// Skip a `#[...]` attribute starting at sig position `p`; returns the
+/// position just past the closing `]`.
+fn skip_attr(tokens: &[Token], sig: &[usize], p: usize) -> Option<usize> {
+    if text(tokens, sig, p) != Some("#") {
+        return None;
+    }
+    let mut q = p + 1;
+    // Allow the inner-attribute bang: `#![...]`.
+    if text(tokens, sig, q) == Some("!") {
+        q += 1;
+    }
+    if text(tokens, sig, q) != Some("[") {
+        return None;
+    }
+    let mut depth = 0i32;
+    while q < sig.len() {
+        match text(tokens, sig, q) {
+            Some("[") => depth += 1,
+            Some("]") => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(q + 1);
+                }
+            }
+            None => break,
+            _ => {}
+        }
+        q += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig_texts(src: &str) -> Vec<String> {
+        let f = SourceFile::new("t.rs".into(), src);
+        f.sig_tokens()
+            .into_iter()
+            .map(|(_, t)| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { panic!() }\n}\nfn also_live() {}";
+        let texts = sig_texts(src);
+        assert!(texts.contains(&"live".to_string()));
+        assert!(texts.contains(&"also_live".to_string()));
+        assert!(!texts.contains(&"panic".to_string()));
+        assert!(!texts.contains(&"helper".to_string()));
+    }
+
+    #[test]
+    fn test_fn_with_extra_attrs_is_masked() {
+        let src = "#[test]\n#[ignore]\nfn t() { x.unwrap(); }\nfn live() {}";
+        let texts = sig_texts(src);
+        assert!(!texts.contains(&"unwrap".to_string()));
+        assert!(texts.contains(&"live".to_string()));
+    }
+
+    #[test]
+    fn cfg_not_test_is_kept() {
+        let src = "#[cfg(not(test))]\nfn live() { real() }";
+        let texts = sig_texts(src);
+        assert!(texts.contains(&"real".to_string()));
+    }
+
+    #[test]
+    fn cfg_test_use_decl_masks_to_semicolon() {
+        let src = "#[cfg(test)]\nuse std::sync::Mutex;\nfn live() {}";
+        let texts = sig_texts(src);
+        assert!(!texts.contains(&"Mutex".to_string()));
+        assert!(texts.contains(&"live".to_string()));
+    }
+
+    #[test]
+    fn fn_spans_cover_named_bodies_only() {
+        let src = "fn hot(a: u32) { a.lock(); }\nfn cold() { b.lock(); }";
+        let f = SourceFile::new("t.rs".into(), src);
+        let spans = f.fn_spans(&["hot".to_string()]);
+        assert_eq!(spans.len(), 1);
+        let toks = f.sig_tokens();
+        let in_span: Vec<&str> = (spans[0].0..spans[0].1)
+            .map(|p| toks[p].1.text.as_str())
+            .collect();
+        assert!(in_span.contains(&"lock"));
+        assert!(!in_span.contains(&"cold"));
+        assert!(!in_span.contains(&"b"));
+    }
+
+    #[test]
+    fn comment_marker_window() {
+        let src = "// ordering: stats only\nx.store(1, Ordering::Relaxed);\n\n\n\n\n\ny.store(2, Ordering::Relaxed);";
+        let f = SourceFile::new("t.rs".into(), src);
+        assert!(f.has_comment_marker(2, "ordering:", 5));
+        assert!(!f.has_comment_marker(8, "ordering:", 5));
+    }
+}

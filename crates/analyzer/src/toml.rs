@@ -1,0 +1,211 @@
+//! A line-oriented parser for the TOML subset the analyzer uses:
+//! `[table]` and `[[array-of-tables]]` headers, `key = "string"`,
+//! `key = ["a", "b"]`, and `#` comments. No crates.io in this
+//! environment, so this stays deliberately tiny; anything outside the
+//! subset is a hard error rather than a silent misread.
+
+use std::collections::BTreeMap;
+
+/// A parsed value: the subset only has strings and string lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TomlValue {
+    /// `key = "text"`
+    Str(String),
+    /// `key = ["a", "b"]`
+    List(Vec<String>),
+}
+
+impl TomlValue {
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            TomlValue::Str(s) => Some(s),
+            TomlValue::List(_) => None,
+        }
+    }
+
+    /// The list payload; a bare string reads as a one-element list.
+    pub fn as_list(&self) -> Vec<String> {
+        match self {
+            TomlValue::Str(s) => vec![s.clone()],
+            TomlValue::List(l) => l.clone(),
+        }
+    }
+}
+
+/// One `[name]` or `[[name]]` table with its key/value pairs.
+#[derive(Debug, Clone)]
+pub struct TomlTable {
+    /// Header name without brackets.
+    pub name: String,
+    /// 1-based line of the header.
+    pub line: u32,
+    /// Key/value pairs in the table body.
+    pub entries: BTreeMap<String, TomlValue>,
+}
+
+/// Parse `src`; `origin` names the file in error messages.
+pub fn parse(src: &str, origin: &str) -> Result<Vec<TomlTable>, String> {
+    let mut tables: Vec<TomlTable> = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = header(line) {
+            tables.push(TomlTable {
+                name: name.to_string(),
+                line: lineno,
+                entries: BTreeMap::new(),
+            });
+        } else if let Some((key, rest)) = line.split_once('=') {
+            let key = key.trim();
+            if key.is_empty() || !key.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_') {
+                return Err(format!("{origin}:{lineno}: bad key `{key}`"));
+            }
+            let value = parse_value(rest.trim())
+                .ok_or_else(|| format!("{origin}:{lineno}: unsupported value `{}`", rest.trim()))?;
+            let table = tables
+                .last_mut()
+                .ok_or_else(|| format!("{origin}:{lineno}: key before any [table] header"))?;
+            if table.entries.insert(key.to_string(), value).is_some() {
+                return Err(format!("{origin}:{lineno}: duplicate key `{key}`"));
+            }
+        } else {
+            return Err(format!("{origin}:{lineno}: unsupported syntax `{line}`"));
+        }
+    }
+    Ok(tables)
+}
+
+/// Drop a trailing `#` comment, respecting `"` quoting.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn header(line: &str) -> Option<&str> {
+    let inner = line
+        .strip_prefix("[[")
+        .and_then(|l| l.strip_suffix("]]"))
+        .or_else(|| line.strip_prefix('[').and_then(|l| l.strip_suffix(']')))?;
+    let inner = inner.trim();
+    (!inner.is_empty()).then_some(inner)
+}
+
+fn parse_value(text: &str) -> Option<TomlValue> {
+    if let Some(inner) = text.strip_prefix('[').and_then(|t| t.strip_suffix(']')) {
+        let inner = inner.trim();
+        if inner.is_empty() {
+            return Some(TomlValue::List(Vec::new()));
+        }
+        let mut items = Vec::new();
+        for part in split_top_level(inner) {
+            items.push(parse_string(part.trim())?);
+        }
+        return Some(TomlValue::List(items));
+    }
+    parse_string(text).map(TomlValue::Str)
+}
+
+/// Split a list body on commas that are outside string quotes.
+fn split_top_level(inner: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        escaped = false;
+    }
+    if !inner[start..].trim().is_empty() {
+        parts.push(&inner[start..]);
+    }
+    parts
+}
+
+fn parse_string(text: &str) -> Option<String> {
+    let inner = text.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                _ => return None,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_keys_and_lists() {
+        let doc = parse(
+            "# top comment\n[[allow]]\npath = \"a/b.rs\" # trailing\nreason = \"has a # inside\"\n\n[drift]\nkeys = [\"x\", \"y\"]\n",
+            "test.toml",
+        )
+        .expect("parse");
+        assert_eq!(doc.len(), 2);
+        assert_eq!(doc[0].name, "allow");
+        assert_eq!(doc[0].entries["path"], TomlValue::Str("a/b.rs".to_string()));
+        assert_eq!(
+            doc[0].entries["reason"],
+            TomlValue::Str("has a # inside".to_string())
+        );
+        assert_eq!(
+            doc[1].entries["keys"],
+            TomlValue::List(vec!["x".to_string(), "y".to_string()])
+        );
+    }
+
+    #[test]
+    fn rejects_unsupported_syntax() {
+        assert!(parse("key = 5\n", "t").is_err());
+        assert!(parse("orphan = \"x\"\n", "t").is_err());
+        assert!(parse("[t]\nbad key = \"x\"\n", "t").is_err());
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let doc = parse("[t]\np = \"say \\\"hi\\\"\"\n", "t").expect("parse");
+        assert_eq!(
+            doc[0].entries["p"],
+            TomlValue::Str("say \"hi\"".to_string())
+        );
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: config-key parser. The keys here are consistent with
+// docs/CONFIG.md and example.conf, so this file adds no finding.
+pub fn apply(cfg: &mut u64, key: &str, value: &str) {
+    match key {
+        "alpha" => *cfg = value.len() as u64,
+        _ => {}
+    }
+}

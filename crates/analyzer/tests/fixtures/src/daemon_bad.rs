@@ -1,0 +1,4 @@
+// Fixture: a panicking construct in a declared daemon file.
+pub fn parse_port(text: &str) -> u16 {
+    text.parse().unwrap()
+}

@@ -1,0 +1,14 @@
+// Fixture: a declared hot-path function that takes a lock.
+use std::sync::Mutex;
+
+pub struct Queue {
+    items: Mutex<Vec<u64>>,
+}
+
+impl Queue {
+    pub fn push(&self, item: u64) {
+        if let Ok(mut items) = self.items.lock() {
+            items.push(item);
+        }
+    }
+}

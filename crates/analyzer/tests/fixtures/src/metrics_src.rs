@@ -1,0 +1,5 @@
+// Fixture: registers a metric name the observability doc never
+// mentions.
+pub fn metric_name() -> &'static str {
+    "flowdns_fixture_undocumented_total"
+}

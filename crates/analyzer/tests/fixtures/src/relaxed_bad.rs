@@ -1,0 +1,6 @@
+// Fixture: a relaxed atomic store with no justification comment.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish(flag: &AtomicU64) {
+    flag.store(1, Ordering::Relaxed);
+}

@@ -1,0 +1,66 @@
+//! End-to-end fixture tests: each rule has one deliberately-bad snippet
+//! under `tests/fixtures/` that must produce exactly its finding, and
+//! the JSON rendering of the whole fixture report is pinned to a golden
+//! file so the output format cannot drift silently.
+
+use flowdns_analyzer::report::render_json;
+use flowdns_analyzer::{
+    analyze, Config, ScopeSpec, RULE_DRIFT, RULE_HOT_PATH, RULE_PANIC, RULE_RELAXED, RULE_UNSAFE,
+};
+use std::path::PathBuf;
+
+fn fixture_config() -> Config {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut config = Config::bare(root);
+    config.scan_roots = vec!["src".to_string()];
+    config.hot_paths = vec![ScopeSpec {
+        path: "src/hot.rs".to_string(),
+        functions: vec!["push".to_string()],
+    }];
+    config.daemon_files = vec!["src/daemon_bad.rs".to_string()];
+    config.config_sources = vec!["src/config_src.rs".to_string()];
+    config.observability_doc = Some("docs/OBSERVABILITY.md".to_string());
+    config.config_doc = Some("docs/CONFIG.md".to_string());
+    config.example_conf = Some("example.conf".to_string());
+    config
+}
+
+#[test]
+fn each_fixture_produces_exactly_its_finding() {
+    let report = analyze(&fixture_config()).expect("analyze fixtures");
+    let got: Vec<(&str, &str, u32)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule, f.file.as_str(), f.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            (RULE_PANIC, "src/daemon_bad.rs", 3),
+            (RULE_HOT_PATH, "src/hot.rs", 10),
+            (RULE_DRIFT, "src/metrics_src.rs", 4),
+            (RULE_RELAXED, "src/relaxed_bad.rs", 5),
+            (RULE_UNSAFE, "src/unsafe_bad.rs", 3),
+        ],
+        "findings (in canonical order) did not match the fixture corpus:\n{:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn json_report_matches_golden() {
+    let report = analyze(&fixture_config()).expect("analyze fixtures");
+    let json = render_json(&report.findings, report.files_scanned);
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/report.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &json).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).expect("read tests/golden/report.json");
+    assert_eq!(
+        json, golden,
+        "JSON report drifted from tests/golden/report.json — if the change \
+         is intentional, re-bless with UPDATE_GOLDEN=1 cargo test -p \
+         flowdns-analyzer"
+    );
+}

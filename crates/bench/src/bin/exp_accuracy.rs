@@ -6,6 +6,10 @@
 //! site (50%). The overwrite matters for the 12% of IPs carrying more
 //! than one name (Figure 9).
 
+// Reports go to stdout by design; the workspace denies
+// `clippy::print_stdout` for library and daemon code.
+#![allow(clippy::print_stdout)]
+
 use flowdns_core::fillup::{process_dns_record, FillUpStats};
 use flowdns_core::lookup::LookUpStats;
 use flowdns_core::{CorrelatorConfig, DnsStore, Resolver};

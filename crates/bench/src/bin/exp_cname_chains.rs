@@ -13,6 +13,10 @@
 //!
 //! Usage: `exp_cname_chains [hours]` (default: 4).
 
+// Reports go to stdout by design; the workspace denies
+// `clippy::print_stdout` for library and daemon code.
+#![allow(clippy::print_stdout)]
+
 use flowdns_analysis::{render_series, Ecdf};
 use flowdns_bench::{experiment_workload, run_variant_with};
 use flowdns_core::Variant;

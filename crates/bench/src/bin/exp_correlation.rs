@@ -5,6 +5,10 @@
 //!
 //! Usage: `exp_correlation [hours] [variant]` (defaults: 6 hours, Main).
 
+// Reports go to stdout by design; the workspace denies
+// `clippy::print_stdout` for library and daemon code.
+#![allow(clippy::print_stdout)]
+
 use flowdns_bench::{experiment_workload, run_variant};
 use flowdns_core::Variant;
 

@@ -7,6 +7,10 @@
 //!
 //! Usage: `exp_coverage [hours]` (default: 1).
 
+// Reports go to stdout by design; the workspace denies
+// `clippy::print_stdout` for library and daemon code.
+#![allow(clippy::print_stdout)]
+
 use flowdns_bench::experiment_workload;
 use flowdns_gen::workload::StreamEvent;
 use flowdns_gen::CoverageSample;

@@ -7,6 +7,10 @@
 //!
 //! Usage: `exp_exact_ttl [hours]` (default: 2).
 
+// Reports go to stdout by design; the workspace denies
+// `clippy::print_stdout` for library and daemon code.
+#![allow(clippy::print_stdout)]
+
 use flowdns_bench::{experiment_workload, run_variant};
 use flowdns_core::Variant;
 

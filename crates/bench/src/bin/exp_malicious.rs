@@ -11,6 +11,10 @@
 //!
 //! Usage: `exp_malicious [hours]` (default: 6).
 
+// Reports go to stdout by design; the workspace denies
+// `clippy::print_stdout` for library and daemon code.
+#![allow(clippy::print_stdout)]
+
 use flowdns_analysis::{render_table, TrafficCategory};
 use flowdns_bench::{experiment_workload, run_category_analysis};
 use flowdns_dbl::BlocklistCategory;

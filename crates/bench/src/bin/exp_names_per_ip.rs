@@ -7,6 +7,10 @@
 //!
 //! Usage: `exp_names_per_ip [hours]` (default: 2).
 
+// Reports go to stdout by design; the workspace denies
+// `clippy::print_stdout` for library and daemon code.
+#![allow(clippy::print_stdout)]
+
 use flowdns_analysis::{render_series, CardinalityAnalysis};
 use flowdns_bench::experiment_workload;
 use flowdns_gen::workload::StreamEvent;

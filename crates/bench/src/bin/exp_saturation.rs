@@ -12,6 +12,10 @@
 //! exp_saturation --check <path>             validate an existing JSON
 //! ```
 
+// Reports go to stdout by design; the workspace denies
+// `clippy::print_stdout` for library and daemon code.
+#![allow(clippy::print_stdout)]
+
 use std::process::ExitCode;
 
 use flowdns_bench::saturation::{self, SaturationConfig};

@@ -9,6 +9,10 @@
 //!
 //! Usage: `exp_streaming_as [hours]` (default: 12).
 
+// Reports go to stdout by design; the workspace denies
+// `clippy::print_stdout` for library and daemon code.
+#![allow(clippy::print_stdout)]
+
 use flowdns_analysis::{render_table, PerAsTraffic};
 use flowdns_bench::{
     asn_view_for, experiment_workload, outcome_matches_service, run_variant_with_asn,

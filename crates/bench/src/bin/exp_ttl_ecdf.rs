@@ -6,6 +6,10 @@
 //!
 //! Usage: `exp_ttl_ecdf [hours]` (default: 4).
 
+// Reports go to stdout by design; the workspace denies
+// `clippy::print_stdout` for library and daemon code.
+#![allow(clippy::print_stdout)]
+
 use flowdns_analysis::{render_series, Ecdf};
 use flowdns_bench::experiment_workload;
 use flowdns_gen::workload::StreamEvent;

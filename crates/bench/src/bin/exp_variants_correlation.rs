@@ -6,6 +6,10 @@
 //!
 //! Usage: `exp_variants_correlation [hours]` (default: 8).
 
+// Reports go to stdout by design; the workspace denies
+// `clippy::print_stdout` for library and daemon code.
+#![allow(clippy::print_stdout)]
+
 use flowdns_analysis::render_table;
 use flowdns_bench::{experiment_workload, run_variant};
 use flowdns_core::Variant;

@@ -7,6 +7,10 @@
 //! Usage: `exp_week_resource [hours]` (default: 72 simulated hours; pass
 //! 168 for the full week).
 
+// Reports go to stdout by design; the workspace denies
+// `clippy::print_stdout` for library and daemon code.
+#![allow(clippy::print_stdout)]
+
 use flowdns_analysis::render_table;
 use flowdns_bench::{experiment_workload, run_variant};
 use flowdns_core::Variant;

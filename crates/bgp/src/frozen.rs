@@ -85,17 +85,18 @@ struct FamilyTable<B> {
 
 impl<B: AddrBits> FamilyTable<B> {
     fn insert(&mut self, network: B, len: u8, asn: u32) {
-        let group = match self.groups.iter_mut().find(|g| g.len == len) {
-            Some(g) => g,
-            None => {
-                self.groups.push(LenGroup {
-                    len,
-                    mask: B::prefix_mask(len),
-                    networks: Vec::new(),
-                    asns: Vec::new(),
-                });
-                self.groups.last_mut().expect("just pushed")
-            }
+        // Build-time path (not the lookup hot path): the extra scan for
+        // a panic-free push-then-find is irrelevant here.
+        if !self.groups.iter().any(|g| g.len == len) {
+            self.groups.push(LenGroup {
+                len,
+                mask: B::prefix_mask(len),
+                networks: Vec::new(),
+                asns: Vec::new(),
+            });
+        }
+        let Some(group) = self.groups.iter_mut().find(|g| g.len == len) else {
+            return;
         };
         // Mask host bits here too: lookups compare masked probes, and a
         // `Prefix` built through its public fields may carry host bits

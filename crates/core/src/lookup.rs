@@ -185,14 +185,17 @@ impl<'a> Resolver<'a> {
         if chain.len() > 2 {
             // Multi-hop resolution: memoize the shortcut from the first
             // name straight to the final alias for later flows.
-            let first = chain.first().expect("chain non-empty");
-            let last = chain.last().expect("chain non-empty");
-            self.store.memoize_cname(first, last);
-            stats.memoized += 1;
+            if let (Some(first), Some(last)) = (chain.first(), chain.last()) {
+                self.store.memoize_cname(first, last);
+                stats.memoized += 1;
+            }
         }
 
         if chain.len() == 1 {
-            let only = chain.into_iter().next().expect("single element");
+            // len == 1 makes pop() infallible, but stay panic-free.
+            let Some(only) = chain.pop() else {
+                return CorrelationOutcome::NotFound;
+            };
             CorrelationOutcome::Name(only.into())
         } else {
             // Each conversion rewraps the shared allocation; the store

@@ -373,7 +373,10 @@ impl Correlator {
                         }
                         stats.lock().merge(&local);
                     })
-                    .expect("spawn fillup worker"),
+                    // Spawn failure (thread exhaustion) aborts startup;
+                    // main's error path exits the process, which tears
+                    // down any workers already running.
+                    .map_err(|e| FlowDnsError::Io(format!("spawn fillup worker: {e}")))?,
             );
         }
 
@@ -442,7 +445,7 @@ impl Correlator {
                         }
                         stats.lock().merge(&local);
                     })
-                    .expect("spawn lookup worker"),
+                    .map_err(|e| FlowDnsError::Io(format!("spawn lookup worker: {e}")))?,
             );
         }
 
@@ -481,6 +484,9 @@ impl Correlator {
                                             .volumes
                                             .record(record.flow.bytes, record.is_correlated());
                                     } else {
+                                        // ordering: stats-only drop counter
+                                        // read by snapshot(); carries no
+                                        // other state.
                                         dropped.fetch_add(1, Ordering::Relaxed);
                                     }
                                     if let (Some(flight), Some(id)) =
@@ -515,7 +521,7 @@ impl Correlator {
                             }
                         }
                     })
-                    .expect("spawn write worker"),
+                    .map_err(|e| FlowDnsError::Io(format!("spawn write worker: {e}")))?,
             );
         }
 
@@ -553,7 +559,7 @@ impl Correlator {
                             }
                         }
                     })
-                    .expect("spawn snapshot worker"),
+                    .map_err(|e| FlowDnsError::Io(format!("spawn snapshot worker: {e}")))?,
             );
         }
 

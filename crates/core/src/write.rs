@@ -71,7 +71,11 @@ pub fn single_sink_factory(
         ));
     }
     let mut sink = Some(sink);
-    Ok(move |_| Ok(sink.take().expect("exactly one write worker")))
+    Ok(move |_| {
+        sink.take().ok_or_else(|| {
+            FlowDnsError::Config("single sink factory invoked more than once".into())
+        })
+    })
 }
 
 /// A sink that keeps records in memory (tests, examples, analyses).
@@ -275,7 +279,12 @@ impl OutputSink for RotatingFileSink {
             }
             None => self.open_window(window_start)?,
         }
-        let open = self.current.as_mut().expect("window opened above");
+        // The match above just ensured a window is open; surface an
+        // error instead of panicking the write worker if that ever
+        // stops holding.
+        let Some(open) = self.current.as_mut() else {
+            return Err(FlowDnsError::Io("rotating sink has no open window".into()));
+        };
         open.writer.write_all(record.to_tsv().as_bytes())?;
         open.writer.write_all(b"\n")?;
         Ok(())

@@ -181,7 +181,7 @@ fn main() {
     let stop = Arc::new(AtomicBool::new(false));
     {
         let stop = Arc::clone(&stop);
-        std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name("flowdnsd-stdin".into())
             .spawn(move || {
                 let stdin = std::io::stdin();
@@ -201,8 +201,12 @@ fn main() {
                     }
                 }
                 stop.store(true, Ordering::Release);
-            })
-            .expect("spawn stdin watcher");
+            });
+        // The watcher is a convenience; without it the duration limit
+        // and process signals still stop the daemon.
+        if let Err(e) = spawned {
+            eprintln!("flowdnsd: stdin watcher not started ({e}); use --duration or signals");
+        }
     }
 
     let started = Instant::now();

@@ -55,10 +55,13 @@ impl BufferPool {
         let recycled = self.parked.lock().pop();
         let mut buf = match recycled {
             Some(buf) => {
+                // ordering: stats-only hit/miss counters; the buffer
+                // itself is handed over by the mutex above.
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 buf
             }
             None => {
+                // ordering: see the hit counter above.
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 Vec::with_capacity(len)
             }

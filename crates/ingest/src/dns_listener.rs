@@ -95,6 +95,8 @@ pub(crate) fn spawn_group(
                     while !shutdown.load(Ordering::Acquire) {
                         match listener.accept() {
                             Ok((stream, _peer)) => {
+                                // ordering: stats-only counter; scrapes
+                                // tolerate momentary skew.
                                 stats.connections.fetch_add(1, Ordering::Relaxed);
                                 let handle = spawn_connection(
                                     stream,
@@ -111,6 +113,7 @@ pub(crate) fn spawn_group(
                                 match handle {
                                     Ok(h) => conn_handles.lock().push(h),
                                     Err(_) => {
+                                        // ordering: stats-only counter.
                                         stats.malformed_streams.fetch_add(1, Ordering::Relaxed);
                                     }
                                 }
@@ -148,6 +151,7 @@ fn spawn_connection(
             if stream.set_nonblocking(false).is_err()
                 || stream.set_read_timeout(Some(POLL_INTERVAL)).is_err()
             {
+                // ordering: stats-only counter.
                 stats.malformed_streams.fetch_add(1, Ordering::Relaxed);
                 return;
             }
@@ -168,6 +172,7 @@ fn spawn_connection(
                     }
                     Err(_) => break, // reset mid-stream; never a panic
                 };
+                // ordering: stats-only counter.
                 stats.reads.fetch_add(1, Ordering::Relaxed);
                 let mut closing = !feed(&mut decoder, &buf[..n], &mut batch, &stats);
                 // Drain whatever else is already buffered, folding every
@@ -182,6 +187,7 @@ fn spawn_connection(
                             }
                             Ok(n) => {
                                 reads += 1;
+                                // ordering: stats-only counter.
                                 stats.reads.fetch_add(1, Ordering::Relaxed);
                                 if !feed(&mut decoder, &buf[..n], &mut batch, &stats) {
                                     closing = true;
@@ -207,6 +213,7 @@ fn spawn_connection(
                         // for the `last_activity_seconds` gauge.
                         meter.mark_activity();
                     }
+                    // ordering: stats-only counters (records, batches).
                     stats
                         .records
                         .fetch_add(batch.len() as u64, Ordering::Relaxed);
@@ -214,6 +221,7 @@ fn spawn_connection(
                     let offered = batch.len();
                     let accepted = correlator.push_dns_batch(batch.drain(..));
                     if accepted < offered {
+                        // ordering: stats-only drop counter.
                         stats
                             .queue_drops
                             .fetch_add((offered - accepted) as u64, Ordering::Relaxed);
@@ -242,6 +250,7 @@ fn feed(
             true
         }
         Err(_) => {
+            // ordering: stats-only counter.
             stats.malformed_streams.fetch_add(1, Ordering::Relaxed);
             false
         }

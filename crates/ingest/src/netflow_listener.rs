@@ -319,6 +319,8 @@ fn listener_loop(
             // applies (SO_RCVTIMEO is independent of O_NONBLOCK).
             let _ = socket.set_nonblocking(false);
         }
+        // ordering: stats-only counters read by scrapes; momentary skew
+        // between them is tolerated.
         shard.stats.datagrams.fetch_add(drained, Ordering::Relaxed);
         shard.stats.drains.fetch_add(1, Ordering::Relaxed);
         shard.stats.max_drain.fetch_max(drained, Ordering::Relaxed);
@@ -345,6 +347,7 @@ fn listener_loop(
         // remainder is counted as dropped. `drain(..)` keeps the batch
         // vector's capacity for the next round.
         let offered = batch.len();
+        // ordering: stats-only counter.
         shard.stats.batch_pushes.fetch_add(1, Ordering::Relaxed);
         if let Some(flight) = &flight {
             for flow in &batch {
@@ -355,6 +358,7 @@ fn listener_loop(
         }
         let accepted = correlator.push_flow_batch(batch.drain(..));
         if accepted < offered {
+            // ordering: stats-only drop counter.
             table
                 .queue_drops
                 .fetch_add((offered - accepted) as u64, Ordering::Relaxed);

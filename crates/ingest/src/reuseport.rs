@@ -17,8 +17,6 @@
 //! is lost — and the effective group size is visible to the operator via
 //! the returned vector's length.
 
-#![allow(unsafe_code)]
-
 use std::io;
 use std::net::{SocketAddr, TcpListener, UdpSocket};
 
@@ -112,6 +110,9 @@ mod sys {
         sin6_scope_id: u32,
     }
 
+    // Each unsafe-bearing item carries its own allow, so new unsafe
+    // code elsewhere in the crate still trips `deny(unsafe_code)`.
+    #[allow(unsafe_code)]
     extern "C" {
         fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
         fn setsockopt(
@@ -138,6 +139,7 @@ mod sys {
     }
 
     impl Drop for Fd {
+        #[allow(unsafe_code)]
         fn drop(&mut self) {
             // SAFETY: `self.0` is an fd this module opened and still owns.
             unsafe {
@@ -147,6 +149,7 @@ mod sys {
     }
 
     /// socket() + SO_REUSEPORT + bind(), returning the still-raw fd.
+    #[allow(unsafe_code)]
     fn bound_reuseport(addr: SocketAddr, ty: i32) -> io::Result<Fd> {
         let domain = if addr.is_ipv4() { AF_INET } else { AF_INET6 };
         // SAFETY: plain syscall with constant arguments.
@@ -211,6 +214,7 @@ mod sys {
         Ok(fd)
     }
 
+    #[allow(unsafe_code)]
     pub(super) fn set_recv_buffer(socket: &UdpSocket, bytes: usize) -> io::Result<()> {
         let requested: i32 = bytes.min(i32::MAX as usize) as i32;
         // SAFETY: `requested` outlives the call; optlen matches its size.
@@ -229,6 +233,7 @@ mod sys {
         Ok(())
     }
 
+    #[allow(unsafe_code)]
     pub(super) fn udp_group(
         addr: SocketAddr,
         count: usize,
@@ -247,6 +252,7 @@ mod sys {
         Ok((sockets, local))
     }
 
+    #[allow(unsafe_code)]
     pub(super) fn tcp_group(
         addr: SocketAddr,
         count: usize,

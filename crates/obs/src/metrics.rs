@@ -62,6 +62,8 @@ impl Counter {
 
     /// Add `n`.
     pub fn add(&self, n: u64) {
+        // ordering: monotonic stats counter read only by scrapes; no
+        // other data is published through it, so no edge is needed.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -84,6 +86,9 @@ impl Gauge {
 
     /// Set the value.
     pub fn set(&self, value: f64) {
+        // ordering: the gauge is an independent published value — the
+        // f64 bits travel in the atomic itself, and readers never infer
+        // other memory state from it.
         self.0.store(value.to_bits(), Ordering::Relaxed);
     }
 
@@ -110,7 +115,13 @@ impl HistogramShard {
     }
 
     fn record(&self, value: u64) {
+        // ordering: a snapshot derives its count from the bucket totals
+        // themselves (there is no separate count field that could race
+        // ahead of the buckets), so relaxed increments cannot produce an
+        // incoherent snapshot — at worst a scrape misses in-flight
+        // records, which Prometheus-style sampling tolerates.
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        // ordering: same stats-only argument as the bucket add above.
         self.sum.fetch_add(value, Ordering::Relaxed);
     }
 }
@@ -145,7 +156,11 @@ impl Histogram {
 
     /// Record into shard 0 (convenience for single-threaded callers).
     pub fn record(&self, value: u64) {
-        self.shards[0].record(value);
+        // `new` guarantees at least one shard; `first()` keeps this
+        // panic-free even if that invariant ever changes.
+        if let Some(shard) = self.shards.first() {
+            shard.record(value);
+        }
     }
 
     /// Merge all shards into an owned snapshot.

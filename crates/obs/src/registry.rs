@@ -58,7 +58,13 @@ pub struct MetricsRegistry {
 
 impl std::fmt::Debug for MetricsRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let series = self.series.lock().expect("registry poisoned");
+        // A panic under the registry lock (a user-supplied gauge closure
+        // can run there) must not cascade into every later scrape:
+        // recover the guard and keep serving.
+        let series = self
+            .series
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         f.debug_struct("MetricsRegistry")
             .field("series", &series.len())
             .finish()
@@ -70,7 +76,7 @@ fn valid_name(name: &str) -> bool {
         && name
             .bytes()
             .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b':')
-        && !name.as_bytes()[0].is_ascii_digit()
+        && name.as_bytes().first().is_some_and(|b| !b.is_ascii_digit())
 }
 
 impl MetricsRegistry {
@@ -88,7 +94,11 @@ impl MetricsRegistry {
                 (k.to_string(), v.to_string())
             })
             .collect();
-        let mut series = self.series.lock().expect("registry poisoned");
+        // See Debug::fmt: recover rather than cascade a poisoned lock.
+        let mut series = self
+            .series
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         for existing in series.iter() {
             if existing.name == name {
                 assert_eq!(
@@ -174,7 +184,11 @@ impl MetricsRegistry {
 
     /// Sample every series once, consistently enough for reporting.
     pub fn snapshot(&self) -> RegistrySnapshot {
-        let series = self.series.lock().expect("registry poisoned");
+        // See Debug::fmt: recover rather than cascade a poisoned lock.
+        let series = self
+            .series
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         RegistrySnapshot {
             series: series
                 .iter()
@@ -346,7 +360,11 @@ impl RegistrySnapshot {
         }
         let mut out = String::new();
         for (name, members) in families {
-            let first = members[0];
+            // Every family is created with one member; `else` is for the
+            // linter and for robustness if the grouping above changes.
+            let Some(&first) = members.first() else {
+                continue;
+            };
             let kind = match first.value {
                 SampleValue::Counter(_) => "counter",
                 SampleValue::Gauge(_) => "gauge",

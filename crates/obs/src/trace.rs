@@ -112,14 +112,24 @@ impl FlightRecorder {
     /// span (stamped "decode" at the current time) and returns its
     /// trace token. Non-sampled flows cost one relaxed `fetch_add`.
     pub fn maybe_start(&self) -> Option<u64> {
+        // ordering: pure sampling counter — only its own value matters,
+        // no other memory is published through it.
         let n = self.seen.fetch_add(1, Ordering::Relaxed);
         if n % self.sample_every != 0 {
             return None;
         }
         let now = self.now_us();
+        // ordering: unique-id ticket; uniqueness comes from the RMW
+        // itself, and the span data travels under the mutex below.
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let mut inner = self.inner.lock().expect("flight recorder poisoned");
+        // Tracing must never take the pipeline down: recover a poisoned
+        // lock (spans are diagnostics, the map stays usable).
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if inner.active.len() >= MAX_ACTIVE_SPANS {
+            // ordering: stats-only drop counter read by scrapes.
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return None;
         }
@@ -139,7 +149,7 @@ impl FlightRecorder {
         if let Some(span) = self
             .inner
             .lock()
-            .expect("flight recorder poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .active
             .get_mut(&id)
         {
@@ -153,7 +163,7 @@ impl FlightRecorder {
         if let Some(span) = self
             .inner
             .lock()
-            .expect("flight recorder poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .active
             .get_mut(&id)
         {
@@ -167,7 +177,7 @@ impl FlightRecorder {
         if let Some(span) = self
             .inner
             .lock()
-            .expect("flight recorder poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .active
             .get_mut(&id)
         {
@@ -180,7 +190,10 @@ impl FlightRecorder {
     /// token. `shard` is the Write worker that persisted the record.
     pub fn finish(&self, id: u64, shard: usize) {
         let now = self.now_us();
-        let mut inner = self.inner.lock().expect("flight recorder poisoned");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let Some(span) = inner.active.remove(&id) else {
             return;
         };
@@ -203,6 +216,8 @@ impl FlightRecorder {
             // Spans are rare; flushing each one keeps the file readable
             // while an operator tails it.
             let _ = inner.writer.flush();
+            // ordering: stats-only counter read by scrapes; the span
+            // bytes are published by the write + flush above.
             self.emitted.fetch_add(1, Ordering::Relaxed);
             if inner.written_bytes >= self.max_bytes {
                 self.rotate(&mut inner);
@@ -215,7 +230,7 @@ impl FlightRecorder {
         let _ = self
             .inner
             .lock()
-            .expect("flight recorder poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .writer
             .flush();
     }

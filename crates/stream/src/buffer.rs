@@ -89,7 +89,12 @@ impl LatencyTracker {
         // enqueue time is "now" (for batches this is the batch's push
         // time, which is what queue residency means for a batch).
         let seq = (prev / self.sample_every + 1) * self.sample_every;
-        let mut pending = self.pending.lock().unwrap();
+        // A poisoned lock means a panic elsewhere already lost markers;
+        // dropping this sample beats propagating the panic into every
+        // producer thread.
+        let Ok(mut pending) = self.pending.lock() else {
+            return;
+        };
         pending.push_back((seq, Instant::now()));
         if pending.len() == 1 {
             self.oldest_pending.store(seq, Ordering::Release);
@@ -104,7 +109,10 @@ impl LatencyTracker {
             return;
         }
         let now = Instant::now();
-        let mut pending = self.pending.lock().unwrap();
+        // See on_accepted: skip the sample rather than poison-panic.
+        let Ok(mut pending) = self.pending.lock() else {
+            return;
+        };
         while let Some(&(seq, enqueued)) = pending.front() {
             if seq > consumed {
                 break;
@@ -211,6 +219,9 @@ impl<T> StreamBuffer<T> {
     pub fn push(&self, item: T) -> bool {
         match self.tx.try_send(item) {
             Ok(()) => {
+                // ordering: monotonic stats counter; the record itself
+                // travels through the channel (which synchronizes), the
+                // counter carries no payload and tolerates stale reads.
                 let prev = self.shared.accepted.fetch_add(1, Ordering::Relaxed);
                 if let Some(lat) = &self.latency {
                     lat.on_accepted(prev, prev + 1);
@@ -218,6 +229,7 @@ impl<T> StreamBuffer<T> {
                 true
             }
             Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                // ordering: stats-only, as above.
                 self.shared.dropped.fetch_add(1, Ordering::Relaxed);
                 false
             }
@@ -242,12 +254,15 @@ impl<T> StreamBuffer<T> {
             }
         }
         if accepted > 0 {
+            // ordering: stats-only counters (see push); records
+            // synchronize via the channel, not these.
             let prev = self.shared.accepted.fetch_add(accepted, Ordering::Relaxed);
             if let Some(lat) = &self.latency {
                 lat.on_accepted(prev, prev + accepted);
             }
         }
         if dropped > 0 {
+            // ordering: stats-only, as above.
             self.shared.dropped.fetch_add(dropped, Ordering::Relaxed);
         }
         accepted as usize
@@ -257,6 +272,8 @@ impl<T> StreamBuffer<T> {
     pub fn pop(&self) -> Option<T> {
         match self.rx.try_recv() {
             Ok(item) => {
+                // ordering: stats-only counter; receiving the item is
+                // what synchronizes with the producer.
                 let consumed = self.shared.consumed.fetch_add(1, Ordering::Relaxed) + 1;
                 if let Some(lat) = &self.latency {
                     lat.on_consumed(consumed);
@@ -271,6 +288,7 @@ impl<T> StreamBuffer<T> {
     pub fn pop_wait(&self, timeout: Duration) -> Option<T> {
         match self.rx.recv_timeout(timeout) {
             Ok(item) => {
+                // ordering: stats-only counter, as in pop.
                 let consumed = self.shared.consumed.fetch_add(1, Ordering::Relaxed) + 1;
                 if let Some(lat) = &self.latency {
                     lat.on_consumed(consumed);

@@ -93,17 +93,30 @@ impl LatencyHistogram {
     /// Record one observed latency.
     pub fn record(&self, latency: Duration) {
         let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        // ordering: bucket and sum increments are Relaxed — they carry
+        // no payload of their own and are published by the Release
+        // increment of `count` below, which must stay last.
         self.buckets[bucket_of(latency)].fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
+        // Release pairs with the Acquire load in `snapshot()`: every
+        // record included in a snapshot's `count` has its bucket
+        // increment visible there too, so `count <= sum(buckets)` holds
+        // in any snapshot. Without the edge a racing snapshot could see
+        // the count but miss the bucket, and `quantile_us` would run
+        // past the last cumulative bucket and report the histogram's
+        // upper bound (~13 days) as a transient p99.
+        self.count.fetch_add(1, Ordering::Release);
     }
 
-    /// A point-in-time copy of the counters. Relaxed reads: the snapshot
-    /// may be off by in-flight records but is internally proportionate,
-    /// which is all quantile estimation needs.
+    /// A point-in-time copy of the counters. `count` is read first with
+    /// Acquire (pairing with the Release increment in `record`) so the
+    /// bucket totals always cover at least `count` records; the bucket
+    /// reads themselves stay Relaxed since the snapshot only needs to be
+    /// internally proportionate for quantile estimation.
     pub fn snapshot(&self) -> LatencySnapshot {
+        let count = self.count.load(Ordering::Acquire);
         LatencySnapshot {
-            count: self.count.load(Ordering::Relaxed),
+            count,
             sum_us: self.sum_us.load(Ordering::Relaxed),
             buckets: self
                 .buckets
@@ -279,5 +292,48 @@ mod tests {
         let snap = hist.snapshot();
         assert_eq!(snap.count, 40_000);
         assert_eq!(snap.buckets.iter().sum::<u64>(), 40_000);
+    }
+
+    /// Regression: `record` publishes `count` with Release and
+    /// `snapshot` reads it with Acquire, so a snapshot taken mid-stream
+    /// never sees more records counted than bucketed. When that edge was
+    /// missing, quantile estimation could run off the end of the
+    /// cumulative buckets and report the histogram's upper bound
+    /// (~13 days) as a transient p99.
+    #[test]
+    fn snapshot_count_never_exceeds_bucket_total() {
+        let hist = std::sync::Arc::new(LatencyHistogram::new());
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writers: Vec<_> = (0..2)
+            .map(|_| {
+                let hist = std::sync::Arc::clone(&hist);
+                let stop = std::sync::Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut us = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        hist.record(Duration::from_micros(us % 4096));
+                        us += 1;
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..20_000 {
+            let snap = hist.snapshot();
+            let bucketed: u64 = snap.buckets.iter().sum();
+            assert!(
+                snap.count <= bucketed,
+                "snapshot saw count {} but only {} bucketed records",
+                snap.count,
+                bucketed
+            );
+            // The estimator must stay inside the observed value range.
+            if snap.count > 0 {
+                assert!(snap.p99_us() <= bucket_upper_us(bucket_index_us(4095)));
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
     }
 }

@@ -4,6 +4,10 @@
 //!
 //! Run with: `cargo run --example accuracy_lab`
 
+// Reports go to stdout by design; the workspace denies
+// `clippy::print_stdout` for library and daemon code.
+#![allow(clippy::print_stdout)]
+
 use flowdns::core::fillup::{process_dns_record, FillUpStats};
 use flowdns::core::lookup::LookUpStats;
 use flowdns::core::{CorrelatorConfig, DnsStore, Resolver};

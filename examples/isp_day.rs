@@ -4,6 +4,10 @@
 //!
 //! Run with: `cargo run --release --example isp_day -- [hours]`
 
+// Reports go to stdout by design; the workspace denies
+// `clippy::print_stdout` for library and daemon code.
+#![allow(clippy::print_stdout)]
+
 use flowdns::core::simulate::Event;
 use flowdns::core::{CorrelatorConfig, OfflineSimulator};
 use flowdns::gen::workload::StreamEvent;

@@ -5,6 +5,10 @@
 //!
 //! Run with: `cargo run --example netflow_capture`
 
+// Reports go to stdout by design; the workspace denies
+// `clippy::print_stdout` for library and daemon code.
+#![allow(clippy::print_stdout)]
+
 use flowdns::core::{Correlator, CorrelatorConfig};
 use flowdns::dns::message::DnsClass;
 use flowdns::dns::{records_from_message, DnsMessage, Question, ResourceRecord, ResponseFilter};

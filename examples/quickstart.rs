@@ -3,6 +3,10 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
+// Reports go to stdout by design; the workspace denies
+// `clippy::print_stdout` for library and daemon code.
+#![allow(clippy::print_stdout)]
+
 use flowdns::core::{Correlator, CorrelatorConfig};
 use flowdns::types::{DnsRecord, DomainName, FlowRecord, SimTime};
 use std::net::Ipv4Addr;

@@ -14,6 +14,10 @@
 //! from three distinct exporter sockets — enough to light up every
 //! counter in the daemon's stats line.
 
+// Reports go to stdout by design; the workspace denies
+// `clippy::print_stdout` for library and daemon code.
+#![allow(clippy::print_stdout)]
+
 use std::io::Write as IoWrite;
 use std::net::{Ipv4Addr, TcpStream, UdpSocket};
 

@@ -75,6 +75,8 @@
 //! assert!(report.volumes.correlation_rate_pct() > 99.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use flowdns_analysis as analysis;
 pub use flowdns_bgp as bgp;
 pub use flowdns_core as core;
