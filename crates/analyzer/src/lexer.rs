@@ -241,13 +241,13 @@ impl Lexer {
         // a `.` continues the number only when followed by a digit, so
         // tuple indexing (`pair.0`) and ranges (`0..n`) stay separate.
         while let Some(c) = self.peek(0) {
-            if c == '_' || c.is_ascii_alphanumeric() {
-                self.bump();
-            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
-                self.bump();
-            } else {
+            let continues = c == '_'
+                || c.is_ascii_alphanumeric()
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()));
+            if !continues {
                 break;
             }
+            self.bump();
         }
         self.push(TokenKind::Number, start, line);
     }

@@ -235,8 +235,8 @@ pub fn panic_free(file: &SourceFile) -> Vec<Finding> {
     let toks = file.sig_tokens();
     let text = |p: usize| toks.get(p).map(|(_, t)| t.text.as_str());
     let kind = |p: usize| toks.get(p).map(|(_, t)| t.kind);
-    for p in 0..toks.len() {
-        let line = toks[p].1.line;
+    for (p, (_, tok)) in toks.iter().enumerate() {
+        let line = tok.line;
         let mut flag = |what: String| {
             out.push(finding(
                 file,

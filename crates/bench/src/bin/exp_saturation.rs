@@ -45,7 +45,7 @@ fn main() -> ExitCode {
         return match std::fs::read_to_string(&path) {
             Ok(text) => match saturation::validate_json(&text) {
                 Ok(()) => {
-                    println!("{path}: valid flowdns-bench/saturation/v2 document");
+                    println!("{path}: valid flowdns-bench/saturation/v3 document");
                     ExitCode::SUCCESS
                 }
                 Err(reason) => {
@@ -104,11 +104,63 @@ fn main() -> ExitCode {
                 "sender-bound or step cap"
             }
         );
+        match &run.slo_knee {
+            Some(knee) => println!(
+                "  SLO knee {:.0} records/s (lossless, p99 queue wait {} us <= {} us)",
+                knee.accepted_per_sec,
+                knee.p99_queue_latency_us,
+                saturation::SLO_P99_LIMIT_US,
+            ),
+            None => println!(
+                "  SLO knee: none — no lossless step kept p99 queue wait <= {} us",
+                saturation::SLO_P99_LIMIT_US
+            ),
+        }
+        println!(
+            "  p99 queue wait at 80% of raw knee: {} us",
+            run.p99_at_80pct_us
+        );
     }
     println!(
         "speedup vs per-datagram baseline: {:.2}x",
         report.speedup_vs_baseline()
     );
+    let variance = &report.variance;
+    println!(
+        "speedup confidence (paired A/B at {:.0}/s): effect {:+.2}%, trial spread {:.2}%",
+        variance.probe_rate_per_sec,
+        variance.effect_pct(),
+        variance.spread_pct(),
+    );
+    if variance.inconclusive() {
+        // Loud on purpose: a headline speedup smaller than the host's
+        // own trial noise must not be quoted as a result.
+        eprintln!("!!!");
+        eprintln!(
+            "!!! WARNING: trial variance ({:.2}%) is at least as large as the measured \
+             batched-vs-baseline effect ({:+.2}%).",
+            variance.spread_pct(),
+            variance.effect_pct(),
+        );
+        eprintln!(
+            "!!! speedup_vs_baseline = {:.3} is NOT distinguishable from noise on this host \
+             (see docs/PERFORMANCE.md, \"Variance gate\").",
+            report.speedup_vs_baseline()
+        );
+        eprintln!("!!!");
+    }
+    println!("shared-nothing scaling curve:");
+    for point in &report.scaling {
+        println!(
+            "  {} shard(s): raw knee {:>9.0}/s  SLO knee {:>9}  p99 @ 80% of knee {} us",
+            point.shards,
+            point.raw_knee_per_sec,
+            point
+                .slo_knee_per_sec
+                .map_or("none".to_string(), |r| format!("{r:.0}/s")),
+            point.p99_at_80pct_us,
+        );
+    }
     let obs = &report.obs_overhead;
     println!(
         "observability overhead: peak {:.0}/s off vs {:.0}/s with telemetry live \

@@ -21,8 +21,29 @@
 //! under scheduler jitter); accepted throughput at a fixed rate is not,
 //! which is what makes a sub-1 % overhead claim measurable at all.
 //!
+//! Schema v3 adds two things the raw knee cannot express. First, each
+//! run also reports its **SLO knee** — the highest accepted rate whose
+//! step was *lossless* (`drop_pct == 0`) with a p99 queue wait at or
+//! under [`SLO_P99_LIMIT_US`] (10 ms) — because a deep bounded buffer
+//! can "sustain" a rate while holding every record for hundreds of
+//! milliseconds (the committed v2 knee did exactly that: 568 k rec/s at
+//! p99 = 393 ms of queue wait). Second, a `scaling` section re-runs the
+//! knee search with the shared-nothing sharded correlator at
+//! `correlator_shards` ∈ {1, 2, 4}, recording both knees and the p99
+//! queue wait at 80 % of the raw knee per point — the honest multi-core
+//! scaling curve (on a single-core host it honestly shows no
+//! throughput scaling; the SPSC rings still bound the queue-wait tail).
+//!
+//! The `variance` section guards the headline `speedup_vs_baseline`
+//! number: paired fixed-rate A/B arms (batched topology vs per-datagram
+//! baseline, alternating) at the batched knee rate yield repeated
+//! readings per arm, and when the within-arm spread exceeds the
+//! between-arm effect the binary prints a loud warning and the JSON
+//! records `inconclusive: true` — a speedup claim smaller than the
+//! host's own trial noise is not a claim.
+//!
 //! The result serializes to `BENCH_saturation.json` (schema
-//! `flowdns-bench/saturation/v2`, documented field-by-field in
+//! `flowdns-bench/saturation/v3`, documented field-by-field in
 //! `docs/PERFORMANCE.md`); [`validate_json`] is the structural checker
 //! CI runs against the committed file, rejecting missing keys, empty
 //! step lists, and non-finite numbers.
@@ -80,6 +101,23 @@ const OBS_PROBE_ROUNDS: usize = 4;
 /// the best accepted rate across its steps — loss noise only lowers a
 /// step, so the max is the honest capacity estimate.
 const OBS_PROBE_STEPS: usize = 3;
+/// The queue-wait SLO bound of the v3 "SLO knee": a step only counts as
+/// sustained-within-SLO when it was lossless *and* its sampled p99
+/// LookUp-queue residency stayed at or under this (10 ms). Chosen an
+/// order of magnitude above healthy service time and two below the
+/// buffer-depth artifact it exists to expose.
+pub const SLO_P99_LIMIT_US: u64 = 10_000;
+/// The fixed-rate tail probe after each knee search runs at this
+/// fraction of the raw knee; its p99 queue wait is the per-run
+/// `p99_at_80pct_us` — the number the shared-queue vs sharded-ring
+/// comparison is made at.
+const KNEE_PROBE_FRACTION: f64 = 0.8;
+/// Paired A/B rounds of the speedup-variance probe (full mode).
+const VARIANCE_ROUNDS: usize = 2;
+/// Fixed-rate steps per variance arm (full mode); every step is kept as
+/// an independent reading (unlike the overhead probe, which takes the
+/// max) because the *spread* is the measurement here.
+const VARIANCE_STEPS: usize = 2;
 
 /// Parameters of one harness invocation.
 #[derive(Debug, Clone)]
@@ -116,6 +154,10 @@ pub struct SaturationConfig {
     /// step's drop rate — so the best of N trials is the honest reading
     /// and retries filter transient interference on shared hosts.
     pub trials: usize,
+    /// Shared-nothing correlator shards for this run (0 = the classic
+    /// shared-queue pipeline). The main batched/baseline runs use 0;
+    /// the `scaling` section clones the config with 1, 2, and 4.
+    pub correlator_shards: usize,
 }
 
 /// Listener count for the batched run: one per core, capped at 4. The
@@ -152,6 +194,7 @@ impl SaturationConfig {
             max_steps: 14,
             drop_limit_pct: 1.0,
             trials: 3,
+            correlator_shards: 0,
         }
     }
 
@@ -171,6 +214,7 @@ impl SaturationConfig {
             max_steps: 3,
             drop_limit_pct: 5.0,
             trials: 2,
+            correlator_shards: 0,
         }
     }
 }
@@ -222,6 +266,87 @@ pub struct RunResult {
     /// direct evidence of how deep the batched receive loop actually
     /// went (1.0 by construction for the per-datagram baseline).
     pub avg_drain: f64,
+    /// The SLO knee: the highest-accepted step that was lossless
+    /// (`drop_pct == 0`) with p99 queue wait ≤ [`SLO_P99_LIMIT_US`].
+    /// `None` when no step qualified — a run that only ever sustained
+    /// load by letting the queue-wait tail blow out.
+    pub slo_knee: Option<StepMetrics>,
+    /// Sampled p99 queue wait of one fixed-rate probe step at
+    /// [`KNEE_PROBE_FRACTION`] of the raw knee, µs — the comparable
+    /// tail number across shared-queue and sharded-ring topologies.
+    pub p99_at_80pct_us: u64,
+}
+
+/// One point of the shared-nothing scaling curve.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    /// `correlator_shards` this knee search ran with.
+    pub shards: usize,
+    /// Raw knee: best accepted rate within the drop limit, records/s.
+    pub raw_knee_per_sec: f64,
+    /// SLO knee accepted rate (lossless, p99 ≤ 10 ms), if any step
+    /// qualified.
+    pub slo_knee_per_sec: Option<f64>,
+    /// p99 queue wait at 80 % of this point's raw knee, µs.
+    pub p99_at_80pct_us: u64,
+}
+
+/// The speedup-confidence probe: paired fixed-rate A/B arms (batched
+/// topology vs per-datagram baseline, alternating) at the batched knee
+/// rate. Every step of every arm is kept as an independent reading; the
+/// within-arm spread is the host's trial variance and the between-arm
+/// gap is the measured effect.
+#[derive(Debug, Clone)]
+pub struct SpeedupVariance {
+    /// The common offered rate both arms were driven at, records/s.
+    pub probe_rate_per_sec: f64,
+    /// Accepted-rate readings of the batched-topology arms.
+    pub batched_readings: Vec<f64>,
+    /// Accepted-rate readings of the per-datagram baseline arms.
+    pub baseline_readings: Vec<f64>,
+}
+
+impl SpeedupVariance {
+    fn mean(xs: &[f64]) -> f64 {
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    }
+
+    fn arm_spread_pct(xs: &[f64]) -> f64 {
+        let mean = Self::mean(xs);
+        if xs.is_empty() || mean <= 0.0 {
+            return 0.0;
+        }
+        let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+        let min = xs.iter().cloned().fold(f64::MAX, f64::min);
+        (max - min) / mean * 100.0
+    }
+
+    /// Mean batched reading over mean baseline reading, as a percent
+    /// gain (positive = batched faster).
+    pub fn effect_pct(&self) -> f64 {
+        let base = Self::mean(&self.baseline_readings);
+        if base <= 0.0 {
+            return 0.0;
+        }
+        (Self::mean(&self.batched_readings) - base) / base * 100.0
+    }
+
+    /// The worse (larger) of the two arms' within-arm relative spreads.
+    pub fn spread_pct(&self) -> f64 {
+        Self::arm_spread_pct(&self.batched_readings)
+            .max(Self::arm_spread_pct(&self.baseline_readings))
+    }
+
+    /// `true` when trial noise is at least as large as the measured
+    /// effect — the headline speedup is not distinguishable from noise
+    /// on this host and must not be quoted as a result.
+    pub fn inconclusive(&self) -> bool {
+        self.spread_pct() >= self.effect_pct().abs()
+    }
 }
 
 /// The observability tax, measured as a paired fixed-rate A/B probe at
@@ -262,6 +387,11 @@ pub struct SaturationReport {
     pub baseline: RunResult,
     /// The batched run re-measured with telemetry live, versus `batched`.
     pub obs_overhead: ObsOverhead,
+    /// Knee search repeated with the sharded correlator, one point per
+    /// shard count ({1, 2, 4} full, {2} smoke).
+    pub scaling: Vec<ScalingPoint>,
+    /// The paired A/B confidence probe behind `speedup_vs_baseline`.
+    pub variance: SpeedupVariance,
 }
 
 impl SaturationReport {
@@ -276,8 +406,9 @@ impl SaturationReport {
 }
 
 /// Run the full procedure: batched knee search, per-datagram baseline
-/// knee search, then the paired telemetry-overhead probe at the
-/// batched knee rate.
+/// knee search, the paired telemetry-overhead probe at the batched knee
+/// rate, the speedup-variance probe at the same rate, and one sharded
+/// knee search per scaling shard count.
 pub fn run(config: &SaturationConfig) -> Result<SaturationReport, FlowDnsError> {
     let pool = saturation_pool(config.dns_entries);
     let datagrams = Arc::new(encode_datagrams(&pool, config.records_per_datagram)?);
@@ -291,11 +422,79 @@ pub fn run(config: &SaturationConfig) -> Result<SaturationReport, FlowDnsError> 
     let baseline = run_one(config, 1, 1, &pool, &datagrams)?;
     let obs_overhead =
         measure_obs_overhead(config, &pool, &datagrams, batched.peak.offered_per_sec)?;
+    let variance =
+        measure_speedup_variance(config, &pool, &datagrams, batched.peak.offered_per_sec)?;
+    // The scaling curve: the same knee search with the shared-nothing
+    // sharded correlator. The smoke pass keeps a single 2-shard point so
+    // CI exercises the routed-counter accounting check on every run.
+    let shard_counts: &[usize] = if config.smoke { &[2] } else { &[1, 2, 4] };
+    let mut scaling = Vec::with_capacity(shard_counts.len());
+    for &shards in shard_counts {
+        let mut sharded = config.clone();
+        sharded.correlator_shards = shards;
+        let run = run_one(
+            &sharded,
+            config.netflow_listeners,
+            config.recv_batch,
+            &pool,
+            &datagrams,
+        )?;
+        scaling.push(ScalingPoint {
+            shards,
+            raw_knee_per_sec: run.peak.accepted_per_sec,
+            slo_knee_per_sec: run.slo_knee.map(|s| s.accepted_per_sec),
+            p99_at_80pct_us: run.p99_at_80pct_us,
+        });
+    }
     Ok(SaturationReport {
         config: config.clone(),
         batched,
         baseline,
         obs_overhead,
+        scaling,
+        variance,
+    })
+}
+
+/// The speedup-confidence probe: alternating batched-topology and
+/// per-datagram-baseline arms at the fixed batched knee rate, keeping
+/// every step's accepted rate as an independent reading. At this rate
+/// the batched arm accepts ≈ the offered load and the baseline arm
+/// accepts ≈ its own (lower) capacity, so the between-arm gap *is* the
+/// speedup effect — measured with the same fixed-rate methodology whose
+/// within-arm spread quantifies the host's trial noise.
+fn measure_speedup_variance(
+    config: &SaturationConfig,
+    pool: &[(flowdns_types::DomainName, std::net::Ipv4Addr)],
+    datagrams: &Arc<Vec<Vec<u8>>>,
+    knee_rate: f64,
+) -> Result<SpeedupVariance, FlowDnsError> {
+    let (rounds, steps) = if config.smoke {
+        (1, 1)
+    } else {
+        (VARIANCE_ROUNDS, VARIANCE_STEPS)
+    };
+    let mut batched_readings = Vec::new();
+    let mut baseline_readings = Vec::new();
+    for _ in 0..rounds {
+        let (readings, _) = probe_arm(
+            config,
+            pool,
+            datagrams,
+            knee_rate,
+            config.netflow_listeners,
+            config.recv_batch,
+            false,
+            steps,
+        )?;
+        batched_readings.extend(readings);
+        let (readings, _) = probe_arm(config, pool, datagrams, knee_rate, 1, 1, false, steps)?;
+        baseline_readings.extend(readings);
+    }
+    Ok(SpeedupVariance {
+        probe_rate_per_sec: knee_rate,
+        batched_readings,
+        baseline_readings,
     })
 }
 
@@ -319,11 +518,30 @@ fn measure_obs_overhead(
     let mut best_on = 0.0f64;
     let mut scrapes = 0u64;
     let mut trace_spans = 0u64;
+    let best_of = |readings: &[f64]| readings.iter().cloned().fold(0.0f64, f64::max);
     for _ in 0..rounds {
-        let (off, _) = probe_arm(config, pool, datagrams, knee_rate, false, steps)?;
-        let (on, stats) = probe_arm(config, pool, datagrams, knee_rate, true, steps)?;
-        best_off = best_off.max(off);
-        best_on = best_on.max(on);
+        let (off, _) = probe_arm(
+            config,
+            pool,
+            datagrams,
+            knee_rate,
+            config.netflow_listeners,
+            config.recv_batch,
+            false,
+            steps,
+        )?;
+        let (on, stats) = probe_arm(
+            config,
+            pool,
+            datagrams,
+            knee_rate,
+            config.netflow_listeners,
+            config.recv_batch,
+            true,
+            steps,
+        )?;
+        best_off = best_off.max(best_of(&off));
+        best_on = best_on.max(best_of(&on));
         if let Some(stats) = stats {
             scrapes += stats.scrapes;
             trace_spans += stats.trace_spans;
@@ -343,34 +561,32 @@ fn measure_obs_overhead(
     })
 }
 
-/// One probe arm: a fresh batched-topology runtime (telemetry per
+/// One probe arm: a fresh runtime of the given topology (telemetry per
 /// `telemetry`), one warm-up step, then `steps` paced steps at `rate`;
-/// the arm's reading is the best accepted rate across the steps.
+/// returns every step's accepted rate (callers decide whether the max
+/// or the spread is the measurement).
+#[allow(clippy::too_many_arguments)]
 fn probe_arm(
     config: &SaturationConfig,
     pool: &[(flowdns_types::DomainName, std::net::Ipv4Addr)],
     datagrams: &Arc<Vec<Vec<u8>>>,
     rate: f64,
+    listeners: usize,
+    recv_batch: usize,
     telemetry: bool,
     steps: usize,
-) -> Result<(f64, Option<ObsRunStats>), FlowDnsError> {
-    let arm = ArmRuntime::start(
-        config,
-        config.netflow_listeners,
-        config.recv_batch,
-        pool,
-        telemetry,
-    )?;
+) -> Result<(Vec<f64>, Option<ObsRunStats>), FlowDnsError> {
+    let arm = ArmRuntime::start(config, listeners, recv_batch, pool, telemetry)?;
     let mut warm = config.clone();
     warm.step = Duration::from_millis(300);
     let _ = run_step(&arm.rt, datagrams, rate, &warm);
-    let mut best = 0.0f64;
+    let mut readings = Vec::with_capacity(steps.max(1));
     for _ in 0..steps.max(1) {
         let step = run_step(&arm.rt, datagrams, rate, config);
-        best = best.max(step.accepted_per_sec);
+        readings.push(step.accepted_per_sec);
     }
     let stats = arm.finish()?;
-    Ok((best, stats))
+    Ok((readings, stats))
 }
 
 /// Pre-encode the whole pool as max-size v5 datagrams; every pool
@@ -437,11 +653,11 @@ fn preload_dns(
     }
     conn.flush().map_err(io_err)?;
     let deadline = Instant::now() + Duration::from_secs(30);
-    while rt.correlator().store().total_entries() < pool.len() {
+    while rt.correlator().stored_entries() < pool.len() {
         if Instant::now() > deadline {
             return Err(FlowDnsError::PipelineState(format!(
                 "DNS preload stalled: {}/{} entries",
-                rt.correlator().store().total_entries(),
+                rt.correlator().stored_entries(),
                 pool.len()
             )));
         }
@@ -475,6 +691,9 @@ impl ArmRuntime {
         daemon.ingest.netflow_listeners = listeners;
         daemon.ingest.recv_batch = recv_batch;
         daemon.correlator.lookup_workers = config.lookup_workers;
+        // 0 = classic shared queues; >0 = shared-nothing shard workers
+        // fed by key-routed SPSC rings (the `scaling` section's runs).
+        daemon.correlator.correlator_shards = config.correlator_shards;
         // The telemetry arm turns on everything an operator would: the
         // scrape endpoint (polled below) and sampled flow tracing.
         let trace_path = telemetry.then(|| {
@@ -637,7 +856,6 @@ fn run_one(
     } else {
         datagram_total as f64 / drain_total as f64
     };
-    arm.finish()?;
 
     let best = |candidates: &[&StepMetrics]| {
         candidates
@@ -652,6 +870,28 @@ fn run_one(
     let peak = best(&clean)
         .or_else(|| best(&steps.iter().collect::<Vec<_>>()))
         .expect("at least one step ran");
+    let slo_knee = slo_knee_of(&steps);
+
+    // The comparable tail number: one fixed-rate step at 80 % of this
+    // run's own raw knee, read for its p99 queue wait. Taken on the
+    // same warm runtime so topology, not warm-up, is the variable.
+    let probe = run_step(
+        rt,
+        datagrams,
+        peak.offered_per_sec * KNEE_PROBE_FRACTION,
+        config,
+    );
+    let p99_at_80pct_us = probe.p99_queue_latency_us;
+
+    // Sharded runs must account for every accepted flow in the
+    // per-shard routed counters — the CI smoke pass runs this check on
+    // every push (a routing bug that loses or double-counts records
+    // would silently invalidate the whole scaling curve).
+    if config.correlator_shards > 0 {
+        verify_shard_routing(rt, config.correlator_shards)?;
+    }
+    arm.finish()?;
+
     Ok(RunResult {
         listeners: effective_listeners,
         recv_batch,
@@ -659,7 +899,54 @@ fn run_one(
         peak,
         saturated,
         avg_drain,
+        slo_knee,
+        p99_at_80pct_us,
     })
+}
+
+/// The SLO knee of a finished ladder: the highest-accepted step that
+/// was lossless with its p99 queue wait within [`SLO_P99_LIMIT_US`].
+fn slo_knee_of(steps: &[StepMetrics]) -> Option<StepMetrics> {
+    steps
+        .iter()
+        .filter(|s| s.drop_pct == 0.0 && s.p99_queue_latency_us <= SLO_P99_LIMIT_US)
+        .max_by(|a, b| a.accepted_per_sec.total_cmp(&b.accepted_per_sec))
+        .copied()
+}
+
+/// Cross-check the sharded pipeline's accounting: the per-shard routed
+/// counters (SPSC lane accepts) must sum to exactly the flows the
+/// listener side reports as decoded-minus-queue-dropped, one counter
+/// vector entry per shard, and under a hash-balanced pool no shard may
+/// sit at zero.
+fn verify_shard_routing(rt: &IngestRuntime, shards: usize) -> Result<(), FlowDnsError> {
+    let (_, flow_routed) = rt.correlator().shard_routed_counts().ok_or_else(|| {
+        FlowDnsError::PipelineState("sharded run exposes no per-shard routed counters".into())
+    })?;
+    if flow_routed.len() != shards {
+        return Err(FlowDnsError::PipelineState(format!(
+            "routed-counter vector has {} entries for {shards} shards",
+            flow_routed.len()
+        )));
+    }
+    let summary = rt.snapshot().summary;
+    let accepted = summary
+        .netflow_flows
+        .saturating_sub(summary.netflow_queue_drops);
+    let routed: u64 = flow_routed.iter().sum();
+    if routed != accepted {
+        return Err(FlowDnsError::PipelineState(format!(
+            "per-shard routed counters sum to {routed} but the listeners accepted {accepted} \
+             flows ({} decoded − {} queue drops)",
+            summary.netflow_flows, summary.netflow_queue_drops
+        )));
+    }
+    if flow_routed.contains(&0) {
+        return Err(FlowDnsError::PipelineState(format!(
+            "a shard received zero flows from a hash-balanced pool: {flow_routed:?}"
+        )));
+    }
+    Ok(())
 }
 
 /// Drive one offered-load step and measure it from snapshot deltas.
@@ -811,29 +1098,72 @@ fn step_json(step: &StepMetrics, indent: &str) -> String {
 
 fn run_json(run: &RunResult) -> String {
     let steps: Vec<String> = run.steps.iter().map(|s| step_json(s, "      ")).collect();
+    let slo_knee = match &run.slo_knee {
+        Some(step) => step_json(step, "").trim_start().to_string(),
+        None => "null".to_string(),
+    };
     format!(
         "{{\n    \"listeners\": {},\n    \"recv_batch\": {},\n    \"saturated\": {},\n    \
-         \"avg_drain\": {},\n    \"steps\": [\n{}\n    ],\n    \"peak\": {}\n  }}",
+         \"avg_drain\": {},\n    \"steps\": [\n{}\n    ],\n    \"peak\": {},\n    \
+         \"slo_knee\": {},\n    \"p99_at_80pct_us\": {}\n  }}",
         run.listeners,
         run.recv_batch,
         run.saturated,
         jnum(run.avg_drain),
         steps.join(",\n"),
         step_json(&run.peak, "").trim_start(),
+        slo_knee,
+        run.p99_at_80pct_us,
+    )
+}
+
+fn scaling_json(points: &[ScalingPoint]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"shards\": {}, \"raw_knee_per_sec\": {}, \"slo_knee_per_sec\": {}, \
+                 \"p99_at_80pct_us\": {}}}",
+                p.shards,
+                jnum(p.raw_knee_per_sec),
+                p.slo_knee_per_sec.map_or("null".to_string(), jnum),
+                p.p99_at_80pct_us,
+            )
+        })
+        .collect();
+    format!("[\n{}\n  ]", rows.join(",\n"))
+}
+
+fn variance_json(v: &SpeedupVariance) -> String {
+    let list = |xs: &[f64]| {
+        let rendered: Vec<String> = xs.iter().map(|&x| jnum(x)).collect();
+        format!("[{}]", rendered.join(", "))
+    };
+    format!(
+        "{{\"probe_rate_per_sec\": {}, \"batched_readings\": {}, \"baseline_readings\": {}, \
+         \"effect_pct\": {}, \"spread_pct\": {}, \"inconclusive\": {}}}",
+        jnum(v.probe_rate_per_sec),
+        list(&v.batched_readings),
+        list(&v.baseline_readings),
+        jnum(v.effect_pct()),
+        jnum(v.spread_pct()),
+        v.inconclusive(),
     )
 }
 
 impl SaturationReport {
-    /// Serialize to the `flowdns-bench/saturation/v2` JSON document.
+    /// Serialize to the `flowdns-bench/saturation/v3` JSON document.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"schema\": \"flowdns-bench/saturation/v2\",\n  \"bench\": \"saturation\",\n  \
+            "{{\n  \"schema\": \"flowdns-bench/saturation/v3\",\n  \"bench\": \"saturation\",\n  \
              \"mode\": \"{}\",\n  \"config\": {{\"netflow_listeners\": {}, \"recv_batch\": {}, \
              \"lookup_workers\": {}, \"senders\": {}, \"step_secs\": {}, \"trials\": {}, \
-             \"dns_entries\": {}, \"records_per_datagram\": {}}},\n  \"batched\": {},\n  \
+             \"dns_entries\": {}, \"records_per_datagram\": {}, \"slo_p99_limit_us\": {}}},\n  \
+             \"batched\": {},\n  \
              \"baseline\": {},\n  \"speedup_vs_baseline\": {},\n  \"obs_overhead\": \
              {{\"off_peak_per_sec\": {}, \"on_peak_per_sec\": {}, \"regression_pct\": {}, \
-             \"scrapes\": {}, \"trace_spans\": {}}}\n}}\n",
+             \"scrapes\": {}, \"trace_spans\": {}}},\n  \"variance\": {},\n  \
+             \"scaling\": {}\n}}\n",
             if self.config.smoke { "smoke" } else { "full" },
             self.config.netflow_listeners,
             self.config.recv_batch,
@@ -843,6 +1173,7 @@ impl SaturationReport {
             self.config.trials,
             self.config.dns_entries,
             self.config.records_per_datagram,
+            SLO_P99_LIMIT_US,
             run_json(&self.batched),
             run_json(&self.baseline),
             jnum(self.speedup_vs_baseline()),
@@ -851,6 +1182,8 @@ impl SaturationReport {
             jnum(self.obs_overhead.regression_pct),
             self.obs_overhead.scrapes,
             self.obs_overhead.trace_spans,
+            variance_json(&self.variance),
+            scaling_json(&self.scaling),
         )
     }
 }
@@ -1112,15 +1445,96 @@ fn check_run(doc: &Json, name: &str) -> Result<(), String> {
     if require_num(peak, "accepted_per_sec", name)? <= 0.0 {
         return Err(format!("{name}.peak: accepted_per_sec must be positive"));
     }
+    // v3: the SLO knee may honestly be null (no lossless ≤10 ms step),
+    // but the key itself must be present, and when it is a step it must
+    // be a complete one.
+    match run.get("slo_knee") {
+        Some(Json::Null) => {}
+        Some(step) => check_step(step, &format!("{name}.slo_knee"))?,
+        None => return Err(format!("{name}: missing 'slo_knee'")),
+    }
+    if require_num(run, "p99_at_80pct_us", name)? < 0.0 {
+        return Err(format!("{name}: 'p99_at_80pct_us' is negative"));
+    }
     Ok(())
 }
 
-/// Validate a `BENCH_saturation.json` document against the v2 schema:
+fn check_scaling(doc: &Json) -> Result<(), String> {
+    let points = match doc.get("scaling") {
+        Some(Json::Arr(points)) => points,
+        Some(_) => return Err("'scaling' must be an array".into()),
+        None => return Err("missing top-level array 'scaling'".into()),
+    };
+    if points.is_empty() {
+        return Err("'scaling' is empty".into());
+    }
+    for (i, point) in points.iter().enumerate() {
+        let context = format!("scaling[{i}]");
+        if require_num(point, "shards", &context)? < 1.0 {
+            return Err(format!("{context}: 'shards' must be at least 1"));
+        }
+        if require_num(point, "raw_knee_per_sec", &context)? <= 0.0 {
+            return Err(format!("{context}: 'raw_knee_per_sec' must be positive"));
+        }
+        match point.get("slo_knee_per_sec") {
+            Some(Json::Null) => {}
+            Some(Json::Num(x)) if x.is_finite() && *x >= 0.0 => {}
+            _ => {
+                return Err(format!(
+                    "{context}: 'slo_knee_per_sec' must be null or a non-negative number"
+                ))
+            }
+        }
+        if require_num(point, "p99_at_80pct_us", &context)? < 0.0 {
+            return Err(format!("{context}: 'p99_at_80pct_us' is negative"));
+        }
+    }
+    Ok(())
+}
+
+fn check_variance(doc: &Json) -> Result<(), String> {
+    let v = doc
+        .get("variance")
+        .ok_or("missing top-level object 'variance'")?;
+    if require_num(v, "probe_rate_per_sec", "variance")? <= 0.0 {
+        return Err("variance: 'probe_rate_per_sec' must be positive".into());
+    }
+    for key in ["batched_readings", "baseline_readings"] {
+        let readings = match v.get(key) {
+            Some(Json::Arr(readings)) => readings,
+            _ => return Err(format!("variance: '{key}' must be an array")),
+        };
+        if readings.is_empty() {
+            return Err(format!("variance: '{key}' is empty"));
+        }
+        for (i, reading) in readings.iter().enumerate() {
+            match reading.as_num() {
+                Some(x) if x.is_finite() && x >= 0.0 => {}
+                _ => return Err(format!("variance: '{key}[{i}]' is not a finite number")),
+            }
+        }
+    }
+    // Sign-free: a baseline arm outrunning the batched arm is a real
+    // (negative) effect reading, not a schema violation.
+    require_num(v, "effect_pct", "variance")?;
+    if require_num(v, "spread_pct", "variance")? < 0.0 {
+        return Err("variance: 'spread_pct' is negative".into());
+    }
+    match v.get("inconclusive") {
+        Some(Json::Bool(_)) => Ok(()),
+        _ => Err("variance: 'inconclusive' must be a boolean".into()),
+    }
+}
+
+/// Validate a `BENCH_saturation.json` document against the v3 schema:
 /// every documented key present, steps non-empty, every numeric field
-/// finite (non-negative except `regression_pct`, which noise can push
-/// below zero), both runs' peaks positive, the speedup recorded, and
-/// the `obs_overhead` section complete with at least one completed
-/// scrape. Returns a human-readable reason on failure.
+/// finite (non-negative except `regression_pct` and `effect_pct`,
+/// which noise can push below zero), both runs' peaks positive, each
+/// run's `slo_knee` present (possibly null) and `p99_at_80pct_us`
+/// recorded, the speedup recorded, the `obs_overhead` section complete
+/// with at least one completed scrape, the `variance` confidence probe
+/// complete, and a non-empty sharded `scaling` curve. Returns a
+/// human-readable reason on failure.
 pub fn validate_json(text: &str) -> Result<(), String> {
     if text.trim().is_empty() {
         return Err("file is empty".into());
@@ -1132,7 +1546,7 @@ pub fn validate_json(text: &str) -> Result<(), String> {
         return Err("trailing garbage after the JSON document".into());
     }
     match doc.get("schema").and_then(Json::as_str) {
-        Some("flowdns-bench/saturation/v2") => {}
+        Some("flowdns-bench/saturation/v3") => {}
         Some(other) => return Err(format!("unknown schema '{other}'")),
         None => return Err("missing 'schema'".into()),
     }
@@ -1150,6 +1564,7 @@ pub fn validate_json(text: &str) -> Result<(), String> {
         "trials",
         "dns_entries",
         "records_per_datagram",
+        "slo_p99_limit_us",
     ] {
         if require_num(config, key, "config")? <= 0.0 {
             return Err(format!("config: '{key}' must be positive"));
@@ -1178,6 +1593,8 @@ pub fn validate_json(text: &str) -> Result<(), String> {
     if require_num(obs, "trace_spans", "obs_overhead")? < 0.0 {
         return Err("obs_overhead: 'trace_spans' is negative".into());
     }
+    check_variance(&doc)?;
+    check_scaling(&doc)?;
     Ok(())
 }
 
@@ -1199,14 +1616,28 @@ mod tests {
         }
     }
 
+    /// A step that satisfies the SLO-knee predicate (lossless, tight
+    /// tail) at the given rate.
+    fn clean_step(rate: f64) -> StepMetrics {
+        StepMetrics {
+            drop_pct: 0.0,
+            queue_drop_pct: 0.0,
+            p99_queue_latency_us: 1_800,
+            p999_queue_latency_us: 4_000,
+            ..fake_step(rate)
+        }
+    }
+
     fn fake_report() -> SaturationReport {
-        let run = |listeners, recv_batch, rate| RunResult {
+        let run = |listeners, recv_batch, rate: f64| RunResult {
             listeners,
             recv_batch,
-            steps: vec![fake_step(rate), fake_step(rate * 1.5)],
+            steps: vec![clean_step(rate), fake_step(rate * 1.5)],
             peak: fake_step(rate * 1.5),
             saturated: true,
             avg_drain: if recv_batch > 1 { 11.2 } else { 1.0 },
+            slo_knee: Some(clean_step(rate)),
+            p99_at_80pct_us: 2_400,
         };
         SaturationReport {
             config: SaturationConfig::smoke(),
@@ -1218,6 +1649,25 @@ mod tests {
                 regression_pct: 1.0,
                 scrapes: 9,
                 trace_spans: 140,
+            },
+            scaling: vec![
+                ScalingPoint {
+                    shards: 1,
+                    raw_knee_per_sec: 140_000.0,
+                    slo_knee_per_sec: Some(120_000.0),
+                    p99_at_80pct_us: 900,
+                },
+                ScalingPoint {
+                    shards: 2,
+                    raw_knee_per_sec: 150_000.0,
+                    slo_knee_per_sec: None,
+                    p99_at_80pct_us: 1_100,
+                },
+            ],
+            variance: SpeedupVariance {
+                probe_rate_per_sec: 150_000.0,
+                batched_readings: vec![146_000.0, 145_200.0],
+                baseline_readings: vec![96_000.0, 97_400.0],
             },
         }
     }
@@ -1243,8 +1693,8 @@ mod tests {
         // Remove a required key.
         let missing = good.replace("\"speedup_vs_baseline\"", "\"renamed\"");
         assert!(validate_json(&missing).is_err());
-        // Wrong schema string (the pre-obs_overhead revision).
-        let wrong = good.replace("saturation/v2", "saturation/v1");
+        // Wrong schema string (the pre-SLO-knee revision).
+        let wrong = good.replace("saturation/v3", "saturation/v2");
         assert!(validate_json(&wrong).is_err());
         // A telemetry run that never scraped is a broken measurement.
         let mut no_scrapes = fake_report();
@@ -1272,6 +1722,86 @@ mod tests {
         assert!(validate_json(&no_steps.to_json()).is_err());
         // The unmodified document still passes.
         validate_json(&good).unwrap();
+    }
+
+    #[test]
+    fn slo_knee_selection_requires_lossless_and_tight_tail() {
+        // No step qualifies: everything either dropped or blew the tail.
+        let mut blown = fake_step(100_000.0);
+        blown.drop_pct = 0.0;
+        blown.p99_queue_latency_us = SLO_P99_LIMIT_US + 1;
+        assert!(slo_knee_of(&[fake_step(50_000.0), blown]).is_none());
+        // The qualifying step with the highest accepted rate wins, even
+        // when a later lossy step accepted more.
+        let steps = [
+            clean_step(40_000.0),
+            clean_step(90_000.0),
+            fake_step(200_000.0), // lossy: drop_pct > 0
+            blown,                // lossless but p99 over the limit
+        ];
+        let knee = slo_knee_of(&steps).expect("two steps qualify");
+        assert_eq!(knee, clean_step(90_000.0));
+        // Exactly at the limit still qualifies (the bound is inclusive).
+        let mut at_limit = clean_step(10_000.0);
+        at_limit.p99_queue_latency_us = SLO_P99_LIMIT_US;
+        assert!(slo_knee_of(&[at_limit]).is_some());
+        assert!(slo_knee_of(&[]).is_none());
+    }
+
+    #[test]
+    fn variance_verdict_compares_spread_to_effect() {
+        // Clear effect, tight arms: conclusive.
+        let clear = SpeedupVariance {
+            probe_rate_per_sec: 100_000.0,
+            batched_readings: vec![100_000.0, 99_000.0],
+            baseline_readings: vec![60_000.0, 59_500.0],
+        };
+        assert!(clear.effect_pct() > 60.0);
+        assert!(!clear.inconclusive());
+        // Effect smaller than the within-arm spread: inconclusive.
+        let noisy = SpeedupVariance {
+            probe_rate_per_sec: 100_000.0,
+            batched_readings: vec![100_000.0, 88_000.0],
+            baseline_readings: vec![99_000.0, 93_000.0],
+        };
+        assert!(noisy.spread_pct() >= noisy.effect_pct().abs());
+        assert!(noisy.inconclusive());
+        // Degenerate inputs never divide by zero.
+        let empty = SpeedupVariance {
+            probe_rate_per_sec: 0.0,
+            batched_readings: vec![],
+            baseline_readings: vec![],
+        };
+        assert_eq!(empty.effect_pct(), 0.0);
+        assert_eq!(empty.spread_pct(), 0.0);
+    }
+
+    #[test]
+    fn validator_requires_v3_sections() {
+        // A null slo_knee is honest and allowed.
+        let mut no_knee = fake_report();
+        no_knee.batched.slo_knee = None;
+        validate_json(&no_knee.to_json()).unwrap();
+        // But the key itself must exist.
+        let good = fake_report().to_json();
+        let missing_knee = good.replace("\"slo_knee\"", "\"renamed_knee\"");
+        let err = validate_json(&missing_knee).unwrap_err();
+        assert!(err.contains("slo_knee"), "{err}");
+        // An empty scaling curve is a broken measurement.
+        let mut no_scaling = fake_report();
+        no_scaling.scaling.clear();
+        let err = validate_json(&no_scaling.to_json()).unwrap_err();
+        assert!(err.contains("scaling"), "{err}");
+        // A variance probe with no readings is a broken measurement.
+        let mut no_readings = fake_report();
+        no_readings.variance.batched_readings.clear();
+        let err = validate_json(&no_readings.to_json()).unwrap_err();
+        assert!(err.contains("batched_readings"), "{err}");
+        // scaling entries must carry a positive raw knee.
+        let mut zero_knee = fake_report();
+        zero_knee.scaling[0].raw_knee_per_sec = 0.0;
+        let err = validate_json(&zero_knee.to_json()).unwrap_err();
+        assert!(err.contains("raw_knee_per_sec"), "{err}");
     }
 
     #[test]

@@ -122,6 +122,21 @@ pub struct CorrelatorConfig {
     /// `Duration::ZERO` keeps only the shutdown snapshot. Ignored unless
     /// [`CorrelatorConfig::snapshot_path`] is set.
     pub snapshot_interval: Duration,
+    /// Number of shared-nothing correlator shards. `0` (the default)
+    /// keeps the classic shared-queue pipeline with
+    /// [`CorrelatorConfig::fillup_workers`] /
+    /// [`CorrelatorConfig::lookup_workers`]; any positive value switches
+    /// to key-routed SPSC ingress where each shard owns an exclusive
+    /// partition of the IP-NAME store and performs both FillUp and
+    /// LookUp for its key range (`fillup_workers`/`lookup_workers` are
+    /// then ignored — see MIGRATION.md).
+    pub correlator_shards: usize,
+    /// Capacity of each per-(producer, shard) DNS ingress ring, in
+    /// records (sharded mode only; rounded up to a power of two).
+    pub shard_dns_ring_capacity: usize,
+    /// Capacity of each per-(producer, shard) flow ingress ring, in
+    /// records (sharded mode only; rounded up to a power of two).
+    pub shard_flow_ring_capacity: usize,
     /// Flight-recorder sampling interval: every n-th decoded flow gets a
     /// trace token and emits one JSONL span at egress. `0` (the default)
     /// disables tracing entirely — no recorder is constructed and the
@@ -151,6 +166,9 @@ impl Default for CorrelatorConfig {
             routing_table: None,
             snapshot_path: None,
             snapshot_interval: Duration::from_secs(300),
+            correlator_shards: 0,
+            shard_dns_ring_capacity: 65_536,
+            shard_flow_ring_capacity: 262_144,
             trace_sample_every: 0,
             trace_path: None,
         }
@@ -226,6 +244,25 @@ impl CorrelatorConfig {
                 return Err(FlowDnsError::Config(format!("{name} must be at least 1")));
             }
         }
+        if self.correlator_shards > 0 {
+            if self.shard_dns_ring_capacity == 0 {
+                return Err(FlowDnsError::Config(
+                    "shard_dns_ring_capacity must be at least 1".into(),
+                ));
+            }
+            if self.shard_flow_ring_capacity == 0 {
+                return Err(FlowDnsError::Config(
+                    "shard_flow_ring_capacity must be at least 1".into(),
+                ));
+            }
+            if matches!(self.variant, Variant::ExactTtl) {
+                // The exact-TTL strawman keeps its own purge wheel with
+                // interior locking; partitioning it is out of scope.
+                return Err(FlowDnsError::Config(
+                    "correlator_shards is not supported with the ExactTtl variant".into(),
+                ));
+            }
+        }
         if self.trace_sample_every > 0 && self.trace_path.is_none() {
             return Err(FlowDnsError::Config(
                 "trace_sample_every requires trace_path".into(),
@@ -299,6 +336,13 @@ impl CorrelatorConfig {
                 "snapshot_path" => cfg.snapshot_path = Some(value.to_string()),
                 "snapshot_interval" => {
                     cfg.snapshot_interval = Duration::from_secs(parse_u64(value)?)
+                }
+                "correlator_shards" => cfg.correlator_shards = parse_u64(value)? as usize,
+                "shard_dns_ring_capacity" => {
+                    cfg.shard_dns_ring_capacity = parse_u64(value)? as usize
+                }
+                "shard_flow_ring_capacity" => {
+                    cfg.shard_flow_ring_capacity = parse_u64(value)? as usize
                 }
                 "trace_sample_every" => cfg.trace_sample_every = parse_u64(value)?,
                 "trace_path" => cfg.trace_path = Some(value.to_string()),
@@ -411,6 +455,35 @@ lookup_workers = 8
         assert!(CorrelatorConfig::from_config_text("trace_sample_every = 64").is_err());
         // A path alone (sampling off) is fine.
         assert!(CorrelatorConfig::from_config_text("trace_path = /tmp/t.jsonl").is_ok());
+    }
+
+    #[test]
+    fn shard_keys_are_parsed_and_validated() {
+        let cfg = CorrelatorConfig::default();
+        assert_eq!(cfg.correlator_shards, 0); // shared-queue pipeline
+        assert_eq!(cfg.shard_dns_ring_capacity, 65_536);
+        assert_eq!(cfg.shard_flow_ring_capacity, 262_144);
+        let cfg = CorrelatorConfig::from_config_text(
+            "correlator_shards = 4\n\
+             shard_dns_ring_capacity = 1024\n\
+             shard_flow_ring_capacity = 4096",
+        )
+        .unwrap();
+        assert_eq!(cfg.correlator_shards, 4);
+        assert_eq!(cfg.shard_dns_ring_capacity, 1024);
+        assert_eq!(cfg.shard_flow_ring_capacity, 4096);
+        // Zero ring capacities only matter when sharding is on.
+        assert!(CorrelatorConfig::from_config_text(
+            "correlator_shards = 2\nshard_dns_ring_capacity = 0"
+        )
+        .is_err());
+        assert!(CorrelatorConfig::from_config_text("shard_dns_ring_capacity = 0").is_ok());
+        // The exact-TTL strawman has no partitioned implementation.
+        assert!(
+            CorrelatorConfig::from_config_text("correlator_shards = 2\nvariant = ExactTTL")
+                .is_err()
+        );
+        assert!(CorrelatorConfig::from_config_text("variant = ExactTTL").is_ok());
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod fillup;
 pub mod lookup;
 pub mod metrics;
 pub mod pipeline;
+pub mod shard;
 pub mod simulate;
 pub mod store;
 pub mod write;
@@ -53,6 +54,9 @@ pub use metrics::{
     CostModel, ExporterStats, IngestSummary, PipelineMetrics, Report, SnapshotStats,
 };
 pub use pipeline::Correlator;
+pub use shard::{
+    shard_of_dns, shard_of_flow, shard_of_ip, shard_of_key, ShardPartition, ShardedStore,
+};
 pub use simulate::{HourlySample, OfflineSimulator, SimulationOutcome};
 pub use store::DnsStore;
 pub use write::{

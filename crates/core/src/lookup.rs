@@ -153,55 +153,77 @@ impl<'a> Resolver<'a> {
             stats.ip_misses += 1;
             return CorrelationOutcome::NotFound;
         };
-        stats.ip_hits += 1;
+        follow_chain(
+            first_name,
+            self.loop_limit,
+            |name| self.store.lookup_cname(name, now).map(|(next, _)| next),
+            |first, last| self.store.memoize_cname(first, last),
+            stats,
+        )
+    }
+}
 
-        let mut chain: Vec<NameRef> = Vec::with_capacity(2);
-        chain.push(first_name.clone());
-        let mut current = first_name;
+/// The CNAME-chain half of Algorithm 2, shared between the classic
+/// [`Resolver`] and the sharded correlator's per-partition resolve: walk
+/// from the name an IP mapped to back towards the customer-facing name,
+/// bounded by the loop limit, memoizing multi-hop shortcuts. The caller
+/// has already looked the IP up (and counted the hit/miss); `lookup` and
+/// `memoize` close over whichever NAME-CNAME store the caller uses.
+pub(crate) fn follow_chain(
+    first_name: NameRef,
+    loop_limit: usize,
+    lookup: impl Fn(&NameRef) -> Option<NameRef>,
+    memoize: impl FnOnce(&NameRef, &NameRef),
+    stats: &mut LookUpStats,
+) -> CorrelationOutcome {
+    stats.ip_hits += 1;
 
-        let mut hops = 0usize;
-        loop {
-            if hops >= self.loop_limit {
-                stats.loop_limit_hits += 1;
-                break;
-            }
-            match self.store.lookup_cname(&current, now) {
-                Some((next, _)) => {
-                    hops += 1;
-                    stats.cname_hops += 1;
-                    // A self-referencing CNAME would loop forever; treat it
-                    // as the end of the chain. Handles from one interner
-                    // compare by pointer first, so this scan is cheap.
-                    if next == current || chain.contains(&next) {
-                        break;
-                    }
-                    chain.push(next.clone());
-                    current = next;
+    let mut chain: Vec<NameRef> = Vec::with_capacity(2);
+    chain.push(first_name.clone());
+    let mut current = first_name;
+
+    let mut hops = 0usize;
+    loop {
+        if hops >= loop_limit {
+            stats.loop_limit_hits += 1;
+            break;
+        }
+        match lookup(&current) {
+            Some(next) => {
+                hops += 1;
+                stats.cname_hops += 1;
+                // A self-referencing CNAME would loop forever; treat it
+                // as the end of the chain. Handles from one interner
+                // compare by pointer first, so this scan is cheap.
+                if next == current || chain.contains(&next) {
+                    break;
                 }
-                None => break,
+                chain.push(next.clone());
+                current = next;
             }
+            None => break,
         }
+    }
 
-        if chain.len() > 2 {
-            // Multi-hop resolution: memoize the shortcut from the first
-            // name straight to the final alias for later flows.
-            if let (Some(first), Some(last)) = (chain.first(), chain.last()) {
-                self.store.memoize_cname(first, last);
-                stats.memoized += 1;
-            }
+    if chain.len() > 2 {
+        // Multi-hop resolution: memoize the shortcut from the first
+        // name straight to the final alias for later flows.
+        if let (Some(first), Some(last)) = (chain.first(), chain.last()) {
+            memoize(first, last);
+            stats.memoized += 1;
         }
+    }
 
-        if chain.len() == 1 {
-            // len == 1 makes pop() infallible, but stay panic-free.
-            let Some(only) = chain.pop() else {
-                return CorrelationOutcome::NotFound;
-            };
-            CorrelationOutcome::Name(only.into())
-        } else {
-            // Each conversion rewraps the shared allocation; the store
-            // only ever hands out handles to normalized names.
-            CorrelationOutcome::Chain(chain.into_iter().map(DomainName::from).collect())
-        }
+    if chain.len() == 1 {
+        // len == 1 makes pop() infallible, but stay panic-free.
+        let Some(only) = chain.pop() else {
+            return CorrelationOutcome::NotFound;
+        };
+        CorrelationOutcome::Name(only.into())
+    } else {
+        // Each conversion rewraps the shared allocation; the store
+        // only ever hands out handles to normalized names.
+        CorrelationOutcome::Chain(chain.into_iter().map(DomainName::from).collect())
     }
 }
 

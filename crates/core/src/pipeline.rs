@@ -33,17 +33,32 @@ use parking_lot::Mutex;
 
 use flowdns_bgp::{AsnView, FrozenTable, RoutingTable};
 use flowdns_obs::{FlightRecorder, Histogram, HistogramSnapshot, MetricsRegistry};
-use flowdns_stream::{LatencySnapshot, StreamBuffer};
+use flowdns_snapshot::DnsStoreImage;
+use flowdns_stream::{LatencySnapshot, ShardProducer, ShardedChannel, StreamBuffer};
 use flowdns_types::{CorrelatedRecord, DnsRecord, FlowDnsError, FlowKey, FlowRecord, SimDuration};
 
 use crate::config::CorrelatorConfig;
 use crate::fillup::{process_dns_record, FillUpStats};
 use crate::lookup::{LookUpStats, Resolver};
 use crate::metrics::{PipelineMetrics, Report, SnapshotStats};
+use crate::shard::{shard_of_dns, shard_of_flow, ShardedStore};
 use crate::store::DnsStore;
 use crate::write::{MemorySink, OutputSink, WriteStats};
 
 const POP_WAIT: Duration = Duration::from_millis(5);
+
+/// How many flow records a shard worker processes per partition-lock
+/// acquisition before re-checking its DNS lane. FillUp-first: the DNS
+/// lane is drained completely at the top of every round so flows always
+/// see the freshest possible mappings, then at most this many flows run
+/// before the next DNS check.
+const SHARD_FLOW_BATCH: usize = 1024;
+
+/// How long an idle shard worker sleeps before polling its lanes again.
+/// Much shorter than the MPMC stages' `POP_WAIT`: an SPSC poll is two
+/// cache-line reads per registered producer, so polling often is cheap
+/// and keeps idle-to-busy latency low.
+const SHARD_IDLE_WAIT: Duration = Duration::from_micros(500);
 
 /// Records a worker processes between flushes of its thread-local stats
 /// into the shared counters `snapshot()` reads. Large enough to keep the
@@ -128,10 +143,81 @@ impl SnapshotShared {
     }
 }
 
+/// The pipeline's storage, in whichever layout the config selected:
+/// the classic shared [`DnsStore`] (lock-striped, any worker touches
+/// any entry) or the [`ShardedStore`] (one exclusive partition per
+/// shard worker). Cloning clones `Arc`s.
+#[derive(Debug, Clone)]
+enum StoreHandle {
+    Shared(Arc<DnsStore>),
+    Sharded(Arc<ShardedStore>),
+}
+
+impl StoreHandle {
+    fn total_entries(&self) -> usize {
+        match self {
+            StoreHandle::Shared(store) => store.total_entries(),
+            StoreHandle::Sharded(store) => store.total_entries(),
+        }
+    }
+
+    fn memory_estimate(&self) -> flowdns_storage::MemoryEstimate {
+        match self {
+            StoreHandle::Shared(store) => store.memory_estimate(),
+            StoreHandle::Sharded(store) => store.memory_estimate(),
+        }
+    }
+
+    fn is_exact_ttl(&self) -> bool {
+        match self {
+            StoreHandle::Shared(store) => store.is_exact_ttl(),
+            StoreHandle::Sharded(_) => false,
+        }
+    }
+
+    fn export_image(&self) -> Option<DnsStoreImage> {
+        match self {
+            StoreHandle::Shared(store) => store.export_image(),
+            StoreHandle::Sharded(store) => Some(store.export_image()),
+        }
+    }
+
+    fn import_image(
+        &self,
+        image: &DnsStoreImage,
+        now: Option<flowdns_types::SimTime>,
+    ) -> Result<usize, FlowDnsError> {
+        match self {
+            StoreHandle::Shared(store) => store.import_image(image, now),
+            StoreHandle::Sharded(store) => store.import_image(image, now),
+        }
+    }
+}
+
+/// The ingest boundary, in whichever shape the config selected: the
+/// classic shared MPMC queues, or per-shard SPSC channels routed by IP
+/// key at decode time.
+enum Ingress {
+    Shared {
+        fillup: StreamBuffer<DnsRecord>,
+        lookup: StreamBuffer<FlowRecord>,
+    },
+    Sharded {
+        dns: Arc<ShardedChannel<DnsRecord>>,
+        flows: Arc<ShardedChannel<FlowRecord>>,
+        /// Producer pair backing the per-record `push_dns`/`push_flow`
+        /// compat API (tests, trickle callers). High-rate producers —
+        /// listeners, the saturation bench — register their own
+        /// thread-local [`ShardRouter`] via
+        /// [`Correlator::ingress_router`] and never touch this mutex.
+        fallback: Mutex<(ShardProducer<DnsRecord>, ShardProducer<FlowRecord>)>,
+    },
+}
+
 /// Export the store and write it to `path` atomically, folding the
 /// outcome into the shared snapshot stats. A `None` export (the
 /// exact-TTL variant) is a silent no-op.
-fn write_store_snapshot(store: &DnsStore, path: &str, shared: &SnapshotShared) {
+fn write_store_snapshot(store: &StoreHandle, path: &str, shared: &SnapshotShared) {
     let _one_writer = shared.write_serial.lock();
     let Some(image) = store.export_image() else {
         return;
@@ -140,6 +226,107 @@ fn write_store_snapshot(store: &DnsStore, path: &str, shared: &SnapshotShared) {
     match flowdns_snapshot::write_snapshot(path, &image) {
         Ok(bytes) => shared.record_write(bytes, entries),
         Err(e) => shared.record_error("snapshot write", &e),
+    }
+}
+
+/// A per-thread ingress handle for the sharded pipeline: routes each
+/// record to its shard's lane ([`shard_of_dns`]/[`shard_of_flow`]) and
+/// pushes into that lane's private SPSC ring. Build one per producing
+/// thread via [`Correlator::ingress_router`]; pushes take no lock and
+/// allocate nothing.
+pub struct ShardRouter {
+    dns_channel: Arc<ShardedChannel<DnsRecord>>,
+    flow_channel: Arc<ShardedChannel<FlowRecord>>,
+    dns: ShardProducer<DnsRecord>,
+    flows: ShardProducer<FlowRecord>,
+    /// Reusable per-lane accept/drop tallies for the batch forms, so a
+    /// batch costs one counter update per touched lane and zero
+    /// allocations.
+    accepted: Vec<u64>,
+    dropped: Vec<u64>,
+}
+
+impl std::fmt::Debug for ShardRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardRouter")
+            .field("shards", &self.dns_channel.lanes())
+            .finish()
+    }
+}
+
+impl ShardRouter {
+    /// Number of correlator shards this router fans out to.
+    pub fn shards(&self) -> usize {
+        self.dns_channel.lanes()
+    }
+
+    /// Route one DNS record to its shard's ring. Returns `false` if the
+    /// ring was full and the record was dropped (stream loss).
+    pub fn route_dns(&mut self, record: DnsRecord) -> bool {
+        let lane = shard_of_dns(&record, self.dns.lanes());
+        self.dns.push(&self.dns_channel, lane, record)
+    }
+
+    /// Route one flow record to its shard's ring. Returns `false` if
+    /// the ring was full and the record was dropped (stream loss).
+    pub fn route_flow(&mut self, record: FlowRecord) -> bool {
+        let lane = shard_of_flow(&record, self.flows.lanes());
+        self.flows.push(&self.flow_channel, lane, record)
+    }
+
+    /// Route a batch of DNS records, returning how many were accepted.
+    /// Lane counters are updated once per touched lane, not per record.
+    pub fn route_dns_batch<I>(&mut self, records: I) -> usize
+    where
+        I: IntoIterator<Item = DnsRecord>,
+    {
+        let lanes = self.dns.lanes();
+        self.accepted.iter_mut().for_each(|n| *n = 0);
+        self.dropped.iter_mut().for_each(|n| *n = 0);
+        let mut total = 0usize;
+        for record in records {
+            let lane = shard_of_dns(&record, lanes);
+            if self.dns.push_uncounted(lane, record) {
+                self.accepted[lane] += 1;
+                total += 1;
+            } else {
+                self.dropped[lane] += 1;
+            }
+        }
+        for lane in 0..lanes {
+            self.dns
+                .note_accepted(&self.dns_channel, lane, self.accepted[lane]);
+            self.dns
+                .note_dropped(&self.dns_channel, lane, self.dropped[lane]);
+        }
+        total
+    }
+
+    /// Route a batch of flow records, returning how many were accepted.
+    pub fn route_flow_batch<I>(&mut self, records: I) -> usize
+    where
+        I: IntoIterator<Item = FlowRecord>,
+    {
+        let lanes = self.flows.lanes();
+        self.accepted.iter_mut().for_each(|n| *n = 0);
+        self.dropped.iter_mut().for_each(|n| *n = 0);
+        let mut total = 0usize;
+        for record in records {
+            let lane = shard_of_flow(&record, lanes);
+            if self.flows.push_uncounted(lane, record) {
+                self.accepted[lane] += 1;
+                total += 1;
+            } else {
+                self.dropped[lane] += 1;
+            }
+        }
+        for lane in 0..lanes {
+            self.flows
+                .note_accepted(&self.flow_channel, lane, self.accepted[lane]);
+            self.flows
+                .note_dropped(&self.flow_channel, lane, self.dropped[lane]);
+        }
+        total
     }
 }
 
@@ -158,9 +345,8 @@ fn shard_of(key: &FlowKey, shards: usize) -> usize {
 /// A running correlation pipeline.
 pub struct Correlator {
     config: CorrelatorConfig,
-    store: Arc<DnsStore>,
-    fillup_queue: StreamBuffer<DnsRecord>,
-    lookup_queue: StreamBuffer<FlowRecord>,
+    store: StoreHandle,
+    ingress: Ingress,
     /// One bounded queue per Write worker; LookUp workers partition
     /// records across them by flow-key hash.
     write_queues: Vec<StreamBuffer<CorrelatedRecord>>,
@@ -262,7 +448,12 @@ impl Correlator {
         let sinks: Vec<Box<dyn OutputSink>> = (0..config.write_workers)
             .map(&mut factory)
             .collect::<Result<_, _>>()?;
-        let store = Arc::new(DnsStore::new(&config));
+        let sharded = config.correlator_shards > 0;
+        let store = if sharded {
+            StoreHandle::Sharded(Arc::new(ShardedStore::new(&config)))
+        } else {
+            StoreHandle::Shared(Arc::new(DnsStore::new(&config)))
+        };
         let snapshot_shared = Arc::new(SnapshotShared::default());
         // Warm start: restore the store from the configured snapshot file
         // before any worker runs. A missing file is a normal cold start; a
@@ -302,15 +493,21 @@ impl Correlator {
             )),
             _ => None,
         };
+        // In sharded mode one worker per shard runs both stages, so both
+        // service histograms are sharded by correlator shard.
         let stage_service = StageService {
-            fillup: Histogram::new(config.fillup_workers),
-            lookup: Histogram::new(config.lookup_workers),
+            fillup: Histogram::new(if sharded {
+                config.correlator_shards
+            } else {
+                config.fillup_workers
+            }),
+            lookup: Histogram::new(if sharded {
+                config.correlator_shards
+            } else {
+                config.lookup_workers
+            }),
             write: Histogram::new(config.write_workers),
         };
-        let fillup_queue =
-            StreamBuffer::with_latency(config.fillup_queue_capacity, QUEUE_LATENCY_SAMPLE_EVERY);
-        let lookup_queue: StreamBuffer<FlowRecord> =
-            StreamBuffer::with_latency(config.lookup_queue_capacity, QUEUE_LATENCY_SAMPLE_EVERY);
         // The configured write capacity is the total across shards.
         let per_shard_capacity = (config.write_queue_capacity / config.write_workers).max(1);
         let write_queues: Vec<StreamBuffer<CorrelatedRecord>> = (0..config.write_workers)
@@ -327,127 +524,294 @@ impl Correlator {
         let mut input_workers = Vec::new();
         let mut write_workers = Vec::new();
 
-        // FillUp workers.
-        for i in 0..config.fillup_workers {
-            let queue = fillup_queue.clone();
-            let store = Arc::clone(&store);
-            let stats = Arc::clone(&fillup_stats);
-            let shutdown = Arc::clone(&input_shutdown);
-            // Pre-allocated per-worker recorder: the sampled timing path
-            // is one uncontended atomic add into this worker's shard.
-            let service = stage_service.fillup.recorder(i);
-            input_workers.push(
-                std::thread::Builder::new()
-                    .name(format!("fillup-{i}"))
-                    .spawn(move || {
-                        let mut local = FillUpStats::default();
-                        let mut seen = 0u64;
-                        loop {
-                            match queue.pop_wait(POP_WAIT) {
-                                Some(record) => {
-                                    if seen % SERVICE_SAMPLE_EVERY == 0 {
-                                        let started = Instant::now();
-                                        process_dns_record(&store, &record, &mut local);
-                                        service.record(started.elapsed().as_micros() as u64);
-                                    } else {
-                                        process_dns_record(&store, &record, &mut local);
+        let ingress = if sharded {
+            // Sharded ingress: per-shard SPSC channels, one worker per
+            // shard running FillUp and LookUp back to back over its
+            // exclusive partition. `fillup_workers`/`lookup_workers`
+            // are ignored in this mode (see MIGRATION.md).
+            let dns_channel = Arc::new(ShardedChannel::<DnsRecord>::new(
+                config.correlator_shards,
+                config.shard_dns_ring_capacity,
+                QUEUE_LATENCY_SAMPLE_EVERY,
+            ));
+            let flow_channel = Arc::new(ShardedChannel::<FlowRecord>::new(
+                config.correlator_shards,
+                config.shard_flow_ring_capacity,
+                QUEUE_LATENCY_SAMPLE_EVERY,
+            ));
+            let StoreHandle::Sharded(sharded_store) = &store else {
+                return Err(FlowDnsError::PipelineState(
+                    "sharded ingress requires the sharded store".into(),
+                ));
+            };
+            for i in 0..config.correlator_shards {
+                let dns_channel = Arc::clone(&dns_channel);
+                let flow_channel = Arc::clone(&flow_channel);
+                let store = Arc::clone(sharded_store);
+                let out_queues = write_queues.clone();
+                let fstats = Arc::clone(&fillup_stats);
+                let lstats = Arc::clone(&lookup_stats);
+                let shutdown = Arc::clone(&input_shutdown);
+                let asn_reader = asn_view.as_ref().map(|view| view.reader());
+                let fillup_service = stage_service.fillup.recorder(i);
+                let lookup_service = stage_service.lookup.recorder(i);
+                let flight_handle = flight.clone();
+                input_workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("shard-{i}"))
+                        .spawn(move || {
+                            let mut dns_in = dns_channel.consumer(i);
+                            let mut flow_in = flow_channel.consumer(i);
+                            let mut asn = asn_reader;
+                            let write_shards = out_queues.len();
+                            let mut flocal = FillUpStats::default();
+                            let mut llocal = LookUpStats::default();
+                            let mut fseen = 0u64;
+                            let mut lseen = 0u64;
+                            loop {
+                                let mut processed = 0usize;
+                                {
+                                    // One lock acquisition per wake-up:
+                                    // worker `i` is the only long-lived
+                                    // holder, so this is uncontended
+                                    // except against snapshot export.
+                                    let mut partition = store.partition(i).lock();
+                                    // FillUp-first: drain the DNS lane
+                                    // completely before touching flows.
+                                    while let Some(record) = dns_in.pop_adopting() {
+                                        if fseen % SERVICE_SAMPLE_EVERY == 0 {
+                                            let started = Instant::now();
+                                            partition.process_dns(&store, &record, &mut flocal);
+                                            fillup_service
+                                                .record(started.elapsed().as_micros() as u64);
+                                        } else {
+                                            partition.process_dns(&store, &record, &mut flocal);
+                                        }
+                                        fseen += 1;
+                                        processed += 1;
                                     }
-                                    seen += 1;
-                                    if local.total() >= STATS_FLUSH_EVERY {
-                                        stats.lock().merge(&local);
-                                        local = FillUpStats::default();
+                                    // Then a bounded run of flows, so
+                                    // fresh DNS is re-checked at least
+                                    // every SHARD_FLOW_BATCH records.
+                                    let mut budget = SHARD_FLOW_BATCH;
+                                    while budget > 0 {
+                                        let Some(flow) = flow_in.pop_adopting() else {
+                                            break;
+                                        };
+                                        budget -= 1;
+                                        let trace = flow.trace;
+                                        if let (Some(flight), Some(id)) = (&flight_handle, trace) {
+                                            flight.stamp_dequeue(id);
+                                        }
+                                        let record = if lseen % SERVICE_SAMPLE_EVERY == 0 {
+                                            let started = Instant::now();
+                                            let record = partition.process_flow(
+                                                &store,
+                                                &mut asn,
+                                                flow,
+                                                &mut llocal,
+                                            );
+                                            lookup_service
+                                                .record(started.elapsed().as_micros() as u64);
+                                            record
+                                        } else {
+                                            partition.process_flow(
+                                                &store,
+                                                &mut asn,
+                                                flow,
+                                                &mut llocal,
+                                            )
+                                        };
+                                        lseen += 1;
+                                        if let (Some(flight), Some(id)) = (&flight_handle, trace) {
+                                            flight.stamp_lookup_done(id, record.src_asn.is_some());
+                                        }
+                                        let wshard = shard_of(&record.flow.key, write_shards);
+                                        let _ = out_queues[wshard].push(record);
+                                        processed += 1;
                                     }
                                 }
-                                None => {
+                                if flocal.total() + llocal.total() >= STATS_FLUSH_EVERY {
+                                    fstats.lock().merge(&flocal);
+                                    flocal = FillUpStats::default();
+                                    lstats.lock().merge(&llocal);
+                                    llocal = LookUpStats::default();
+                                }
+                                if processed == 0 {
                                     // Idle: flush pending local stats so
-                                    // `snapshot()` converges on quiet streams.
-                                    if local != FillUpStats::default() {
-                                        stats.lock().merge(&local);
-                                        local = FillUpStats::default();
+                                    // `snapshot()` converges on quiet
+                                    // streams, then check for shutdown.
+                                    if flocal != FillUpStats::default() {
+                                        fstats.lock().merge(&flocal);
+                                        flocal = FillUpStats::default();
                                     }
-                                    if shutdown.load(Ordering::Acquire) && queue.is_empty() {
+                                    if llocal != LookUpStats::default() {
+                                        lstats.lock().merge(&llocal);
+                                        llocal = LookUpStats::default();
+                                    }
+                                    if shutdown.load(Ordering::Acquire)
+                                        && dns_channel.lane_is_empty(i)
+                                        && flow_channel.lane_is_empty(i)
+                                    {
                                         break;
                                     }
+                                    std::thread::sleep(SHARD_IDLE_WAIT);
                                 }
                             }
-                        }
-                        stats.lock().merge(&local);
-                    })
-                    // Spawn failure (thread exhaustion) aborts startup;
-                    // main's error path exits the process, which tears
-                    // down any workers already running.
-                    .map_err(|e| FlowDnsError::Io(format!("spawn fillup worker: {e}")))?,
+                            fstats.lock().merge(&flocal);
+                            lstats.lock().merge(&llocal);
+                        })
+                        .map_err(|e| FlowDnsError::Io(format!("spawn shard worker: {e}")))?,
+                );
+            }
+            let fallback = Mutex::new((dns_channel.producer(), flow_channel.producer()));
+            Ingress::Sharded {
+                dns: dns_channel,
+                flows: flow_channel,
+                fallback,
+            }
+        } else {
+            let fillup_queue = StreamBuffer::with_latency(
+                config.fillup_queue_capacity,
+                QUEUE_LATENCY_SAMPLE_EVERY,
             );
-        }
+            let lookup_queue: StreamBuffer<FlowRecord> = StreamBuffer::with_latency(
+                config.lookup_queue_capacity,
+                QUEUE_LATENCY_SAMPLE_EVERY,
+            );
+            let StoreHandle::Shared(shared_store) = &store else {
+                return Err(FlowDnsError::PipelineState(
+                    "classic ingress requires the shared store".into(),
+                ));
+            };
 
-        // LookUp workers.
-        for i in 0..config.lookup_workers {
-            let queue = lookup_queue.clone();
-            let out_queues = write_queues.clone();
-            let store = Arc::clone(&store);
-            let stats = Arc::clone(&lookup_stats);
-            let shutdown = Arc::clone(&input_shutdown);
-            let config_copy = config.clone();
-            let asn_reader = asn_view.as_ref().map(|view| view.reader());
-            let service = stage_service.lookup.recorder(i);
-            let flight_handle = flight.clone();
-            input_workers.push(
-                std::thread::Builder::new()
-                    .name(format!("lookup-{i}"))
-                    .spawn(move || {
-                        let mut resolver = Resolver::new(&store, &config_copy);
-                        if let Some(reader) = asn_reader {
-                            resolver = resolver.with_asn_reader(reader);
-                        }
-                        let shards = out_queues.len();
-                        let mut local = LookUpStats::default();
-                        let mut seen = 0u64;
-                        loop {
-                            match queue.pop_wait(POP_WAIT) {
-                                Some(flow) => {
-                                    let trace = flow.trace;
-                                    if let (Some(flight), Some(id)) = (&flight_handle, trace) {
-                                        flight.stamp_dequeue(id);
+            // FillUp workers.
+            for i in 0..config.fillup_workers {
+                let queue = fillup_queue.clone();
+                let store = Arc::clone(shared_store);
+                let stats = Arc::clone(&fillup_stats);
+                let shutdown = Arc::clone(&input_shutdown);
+                // Pre-allocated per-worker recorder: the sampled timing path
+                // is one uncontended atomic add into this worker's shard.
+                let service = stage_service.fillup.recorder(i);
+                input_workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("fillup-{i}"))
+                        .spawn(move || {
+                            let mut local = FillUpStats::default();
+                            let mut seen = 0u64;
+                            loop {
+                                match queue.pop_wait(POP_WAIT) {
+                                    Some(record) => {
+                                        if seen % SERVICE_SAMPLE_EVERY == 0 {
+                                            let started = Instant::now();
+                                            process_dns_record(&store, &record, &mut local);
+                                            service.record(started.elapsed().as_micros() as u64);
+                                        } else {
+                                            process_dns_record(&store, &record, &mut local);
+                                        }
+                                        seen += 1;
+                                        if local.total() >= STATS_FLUSH_EVERY {
+                                            stats.lock().merge(&local);
+                                            local = FillUpStats::default();
+                                        }
                                     }
-                                    let record = if seen % SERVICE_SAMPLE_EVERY == 0 {
-                                        let started = Instant::now();
-                                        let record = resolver.process_flow(flow, &mut local);
-                                        service.record(started.elapsed().as_micros() as u64);
-                                        record
-                                    } else {
-                                        resolver.process_flow(flow, &mut local)
-                                    };
-                                    seen += 1;
-                                    if let (Some(flight), Some(id)) = (&flight_handle, trace) {
-                                        flight.stamp_lookup_done(id, record.src_asn.is_some());
-                                    }
-                                    let shard = shard_of(&record.flow.key, shards);
-                                    // The write queue drop counter lives in the
-                                    // buffer stats; nothing more to do on failure.
-                                    let _ = out_queues[shard].push(record);
-                                    if local.total() >= STATS_FLUSH_EVERY {
-                                        stats.lock().merge(&local);
-                                        local = LookUpStats::default();
-                                    }
-                                }
-                                None => {
-                                    // Idle: flush pending local stats so
-                                    // `snapshot()` converges on quiet streams.
-                                    if local != LookUpStats::default() {
-                                        stats.lock().merge(&local);
-                                        local = LookUpStats::default();
-                                    }
-                                    if shutdown.load(Ordering::Acquire) && queue.is_empty() {
-                                        break;
+                                    None => {
+                                        // Idle: flush pending local stats so
+                                        // `snapshot()` converges on quiet streams.
+                                        if local != FillUpStats::default() {
+                                            stats.lock().merge(&local);
+                                            local = FillUpStats::default();
+                                        }
+                                        if shutdown.load(Ordering::Acquire) && queue.is_empty() {
+                                            break;
+                                        }
                                     }
                                 }
                             }
-                        }
-                        stats.lock().merge(&local);
-                    })
-                    .map_err(|e| FlowDnsError::Io(format!("spawn lookup worker: {e}")))?,
-            );
-        }
+                            stats.lock().merge(&local);
+                        })
+                        // Spawn failure (thread exhaustion) aborts startup;
+                        // main's error path exits the process, which tears
+                        // down any workers already running.
+                        .map_err(|e| FlowDnsError::Io(format!("spawn fillup worker: {e}")))?,
+                );
+            }
+
+            // LookUp workers.
+            for i in 0..config.lookup_workers {
+                let queue = lookup_queue.clone();
+                let out_queues = write_queues.clone();
+                let store = Arc::clone(shared_store);
+                let stats = Arc::clone(&lookup_stats);
+                let shutdown = Arc::clone(&input_shutdown);
+                let config_copy = config.clone();
+                let asn_reader = asn_view.as_ref().map(|view| view.reader());
+                let service = stage_service.lookup.recorder(i);
+                let flight_handle = flight.clone();
+                input_workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("lookup-{i}"))
+                        .spawn(move || {
+                            let mut resolver = Resolver::new(&store, &config_copy);
+                            if let Some(reader) = asn_reader {
+                                resolver = resolver.with_asn_reader(reader);
+                            }
+                            let shards = out_queues.len();
+                            let mut local = LookUpStats::default();
+                            let mut seen = 0u64;
+                            loop {
+                                match queue.pop_wait(POP_WAIT) {
+                                    Some(flow) => {
+                                        let trace = flow.trace;
+                                        if let (Some(flight), Some(id)) = (&flight_handle, trace) {
+                                            flight.stamp_dequeue(id);
+                                        }
+                                        let record = if seen % SERVICE_SAMPLE_EVERY == 0 {
+                                            let started = Instant::now();
+                                            let record = resolver.process_flow(flow, &mut local);
+                                            service.record(started.elapsed().as_micros() as u64);
+                                            record
+                                        } else {
+                                            resolver.process_flow(flow, &mut local)
+                                        };
+                                        seen += 1;
+                                        if let (Some(flight), Some(id)) = (&flight_handle, trace) {
+                                            flight.stamp_lookup_done(id, record.src_asn.is_some());
+                                        }
+                                        let shard = shard_of(&record.flow.key, shards);
+                                        // The write queue drop counter lives in the
+                                        // buffer stats; nothing more to do on failure.
+                                        let _ = out_queues[shard].push(record);
+                                        if local.total() >= STATS_FLUSH_EVERY {
+                                            stats.lock().merge(&local);
+                                            local = LookUpStats::default();
+                                        }
+                                    }
+                                    None => {
+                                        // Idle: flush pending local stats so
+                                        // `snapshot()` converges on quiet streams.
+                                        if local != LookUpStats::default() {
+                                            stats.lock().merge(&local);
+                                            local = LookUpStats::default();
+                                        }
+                                        if shutdown.load(Ordering::Acquire) && queue.is_empty() {
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                            stats.lock().merge(&local);
+                        })
+                        .map_err(|e| FlowDnsError::Io(format!("spawn lookup worker: {e}")))?,
+                );
+            }
+
+            Ingress::Shared {
+                fillup: fillup_queue,
+                lookup: lookup_queue,
+            }
+        };
 
         // Write workers: each owns its queue shard and its sink. Stats
         // are thread-local and merged like the input stages', so the
@@ -537,7 +901,7 @@ impl Correlator {
             .clone()
             .filter(|_| !config.snapshot_interval.is_zero() && !store.is_exact_ttl())
         {
-            let store = Arc::clone(&store);
+            let store = store.clone();
             let shared = Arc::clone(&snapshot_shared);
             let shutdown = Arc::clone(&snapshot_shutdown);
             let interval = config.snapshot_interval;
@@ -566,8 +930,7 @@ impl Correlator {
         Ok(Correlator {
             config,
             store,
-            fillup_queue,
-            lookup_queue,
+            ingress,
             write_queues,
             fillup_stats,
             lookup_stats,
@@ -592,9 +955,73 @@ impl Correlator {
         &self.config
     }
 
-    /// The shared DNS store (for inspection in tests and examples).
-    pub fn store(&self) -> &DnsStore {
-        &self.store
+    /// Entries currently held by the DNS store (all partitions in
+    /// sharded mode).
+    pub fn stored_entries(&self) -> usize {
+        self.store.total_entries()
+    }
+
+    /// Whether the store runs the exact-TTL ablation variant (which has
+    /// no durable snapshot state).
+    pub fn is_exact_ttl(&self) -> bool {
+        self.store.is_exact_ttl()
+    }
+
+    /// The sharded store, when `correlator_shards > 0` (for inspection
+    /// in tests and for the offline simulator's clock broadcasts).
+    pub fn sharded_store(&self) -> Option<&Arc<ShardedStore>> {
+        match &self.store {
+            StoreHandle::Sharded(store) => Some(store),
+            StoreHandle::Shared(_) => None,
+        }
+    }
+
+    /// Number of correlator shards, or 0 in classic shared-queue mode.
+    pub fn shards(&self) -> usize {
+        match &self.ingress {
+            Ingress::Sharded { dns, .. } => dns.lanes(),
+            Ingress::Shared { .. } => 0,
+        }
+    }
+
+    /// Build a per-thread ingress router for the sharded pipeline, or
+    /// `None` in classic mode. Each producing thread (listener drain
+    /// loop, bench producer) should hold its own router: its pushes then
+    /// go straight into per-shard SPSC rings with no lock and no
+    /// allocation per record.
+    pub fn ingress_router(&self) -> Option<ShardRouter> {
+        match &self.ingress {
+            Ingress::Sharded { dns, flows, .. } => {
+                let lanes = dns.lanes();
+                Some(ShardRouter {
+                    dns_channel: Arc::clone(dns),
+                    flow_channel: Arc::clone(flows),
+                    dns: dns.producer(),
+                    flows: flows.producer(),
+                    accepted: vec![0; lanes],
+                    dropped: vec![0; lanes],
+                })
+            }
+            Ingress::Shared { .. } => None,
+        }
+    }
+
+    /// Per-shard routed-record counters `(dns, flows)`: how many records
+    /// each shard's ingress lanes have accepted so far. `None` in
+    /// classic mode. The sums equal the totals accepted by `push_*` —
+    /// the CI saturation smoke asserts exactly that.
+    pub fn shard_routed_counts(&self) -> Option<(Vec<u64>, Vec<u64>)> {
+        match &self.ingress {
+            Ingress::Sharded { dns, flows, .. } => Some((
+                (0..dns.lanes())
+                    .map(|i| dns.lane_stats(i).accepted)
+                    .collect(),
+                (0..flows.lanes())
+                    .map(|i| flows.lane_stats(i).accepted)
+                    .collect(),
+            )),
+            Ingress::Shared { .. } => None,
+        }
     }
 
     /// The routing-table view the LookUp workers read, if AS attribution
@@ -628,11 +1055,21 @@ impl Correlator {
             .iter()
             .map(|q| q.fill_level())
             .fold(0.0f64, f64::max);
-        (
-            self.fillup_queue.fill_level(),
-            self.lookup_queue.fill_level(),
-            write,
-        )
+        match &self.ingress {
+            Ingress::Shared { fillup, lookup } => (fillup.fill_level(), lookup.fill_level(), write),
+            // Sharded: the fullest lane is the saturation signal — one
+            // hot shard stalls its listeners' sub-batches just like one
+            // full shared queue would.
+            Ingress::Sharded { dns, flows, .. } => (
+                (0..dns.lanes())
+                    .map(|i| dns.lane_fill_level(i))
+                    .fold(0.0f64, f64::max),
+                (0..flows.lanes())
+                    .map(|i| flows.lane_fill_level(i))
+                    .fold(0.0f64, f64::max),
+                write,
+            ),
+        }
     }
 
     /// Register every pipeline metric into `registry`, making it the
@@ -775,8 +1212,56 @@ impl Correlator {
                 move || latency_to_histogram(&wait_queue.latency_snapshot().unwrap_or_default()),
             );
         }
-        register_stage_queue(registry, "fillup", &self.fillup_queue);
-        register_stage_queue(registry, "lookup", &self.lookup_queue);
+        // One registration per lane in sharded mode: depth, drops, the
+        // sampled wait histogram, and the routed-record counter — all
+        // labelled `{queue, shard}` so a hot shard is visible directly.
+        fn register_shard_lanes<T: Send + 'static>(
+            registry: &MetricsRegistry,
+            name: &str,
+            channel: &Arc<ShardedChannel<T>>,
+        ) {
+            for lane in 0..channel.lanes() {
+                let shard_label = lane.to_string();
+                let depth_channel = Arc::clone(channel);
+                registry.gauge_fn(
+                    "flowdns_queue_depth",
+                    "Records currently queued for a pipeline stage",
+                    &[("queue", name), ("shard", &shard_label)],
+                    move || depth_channel.lane_depth(lane) as f64,
+                );
+                let drop_channel = Arc::clone(channel);
+                registry.counter_fn(
+                    "flowdns_queue_dropped_total",
+                    "Records dropped at a full stage queue (stream loss)",
+                    &[("queue", name), ("shard", &shard_label)],
+                    move || drop_channel.lane_stats(lane).dropped,
+                );
+                let routed_channel = Arc::clone(channel);
+                registry.counter_fn(
+                    "flowdns_shard_routed_total",
+                    "Records routed into one correlator shard's ingress lane",
+                    &[("queue", name), ("shard", &shard_label)],
+                    move || routed_channel.lane_stats(lane).accepted,
+                );
+                let wait_channel = Arc::clone(channel);
+                registry.histogram_fn(
+                    "flowdns_queue_wait_us",
+                    "Sampled enqueue-to-dequeue residency of a stage queue (µs)",
+                    &[("queue", name), ("shard", &shard_label)],
+                    move || latency_to_histogram(&wait_channel.lane_latency(lane)),
+                );
+            }
+        }
+        match &self.ingress {
+            Ingress::Shared { fillup, lookup } => {
+                register_stage_queue(registry, "fillup", fillup);
+                register_stage_queue(registry, "lookup", lookup);
+            }
+            Ingress::Sharded { dns, flows, .. } => {
+                register_shard_lanes(registry, "fillup", dns);
+                register_shard_lanes(registry, "lookup", flows);
+            }
+        }
         // Per-stage service time (sampled 1-in-16 per worker).
         for (stage, histogram) in [
             ("fillup", self.stage_service.fillup.clone()),
@@ -791,14 +1276,14 @@ impl Correlator {
             );
         }
         // Store occupancy.
-        let store = Arc::clone(&self.store);
+        let store = self.store.clone();
         registry.gauge_fn(
             "flowdns_store_entries",
             "Entries currently held by the DNS store",
             &[],
             move || store.total_entries() as f64,
         );
-        let store = Arc::clone(&self.store);
+        let store = self.store.clone();
         registry.gauge_fn(
             "flowdns_store_payload_bytes",
             "Estimated payload bytes held by the DNS store",
@@ -884,19 +1369,37 @@ impl Correlator {
         }
     }
 
-    /// Offer one DNS record to the FillUp queue. Returns `false` if the
+    /// Offer one DNS record to the FillUp stage. Returns `false` if the
     /// queue was full and the record was dropped (stream loss).
+    ///
+    /// In sharded mode this routes through a mutex-guarded fallback
+    /// producer — fine for tests and trickle callers; high-rate
+    /// producers should hold a per-thread [`Correlator::ingress_router`].
     pub fn push_dns(&self, record: DnsRecord) -> bool {
-        self.fillup_queue.push(record)
+        match &self.ingress {
+            Ingress::Shared { fillup, .. } => fillup.push(record),
+            Ingress::Sharded { dns, fallback, .. } => {
+                let lane = shard_of_dns(&record, dns.lanes());
+                fallback.lock().0.push(dns, lane, record)
+            }
+        }
     }
 
-    /// Offer one flow record to the LookUp queue. Returns `false` if the
+    /// Offer one flow record to the LookUp stage. Returns `false` if the
     /// queue was full and the record was dropped (stream loss).
     pub fn push_flow(&self, record: FlowRecord) -> bool {
-        self.lookup_queue.push(record)
+        match &self.ingress {
+            Ingress::Shared { lookup, .. } => lookup.push(record),
+            Ingress::Sharded {
+                flows, fallback, ..
+            } => {
+                let lane = shard_of_flow(&record, flows.lanes());
+                fallback.lock().1.push(flows, lane, record)
+            }
+        }
     }
 
-    /// Offer a batch of DNS records to the FillUp queue, returning how
+    /// Offer a batch of DNS records to the FillUp stage, returning how
     /// many were accepted. Records beyond the queue's free space are
     /// dropped and counted as stream loss. One batch costs one pair of
     /// counter updates regardless of size — push whole decoded datagrams
@@ -905,26 +1408,61 @@ impl Correlator {
     where
         I: IntoIterator<Item = DnsRecord>,
     {
-        self.fillup_queue.push_batch(records)
+        match &self.ingress {
+            Ingress::Shared { fillup, .. } => fillup.push_batch(records),
+            Ingress::Sharded { dns, fallback, .. } => {
+                let lanes = dns.lanes();
+                let mut guard = fallback.lock();
+                let mut total = 0usize;
+                for record in records {
+                    let lane = shard_of_dns(&record, lanes);
+                    if guard.0.push(dns, lane, record) {
+                        total += 1;
+                    }
+                }
+                total
+            }
+        }
     }
 
-    /// Offer a batch of flow records to the LookUp queue, returning how
+    /// Offer a batch of flow records to the LookUp stage, returning how
     /// many were accepted (the rest were dropped and counted).
     pub fn push_flow_batch<I>(&self, records: I) -> usize
     where
         I: IntoIterator<Item = FlowRecord>,
     {
-        self.lookup_queue.push_batch(records)
+        match &self.ingress {
+            Ingress::Shared { lookup, .. } => lookup.push_batch(records),
+            Ingress::Sharded {
+                flows, fallback, ..
+            } => {
+                let lanes = flows.lanes();
+                let mut guard = fallback.lock();
+                let mut total = 0usize;
+                for record in records {
+                    let lane = shard_of_flow(&record, lanes);
+                    if guard.1.push(flows, lane, record) {
+                        total += 1;
+                    }
+                }
+                total
+            }
+        }
     }
 
     /// Current depth of the three stages' queues (fillup, lookup, write):
-    /// the write figure sums the per-shard queues.
+    /// the write figure sums the per-shard queues, as do the input
+    /// figures in sharded mode.
     pub fn queue_depths(&self) -> (usize, usize, usize) {
-        (
-            self.fillup_queue.len(),
-            self.lookup_queue.len(),
-            self.write_queues.iter().map(|q| q.len()).sum(),
-        )
+        let write = self.write_queues.iter().map(|q| q.len()).sum();
+        match &self.ingress {
+            Ingress::Shared { fillup, lookup } => (fillup.len(), lookup.len(), write),
+            Ingress::Sharded { dns, flows, .. } => (
+                (0..dns.lanes()).map(|i| dns.lane_depth(i)).sum(),
+                (0..flows.lanes()).map(|i| flows.lane_depth(i)).sum(),
+                write,
+            ),
+        }
     }
 
     /// Records dropped on the write path: shard-queue overflow plus sink
@@ -941,15 +1479,41 @@ impl Correlator {
     /// reporters (e.g. `flowdnsd`) should read; `finish()` returns the
     /// exact final numbers.
     pub fn snapshot(&self) -> PipelineMetrics {
+        let (dns_dropped, flows_dropped, fillup_latency, lookup_latency) = match &self.ingress {
+            Ingress::Shared { fillup, lookup } => (
+                fillup.stats().dropped,
+                lookup.stats().dropped,
+                fillup.latency_snapshot().unwrap_or_default(),
+                lookup.latency_snapshot().unwrap_or_default(),
+            ),
+            Ingress::Sharded { dns, flows, .. } => {
+                let mut fillup_latency = LatencySnapshot::default();
+                let mut lookup_latency = LatencySnapshot::default();
+                for lane in 0..dns.lanes() {
+                    fillup_latency.merge(&dns.lane_latency(lane));
+                }
+                for lane in 0..flows.lanes() {
+                    lookup_latency.merge(&flows.lane_latency(lane));
+                }
+                (
+                    (0..dns.lanes()).map(|i| dns.lane_stats(i).dropped).sum(),
+                    (0..flows.lanes())
+                        .map(|i| flows.lane_stats(i).dropped)
+                        .sum(),
+                    fillup_latency,
+                    lookup_latency,
+                )
+            }
+        };
         PipelineMetrics {
             fillup: *self.fillup_stats.lock(),
             lookup: *self.lookup_stats.lock(),
             write: *self.write_stats.lock(),
-            dns_dropped: self.fillup_queue.stats().dropped,
-            flows_dropped: self.lookup_queue.stats().dropped,
+            dns_dropped,
+            flows_dropped,
             writes_dropped: self.writes_dropped_total(),
-            fillup_queue_latency: self.fillup_queue.latency_snapshot().unwrap_or_default(),
-            lookup_queue_latency: self.lookup_queue.latency_snapshot().unwrap_or_default(),
+            fillup_queue_latency: fillup_latency,
+            lookup_queue_latency: lookup_latency,
             work_units: 0.0,
             peak_memory: self.store.memory_estimate(),
             ingest: Default::default(),
@@ -1455,7 +2019,7 @@ mod tests {
         let stats = second.snapshot_stats();
         assert!(stats.warm_started(), "expected a warm start: {stats:?}");
         assert_eq!(stats.warm_start_entries, 20);
-        assert_eq!(second.store().total_entries(), 20);
+        assert_eq!(second.stored_entries(), 20);
         for i in 0..20u8 {
             second.push_flow(flow(2, [203, 0, 113, i], 1_000));
         }
@@ -1528,7 +2092,7 @@ mod tests {
         let stats = second.snapshot_stats();
         assert!(stats.warm_started(), "{stats:?}");
         // Only the Long entry survived the simulated outage.
-        assert_eq!(second.store().total_entries(), 1);
+        assert_eq!(second.stored_entries(), 1);
         second.push_flow(flow(2, [203, 0, 113, 1], 1_000)); // expired
         second.push_flow(flow(2, [203, 0, 113, 2], 1_000)); // long-lived
         let report = second.finish().unwrap();
@@ -1712,5 +2276,147 @@ mod tests {
         correlator.push_flow(flow(1, [203, 0, 113, 1], 100));
         let report = correlator.finish().unwrap();
         assert_eq!(report.metrics.lookup.asn_stamped, 0);
+    }
+
+    #[test]
+    fn sharded_pipeline_correlates_end_to_end() {
+        let config = CorrelatorConfig {
+            correlator_shards: 4,
+            ..CorrelatorConfig::default()
+        };
+        let correlator = Correlator::start(config).unwrap();
+        assert_eq!(correlator.shards(), 4);
+        assert!(correlator.sharded_store().is_some());
+        for i in 0..50u8 {
+            assert!(correlator.push_dns(dns(1, &format!("svc{i}.example"), [203, 0, 113, i], 300)));
+        }
+        while correlator.queue_depths().0 > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        for i in 0..50u8 {
+            assert!(correlator.push_flow(flow(2, [203, 0, 113, i], 1_000)));
+        }
+        assert!(correlator.push_flow(flow(2, [192, 0, 2, 1], 1_000)));
+        // Per-shard routed counters must account for every accepted
+        // record (the CI saturation smoke asserts the same invariant).
+        let (dns_routed, flow_routed) = correlator.shard_routed_counts().unwrap();
+        assert_eq!(dns_routed.len(), 4);
+        assert_eq!(dns_routed.iter().sum::<u64>(), 50);
+        assert_eq!(flow_routed.iter().sum::<u64>(), 51);
+        // 50 distinct IPs across 4 shards: every shard must see some.
+        assert!(
+            dns_routed.iter().all(|&n| n > 0),
+            "unbalanced: {dns_routed:?}"
+        );
+        let report = correlator.finish().unwrap();
+        assert_eq!(report.metrics.write.records_written, 51);
+        assert_eq!(report.metrics.lookup.ip_hits, 50);
+        assert_eq!(report.metrics.lookup.ip_misses, 1);
+        assert_eq!(report.metrics.dns_dropped, 0);
+        assert_eq!(report.metrics.flows_dropped, 0);
+    }
+
+    #[test]
+    fn sharded_router_batches_match_per_record_pushes() {
+        let config = CorrelatorConfig {
+            correlator_shards: 2,
+            ..CorrelatorConfig::default()
+        };
+        let correlator = Correlator::start(config).unwrap();
+        let mut router = correlator.ingress_router().unwrap();
+        assert_eq!(router.shards(), 2);
+        let accepted = router
+            .route_dns_batch((0..40u8).map(|i| dns(1, "batch.example", [198, 51, 100, i], 60)));
+        assert_eq!(accepted, 40);
+        while correlator.queue_depths().0 > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        let accepted = router.route_flow_batch((0..40u8).map(|i| flow(2, [198, 51, 100, i], 500)));
+        assert_eq!(accepted, 40);
+        let (dns_routed, flow_routed) = correlator.shard_routed_counts().unwrap();
+        assert_eq!(dns_routed.iter().sum::<u64>(), 40);
+        assert_eq!(flow_routed.iter().sum::<u64>(), 40);
+        // A DNS answer for an IP and a flow from that IP must route to
+        // the same shard — that is the whole correctness argument.
+        assert_eq!(dns_routed, flow_routed);
+        let report = correlator.finish().unwrap();
+        assert_eq!(report.metrics.write.records_written, 40);
+        assert_eq!(report.metrics.lookup.ip_hits, 40);
+    }
+
+    #[test]
+    fn sharded_kill_and_restart_warm_starts_from_the_snapshot() {
+        let dir = std::env::temp_dir().join("flowdns-pipeline-sharded-snapshot");
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("store.fdns");
+        let config = CorrelatorConfig {
+            correlator_shards: 2,
+            snapshot_path: Some(path.to_string_lossy().into_owned()),
+            snapshot_interval: Duration::ZERO,
+            ..CorrelatorConfig::default()
+        };
+        let first = Correlator::start(config.clone()).unwrap();
+        for i in 0..20u8 {
+            first.push_dns(dns(1, &format!("svc{i}.example"), [203, 0, 113, i], 300));
+        }
+        let report = first.finish().unwrap();
+        assert_eq!(report.metrics.snapshot.snapshots_written, 1);
+        assert_eq!(report.metrics.snapshot.last_entries, 20);
+
+        let second = Correlator::start(config).unwrap();
+        let stats = second.snapshot_stats();
+        assert!(stats.warm_started(), "expected a warm start: {stats:?}");
+        assert_eq!(second.stored_entries(), 20);
+        for i in 0..20u8 {
+            second.push_flow(flow(2, [203, 0, 113, i], 1_000));
+        }
+        let report = second.finish().unwrap();
+        assert_eq!(report.metrics.lookup.ip_hits, 20);
+        assert_eq!(report.metrics.lookup.ip_misses, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_count_change_on_warm_start_degrades_to_a_cold_start() {
+        let dir = std::env::temp_dir().join("flowdns-pipeline-shard-count-change");
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("store.fdns");
+        let write_config = CorrelatorConfig {
+            correlator_shards: 2,
+            snapshot_path: Some(path.to_string_lossy().into_owned()),
+            snapshot_interval: Duration::ZERO,
+            ..CorrelatorConfig::default()
+        };
+        let first = Correlator::start(write_config.clone()).unwrap();
+        first.push_dns(dns(1, "persist.example", [203, 0, 113, 7], 300));
+        first.finish().unwrap();
+        assert!(path.exists());
+
+        // Same snapshot, different shard count: the warm start must be
+        // rejected cleanly — cold start, recorded error, daemon still up.
+        let reread_config = CorrelatorConfig {
+            correlator_shards: 4,
+            ..write_config
+        };
+        let second = Correlator::start(reread_config).unwrap();
+        let stats = second.snapshot_stats();
+        assert!(!stats.warm_started());
+        assert!(
+            stats
+                .last_error
+                .as_deref()
+                .is_some_and(|e| e.contains("warm start") && e.contains("shards")),
+            "expected a recorded shard-count error: {stats:?}"
+        );
+        assert_eq!(second.stored_entries(), 0);
+        // Still a live pipeline; shutdown overwrites the incompatible
+        // snapshot with a 4-shard image.
+        second.push_dns(dns(1, "fresh.example", [203, 0, 113, 8], 300));
+        second.finish().unwrap();
+        let image = flowdns_snapshot::read_snapshot(path.to_str().unwrap()).unwrap();
+        assert_eq!(image.shards, 4);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

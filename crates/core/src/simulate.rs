@@ -24,12 +24,14 @@
 //! figures — plus the same [`Report`] the live pipeline produces.
 
 use flowdns_bgp::AsnView;
+use flowdns_storage::MemoryEstimate;
 use flowdns_types::{CorrelatedRecord, DnsRecord, FlowRecord, SimTime};
 
 use crate::config::CorrelatorConfig;
 use crate::fillup::{process_dns_record, FillUpStats};
 use crate::lookup::{LookUpStats, Resolver};
 use crate::metrics::{CostModel, Report};
+use crate::shard::{shard_of_dns, shard_of_flow, ShardedStore};
 use crate::store::DnsStore;
 
 /// One input event of the simulator.
@@ -47,6 +49,47 @@ impl Event {
         match self {
             Event::Dns(r) => r.ts,
             Event::Flow(f) => f.ts,
+        }
+    }
+}
+
+/// The simulator's storage, matching whichever layout the config
+/// selects for the live pipeline: classic shared or per-shard
+/// partitions. The sharded form broadcasts the data clock to every
+/// partition before each event, so rotation boundaries — and therefore
+/// the correlated output — are identical for any shard count.
+enum SimStore {
+    Classic(Box<DnsStore>),
+    Sharded(Box<ShardedStore>),
+}
+
+impl SimStore {
+    fn memory_estimate(&self) -> MemoryEstimate {
+        match self {
+            SimStore::Classic(store) => store.memory_estimate(),
+            SimStore::Sharded(store) => store.memory_estimate(),
+        }
+    }
+
+    fn is_exact_ttl(&self) -> bool {
+        match self {
+            SimStore::Classic(store) => store.is_exact_ttl(),
+            // Config validation rejects ExactTtl with shards > 0.
+            SimStore::Sharded(_) => false,
+        }
+    }
+
+    fn rotated_entries(&self) -> u64 {
+        match self {
+            SimStore::Classic(store) => store.rotated_entries(),
+            SimStore::Sharded(store) => store.rotated_entries(),
+        }
+    }
+
+    fn purge_scanned(&self) -> u64 {
+        match self {
+            SimStore::Classic(store) => store.purge_scanned(),
+            SimStore::Sharded(_) => 0,
         }
     }
 }
@@ -193,11 +236,22 @@ impl OfflineSimulator {
         I: IntoIterator<Item = Event>,
         F: FnMut(&CorrelatedRecord),
     {
-        let store = DnsStore::new(&self.config);
-        let mut resolver = Resolver::new(&store, &self.config);
-        if let Some(view) = &self.asn_view {
-            resolver = resolver.with_asn_reader(view.reader());
-        }
+        let store = if self.config.correlator_shards > 0 {
+            SimStore::Sharded(Box::new(ShardedStore::new(&self.config)))
+        } else {
+            SimStore::Classic(Box::new(DnsStore::new(&self.config)))
+        };
+        let mut resolver = match &store {
+            SimStore::Classic(classic) => {
+                let mut resolver = Resolver::new(classic, &self.config);
+                if let Some(view) = &self.asn_view {
+                    resolver = resolver.with_asn_reader(view.reader());
+                }
+                Some(resolver)
+            }
+            SimStore::Sharded(_) => None,
+        };
+        let mut shard_asn = self.asn_view.as_ref().map(|view| view.reader());
         let mut fillup_stats = FillUpStats::default();
         let mut lookup_stats = LookUpStats::default();
 
@@ -317,7 +371,23 @@ impl OfflineSimulator {
                         total_dns_dropped += 1;
                         continue;
                     }
-                    process_dns_record(&store, &record, &mut fillup_stats);
+                    match &store {
+                        SimStore::Classic(classic) => {
+                            process_dns_record(classic, &record, &mut fillup_stats);
+                        }
+                        SimStore::Sharded(sharded) => {
+                            // Broadcast the clock first so every
+                            // partition rotates on the same boundary
+                            // regardless of which shards see events.
+                            sharded.observe_time_all(record.ts);
+                            let shard = shard_of_dns(&record, sharded.shards());
+                            sharded.partition(shard).lock().process_dns(
+                                sharded,
+                                &record,
+                                &mut fillup_stats,
+                            );
+                        }
+                    }
                     let mut work = self.cost.dns_insert + split_overhead;
                     if store.is_exact_ttl() {
                         work += EXACT_TTL_OP_PENALTY;
@@ -337,7 +407,24 @@ impl OfflineSimulator {
                         continue;
                     }
                     let hops_before = lookup_stats.cname_hops;
-                    let record = resolver.process_flow(flow.clone(), &mut lookup_stats);
+                    let record = match (&mut resolver, &store) {
+                        (Some(resolver), _) => {
+                            resolver.process_flow(flow.clone(), &mut lookup_stats)
+                        }
+                        (None, SimStore::Sharded(sharded)) => {
+                            sharded.observe_time_all(flow.ts);
+                            let shard = shard_of_flow(&flow, sharded.shards());
+                            sharded.partition(shard).lock().process_flow(
+                                sharded,
+                                &mut shard_asn,
+                                flow.clone(),
+                                &mut lookup_stats,
+                            )
+                        }
+                        // `resolver` is Some exactly when the store is
+                        // classic, so this arm cannot be reached.
+                        (None, SimStore::Classic(_)) => continue,
+                    };
                     let hops = (lookup_stats.cname_hops - hops_before) as f64;
                     let mut work = self.cost.flow_lookup
                         + split_overhead
@@ -408,7 +495,7 @@ impl OfflineSimulator {
     /// previous event (rotation copies, exact-TTL purge scans).
     fn store_maintenance_work(
         &self,
-        store: &DnsStore,
+        store: &SimStore,
         prev_rotated: &mut u64,
         prev_purged: &mut u64,
     ) -> f64 {
@@ -638,5 +725,92 @@ mod tests {
         assert!(outcome.mean_hourly_correlation_pct() > 0.0);
         assert!(outcome.peak_memory_gb() >= 0.0);
         assert!(outcome.mean_cpu_pct() >= 0.0);
+    }
+
+    /// A trace with CNAME chains (cross-shard in sharded mode) spanning
+    /// a rotation boundary, then the sorted TSV egress for a given shard
+    /// count.
+    fn sorted_egress(correlator_shards: usize) -> (Vec<String>, SimulationOutcome) {
+        let mut dns_records = Vec::new();
+        let mut flow_records = Vec::new();
+        for i in 0..60u8 {
+            dns_records.push(dns(
+                10 + i as u64,
+                &format!("edge{i}.cdn.example"),
+                [203, 0, 113, i],
+                300,
+            ));
+            // Two-hop CNAME chain ending at the customer-facing name:
+            // www{i} → alias{i} → edge{i} (stored answer→query, so the
+            // chain is followed from the looked-up edge name back up).
+            dns_records.push(DnsRecord::cname(
+                SimTime::from_secs(10 + i as u64),
+                DomainName::literal(&format!("alias{i}.example")),
+                DomainName::literal(&format!("edge{i}.cdn.example")),
+                300,
+            ));
+            dns_records.push(DnsRecord::cname(
+                SimTime::from_secs(11 + i as u64),
+                DomainName::literal(&format!("www{i}.example")),
+                DomainName::literal(&format!("alias{i}.example")),
+                300,
+            ));
+        }
+        for hour in 0..2u64 {
+            for i in 0..60u8 {
+                flow_records.push(flow(
+                    hour * 3600 + 100 + i as u64,
+                    [203, 0, 113, i],
+                    1_000 + i as u64,
+                ));
+            }
+            for i in 0..10u8 {
+                flow_records.push(flow(hour * 3600 + 200 + i as u64, [192, 0, 2, i], 500));
+            }
+        }
+        let events = OfflineSimulator::merge_events(dns_records, flow_records);
+        let config = CorrelatorConfig {
+            correlator_shards,
+            ..CorrelatorConfig::default()
+        };
+        let mut lines = Vec::new();
+        let outcome =
+            OfflineSimulator::new(config).run_with(events, |record| lines.push(record.to_tsv()));
+        lines.sort();
+        (lines, outcome)
+    }
+
+    #[test]
+    fn sharded_simulator_output_is_identical_for_any_shard_count() {
+        // The tentpole equivalence claim: routing by IP key plus a
+        // broadcast clock makes the correlated output byte-identical
+        // whether the store is one partition or four — and identical to
+        // the classic shared store as well.
+        let (classic, classic_outcome) = sorted_egress(0);
+        let (one, one_outcome) = sorted_egress(1);
+        let (four, four_outcome) = sorted_egress(4);
+        assert_eq!(one, four);
+        assert_eq!(classic, one);
+        assert!(!classic.is_empty());
+        // The resolved names came through the CNAME chains: the final
+        // name of a correlated record is the customer-facing www name.
+        assert!(classic.iter().any(|l| l.contains("www7.example")));
+        for (a, b) in [
+            (&classic_outcome, &one_outcome),
+            (&one_outcome, &four_outcome),
+        ] {
+            assert_eq!(
+                a.report.metrics.lookup.ip_hits,
+                b.report.metrics.lookup.ip_hits
+            );
+            assert_eq!(
+                a.report.metrics.lookup.cname_hops,
+                b.report.metrics.lookup.cname_hops
+            );
+            assert_eq!(
+                a.report.metrics.fillup.addresses_stored,
+                b.report.metrics.fillup.addresses_stored
+            );
+        }
     }
 }

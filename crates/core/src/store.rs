@@ -50,8 +50,8 @@ use crate::config::{CorrelatorConfig, Variant};
 /// image stores every name exactly once — mirroring the interner's
 /// one-allocation-per-name invariant.
 #[derive(Default)]
-struct NameTable {
-    names: Vec<String>,
+pub(crate) struct NameTable {
+    pub(crate) names: Vec<String>,
     index: HashMap<NameRef, u32>,
 }
 
@@ -264,6 +264,7 @@ impl DnsStore {
         Some(DnsStoreImage {
             as_of,
             num_split: ip_name.len() as u32,
+            shards: 0,
             a_interval_secs: self.config.a_clear_up_interval.as_secs(),
             c_interval_secs: self.config.c_clear_up_interval.as_secs(),
             names: table.names,
@@ -299,6 +300,14 @@ impl DnsStore {
             return Err(FlowDnsError::Snapshot(
                 "the exact-TTL store variant cannot warm-start from a snapshot".into(),
             ));
+        }
+        if image.shards != 0 {
+            return Err(FlowDnsError::Snapshot(format!(
+                "snapshot was written by a sharded correlator ({} shards), \
+                 this store is the classic shared layout \
+                 (set correlator_shards to match, or delete the snapshot)",
+                image.shards
+            )));
         }
         for (key, image_secs, config_secs) in [
             (
@@ -375,7 +384,7 @@ impl DnsStore {
     }
 }
 
-fn encode_ip_entries(
+pub(crate) fn encode_ip_entries(
     entries: Vec<(IpKey, NameRef)>,
     table: &mut NameTable,
 ) -> Vec<(SnapshotKey, u32)> {
@@ -385,7 +394,7 @@ fn encode_ip_entries(
         .collect()
 }
 
-fn encode_name_entries(
+pub(crate) fn encode_name_entries(
     entries: Vec<(NameRef, NameRef)>,
     table: &mut NameTable,
 ) -> Vec<(SnapshotKey, u32)> {
@@ -409,7 +418,7 @@ fn resolve_name(handles: &[NameRef], idx: u32) -> Result<NameRef, FlowDnsError> 
     })
 }
 
-fn decode_ip_entries(
+pub(crate) fn decode_ip_entries(
     entries: &[(SnapshotKey, u32)],
     handles: &[NameRef],
 ) -> Result<Vec<(IpKey, NameRef)>, FlowDnsError> {
@@ -424,7 +433,7 @@ fn decode_ip_entries(
         .collect()
 }
 
-fn decode_name_entries(
+pub(crate) fn decode_name_entries(
     entries: &[(SnapshotKey, u32)],
     handles: &[NameRef],
 ) -> Result<Vec<(NameRef, NameRef)>, FlowDnsError> {

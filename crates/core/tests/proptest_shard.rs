@@ -1,0 +1,87 @@
+//! Property-based tests of the shard router: for any set of IPs and any
+//! shard count, routing must be (a) stable — the same key always lands
+//! on the same shard, (b) consistent — a DNS answer for an IP and a
+//! flow from that IP land on the same shard (the correctness argument
+//! of the shared-nothing design), and (c) balanced — no shard receives
+//! a pathological share of a random IP population.
+
+use std::collections::HashSet;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+use flowdns_core::{shard_of_dns, shard_of_flow, shard_of_ip};
+use flowdns_types::{DnsRecord, DomainName, FlowRecord, SimTime};
+use proptest::prelude::*;
+
+fn ip_strategy() -> impl Strategy<Value = IpAddr> {
+    prop_oneof![
+        any::<u32>().prop_map(|bits| IpAddr::V4(Ipv4Addr::from(bits))),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(hi, lo)| { IpAddr::V6(Ipv6Addr::from(((hi as u128) << 64) | lo as u128)) }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn routing_is_stable_consistent_and_in_range(
+        ips in proptest::collection::vec(ip_strategy(), 1..64),
+        shards in 1usize..8,
+    ) {
+        for &ip in &ips {
+            let shard = shard_of_ip(ip, shards);
+            prop_assert!(shard < shards);
+            // Stable: the route is a pure function of (ip, shards).
+            prop_assert_eq!(shard, shard_of_ip(ip, shards));
+            // Consistent: the DNS answer announcing this IP and a flow
+            // sourced from it must land on the same shard worker.
+            let dns = DnsRecord::address(
+                SimTime::from_secs(1),
+                DomainName::literal("svc.example"),
+                ip,
+                300,
+            );
+            let flow = FlowRecord::inbound(
+                SimTime::from_secs(2),
+                ip,
+                Ipv4Addr::new(10, 0, 0, 1).into(),
+                1_000,
+            );
+            prop_assert_eq!(shard_of_dns(&dns, shards), shard);
+            prop_assert_eq!(shard_of_flow(&flow, shards), shard);
+        }
+    }
+
+    #[test]
+    fn routing_balances_random_ip_sets(
+        seeds in proptest::collection::vec(any::<u32>(), 256..257),
+        shards in 2usize..5,
+    ) {
+        // Distinct random IPs; duplicates would skew the load tally.
+        let ips: HashSet<IpAddr> = seeds
+            .iter()
+            .map(|&bits| IpAddr::V4(Ipv4Addr::from(bits)))
+            .collect();
+        let mut loads = vec![0usize; shards];
+        for &ip in &ips {
+            loads[shard_of_ip(ip, shards)] += 1;
+        }
+        let expected = ips.len() / shards;
+        let max = *loads.iter().max().unwrap_or(&0);
+        let min = *loads.iter().min().unwrap_or(&0);
+        // Loose bounds: a uniform hash over ~256 keys stays well within
+        // 2x of fair share per shard, and no shard starves.
+        prop_assert!(
+            max <= expected * 2,
+            "max shard load {} vs fair share {} (loads {:?})",
+            max,
+            expected,
+            loads
+        );
+        prop_assert!(
+            min >= expected / 4,
+            "min shard load {} vs fair share {} (loads {:?})",
+            min,
+            expected,
+            loads
+        );
+    }
+}

@@ -139,7 +139,7 @@ fn main() {
         );
     }
     if let Some(path) = &config.correlator.snapshot_path {
-        if runtime.correlator().store().is_exact_ttl() {
+        if runtime.correlator().is_exact_ttl() {
             // Be honest with the operator: the exact-TTL strawman store
             // has nothing durable to write, so a configured path gives
             // no restart protection at all.
@@ -328,9 +328,7 @@ fn main() {
                 reg.counter("flowdns_ingest_buffer_pool_hits_total"),
                 reg.counter("flowdns_ingest_buffer_pool_misses_total"),
             );
-            if config.correlator.snapshot_path.is_some()
-                && !runtime.correlator().store().is_exact_ttl()
-            {
+            if config.correlator.snapshot_path.is_some() && !runtime.correlator().is_exact_ttl() {
                 let age = reg
                     .gauge("flowdns_snapshot_last_write_age_seconds")
                     .unwrap_or(-1.0);

@@ -159,6 +159,9 @@ fn spawn_connection(
             let mut decoder = FrameDecoder::new();
             let mut buf = pool.take(READ_BUF);
             let mut batch: Vec<DnsRecord> = Vec::new();
+            // Sharded pipeline: this connection thread owns its ingress
+            // router, so routed pushes are lock-free SPSC ring writes.
+            let mut router = correlator.ingress_router();
             'conn: while !shutdown.load(Ordering::Acquire) {
                 // One blocking read opens the drain round.
                 let n = match stream.read(&mut buf) {
@@ -219,7 +222,10 @@ fn spawn_connection(
                         .fetch_add(batch.len() as u64, Ordering::Relaxed);
                     stats.batch_pushes.fetch_add(1, Ordering::Relaxed);
                     let offered = batch.len();
-                    let accepted = correlator.push_dns_batch(batch.drain(..));
+                    let accepted = match router.as_mut() {
+                        Some(router) => router.route_dns_batch(batch.drain(..)),
+                        None => correlator.push_dns_batch(batch.drain(..)),
+                    };
                     if accepted < offered {
                         // ordering: stats-only drop counter.
                         stats

@@ -267,6 +267,9 @@ fn listener_loop(
     let mut batch: Vec<FlowRecord> = Vec::new();
     // Tracing off = no recorder = no per-flow work beyond this Option.
     let flight = correlator.flight_recorder().cloned();
+    // Sharded pipeline: each listener thread owns its ingress router,
+    // so routed pushes are lock-free SPSC ring writes.
+    let mut router = correlator.ingress_router();
     // The recvmmsg ring holds the rest of a drain after the opening
     // blocking receive; `None` once the platform reports Unsupported.
     let mut ring = (recv_batch > 1).then(|| MmsgRing::new(recv_batch - 1, MAX_DATAGRAM));
@@ -356,7 +359,10 @@ fn listener_loop(
                 }
             }
         }
-        let accepted = correlator.push_flow_batch(batch.drain(..));
+        let accepted = match router.as_mut() {
+            Some(router) => router.route_flow_batch(batch.drain(..)),
+            None => correlator.push_flow_batch(batch.drain(..)),
+        };
         if accepted < offered {
             // ordering: stats-only drop counter.
             table

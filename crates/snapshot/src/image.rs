@@ -134,6 +134,14 @@ pub struct DnsStoreImage {
     /// label function is stable, so entries cannot simply be reassigned
     /// generation-by-generation.
     pub num_split: u32,
+    /// Number of shared-nothing correlator shards the image was exported
+    /// with. `0` means the classic shared store (one set of `num_split`
+    /// splits); any positive value means [`DnsStoreImage::ip_name`]
+    /// holds `shards × num_split` images in shard-major order (shard 0's
+    /// splits first). Like `num_split`, a mismatch on import is rejected
+    /// — the shard routing function is stable, so partitions cannot be
+    /// reassigned without rehashing every entry.
+    pub shards: u32,
     /// `AClearUpInterval` (seconds) the exporting store ran with.
     pub a_interval_secs: u64,
     /// `CClearUpInterval` (seconds) the exporting store ran with.
@@ -163,6 +171,7 @@ impl DnsStoreImage {
     pub fn encode(&self, out: &mut Vec<u8>) {
         wire::put_u64(out, self.as_of.as_micros());
         wire::put_u32(out, self.num_split);
+        wire::put_u32(out, self.shards);
         wire::put_u64(out, self.a_interval_secs);
         wire::put_u64(out, self.c_interval_secs);
         wire::put_u32(out, self.names.len() as u32);
@@ -181,6 +190,7 @@ impl DnsStoreImage {
     pub fn decode(reader: &mut Reader<'_>) -> Result<Self, FlowDnsError> {
         let as_of = SimTime::from_micros(reader.u64()?);
         let num_split = reader.u32()?;
+        let shards = reader.u32()?;
         let a_interval_secs = reader.u64()?;
         let c_interval_secs = reader.u64()?;
         let name_count = reader.count(4)?;
@@ -197,6 +207,7 @@ impl DnsStoreImage {
         let image = DnsStoreImage {
             as_of,
             num_split,
+            shards,
             a_interval_secs,
             c_interval_secs,
             names,
@@ -209,11 +220,13 @@ impl DnsStoreImage {
 
     fn validate(&self) -> Result<(), FlowDnsError> {
         let fail = |msg: String| Err(FlowDnsError::Snapshot(msg));
-        if self.ip_name.len() != self.num_split as usize {
+        let expected_sections = self.num_split as usize * self.shards.max(1) as usize;
+        if self.ip_name.len() != expected_sections {
             return fail(format!(
-                "split section count {} does not match declared num_split {}",
+                "split section count {} does not match declared num_split {} × {} shard(s)",
                 self.ip_name.len(),
-                self.num_split
+                self.num_split,
+                self.shards.max(1)
             ));
         }
         let names = self.names.len() as u32;
@@ -294,6 +307,7 @@ mod tests {
         DnsStoreImage {
             as_of: SimTime::from_secs(100),
             num_split: 2,
+            shards: 0,
             a_interval_secs: 3600,
             c_interval_secs: 7200,
             names: vec!["a.example".into()],
@@ -339,5 +353,35 @@ mod tests {
         let mut image = minimal_image();
         image.num_split = 3; // but only 2 split sections
         assert!(decode_image(&image).is_err());
+    }
+
+    #[test]
+    fn sharded_images_carry_shard_major_sections() {
+        // 3 shards × 2 splits = 6 sections, shard-major.
+        let mut image = minimal_image();
+        image.shards = 3;
+        image.ip_name = (0..6).map(|_| StoreImage::default()).collect();
+        image.ip_name[5]
+            .active
+            .push((SnapshotKey::Ip(IpKey::V4(0xC0A80001)), 0));
+        let back = decode_image(&image).unwrap();
+        assert_eq!(back.shards, 3);
+        assert_eq!(back.ip_name.len(), 6);
+        assert_eq!(back, image);
+        // shards = 1 is NOT the same as the classic layout marker 0 in
+        // the header, but both expect num_split sections.
+        let mut image = minimal_image();
+        image.shards = 1;
+        assert_eq!(decode_image(&image).unwrap().shards, 1);
+    }
+
+    #[test]
+    fn shard_count_section_mismatch_is_rejected() {
+        let mut image = minimal_image();
+        image.shards = 2; // declares 2 × 2 = 4 sections, but only 2 present
+        match decode_image(&image) {
+            Err(FlowDnsError::Snapshot(msg)) => assert!(msg.contains("shard"), "{msg}"),
+            other => panic!("expected shard mismatch rejection, got {other:?}"),
+        }
     }
 }

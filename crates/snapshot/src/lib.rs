@@ -19,15 +19,21 @@
 //! [`flowdns_types::NameRef`] handles to and from the image's name
 //! indices and runs the background snapshot thread.
 //!
-//! ## File format (version 1)
+//! ## File format (version 2)
 //!
 //! ```text
 //! magic    8 bytes  "FDNSSNAP"
-//! version  u32 LE   1
+//! version  u32 LE   2
 //! length   u64 LE   payload byte count
 //! checksum u64 LE   FNV-1a 64 over the payload bytes
 //! payload  ...      see `wire` for the section encodings
 //! ```
+//!
+//! Version 2 added the [`DnsStoreImage::shards`] field for the sharded
+//! correlator (the IP-NAME section then holds `shards × num_split`
+//! generation triples in shard-major order). Version 1 files are
+//! rejected by the version check — the daemon records the error and
+//! cold-starts; see MIGRATION.md.
 //!
 //! A torn or corrupted file fails the checksum (or the length check) and
 //! is rejected with [`FlowDnsError::Snapshot`]; the writer never exposes
@@ -43,6 +49,7 @@
 //! let image = DnsStoreImage {
 //!     as_of: SimTime::from_secs(900),
 //!     num_split: 1,
+//!     shards: 0, // classic shared store; N > 0 for sharded correlators
 //!     a_interval_secs: 3600,
 //!     c_interval_secs: 7200,
 //!     names: vec!["svc.example".to_string()],
@@ -71,8 +78,9 @@ use flowdns_types::FlowDnsError;
 /// Magic bytes opening every snapshot file.
 pub const MAGIC: &[u8; 8] = b"FDNSSNAP";
 
-/// Current format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current format version. Version 2 added [`DnsStoreImage::shards`];
+/// version 1 files are rejected (cold start), see MIGRATION.md.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Bytes of header before the payload (magic + version + length +
 /// checksum).
@@ -200,6 +208,7 @@ mod tests {
         DnsStoreImage {
             as_of: SimTime::from_secs(4000),
             num_split: 1,
+            shards: 0,
             a_interval_secs: 3600,
             c_interval_secs: 7200,
             names: vec![
@@ -249,6 +258,21 @@ mod tests {
         wrong_version[8] = 99;
         match decode_snapshot(&wrong_version) {
             Err(FlowDnsError::Snapshot(msg)) => assert!(msg.contains("version"), "{msg}"),
+            other => panic!("expected version rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_one_files_are_rejected_not_misparsed() {
+        // A v1 file lacks the shards field; decoding its payload with the
+        // v2 layout would silently shear every later section, so the
+        // version gate must fire first.
+        let mut v1 = encode_snapshot(&sample_image());
+        v1[8..12].copy_from_slice(&1u32.to_le_bytes());
+        match decode_snapshot(&v1) {
+            Err(FlowDnsError::Snapshot(msg)) => {
+                assert!(msg.contains("unsupported snapshot version 1"), "{msg}")
+            }
             other => panic!("expected version rejection, got {other:?}"),
         }
     }

@@ -81,20 +81,34 @@ fn dns_store_image() -> impl Strategy<Value = DnsStoreImage> {
     (
         0u64..1_000_000_000,
         name_table(),
-        proptest::collection::vec(ip_store_image(NAMES), 1..6),
+        // A sharded image carries num_split × shards sections (shards = 0
+        // is the classic shared layout: num_split alone). Generate the
+        // maximum 3 × 3 = 9 sections up front and truncate in prop_map.
+        (
+            1u32..4,
+            0u32..4,
+            proptest::collection::vec(ip_store_image(NAMES), 9..10),
+        )
+            .prop_map(|(num_split, shards, mut pool)| {
+                pool.truncate((num_split * shards.max(1)) as usize);
+                (num_split, shards, pool)
+            }),
         cname_store_image(NAMES),
         0u64..100_000,
         0u64..100_000,
     )
         .prop_map(
-            |(as_of, names, ip_name, name_cname, a_secs, c_secs)| DnsStoreImage {
-                as_of: SimTime::from_micros(as_of),
-                num_split: ip_name.len() as u32,
-                a_interval_secs: a_secs,
-                c_interval_secs: c_secs,
-                names,
-                ip_name,
-                name_cname,
+            |(as_of, names, (num_split, shards, ip_name), name_cname, a_secs, c_secs)| {
+                DnsStoreImage {
+                    as_of: SimTime::from_micros(as_of),
+                    num_split,
+                    shards,
+                    a_interval_secs: a_secs,
+                    c_interval_secs: c_secs,
+                    names,
+                    ip_name,
+                    name_cname,
+                }
             },
         )
 }

@@ -17,6 +17,9 @@
 //!   clear-up and buffer rotation (Algorithm 1's storage side),
 //! * [`split`] — [`SplitStore`], NUM_SPLIT rotating stores indexed by a
 //!   label function over the key (the "IP-NAME hashmap splits"),
+//! * [`local`] — [`LocalRotatingStore`]/[`LocalSplitStore`], single-owner
+//!   `&mut` twins of the rotating/split stores for the shared-nothing
+//!   correlator shards (zero locks, same semantics and snapshot images),
 //! * [`exact_ttl`] — [`ExactTtlStore`], the per-record-TTL strawman from
 //!   Appendix A.8, kept for the ablation experiment,
 //! * [`memory`] — byte-level memory accounting used by the resource
@@ -27,6 +30,7 @@
 
 pub mod exact_ttl;
 pub mod keys;
+pub mod local;
 pub mod memory;
 pub mod rotating;
 pub mod sharded;
@@ -34,6 +38,7 @@ pub mod split;
 
 pub use exact_ttl::ExactTtlStore;
 pub use keys::{StoreKey, StoreValue};
+pub use local::{LocalRotatingStore, LocalSplitStore};
 pub use memory::MemoryEstimate;
 pub use rotating::{Generation, GenerationsImage, RotatingStore, RotationPolicy};
 pub use sharded::ShardedMap;

@@ -1,0 +1,520 @@
+//! Single-owner mirrors of the rotating/split stores for the sharded
+//! correlator.
+//!
+//! The shared [`RotatingStore`](crate::RotatingStore) pays a lock-stripe
+//! acquisition per map touch and a clock/stats mutex per record — fine
+//! when many workers share one store, pure overhead when a correlator
+//! shard is the *only* writer and reader of its partition. These mirrors
+//! take `&mut self` and use plain `HashMap`s: zero locks, zero atomics,
+//! identical semantics (clock arming, rotation boundaries, long-map
+//! routing, lookup cascade, import aging) and the same
+//! [`GenerationsImage`] snapshot currency, so a partition can be
+//! exported by the snapshot thread and re-imported on warm restart — or
+//! even moved between the shared and local implementations.
+//!
+//! Behavioural parity with the shared stores is pinned by the
+//! `local_mirrors_shared_store` test below, which drives both through a
+//! randomized schedule and compares every observable.
+
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use flowdns_types::{FlowDnsError, SimDuration, SimTime};
+
+use crate::keys::{StoreKey, StoreValue};
+use crate::memory::MemoryEstimate;
+use crate::rotating::{Generation, GenerationsImage, RotatingStoreStats, RotationPolicy};
+
+/// A single-owner Active/Inactive/Long store: the `&mut` twin of
+/// [`RotatingStore`](crate::RotatingStore).
+#[derive(Debug)]
+pub struct LocalRotatingStore<K: StoreKey, V: StoreValue> {
+    policy: RotationPolicy,
+    active: HashMap<K, V>,
+    inactive: HashMap<K, V>,
+    long: HashMap<K, V>,
+    last_clear_ts: Option<SimTime>,
+    last_seen_ts: Option<SimTime>,
+    stats: RotatingStoreStats,
+}
+
+impl<K: StoreKey, V: StoreValue> LocalRotatingStore<K, V> {
+    /// Create an empty store with the given policy.
+    pub fn new(policy: RotationPolicy) -> Self {
+        LocalRotatingStore {
+            policy,
+            active: HashMap::default(),
+            inactive: HashMap::default(),
+            long: HashMap::default(),
+            last_clear_ts: None,
+            last_seen_ts: None,
+            stats: RotatingStoreStats::default(),
+        }
+    }
+
+    /// The store's policy.
+    pub fn policy(&self) -> RotationPolicy {
+        self.policy
+    }
+
+    /// Insert a record observed at `ts` with the given TTL: clear-up
+    /// check first (Algorithm 1), then Active or Long by TTL.
+    pub fn insert(&mut self, key: K, value: V, ttl: u32, ts: SimTime) {
+        self.maybe_clear_up(ts);
+        let goes_long = self.policy.long_maps
+            && SimDuration::from_secs(ttl as u64) >= self.policy.clear_up_interval;
+        if goes_long {
+            self.long.insert(key, value);
+            self.stats.long_inserts += 1;
+        } else {
+            self.active.insert(key, value);
+            self.stats.active_inserts += 1;
+        }
+    }
+
+    /// Advance the clear-up clock without inserting.
+    pub fn observe_time(&mut self, ts: SimTime) {
+        self.maybe_clear_up(ts);
+    }
+
+    fn maybe_clear_up(&mut self, ts: SimTime) {
+        if !self.policy.clear_up {
+            return;
+        }
+        if self.last_seen_ts.map_or(true, |last| ts > last) {
+            self.last_seen_ts = Some(ts);
+        }
+        match self.last_clear_ts {
+            None => self.last_clear_ts = Some(ts),
+            Some(last) => {
+                if ts.saturating_since(last) >= self.policy.clear_up_interval {
+                    if self.policy.rotation {
+                        self.stats.rotated_entries += self.active.len() as u64;
+                        // Moving Active wholesale is the single-owner
+                        // shortcut for "clear Inactive, copy Active in,
+                        // clear Active" — same end state, no clones.
+                        self.inactive = std::mem::take(&mut self.active);
+                    } else {
+                        self.active.clear();
+                    }
+                    self.stats.clear_ups += 1;
+                    self.last_clear_ts = Some(ts);
+                }
+            }
+        }
+    }
+
+    /// The `deepLookUp` of Algorithm 2: Active → Inactive → Long.
+    pub fn lookup<Q>(&mut self, key: &Q) -> Option<(V, Generation)>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        if let Some(v) = self.active.get(key) {
+            self.stats.hits.0 += 1;
+            return Some((v.clone(), Generation::Active));
+        }
+        if self.policy.rotation {
+            if let Some(v) = self.inactive.get(key) {
+                self.stats.hits.1 += 1;
+                return Some((v.clone(), Generation::Inactive));
+            }
+        }
+        if self.policy.long_maps {
+            if let Some(v) = self.long.get(key) {
+                self.stats.hits.2 += 1;
+                return Some((v.clone(), Generation::Long));
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Insert directly into Active without the clear-up check (CNAME
+    /// memoization).
+    pub fn memoize(&mut self, key: K, value: V) {
+        self.active.insert(key, value);
+    }
+
+    /// Entry counts per generation: (active, inactive, long).
+    pub fn entry_counts(&self) -> (usize, usize, usize) {
+        (self.active.len(), self.inactive.len(), self.long.len())
+    }
+
+    /// Total entries across generations.
+    pub fn total_entries(&self) -> usize {
+        self.active.len() + self.inactive.len() + self.long.len()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> RotatingStoreStats {
+        self.stats
+    }
+
+    /// Export generations and clock as a plain-data image. Unlike the
+    /// shared store there is nothing to fence against: the caller holds
+    /// the only handle.
+    pub fn export_image(&self) -> GenerationsImage<K, V> {
+        let collect = |map: &HashMap<K, V>| {
+            map.iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect::<Vec<_>>()
+        };
+        GenerationsImage {
+            last_clear_ts: self.last_clear_ts,
+            last_seen_ts: self.last_seen_ts,
+            active: collect(&self.active),
+            inactive: collect(&self.inactive),
+            long: collect(&self.long),
+        }
+    }
+
+    /// Import an image exported earlier, aging its generations to `now`
+    /// exactly as [`RotatingStore::import_image`](crate::RotatingStore::import_image)
+    /// does: same window → verbatim with a resumed clock, one missed
+    /// rotation → Active demotes to Inactive, older → Long only.
+    pub fn import_image(&mut self, image: GenerationsImage<K, V>, now: SimTime) {
+        let GenerationsImage {
+            last_clear_ts,
+            last_seen_ts,
+            mut active,
+            inactive,
+            mut long,
+        } = image;
+        if !self.policy.long_maps {
+            active.append(&mut long);
+        }
+        let anchor = last_clear_ts.or(last_seen_ts);
+        let elapsed = match (self.policy.clear_up, anchor) {
+            (false, _) | (_, None) => SimDuration::ZERO,
+            (true, Some(anchor)) => now.saturating_since(anchor),
+        };
+        let interval = self.policy.clear_up_interval;
+        if self.last_seen_ts.map_or(true, |cur| cur < now) {
+            self.last_seen_ts = Some(now);
+        }
+        if elapsed < interval {
+            self.active.extend(active);
+            if self.policy.rotation {
+                self.inactive.extend(inactive);
+            }
+            if self.last_clear_ts.is_none() {
+                self.last_clear_ts = anchor;
+            }
+        } else if self.policy.rotation && elapsed < interval + interval {
+            self.inactive.extend(active);
+            if self.last_clear_ts.map_or(true, |cur| cur < now) {
+                self.last_clear_ts = Some(now);
+            }
+        } else if self.last_clear_ts.map_or(true, |cur| cur < now) {
+            self.last_clear_ts = Some(now);
+        }
+        self.long.extend(long);
+    }
+
+    /// Estimate the memory held by the store.
+    pub fn memory_estimate(&self) -> MemoryEstimate {
+        let mut est = MemoryEstimate::new();
+        for map in [&self.active, &self.inactive, &self.long] {
+            for (k, v) in map {
+                est.add_entry(k.estimate_bytes(), v.estimate_bytes());
+            }
+        }
+        est
+    }
+}
+
+/// A single-owner set of `num_split` rotating stores: the `&mut` twin of
+/// [`SplitStore`](crate::SplitStore), with the identical label function
+/// so split membership survives moves between the two implementations.
+#[derive(Debug)]
+pub struct LocalSplitStore<K: StoreKey, V: StoreValue> {
+    splits: Vec<LocalRotatingStore<K, V>>,
+}
+
+impl<K: StoreKey, V: StoreValue> LocalSplitStore<K, V> {
+    /// Create `num_split` stores with the given policy.
+    pub fn new(policy: RotationPolicy, num_split: usize) -> Self {
+        assert!(num_split > 0, "num_split must be positive");
+        LocalSplitStore {
+            splits: (0..num_split)
+                .map(|_| LocalRotatingStore::new(policy))
+                .collect(),
+        }
+    }
+
+    /// Number of splits.
+    pub fn num_split(&self) -> usize {
+        self.splits.len()
+    }
+
+    /// The label function of Algorithm 1/2 — byte-for-byte the same hash
+    /// as [`SplitStore::label`](crate::SplitStore::label).
+    pub fn label<Q>(&self, key: &Q) -> usize
+    where
+        Q: Hash + ?Sized,
+    {
+        use std::hash::Hasher;
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() % self.splits.len() as u64) as usize
+    }
+
+    /// Access a split by label (for tests and diagnostics).
+    pub fn split(&self, label: usize) -> &LocalRotatingStore<K, V> {
+        &self.splits[label]
+    }
+
+    /// Insert a record into the split chosen by its key label.
+    pub fn insert(&mut self, key: K, value: V, ttl: u32, ts: SimTime) {
+        let label = self.label(&key);
+        self.splits[label].insert(key, value, ttl, ts);
+    }
+
+    /// Advance the clear-up clock of every split.
+    pub fn observe_time(&mut self, ts: SimTime) {
+        for split in &mut self.splits {
+            split.observe_time(ts);
+        }
+    }
+
+    /// Look a key up in its split (Active → Inactive → Long).
+    pub fn lookup<Q>(&mut self, key: &Q) -> Option<(V, Generation)>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let label = self.label(key);
+        self.splits[label].lookup(key)
+    }
+
+    /// Memoize a derived mapping into the Active map of the key's split.
+    pub fn memoize(&mut self, key: K, value: V) {
+        let label = self.label(&key);
+        self.splits[label].memoize(key, value);
+    }
+
+    /// Total entries across all splits and generations.
+    pub fn total_entries(&self) -> usize {
+        self.splits.iter().map(|s| s.total_entries()).sum()
+    }
+
+    /// Aggregate statistics across splits.
+    pub fn stats(&self) -> RotatingStoreStats {
+        let mut agg = RotatingStoreStats::default();
+        for s in self.splits.iter().map(|s| s.stats()) {
+            agg.active_inserts += s.active_inserts;
+            agg.long_inserts += s.long_inserts;
+            agg.clear_ups += s.clear_ups;
+            agg.rotated_entries += s.rotated_entries;
+            agg.hits.0 += s.hits.0;
+            agg.hits.1 += s.hits.1;
+            agg.hits.2 += s.hits.2;
+            agg.misses += s.misses;
+        }
+        agg
+    }
+
+    /// Export every split's generations in split-label order.
+    pub fn export_images(&self) -> Vec<GenerationsImage<K, V>> {
+        self.splits.iter().map(|s| s.export_image()).collect()
+    }
+
+    /// Import previously exported split images, aging each to `now`.
+    /// The image count must match this store's split count, exactly as
+    /// [`SplitStore::import_images`](crate::SplitStore::import_images)
+    /// requires.
+    pub fn import_images(
+        &mut self,
+        images: Vec<GenerationsImage<K, V>>,
+        now: SimTime,
+    ) -> Result<(), FlowDnsError> {
+        if images.len() != self.splits.len() {
+            return Err(FlowDnsError::Snapshot(format!(
+                "snapshot has {} splits, this store is configured for {} \
+                 (num_split changed between runs?)",
+                images.len(),
+                self.splits.len()
+            )));
+        }
+        for (split, image) in self.splits.iter_mut().zip(images) {
+            split.import_image(image, now);
+        }
+        Ok(())
+    }
+
+    /// Aggregate memory estimate across splits.
+    pub fn memory_estimate(&self) -> MemoryEstimate {
+        let mut est = MemoryEstimate::new();
+        for s in &self.splits {
+            est.merge(s.memory_estimate());
+        }
+        est
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rotating::RotatingStore;
+    use crate::split::SplitStore;
+
+    fn policy(secs: u64) -> RotationPolicy {
+        RotationPolicy {
+            clear_up_interval: SimDuration::from_secs(secs),
+            clear_up: true,
+            rotation: true,
+            long_maps: true,
+        }
+    }
+
+    /// Drive the local and shared stores through the same schedule and
+    /// compare every observable after each step. This is the parity
+    /// contract the sharded correlator relies on.
+    #[test]
+    fn local_mirrors_shared_store() {
+        for variant in 0..4usize {
+            let mut p = policy(100);
+            match variant {
+                1 => p.rotation = false,
+                2 => p.long_maps = false,
+                3 => p.clear_up = false,
+                _ => {}
+            }
+            let mut local: LocalRotatingStore<String, String> = LocalRotatingStore::new(p);
+            let shared: RotatingStore<String, String> = RotatingStore::new(p, 4);
+            // Deterministic pseudo-random schedule (xorshift).
+            let mut x = 0x9e3779b97f4a7c15u64 ^ variant as u64;
+            let mut step = || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            for i in 0..2000u64 {
+                let ts = SimTime::from_secs(i * 7 % 1000 + i / 2);
+                match step() % 5 {
+                    0 | 1 => {
+                        let key = format!("k{}", step() % 64);
+                        let ttl = if step() % 4 == 0 { 86_400 } else { 30 };
+                        local.insert(key.clone(), format!("v{i}"), ttl, ts);
+                        shared.insert(key, format!("v{i}"), ttl, ts);
+                    }
+                    2 => {
+                        let key = format!("k{}", step() % 64);
+                        assert_eq!(local.lookup(&key), shared.lookup(key.as_str()));
+                    }
+                    3 => {
+                        local.observe_time(ts);
+                        shared.observe_time(ts);
+                    }
+                    _ => {
+                        let key = format!("m{}", step() % 16);
+                        local.memoize(key.clone(), "memo".into());
+                        shared.memoize(key, "memo".into());
+                    }
+                }
+                assert_eq!(
+                    local.entry_counts(),
+                    shared.entry_counts(),
+                    "variant {variant} step {i}"
+                );
+                assert_eq!(local.stats(), shared.stats(), "variant {variant} step {i}");
+            }
+            let li = local.export_image();
+            let si = shared.export_image();
+            assert_eq!(li.last_clear_ts, si.last_clear_ts);
+            assert_eq!(li.last_seen_ts, si.last_seen_ts);
+            let sorted = |mut v: Vec<(String, String)>| {
+                v.sort();
+                v
+            };
+            assert_eq!(sorted(li.active), sorted(si.active));
+            assert_eq!(sorted(li.inactive), sorted(si.inactive));
+            assert_eq!(sorted(li.long), sorted(si.long));
+        }
+    }
+
+    #[test]
+    fn export_import_round_trips_across_implementations() {
+        let mut local: LocalRotatingStore<String, String> = LocalRotatingStore::new(policy(3600));
+        local.insert("a".into(), "v-a".into(), 60, SimTime::from_secs(0));
+        local.insert("b".into(), "v-b".into(), 86_400, SimTime::from_secs(10));
+        local.insert("c".into(), "v-c".into(), 60, SimTime::from_secs(3600)); // rotates a
+        let image = local.export_image();
+
+        // Local image into a shared store…
+        let shared: RotatingStore<String, String> = RotatingStore::new(policy(3600), 4);
+        shared.import_image(image.clone(), SimTime::from_secs(3700));
+        assert_eq!(shared.lookup("a").unwrap().1, Generation::Inactive);
+        assert_eq!(shared.lookup("b").unwrap().1, Generation::Long);
+        assert_eq!(shared.lookup("c").unwrap().1, Generation::Active);
+
+        // …and a shared image into a local store, one missed rotation.
+        let back = shared.export_image();
+        let mut aged: LocalRotatingStore<String, String> = LocalRotatingStore::new(policy(3600));
+        aged.import_image(back, SimTime::from_secs(3600 + 5400));
+        assert_eq!(aged.lookup("c").unwrap().1, Generation::Inactive);
+        assert_eq!(aged.lookup("a"), None);
+        assert_eq!(aged.lookup("b").unwrap().1, Generation::Long);
+    }
+
+    #[test]
+    fn split_label_matches_shared_split_store() {
+        let local: LocalSplitStore<String, String> = LocalSplitStore::new(policy(3600), 10);
+        let shared: SplitStore<String, String> = SplitStore::new(policy(3600), 10, 4);
+        for i in 0..500 {
+            let key = format!("198.51.100.{i}");
+            assert_eq!(local.label(&key), shared.label(&key));
+        }
+    }
+
+    #[test]
+    fn split_store_routes_and_round_trips() {
+        let mut s: LocalSplitStore<String, String> = LocalSplitStore::new(policy(3600), 10);
+        for i in 0..200 {
+            s.insert(
+                format!("198.51.100.{i}"),
+                format!("host{i}.example"),
+                if i % 3 == 0 { 86_400 } else { 60 },
+                SimTime::from_secs(10),
+            );
+        }
+        assert_eq!(s.total_entries(), 200);
+        let images = s.export_images();
+        assert_eq!(images.len(), 10);
+
+        let mut restored: LocalSplitStore<String, String> = LocalSplitStore::new(policy(3600), 10);
+        restored
+            .import_images(images, SimTime::from_secs(20))
+            .unwrap();
+        for i in 0..200 {
+            let key = format!("198.51.100.{i}");
+            assert_eq!(restored.lookup(&key).unwrap().0, format!("host{i}.example"));
+        }
+        assert_eq!(restored.memory_estimate().entries, 200);
+    }
+
+    #[test]
+    fn split_import_rejects_mismatched_counts() {
+        let s: LocalSplitStore<String, String> = LocalSplitStore::new(policy(3600), 10);
+        let images = s.export_images();
+        let mut other: LocalSplitStore<String, String> = LocalSplitStore::new(policy(3600), 4);
+        assert!(matches!(
+            other.import_images(images, SimTime::ZERO),
+            Err(FlowDnsError::Snapshot(_))
+        ));
+    }
+
+    #[test]
+    fn observe_time_rotates_every_split() {
+        let mut s: LocalSplitStore<String, String> = LocalSplitStore::new(policy(100), 4);
+        for i in 0..40 {
+            s.insert(format!("k{i}"), "v".into(), 60, SimTime::ZERO);
+        }
+        s.observe_time(SimTime::from_secs(7200));
+        assert_eq!(s.stats().clear_ups, 4);
+        assert!(matches!(s.lookup("k0"), Some((_, Generation::Inactive))));
+    }
+}

@@ -190,6 +190,22 @@ impl LatencySnapshot {
         self.quantile_us(0.999)
     }
 
+    /// Fold another snapshot into this one, bucket-wise. Both sides use
+    /// the same bucket scheme, so merging per-shard distributions (the
+    /// sharded correlator's per-lane residency histograms) into one
+    /// aggregate view is exact.
+    pub fn merge(&mut self, other: &LatencySnapshot) {
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        if self.buckets.is_empty() {
+            self.buckets = other.buckets.clone();
+        } else {
+            for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+                *mine += *theirs;
+            }
+        }
+    }
+
     /// The distribution observed *between* `earlier` and `self`, both
     /// snapshots of the same histogram: per-bucket saturating
     /// subtraction, so a measurement window's quantiles are not polluted

@@ -16,15 +16,23 @@
 //!   simulated time,
 //! * [`replay`] — utilities to merge and replay timestamped record sets as
 //!   ordered streams, optionally split into the N parallel streams the
-//!   ISPs deliver (2 DNS + 26 NetFlow at the large ISP).
+//!   ISPs deliver (2 DNS + 26 NetFlow at the large ISP),
+//! * [`spsc`] — [`ShardedChannel`], per-shard single-producer /
+//!   single-consumer rings routed by IP key at decode time — the
+//!   shared-nothing ingress of the sharded correlator.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the contained exception is the SPSC ring in
+// `spsc`, whose slot array needs `UnsafeCell` + `MaybeUninit` to move
+// records between exactly one producer and one consumer without a lock.
+// Everything else in the crate is unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod buffer;
 pub mod latency;
 pub mod meter;
 pub mod replay;
+pub mod spsc;
 
 pub use buffer::{BufferStats, StreamBuffer};
 pub use latency::{
@@ -32,3 +40,4 @@ pub use latency::{
 };
 pub use meter::{MeterSnapshot, RateMeter};
 pub use replay::{merge_by_time, split_round_robin, StreamSplitter};
+pub use spsc::{LaneConsumer, ShardProducer, ShardedChannel};

@@ -54,7 +54,7 @@
 //!
 //! // Wait until the FillUp workers have stored the records, as a live
 //! // deployment's DNS head start does, so the lookups cannot race them.
-//! while correlator.store().total_entries() < 4 {
+//! while correlator.stored_entries() < 4 {
 //!     std::thread::sleep(std::time::Duration::from_millis(1));
 //! }
 //!

@@ -130,7 +130,7 @@ fn crafted_bad_inputs_are_counted_and_survived() {
     good.flush().unwrap();
     assert!(
         wait_until(Duration::from_secs(10), || {
-            rt.correlator().store().total_entries() >= 1
+            rt.correlator().stored_entries() >= 1
         }),
         "DNS listener stopped serving after garbage: {:?}",
         rt.snapshot()

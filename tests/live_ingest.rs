@@ -96,7 +96,21 @@ fn exotic_record(src: Ipv4Addr, bytes: u32) -> Vec<u8> {
 
 #[test]
 fn live_ingest_correlates_over_real_sockets() {
-    let rt = IngestRuntime::start_in_memory(&loopback_config()).expect("start runtime");
+    run_live_ingest(0);
+}
+
+/// The same loopback exercise against the sharded correlator: listener
+/// threads route per-shard through their own `ShardRouter`s, and the
+/// per-shard routed counters must account for every accepted record.
+#[test]
+fn live_ingest_correlates_with_sharded_correlator() {
+    run_live_ingest(2);
+}
+
+fn run_live_ingest(correlator_shards: usize) {
+    let mut config = loopback_config();
+    config.correlator.correlator_shards = correlator_shards;
+    let rt = IngestRuntime::start_in_memory(&config).expect("start runtime");
 
     // ---- DNS feed over TCP: two resolver connections. ----
     let encoder = FrameEncoder::new();
@@ -127,7 +141,7 @@ fn live_ingest_correlates_over_real_sockets() {
 
     assert!(
         wait_until(Duration::from_secs(10), || {
-            rt.correlator().store().total_entries() >= 4
+            rt.correlator().stored_entries() >= 4
         }),
         "DNS records never reached the store: {:?}",
         rt.snapshot()
@@ -230,6 +244,20 @@ fn live_ingest_correlates_over_real_sockets() {
 
     drop(conn_a);
     drop(conn_b);
+
+    // Sharded mode: the per-shard routed counters must sum to exactly
+    // what the listeners accepted — nothing lost, nothing double-routed.
+    if correlator_shards > 0 {
+        let (dns_routed, flow_routed) = rt
+            .correlator()
+            .shard_routed_counts()
+            .expect("sharded correlator exposes routed counters");
+        assert_eq!(dns_routed.len(), correlator_shards);
+        assert_eq!(dns_routed.iter().sum::<u64>(), 4);
+        assert_eq!(flow_routed.iter().sum::<u64>(), 4);
+    } else {
+        assert!(rt.correlator().shard_routed_counts().is_none());
+    }
 
     let report = rt.shutdown().expect("clean shutdown");
 

@@ -167,7 +167,7 @@ fn scrape_endpoint_tracks_live_traffic_and_traces_flows() {
     conn.flush().unwrap();
     assert!(
         wait_until(Duration::from_secs(10), || {
-            rt.correlator().store().total_entries() >= 2
+            rt.correlator().stored_entries() >= 2
         }),
         "DNS records never reached the store"
     );

@@ -93,7 +93,7 @@ fn rotated_files_carry_stamped_asns_end_to_end() {
     conn.flush().unwrap();
     assert!(
         wait_until(Duration::from_secs(10), || {
-            rt.correlator().store().total_entries() >= 2
+            rt.correlator().stored_entries() >= 2
         }),
         "DNS records never reached the store"
     );

@@ -102,7 +102,7 @@ fn warm_restarted_daemon_answers_lookups_before_any_new_dns() {
     drop(feed);
     assert!(
         wait_until(Duration::from_secs(10), || {
-            first.correlator().store().total_entries() >= 16
+            first.correlator().stored_entries() >= 16
         }),
         "DNS records never reached the store: {:?}",
         first.snapshot()
@@ -166,7 +166,7 @@ fn torn_snapshot_is_rejected_by_checksum_and_daemon_starts_cold() {
     feed.flush().unwrap();
     drop(feed);
     assert!(wait_until(Duration::from_secs(10), || {
-        first.correlator().store().total_entries() >= 1
+        first.correlator().stored_entries() >= 1
     }));
     first.shutdown().unwrap();
     let bytes = std::fs::read(&snapshot).unwrap();
@@ -184,7 +184,7 @@ fn torn_snapshot_is_rejected_by_checksum_and_daemon_starts_cold() {
             .is_some_and(|e| e.contains("warm start")),
         "expected a recorded rejection: {stats:?}"
     );
-    assert_eq!(second.correlator().store().total_entries(), 0);
+    assert_eq!(second.correlator().stored_entries(), 0);
     // A clean shutdown replaces the torn file with a valid one.
     second.shutdown().unwrap();
     assert!(flowdns::snapshot::read_snapshot(&snapshot).is_ok());
