@@ -3,10 +3,13 @@
 //! * every `flowdns_*` metric name appearing as a string literal in
 //!   non-test code must be listed in `docs/OBSERVABILITY.md`, and every
 //!   `flowdns_*` name in that doc must exist in code;
-//! * every config key parsed in a `match key { ... }` block of the
-//!   declared config-source files must appear in `docs/CONFIG.md` *and*
-//!   `examples/flowdnsd.conf` (an entry commented out with `#` counts —
-//!   the example documents the key either way), and vice versa.
+//! * every config key parsed in a `match key { ... }` block of a
+//!   declared config-source file must appear in that source's key doc
+//!   (by default `docs/CONFIG.md`, overridable per source — the soak
+//!   harness documents its keys in `docs/WORKLOADS.md`) *and* in its
+//!   example config when one is declared (an entry commented out with
+//!   `#` counts — the example documents the key either way), and vice
+//!   versa.
 
 use crate::lexer::TokenKind;
 use crate::report::Finding;
@@ -14,25 +17,35 @@ use crate::source::SourceFile;
 use crate::RULE_DRIFT;
 use std::collections::BTreeMap;
 
-/// Everything the drift rule needs. Doc inputs are `(rel_path, text)`.
+/// One group of config-key sources and the doc/example pair their keys
+/// round-trip against. Doc inputs are `(rel_path, text)`.
+pub struct ConfigDriftGroup {
+    /// Source files whose `match key { ... }` arms define this group's
+    /// keys.
+    pub sources: Vec<String>,
+    /// The doc holding the group's key table.
+    pub config_doc: Option<(String, String)>,
+    /// The group's example config file, if it has one.
+    pub example_conf: Option<(String, String)>,
+}
+
+/// Everything the drift rule needs.
 pub struct DriftInputs<'a> {
     /// All scanned source files.
     pub files: &'a [SourceFile],
-    /// Files whose `match key { ... }` arms define config keys.
-    pub config_sources: &'a [String],
+    /// Config-key source groups, each with its own doc targets.
+    pub config_groups: &'a [ConfigDriftGroup],
     /// `docs/OBSERVABILITY.md`.
     pub observability_doc: Option<(String, String)>,
-    /// `docs/CONFIG.md`.
-    pub config_doc: Option<(String, String)>,
-    /// `examples/flowdnsd.conf`.
-    pub example_conf: Option<(String, String)>,
 }
 
 /// Run both drift checks.
 pub fn doc_drift(inputs: &DriftInputs<'_>) -> Vec<Finding> {
     let mut out = Vec::new();
     metric_drift(inputs, &mut out);
-    config_drift(inputs, &mut out);
+    for group in inputs.config_groups {
+        config_drift(inputs.files, group, &mut out);
+    }
     out
 }
 
@@ -133,10 +146,10 @@ fn scan_metric_names(text: &str) -> BTreeMap<String, u32> {
     names
 }
 
-fn config_drift(inputs: &DriftInputs<'_>, out: &mut Vec<Finding>) {
+fn config_drift(files: &[SourceFile], group: &ConfigDriftGroup, out: &mut Vec<Finding>) {
     let mut code: BTreeMap<String, (String, u32)> = BTreeMap::new();
-    for file in inputs.files {
-        if !inputs.config_sources.contains(&file.rel_path) {
+    for file in files {
+        if !group.sources.contains(&file.rel_path) {
             continue;
         }
         for (key, line) in match_key_arms(file) {
@@ -147,19 +160,19 @@ fn config_drift(inputs: &DriftInputs<'_>, out: &mut Vec<Finding>) {
     if code.is_empty() {
         return;
     }
-    let doc_keys = inputs
+    let doc_keys = group
         .config_doc
         .as_ref()
         .map(|(_, text)| table_keys(text))
         .unwrap_or_default();
-    let conf_keys = inputs
+    let conf_keys = group
         .example_conf
         .as_ref()
         .map(|(_, text)| conf_file_keys(text))
         .unwrap_or_default();
 
     for (key, (file, line)) in &code {
-        if let Some((doc_path, _)) = &inputs.config_doc {
+        if let Some((doc_path, _)) = &group.config_doc {
             if !doc_keys.contains_key(key) {
                 out.push(Finding {
                     rule: RULE_DRIFT,
@@ -172,7 +185,7 @@ fn config_drift(inputs: &DriftInputs<'_>, out: &mut Vec<Finding>) {
                 });
             }
         }
-        if let Some((conf_path, _)) = &inputs.example_conf {
+        if let Some((conf_path, _)) = &group.example_conf {
             if !conf_keys.contains_key(key) {
                 out.push(Finding {
                     rule: RULE_DRIFT,
@@ -187,7 +200,7 @@ fn config_drift(inputs: &DriftInputs<'_>, out: &mut Vec<Finding>) {
             }
         }
     }
-    if let Some((doc_path, _)) = &inputs.config_doc {
+    if let Some((doc_path, _)) = &group.config_doc {
         for (key, line) in &doc_keys {
             if !code.contains_key(key) {
                 out.push(Finding {
@@ -202,7 +215,7 @@ fn config_drift(inputs: &DriftInputs<'_>, out: &mut Vec<Finding>) {
             }
         }
     }
-    if let Some((conf_path, _)) = &inputs.example_conf {
+    if let Some((conf_path, _)) = &group.example_conf {
         for (key, line) in &conf_keys {
             if !code.contains_key(key) {
                 out.push(Finding {
@@ -324,13 +337,11 @@ mod tests {
         )];
         let inputs = DriftInputs {
             files: &files,
-            config_sources: &[],
+            config_groups: &[],
             observability_doc: Some((
                 "docs/OBS.md".into(),
                 "| `flowdns_used_total` | count |\n| `flowdns_ghost_total` | gone |\n".into(),
             )),
-            config_doc: None,
-            example_conf: None,
         };
         let out = doc_drift(&inputs);
         assert_eq!(out.len(), 2, "{out:?}");
@@ -350,14 +361,12 @@ mod tests {
         )];
         let inputs = DriftInputs {
             files: &files,
-            config_sources: &[],
+            config_groups: &[],
             observability_doc: Some((
                 "docs/OBS.md".into(),
                 "`flowdns_wait_us` exports `flowdns_wait_us_bucket` and `flowdns_wait_us_count`."
                     .into(),
             )),
-            config_doc: None,
-            example_conf: None,
         };
         assert!(doc_drift(&inputs).is_empty());
     }
@@ -370,10 +379,8 @@ mod tests {
         )];
         let inputs = DriftInputs {
             files: &files,
-            config_sources: &[],
+            config_groups: &[],
             observability_doc: Some(("docs/OBS.md".into(), String::new())),
-            config_doc: None,
-            example_conf: None,
         };
         assert!(doc_drift(&inputs).is_empty());
     }
@@ -384,10 +391,8 @@ mod tests {
             "cfg.rs".into(),
             "fn apply(key: &str) { match key {\n \"known\" => {}\n \"undocumented\" => {}\n _ => { err(\"not a key literal\") }\n} }",
         )];
-        let sources = vec!["cfg.rs".to_string()];
-        let inputs = DriftInputs {
-            files: &files,
-            config_sources: &sources,
+        let groups = vec![ConfigDriftGroup {
+            sources: vec!["cfg.rs".to_string()],
             config_doc: Some((
                 "docs/CONFIG.md".into(),
                 "| `known` | 1 |\n| `ghost` | 2 |\n".into(),
@@ -396,6 +401,10 @@ mod tests {
                 "ex.conf".into(),
                 "known = 1\n# undocumented = 2\nstray = 3\n".into(),
             )),
+        }];
+        let inputs = DriftInputs {
+            files: &files,
+            config_groups: &groups,
             observability_doc: None,
         };
         let out = doc_drift(&inputs);
@@ -411,5 +420,58 @@ mod tests {
         assert!(out
             .iter()
             .any(|f| f.file == "ex.conf" && f.message.contains("`stray`")));
+    }
+
+    #[test]
+    fn per_source_doc_overrides_keep_groups_separate() {
+        // Two sources with disjoint key sets and their own docs: keys
+        // must round-trip only inside their group — `soak_key` being
+        // absent from CONFIG.md is fine, and `daemon_key` being absent
+        // from WORKLOADS.md is fine. A second group with no example
+        // conf must not demand one.
+        let files = vec![
+            SourceFile::new(
+                "daemon.rs".into(),
+                "fn apply(key: &str) { match key { \"daemon_key\" => {} _ => {} } }",
+            ),
+            SourceFile::new(
+                "soak.rs".into(),
+                "fn apply(key: &str) { match key { \"soak_key\" => {} _ => {} } }",
+            ),
+        ];
+        let groups = vec![
+            ConfigDriftGroup {
+                sources: vec!["daemon.rs".to_string()],
+                config_doc: Some(("docs/CONFIG.md".into(), "| `daemon_key` | 1 |\n".into())),
+                example_conf: Some(("ex.conf".into(), "daemon_key = 1\n".into())),
+            },
+            ConfigDriftGroup {
+                sources: vec!["soak.rs".to_string()],
+                config_doc: Some(("docs/WORKLOADS.md".into(), "| `soak_key` | 1 |\n".into())),
+                example_conf: None,
+            },
+        ];
+        let inputs = DriftInputs {
+            files: &files,
+            config_groups: &groups,
+            observability_doc: None,
+        };
+        assert!(doc_drift(&inputs).is_empty());
+
+        // And a key missing from its own group's doc still fires.
+        let groups = vec![ConfigDriftGroup {
+            sources: vec!["soak.rs".to_string()],
+            config_doc: Some(("docs/WORKLOADS.md".into(), "no table here\n".into())),
+            example_conf: None,
+        }];
+        let inputs = DriftInputs {
+            files: &files,
+            config_groups: &groups,
+            observability_doc: None,
+        };
+        let out = doc_drift(&inputs);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`soak_key`"));
+        assert!(out[0].message.contains("docs/WORKLOADS.md"));
     }
 }

@@ -65,6 +65,23 @@ pub struct ScopeSpec {
     pub functions: Vec<String>,
 }
 
+/// One config-key source file for `doc-drift`. By default its keys are
+/// checked against the global `[docs]` config doc and example conf; a
+/// source may instead name its own doc (and optionally its own example
+/// file) — e.g. the soak harness documents its keys in
+/// `docs/WORKLOADS.md`, not `docs/CONFIG.md`, and ships no example
+/// conf. When either override is present, only the named targets are
+/// checked.
+#[derive(Debug, Clone, Default)]
+pub struct ConfigSourceSpec {
+    /// Workspace-relative path of the source file.
+    pub path: String,
+    /// Override doc holding this source's key table.
+    pub doc: Option<String>,
+    /// Override example config file.
+    pub example_conf: Option<String>,
+}
+
 /// What to scan and which scopes each rule applies to.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -79,7 +96,7 @@ pub struct Config {
     /// Files checked by `panic-free-daemon` (whole-file granularity).
     pub daemon_files: Vec<String>,
     /// Files whose `match key { ... }` arms define config keys.
-    pub config_sources: Vec<String>,
+    pub config_sources: Vec<ConfigSourceSpec>,
     /// Path to the metric inventory doc, if drift-checking metrics.
     pub observability_doc: Option<String>,
     /// Path to the config-key doc, if drift-checking config keys.
@@ -145,13 +162,15 @@ impl Config {
                         })?
                         .to_string(),
                 ),
-                "config_source" => config.config_sources.push(
-                    get("path")
+                "config_source" => config.config_sources.push(ConfigSourceSpec {
+                    path: get("path")
                         .ok_or_else(|| {
                             format!("{toml_rel}:{}: [[config_source]] needs `path`", table.line)
                         })?
                         .to_string(),
-                ),
+                    doc: get("doc").map(str::to_string),
+                    example_conf: get("example_conf").map(str::to_string),
+                }),
                 "docs" => {
                     config.observability_doc = get("observability").map(str::to_string);
                     config.config_doc = get("config").map(str::to_string);
@@ -225,12 +244,35 @@ pub fn analyze(config: &Config) -> Result<AnalysisReport, String> {
             }
         }
     };
+    // Group the config sources by the doc/example pair their keys are
+    // checked against: sources with an override form their own group
+    // (only the named targets are checked); the rest share the global
+    // `[docs]` pair.
+    let mut config_groups: Vec<drift::ConfigDriftGroup> = Vec::new();
+    for spec in &config.config_sources {
+        let has_override = spec.doc.is_some() || spec.example_conf.is_some();
+        let (doc, conf) = if has_override {
+            (read_doc(&spec.doc)?, read_doc(&spec.example_conf)?)
+        } else {
+            (read_doc(&config.config_doc)?, read_doc(&config.example_conf)?)
+        };
+        let same_pair = |group: &&mut drift::ConfigDriftGroup| {
+            group.config_doc.as_ref().map(|(p, _)| p) == doc.as_ref().map(|(p, _)| p)
+                && group.example_conf.as_ref().map(|(p, _)| p) == conf.as_ref().map(|(p, _)| p)
+        };
+        match config_groups.iter_mut().find(same_pair) {
+            Some(group) => group.sources.push(spec.path.clone()),
+            None => config_groups.push(drift::ConfigDriftGroup {
+                sources: vec![spec.path.clone()],
+                config_doc: doc,
+                example_conf: conf,
+            }),
+        }
+    }
     let inputs = drift::DriftInputs {
         files: &files,
-        config_sources: &config.config_sources,
+        config_groups: &config_groups,
         observability_doc: read_doc(&config.observability_doc)?,
-        config_doc: read_doc(&config.config_doc)?,
-        example_conf: read_doc(&config.example_conf)?,
     };
     findings.extend(drift::doc_drift(&inputs));
 

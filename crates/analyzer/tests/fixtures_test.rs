@@ -5,7 +5,8 @@
 
 use flowdns_analyzer::report::render_json;
 use flowdns_analyzer::{
-    analyze, Config, ScopeSpec, RULE_DRIFT, RULE_HOT_PATH, RULE_PANIC, RULE_RELAXED, RULE_UNSAFE,
+    analyze, Config, ConfigSourceSpec, ScopeSpec, RULE_DRIFT, RULE_HOT_PATH, RULE_PANIC,
+    RULE_RELAXED, RULE_UNSAFE,
 };
 use std::path::PathBuf;
 
@@ -18,7 +19,10 @@ fn fixture_config() -> Config {
         functions: vec!["push".to_string()],
     }];
     config.daemon_files = vec!["src/daemon_bad.rs".to_string()];
-    config.config_sources = vec!["src/config_src.rs".to_string()];
+    config.config_sources = vec![ConfigSourceSpec {
+        path: "src/config_src.rs".to_string(),
+        ..ConfigSourceSpec::default()
+    }];
     config.observability_doc = Some("docs/OBSERVABILITY.md".to_string());
     config.config_doc = Some("docs/CONFIG.md".to_string());
     config.example_conf = Some("example.conf".to_string());

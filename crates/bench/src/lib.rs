@@ -13,7 +13,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod jsonv;
 pub mod saturation;
+pub mod soak;
 
 use flowdns_analysis::CategoryAnalysis;
 use flowdns_bgp::{AsnView, RoutingTable};
@@ -22,8 +24,8 @@ use flowdns_core::{CorrelatorConfig, OfflineSimulator, SimulationOutcome, Varian
 use flowdns_dbl::{Blocklist, BlocklistCategory};
 use flowdns_gen::domains::{DomainCategory, DomainUniverse, ServiceSpec};
 use flowdns_gen::workload::StreamEvent;
-use flowdns_gen::{Workload, WorkloadConfig};
-use flowdns_types::{CorrelatedRecord, CorrelationOutcome, SimDuration};
+use flowdns_gen::{SubscriberPopulation, Workload, WorkloadConfig};
+use flowdns_types::{CorrelatedRecord, CorrelationOutcome, FlowDirection, SimDuration};
 
 /// Convert a generator event into a simulator event.
 pub fn to_event(event: StreamEvent) -> Event {
@@ -143,6 +145,40 @@ pub fn experiment_workload(hours: u64, peak_flows_per_sec: f64) -> Workload {
     Workload::new(config)
 }
 
+/// The *count-based* correlation fraction of a workload, measured by
+/// running the Main variant end to end: the share of inbound content
+/// flows (dst port 443) whose written record carries a name. This is the
+/// measurement the population golden-accuracy check compares against
+/// [`Workload::expected_correlation_fraction`] — counts, not bytes, so
+/// the heavy-tailed size distribution cancels out and the analytic
+/// expectation is exact up to binomial noise.
+pub fn measured_correlation_fraction(workload: &Workload) -> f64 {
+    let mut correlated = 0u64;
+    let mut content = 0u64;
+    run_variant_with(Variant::Main, workload, |record| {
+        if record.flow.direction == FlowDirection::Inbound && record.flow.key.dst_port == 443 {
+            content += 1;
+            if record.is_correlated() {
+                correlated += 1;
+            }
+        }
+    });
+    correlated as f64 / content.max(1) as f64
+}
+
+/// A short population workload for the golden-accuracy check: long
+/// enough that binomial noise is well under the ±1-point tolerance,
+/// short enough to run inside a unit test.
+pub fn golden_accuracy_workload(population: SubscriberPopulation) -> Workload {
+    Workload::new(WorkloadConfig {
+        population,
+        duration: SimDuration::from_hours(2),
+        peak_flows_per_sec: 30.0,
+        background_dns_per_sec: 4.0,
+        ..WorkloadConfig::default()
+    })
+}
+
 /// Parse the `hours` CLI argument shared by the experiment binaries.
 pub fn hours_arg(default: u64) -> u64 {
     std::env::args()
@@ -201,6 +237,22 @@ mod tests {
         let rate = outcome.report.correlation_rate_pct();
         assert!(rate > 70.0 && rate < 95.0, "correlation {rate}");
         assert!(outcome.report.metrics.flow_loss_pct() < 1.0);
+    }
+
+    #[test]
+    fn golden_accuracy_matches_the_analytic_expectation_for_every_preset() {
+        for preset in ["residential", "business", "mixed"] {
+            let population = SubscriberPopulation::preset(preset).unwrap();
+            let workload = golden_accuracy_workload(population);
+            let expected = workload.expected_correlation_fraction();
+            let measured = measured_correlation_fraction(&workload);
+            assert!(
+                (measured - expected).abs() <= 0.01,
+                "{preset}: measured {:.2}% vs expected {:.2}% — off by more than 1 point",
+                measured * 100.0,
+                expected * 100.0
+            );
+        }
     }
 
     #[test]

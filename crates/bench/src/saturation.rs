@@ -1192,207 +1192,7 @@ impl SaturationReport {
 // JSON validation (the CI `--check` path)
 // ---------------------------------------------------------------------
 
-/// A minimal JSON value for schema checking (this build links no JSON
-/// crate; the emitter above and this parser are the whole round trip).
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn as_num(&self) -> Option<f64> {
-        match self {
-            Json::Num(x) => Some(*x),
-            _ => None,
-        }
-    }
-
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn fail<T>(&self, what: &str) -> Result<T, String> {
-        Err(format!("invalid JSON at byte {}: {what}", self.pos))
-    }
-
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn eat(&mut self, byte: u8) -> bool {
-        if self.bytes.get(self.pos) == Some(&byte) {
-            self.pos += 1;
-            true
-        } else {
-            false
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.bytes.get(self.pos) {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => self.fail("expected a value"),
-        }
-    }
-
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            self.fail("bad literal")
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
-        {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(Json::Num)
-            .ok_or_else(|| format!("invalid JSON at byte {start}: bad number"))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        if !self.eat(b'"') {
-            return self.fail("expected string");
-        }
-        let mut out = String::new();
-        loop {
-            match self.bytes.get(self.pos) {
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    // The emitter never escapes anything beyond these.
-                    self.pos += 1;
-                    match self.bytes.get(self.pos) {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b't') => out.push('\t'),
-                        _ => return self.fail("unsupported escape"),
-                    }
-                    self.pos += 1;
-                }
-                Some(&b) => {
-                    out.push(b as char);
-                    self.pos += 1;
-                }
-                None => return self.fail("unterminated string"),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.eat(b'{');
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.eat(b'}') {
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            if !self.eat(b':') {
-                return self.fail("expected ':'");
-            }
-            fields.push((key, self.value()?));
-            self.skip_ws();
-            if self.eat(b',') {
-                continue;
-            }
-            if self.eat(b'}') {
-                return Ok(Json::Obj(fields));
-            }
-            return self.fail("expected ',' or '}'");
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.eat(b'[');
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.eat(b']') {
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            if self.eat(b',') {
-                continue;
-            }
-            if self.eat(b']') {
-                return Ok(Json::Arr(items));
-            }
-            return self.fail("expected ',' or ']'");
-        }
-    }
-}
-
-fn require_num(obj: &Json, key: &str, context: &str) -> Result<f64, String> {
-    let value = obj
-        .get(key)
-        .ok_or_else(|| format!("{context}: missing key '{key}'"))?;
-    let x = value
-        .as_num()
-        .ok_or_else(|| format!("{context}: '{key}' is not a number (empty or NaN?)"))?;
-    if !x.is_finite() {
-        return Err(format!("{context}: '{key}' is not finite"));
-    }
-    Ok(x)
-}
+use crate::jsonv::{parse_document, require_num, Json};
 
 fn check_step(step: &Json, context: &str) -> Result<(), String> {
     for key in [
@@ -1536,15 +1336,7 @@ fn check_variance(doc: &Json) -> Result<(), String> {
 /// complete, and a non-empty sharded `scaling` curve. Returns a
 /// human-readable reason on failure.
 pub fn validate_json(text: &str) -> Result<(), String> {
-    if text.trim().is_empty() {
-        return Err("file is empty".into());
-    }
-    let mut parser = Parser::new(text);
-    let doc = parser.value()?;
-    parser.skip_ws();
-    if parser.pos != parser.bytes.len() {
-        return Err("trailing garbage after the JSON document".into());
-    }
+    let doc = parse_document(text)?;
     match doc.get("schema").and_then(Json::as_str) {
         Some("flowdns-bench/saturation/v3") => {}
         Some(other) => return Err(format!("unknown schema '{other}'")),
@@ -1806,8 +1598,8 @@ mod tests {
 
     #[test]
     fn parser_handles_scalars_and_nesting() {
-        let mut p = Parser::new("{\"a\": [1, 2.5, true, null, \"x\"], \"b\": {\"c\": -3e2}}");
-        let v = p.value().unwrap();
+        let v = parse_document("{\"a\": [1, 2.5, true, null, \"x\"], \"b\": {\"c\": -3e2}}")
+            .unwrap();
         assert_eq!(v.get("b").unwrap().get("c").unwrap().as_num(), Some(-300.0));
         match v.get("a") {
             Some(Json::Arr(items)) => assert_eq!(items.len(), 5),

@@ -53,7 +53,7 @@ pub use lookup::{LookUpStats, Resolver};
 pub use metrics::{
     CostModel, ExporterStats, IngestSummary, PipelineMetrics, Report, SnapshotStats,
 };
-pub use pipeline::Correlator;
+pub use pipeline::{Correlator, StoreHealth};
 pub use shard::{
     shard_of_dns, shard_of_flow, shard_of_ip, shard_of_key, ShardPartition, ShardedStore,
 };

@@ -143,6 +143,22 @@ impl SnapshotShared {
     }
 }
 
+/// A point-in-time health sample of the DNS store, returned by
+/// [`Correlator::store_health`]. In sharded mode every field aggregates
+/// over all partitions plus the shared name→CNAME store.
+#[derive(Debug, Clone)]
+pub struct StoreHealth {
+    /// Entries currently held.
+    pub entries: usize,
+    /// Rotation clear-ups performed since start (Algorithm 1's
+    /// `AClearUp`/`CClearUp` both count).
+    pub clear_ups: u64,
+    /// Entries dropped by rotation so far.
+    pub rotated_entries: u64,
+    /// The store's own memory accounting.
+    pub memory: flowdns_storage::MemoryEstimate,
+}
+
 /// The pipeline's storage, in whichever layout the config selected:
 /// the classic shared [`DnsStore`] (lock-striped, any worker touches
 /// any entry) or the [`ShardedStore`] (one exclusive partition per
@@ -172,6 +188,20 @@ impl StoreHandle {
         match self {
             StoreHandle::Shared(store) => store.is_exact_ttl(),
             StoreHandle::Sharded(_) => false,
+        }
+    }
+
+    fn clear_ups(&self) -> u64 {
+        match self {
+            StoreHandle::Shared(store) => store.clear_ups(),
+            StoreHandle::Sharded(store) => store.clear_ups(),
+        }
+    }
+
+    fn rotated_entries(&self) -> u64 {
+        match self {
+            StoreHandle::Shared(store) => store.rotated_entries(),
+            StoreHandle::Sharded(store) => store.rotated_entries(),
         }
     }
 
@@ -959,6 +989,20 @@ impl Correlator {
     /// sharded mode).
     pub fn stored_entries(&self) -> usize {
         self.store.total_entries()
+    }
+
+    /// A point-in-time health sample of the DNS store — entries,
+    /// clear-up count, rotated entries and the memory estimate,
+    /// aggregated across partitions in sharded mode. The soak tier
+    /// samples this after every rotation clear-up to assert the
+    /// bounded-memory claim; the ledger can log it as a periodic line.
+    pub fn store_health(&self) -> StoreHealth {
+        StoreHealth {
+            entries: self.store.total_entries(),
+            clear_ups: self.store.clear_ups(),
+            rotated_entries: self.store.rotated_entries(),
+            memory: self.store.memory_estimate(),
+        }
     }
 
     /// Whether the store runs the exact-TTL ablation variant (which has

@@ -83,6 +83,11 @@ impl ChainLengthDist {
 
 /// The diurnal traffic profile of the paper's figures: a low during the
 /// night, rising through the day, and a peak in the evening.
+///
+/// A compatibility facade over the residential
+/// [`crate::population::DiurnalCurve`], which carries the full 24-anchor
+/// curve, second-resolution interpolation and weekend behaviour. Code
+/// that only needs an hour-of-day multiplier keeps this type.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DiurnalProfile;
 
@@ -91,18 +96,7 @@ impl DiurnalProfile {
     /// the traffic-volume curves in Figure 2 (minimum around 04:00, peak
     /// around 21:00).
     pub fn multiplier(&self, hour_of_day: u64) -> f64 {
-        // Piecewise-smooth curve through (4, 0.3) and (21, 1.0).
-        let h = (hour_of_day % 24) as f64;
-        let phase = (h - 4.0).rem_euclid(24.0) / 17.0; // 0 at 04:00, 1 at 21:00
-        let rising = if phase <= 1.0 {
-            // smoothstep from trough to peak between 04:00 and 21:00
-            phase * phase * (3.0 - 2.0 * phase)
-        } else {
-            // 21:00 → 04:00: fall back towards the trough
-            let fall = (phase - 1.0) / (7.0 / 17.0);
-            1.0 - fall * fall * (3.0 - 2.0 * fall)
-        };
-        0.3 + 0.7 * rising.clamp(0.0, 1.0)
+        crate::population::DiurnalCurve::residential().hour_multiplier(hour_of_day)
     }
 }
 

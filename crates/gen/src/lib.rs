@@ -25,7 +25,9 @@
 //!
 //! * [`distributions`] — the calibrated samplers,
 //! * [`domains`] — the domain/service/CDN universe,
-//! * [`workload`] — the main day/week workload generator,
+//! * [`population`] — the subscriber-population model (per-AS skew,
+//!   diurnal curve, heavy-tailed flow sizes),
+//! * [`workload`] — the main day/week streaming workload generator,
 //! * [`resolvers`] — public resolver list and the coverage sample,
 //! * [`capture`] — the two-website capture of the accuracy experiment.
 
@@ -35,11 +37,13 @@
 pub mod capture;
 pub mod distributions;
 pub mod domains;
+pub mod population;
 pub mod resolvers;
 pub mod workload;
 
 pub use capture::{AccuracyCapture, AccuracyScenario};
 pub use distributions::{ChainLengthDist, DiurnalProfile, TtlDist};
 pub use domains::{DomainCategory, DomainUniverse, ServiceSpec, UniverseConfig};
+pub use population::{AccessGroup, DiurnalCurve, FlowSizeDist, SubscriberPopulation};
 pub use resolvers::{CoverageSample, PublicResolverList};
-pub use workload::{Workload, WorkloadConfig};
+pub use workload::{StreamEvent, Workload, WorkloadConfig, WorkloadIter};

@@ -5,12 +5,16 @@
 //! whose joint structure drives the correlator the same way the real ISP
 //! streams do:
 //!
-//! * flows are drawn from the popularity-weighted service universe with a
-//!   diurnal volume profile;
+//! * flows are produced by a [`SubscriberPopulation`] — per-AS subscriber
+//!   skew, heavy-tailed flow sizes, a real diurnal curve — over the
+//!   popularity-weighted service universe, with a `service_concentration`
+//!   exponent focusing traffic on the CDN/VoD head;
 //! * before a flow from an edge IP can appear, the generator emits the DNS
 //!   records a real client population would have produced — the full CNAME
 //!   chain plus the A/AAAA record — unless the IP belongs to the "hidden"
 //!   5% whose clients use public resolvers (the coverage gap of Section 4);
+//! * every announced flow trails its announcement by at least the
+//!   population's modeled DNS→flow lag;
 //! * an edge IP is re-announced only after its TTL-derived re-query
 //!   interval has elapsed, so correlation genuinely depends on how long
 //!   the store retains records across clear-ups — which is what separates
@@ -21,6 +25,12 @@
 //!   53/853), feeding the coverage analysis;
 //! * flows from malformed domains occasionally trigger return traffic,
 //!   feeding the bidirectional-traffic analysis of Section 5.
+//!
+//! The generator is **streaming-only**: [`Workload::events`] yields the
+//! trace lazily in constant memory (state is bounded by the universe size
+//! and the per-second event burst, never by trace length), so week-long
+//! multi-million-subscriber soaks iterate without materializing anything.
+//! [`Workload::generate`] survives as a size-capped test convenience.
 
 use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr};
@@ -33,9 +43,14 @@ use flowdns_types::{
     StreamId,
 };
 
-use crate::distributions::{DiurnalProfile, TtlDist};
+use crate::distributions::TtlDist;
 use crate::domains::{DomainCategory, DomainUniverse, UniverseConfig};
+use crate::population::SubscriberPopulation;
 use crate::resolvers::PublicResolverList;
+
+/// Hard cap on [`Workload::generate`]: it exists for small tests and
+/// examples only, the streaming iterator is the real interface.
+pub const GENERATE_EVENT_CAP: usize = 200_000;
 
 /// One event of the generated workload, in time order.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +76,8 @@ impl StreamEvent {
 pub struct WorkloadConfig {
     /// Universe composition.
     pub universe: UniverseConfig,
+    /// The subscriber population producing the traffic.
+    pub population: SubscriberPopulation,
     /// Length of the generated trace.
     pub duration: SimDuration,
     /// Flow rate at the diurnal peak (records per simulated second).
@@ -89,6 +106,7 @@ impl Default for WorkloadConfig {
     fn default() -> Self {
         WorkloadConfig {
             universe: UniverseConfig::default(),
+            population: SubscriberPopulation::residential(),
             duration: SimDuration::from_hours(24),
             peak_flows_per_sec: 45.0,
             background_dns_per_sec: 6.0,
@@ -103,10 +121,11 @@ impl Default for WorkloadConfig {
 }
 
 impl WorkloadConfig {
-    /// A small configuration (few minutes, low rate) for tests and quick
-    /// examples.
+    /// A small configuration (few minutes, low rate, 50k-line
+    /// population) for tests and quick examples.
     pub fn small() -> Self {
         WorkloadConfig {
+            population: SubscriberPopulation::small(),
             duration: SimDuration::from_secs(1_800),
             peak_flows_per_sec: 20.0,
             background_dns_per_sec: 4.0,
@@ -125,12 +144,23 @@ pub struct Workload {
     /// Edge IPs whose clients exclusively use public resolvers: their DNS
     /// records never reach FlowDNS.
     hidden_ips: Vec<IpAddr>,
+    /// Cumulative service weights with the population's
+    /// `service_concentration` exponent applied (aligned with
+    /// `universe.services`).
+    biased_cumulative: Vec<f64>,
 }
 
 impl Workload {
     /// Build a workload (constructs the universe and picks the hidden IP
     /// set deterministically from the seed).
+    ///
+    /// # Panics
+    ///
+    /// If the population fails [`SubscriberPopulation::validate`].
     pub fn new(config: WorkloadConfig) -> Self {
+        if let Err(reason) = config.population.validate() {
+            panic!("invalid subscriber population: {reason}");
+        }
         let universe = DomainUniverse::generate(&config.universe);
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9e37_79b9);
         let mut hidden = Vec::new();
@@ -144,17 +174,30 @@ impl Workload {
                 }
             }
         }
+        let exponent = config.population.service_concentration;
+        let mut biased_cumulative = Vec::with_capacity(universe.services.len());
+        let mut acc = 0.0;
+        for s in &universe.services {
+            acc += s.popularity.powf(exponent);
+            biased_cumulative.push(acc);
+        }
         Workload {
             config,
             universe,
             resolvers: PublicResolverList::default(),
             hidden_ips: hidden,
+            biased_cumulative,
         }
     }
 
     /// The generator configuration.
     pub fn config(&self) -> &WorkloadConfig {
         &self.config
+    }
+
+    /// The subscriber population producing the traffic.
+    pub fn population(&self) -> &SubscriberPopulation {
+        &self.config.population
     }
 
     /// The underlying service universe.
@@ -172,23 +215,66 @@ impl Workload {
         &self.hidden_ips
     }
 
-    /// The correlation rate the workload *should* produce with ideal
-    /// storage: DNS-related traffic share × resolver coverage.
-    pub fn expected_correlation_fraction(&self) -> f64 {
-        self.universe.dns_related_weight_share() * (1.0 - self.config.public_resolver_fraction)
+    /// Pick a service index weighted by concentration-biased popularity.
+    pub fn pick_service_biased(&self, rng: &mut StdRng) -> usize {
+        let total = *self.biased_cumulative.last().expect("non-empty universe");
+        let x: f64 = rng.gen_range(0.0..total);
+        self.biased_cumulative
+            .partition_point(|&c| c <= x)
+            .min(self.universe.services.len() - 1)
     }
 
-    /// Iterate over the workload's events in time order.
+    /// The correlation fraction an ideal store *should* achieve on the
+    /// inbound content flows of this workload: the concentration-biased
+    /// weight share of DNS-related services, discounted per service by
+    /// the realized fraction of its edge IPs that are hidden behind
+    /// public resolvers. This is exact for the streamed trace up to
+    /// sampling noise — the golden accuracy tier holds measured runs to
+    /// within one percentage point of it.
+    pub fn expected_correlation_fraction(&self) -> f64 {
+        let total = *self.biased_cumulative.last().expect("non-empty universe");
+        let mut visible = 0.0;
+        let mut prev = 0.0;
+        for (s, cum) in self.universe.services.iter().zip(&self.biased_cumulative) {
+            let weight = cum - prev;
+            prev = *cum;
+            if !s.dns_related || s.edge_ips.is_empty() {
+                continue;
+            }
+            let hidden = s
+                .edge_ips
+                .iter()
+                .filter(|ip| self.hidden_ips.contains(ip))
+                .count();
+            let visible_share = (s.edge_ips.len() - hidden) as f64 / s.edge_ips.len() as f64;
+            visible += weight * visible_share;
+        }
+        visible / total
+    }
+
+    /// Iterate over the workload's events in time order. This is the
+    /// generator's real interface: constant memory regardless of trace
+    /// length, byte-identical output for identical seed + config.
     pub fn events(&self) -> WorkloadIter<'_> {
         WorkloadIter::new(self)
     }
 
-    /// Materialize the whole workload into DNS and flow vectors. Only
-    /// sensible for small configurations (tests, examples).
+    /// Materialize the whole workload into DNS and flow vectors — a
+    /// test-only convenience for *small* configurations.
+    ///
+    /// # Panics
+    ///
+    /// If the trace exceeds [`GENERATE_EVENT_CAP`] events. Long traces
+    /// must stream through [`Workload::events`] instead.
     pub fn generate(&self) -> (Vec<DnsRecord>, Vec<FlowRecord>) {
         let mut dns = Vec::new();
         let mut flows = Vec::new();
-        for event in self.events() {
+        for (n, event) in self.events().enumerate() {
+            assert!(
+                n < GENERATE_EVENT_CAP,
+                "Workload::generate() is a test-only convenience capped at \
+                 {GENERATE_EVENT_CAP} events; stream long traces via Workload::events()"
+            );
             match event {
                 StreamEvent::Dns(r) => dns.push(r),
                 StreamEvent::Flow(f) => flows.push(f),
@@ -203,23 +289,30 @@ impl Workload {
 struct AnnounceState {
     last_announced: u64,
     reannounce_after: u64,
+    /// Timestamp of the most recent announcement, microseconds — flows
+    /// for this IP are floored at `last_ts_micros + dns_flow_lag`.
+    last_ts_micros: u64,
 }
 
-/// Lazily generates the workload second by second.
+/// Lazily generates the workload second by second. Memory is bounded by
+/// the announcement map (one entry per visible edge IP, a property of
+/// the universe) and the one-second event buffer — never by trace
+/// length.
 pub struct WorkloadIter<'a> {
     workload: &'a Workload,
     rng: StdRng,
     ttl_address: TtlDist,
     ttl_cname: TtlDist,
-    diurnal: DiurnalProfile,
     current_sec: u64,
     end_sec: u64,
     announced: HashMap<IpAddr, AnnounceState>,
     buffer: std::collections::VecDeque<StreamEvent>,
-    next_client: u32,
     flow_seq: u64,
     dns_seq: u64,
     events_this_sec: u64,
+    /// High-water mark of emitted timestamps; keeps the stream
+    /// non-decreasing even when a lag floor pushes an event forward.
+    cursor_micros: u64,
 }
 
 impl<'a> WorkloadIter<'a> {
@@ -229,28 +322,21 @@ impl<'a> WorkloadIter<'a> {
             rng: StdRng::seed_from_u64(workload.config.seed),
             ttl_address: TtlDist::address(),
             ttl_cname: TtlDist::cname(),
-            diurnal: DiurnalProfile,
             current_sec: 0,
             end_sec: workload.config.duration.as_secs(),
             announced: HashMap::new(),
             buffer: std::collections::VecDeque::new(),
-            next_client: 0,
             flow_seq: 0,
             dns_seq: 0,
             events_this_sec: 0,
+            cursor_micros: 0,
         }
     }
 
     fn client_ip(&mut self) -> IpAddr {
-        // Customers live in 10.0.0.0/8; cycle through a modest population.
-        let id = self.next_client % 200_000;
-        self.next_client += 1;
-        IpAddr::V4(Ipv4Addr::new(
-            10,
-            (id >> 16) as u8,
-            (id >> 8) as u8,
-            id as u8,
-        ))
+        let pick: f64 = self.rng.gen();
+        let rank: f64 = self.rng.gen();
+        IpAddr::V4(self.workload.config.population.client_addr(pick, rank))
     }
 
     fn sample_count(&mut self, rate: f64) -> usize {
@@ -260,21 +346,31 @@ impl<'a> WorkloadIter<'a> {
     }
 
     fn flow_bytes(&mut self, streaming: bool) -> u64 {
-        if streaming || self.rng.gen_bool(0.2) {
-            // Large video segments.
-            self.rng.gen_range(500_000..5_000_000)
+        let sizes = &self.workload.config.population.flow_sizes;
+        if streaming {
+            sizes.sample_streaming(self.rng.gen())
         } else {
-            self.rng.gen_range(2_000..80_000)
+            sizes.sample_web(self.rng.gen(), self.rng.gen(), self.rng.gen())
         }
     }
 
-    fn ts(&mut self, sec: u64) -> SimTime {
+    /// Next timestamp within `sec`, at least `floor_micros`, never
+    /// behind an already emitted event.
+    fn ts_at_least(&mut self, sec: u64, floor_micros: u64) -> SimTime {
         // Spread events within the second deterministically while keeping
         // them monotonically ordered (the simulator and the stream replay
         // both expect a time-ordered feed).
         let micros = (self.events_this_sec * 997).min(999_999);
         self.events_this_sec += 1;
-        SimTime::from_micros(sec * 1_000_000 + micros)
+        let candidate = (sec * 1_000_000 + micros)
+            .max(floor_micros)
+            .max(self.cursor_micros);
+        self.cursor_micros = candidate;
+        SimTime::from_micros(candidate)
+    }
+
+    fn ts(&mut self, sec: u64) -> SimTime {
+        self.ts_at_least(sec, 0)
     }
 
     /// Emit the DNS records announcing `ip` for the given service, if the
@@ -295,15 +391,19 @@ impl<'a> WorkloadIter<'a> {
             return;
         }
         let a_ttl = self.ttl_address.sample(&mut self.rng);
-        let reannounce_after = u64::from(a_ttl).clamp(300, 14_400);
+        // Clamp the re-query interval to one rotation window so a
+        // retained record always backs the announcement (the store keeps
+        // at least the previous full window across clear-ups).
+        let reannounce_after = u64::from(a_ttl).clamp(300, 3_600);
+        let ts = self.ts(sec);
         self.announced.insert(
             ip,
             AnnounceState {
                 last_announced: sec,
                 reannounce_after,
+                last_ts_micros: ts.as_micros(),
             },
         );
-        let ts = self.ts(sec);
         // CNAME chain: customer -> hop1 -> ... -> a_record_owner.
         let mut names: Vec<&DomainName> = Vec::with_capacity(service.cname_chain.len() + 1);
         names.push(&service.customer_domain);
@@ -327,16 +427,18 @@ impl<'a> WorkloadIter<'a> {
         )));
     }
 
-    fn push_flow(
+    #[allow(clippy::too_many_arguments)]
+    fn push_flow_after(
         &mut self,
         sec: u64,
+        floor_micros: u64,
         src_ip: IpAddr,
         dst_ip: IpAddr,
         dst_port: u16,
         bytes: u64,
         direction: FlowDirection,
     ) {
-        let ts = self.ts(sec);
+        let ts = self.ts_at_least(sec, floor_micros);
         self.flow_seq += 1;
         let stream =
             StreamId::new((self.flow_seq % self.workload.config.netflow_streams as u64) as u16);
@@ -357,9 +459,21 @@ impl<'a> WorkloadIter<'a> {
         }));
     }
 
+    fn push_flow(
+        &mut self,
+        sec: u64,
+        src_ip: IpAddr,
+        dst_ip: IpAddr,
+        dst_port: u16,
+        bytes: u64,
+        direction: FlowDirection,
+    ) {
+        self.push_flow_after(sec, 0, src_ip, dst_ip, dst_port, bytes, direction);
+    }
+
     fn generate_second(&mut self, sec: u64) {
-        let hour = (sec / 3600) % 24;
-        let mult = self.diurnal.multiplier(hour);
+        let population = self.workload.config.population;
+        let mult = population.diurnal.multiplier_at(sec);
         let flow_rate = self.workload.config.peak_flows_per_sec * mult;
         let dns_rate = self.workload.config.background_dns_per_sec * mult;
 
@@ -367,7 +481,7 @@ impl<'a> WorkloadIter<'a> {
         // in this trace): re-announces random service IPs.
         let n_dns = self.sample_count(dns_rate);
         for _ in 0..n_dns {
-            let idx = self.workload.universe.pick_service(&mut self.rng);
+            let idx = self.workload.pick_service_biased(&mut self.rng);
             let service = &self.workload.universe.services[idx];
             let ip = service.edge_ips[self.rng.gen_range(0..service.edge_ips.len())];
             // Background queries ignore the re-announce timer ~25% of the
@@ -381,16 +495,35 @@ impl<'a> WorkloadIter<'a> {
         // Content flows.
         let n_flows = self.sample_count(flow_rate);
         for _ in 0..n_flows {
-            let idx = self.workload.universe.pick_service(&mut self.rng);
+            let idx = self.workload.pick_service_biased(&mut self.rng);
             let service = &self.workload.universe.services[idx];
             let ip = service.edge_ips[self.rng.gen_range(0..service.edge_ips.len())];
+            // Streaming-sized sessions come from the flagship VoD
+            // services — and from a slice of the non-DNS-related
+            // traffic (P2P, VPN, IP-literal video), so the
+            // uncorrelatable share carries realistic byte weight.
             let streaming = idx == self.workload.universe.streaming_s1
-                || idx == self.workload.universe.streaming_s2;
+                || idx == self.workload.universe.streaming_s2
+                || (!service.dns_related
+                    && self.rng.gen_bool(
+                        self.workload
+                            .config
+                            .population
+                            .flow_sizes
+                            .non_dns_heavy_probability,
+                    ));
             let bytes = self.flow_bytes(streaming);
             let category = service.category;
             self.maybe_announce(idx, ip, sec);
+            // The flow trails its announcement by at least the modeled
+            // client-side lag between answer and first packet.
+            let floor = self
+                .announced
+                .get(&ip)
+                .map(|s| s.last_ts_micros + population.dns_flow_lag_micros)
+                .unwrap_or(0);
             let client = self.client_ip();
-            self.push_flow(sec, ip, client, 443, bytes, FlowDirection::Inbound);
+            self.push_flow_after(sec, floor, ip, client, 443, bytes, FlowDirection::Inbound);
 
             // Occasional return traffic towards malformed domains
             // (Section 5: 2.7% of clients answer back).
@@ -434,19 +567,28 @@ impl<'a> WorkloadIter<'a> {
 
 /// A deterministic `(name, address)` population for wire-level load
 /// drivers (the saturation harness): `n` distinct names, each resolving
-/// to one distinct 10.0.0.0/8 address. Unlike [`Workload`], this makes
-/// no attempt at statistical realism — it exists so a sender can
-/// pre-encode NetFlow datagrams whose source addresses are guaranteed to
-/// hit the DNS store, making the measured path the full decode → lookup
-/// → write pipeline rather than the uncorrelated fast path.
-pub fn saturation_pool(n: usize) -> Vec<(DomainName, Ipv4Addr)> {
+/// to one distinct address from the population's subscriber plan. Unlike
+/// [`Workload`], this makes no attempt at statistical realism — it
+/// exists so a sender can pre-encode NetFlow datagrams whose source
+/// addresses are guaranteed to hit the DNS store, making the measured
+/// path the full decode → lookup → write pipeline rather than the
+/// uncorrelated fast path.
+pub fn saturation_pool_for(
+    population: &SubscriberPopulation,
+    n: usize,
+) -> Vec<(DomainName, Ipv4Addr)> {
     (0..n)
         .map(|i| {
             let name = DomainName::literal(&format!("s{i}.bench.example"));
-            let ip = Ipv4Addr::new(10, (i >> 16) as u8, (i >> 8) as u8, (i & 0xff) as u8);
-            (name, ip)
+            (name, population.subscriber_addr(i as u32))
         })
         .collect()
+}
+
+/// [`saturation_pool_for`] over the residential preset (large enough
+/// that every realistic pool size gets distinct addresses).
+pub fn saturation_pool(n: usize) -> Vec<(DomainName, Ipv4Addr)> {
+    saturation_pool_for(&SubscriberPopulation::residential(), n)
 }
 
 impl Iterator for WorkloadIter<'_> {
@@ -528,7 +670,7 @@ mod tests {
         // DNS-related share × coverage (95%) lands near the paper's 82%;
         // allow generator noise on a short trace.
         assert!(
-            share > 0.65 && share < 0.95,
+            share > 0.65 && share < 0.97,
             "announced-before-flow share {share}"
         );
     }
@@ -538,6 +680,59 @@ mod tests {
         let w = small_workload();
         let expected = w.expected_correlation_fraction();
         assert!(expected > 0.65 && expected < 0.92, "expected {expected}");
+    }
+
+    #[test]
+    fn announced_flows_trail_their_announcement_by_the_lag() {
+        let w = small_workload();
+        let lag = w.population().dns_flow_lag_micros;
+        let mut last_announce: HashMap<IpKey, u64> = HashMap::new();
+        let mut checked = 0u64;
+        for event in w.events() {
+            match event {
+                StreamEvent::Dns(r) => {
+                    if let Some(ip) = r.answer.as_ip() {
+                        last_announce.insert(IpKey::from_ip(ip), r.ts.as_micros());
+                    }
+                }
+                StreamEvent::Flow(f) => {
+                    if f.direction == FlowDirection::Inbound && f.key.dst_port == 443 {
+                        if let Some(&at) = last_announce.get(&IpKey::from_ip(f.key.src_ip)) {
+                            assert!(
+                                f.ts.as_micros() >= at + lag,
+                                "flow at {} trails announcement at {at} by less than {lag}us",
+                                f.ts.as_micros()
+                            );
+                            checked += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(checked > 100, "lag check exercised only {checked} flows");
+    }
+
+    #[test]
+    fn clients_come_from_the_population_address_plan() {
+        let w = small_workload();
+        let population = *w.population();
+        let mut seen = 0u64;
+        for event in w.events().take(20_000) {
+            if let StreamEvent::Flow(f) = event {
+                if f.direction == FlowDirection::Inbound && f.key.dst_port == 443 {
+                    if let IpAddr::V4(client) = f.key.dst_ip {
+                        assert!(
+                            population.group_of(client).is_some(),
+                            "client {client} outside the subscriber address plan"
+                        );
+                        seen += 1;
+                    } else {
+                        panic!("v6 client in a v4 address plan");
+                    }
+                }
+            }
+        }
+        assert!(seen > 1_000);
     }
 
     #[test]
@@ -608,5 +803,23 @@ mod tests {
         assert!(!flows.is_empty());
         // Flow stream ids stay within the configured stream count.
         assert!(flows.iter().all(|f| f.stream.index() < cfg.netflow_streams));
+    }
+
+    #[test]
+    #[should_panic(expected = "test-only convenience")]
+    fn generate_refuses_to_materialize_long_traces() {
+        let mut cfg = WorkloadConfig::default();
+        cfg.duration = SimDuration::from_hours(168);
+        cfg.peak_flows_per_sec = 500.0;
+        Workload::new(cfg).generate();
+    }
+
+    #[test]
+    fn saturation_pool_addresses_follow_the_subscriber_plan() {
+        let pool = saturation_pool(1_000);
+        assert_eq!(pool.len(), 1_000);
+        let distinct: HashSet<Ipv4Addr> = pool.iter().map(|(_, ip)| *ip).collect();
+        assert_eq!(distinct.len(), 1_000);
+        assert!(pool.iter().all(|(_, ip)| ip.octets()[0] == 10));
     }
 }
